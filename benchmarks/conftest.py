@@ -1,0 +1,39 @@
+"""Benchmark-harness fixtures.
+
+Every ``benchmarks/test_*.py`` regenerates one table or figure of the paper.
+A single session-scoped :class:`ExperimentCache` is shared across the whole
+suite, so the expensive artifacts (fault-injection campaigns, prepared
+modules, timing runs) are computed once: Figures 2, 11, and 13 all read the
+same campaigns.
+
+Scale with ``REPRO_TRIALS`` (default 60 trials per benchmark/scheme; the
+paper used 1000).  Each report is printed and also written to
+``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import ExperimentCache, ExperimentSettings
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def cache() -> ExperimentCache:
+    return ExperimentCache(ExperimentSettings())
+
+
+@pytest.fixture(scope="session")
+def save_report():
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def save(name: str, text: str) -> None:
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print()
+        print(text)
+
+    return save

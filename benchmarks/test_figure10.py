@@ -1,0 +1,22 @@
+"""Regenerates paper Figure 10: static instrumentation fractions.
+
+Expected shape: duplication touches a modest fraction of static IR
+instructions (paper max 11.4%) and value checks land on a comparable
+fraction (paper max 8.3%) — selective, not blanket, instrumentation.
+"""
+
+from repro.experiments import figure10
+
+
+def test_figure10(benchmark, cache, save_report):
+    rows = benchmark.pedantic(figure10.compute, args=(cache,), rounds=1, iterations=1)
+    assert len(rows) == len(cache.settings.workloads)
+    for r in rows:
+        assert r.num_state_variables > 0
+        assert 0 < r.frac_duplicated < 0.5     # selective, far below full dup
+        assert r.frac_value_checks < 0.35
+
+    mean_checks = sum(r.frac_value_checks for r in rows) / len(rows)
+    assert mean_checks < 0.15  # paper: at most 8.3% per benchmark
+
+    save_report("figure10", figure10.report(cache))

@@ -1,0 +1,32 @@
+"""Regenerates paper Figure 11: fault-outcome classification per scheme.
+
+Expected shape: protection converts USDCs into SWDetects — average USDC
+falls monotonically Original → Dup only → Dup + val chks (paper: 3.4% →
+1.8% → 1.2%), and fault coverage (Masked + SWDetect + HWDetect) rises.
+"""
+
+from repro.experiments import figure11
+
+
+def test_figure11(benchmark, cache, save_report):
+    rows = benchmark.pedantic(figure11.compute, args=(cache,), rounds=1, iterations=1)
+    avgs = figure11.averages(cache)
+
+    # every column sums to 100%
+    for r in rows:
+        assert abs(r.masked + r.swdetect + r.hwdetect + r.failure + r.usdc - 1.0) < 1e-9
+
+    # the original binary has no software checks
+    assert avgs["original"].swdetect == 0.0
+    # protected binaries detect in software
+    assert avgs["dup"].swdetect > 0
+    assert avgs["dup_valchk"].swdetect > 0
+
+    # headline shape: USDCs shrink with increasing protection
+    assert avgs["dup"].usdc <= avgs["original"].usdc
+    assert avgs["dup_valchk"].usdc <= avgs["dup"].usdc
+
+    # coverage improves
+    assert avgs["dup_valchk"].coverage >= avgs["original"].coverage
+
+    save_report("figure11", figure11.report(cache))

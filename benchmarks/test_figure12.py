@@ -1,0 +1,26 @@
+"""Regenerates paper Figure 12: runtime overhead per scheme.
+
+Expected shape (paper: 7.6% / 19.5% / 57%): Dup only is cheap, adding value
+checks costs more, and full duplication costs by far the most — the
+crossover that makes selective protection worthwhile.
+"""
+
+from repro.experiments import figure12
+
+
+def test_figure12(benchmark, cache, save_report):
+    rows = benchmark.pedantic(figure12.compute, args=(cache,), rounds=1, iterations=1)
+    average = next(r for r in rows if r.benchmark == "average")
+
+    # ordering: dup < dup+valchk < full duplication
+    assert 0 < average.dup < average.dup_valchk < average.full_dup
+
+    # rough factors: dup only stays light; full duplication is heavyweight
+    assert average.dup < 0.30
+    assert average.full_dup > 0.35
+
+    # per-benchmark overheads are all positive for every scheme
+    for r in rows:
+        assert r.dup > 0 and r.dup_valchk > 0 and r.full_dup > 0
+
+    save_report("figure12", figure12.report(cache))

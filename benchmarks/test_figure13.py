@@ -1,0 +1,21 @@
+"""Regenerates paper Figure 13: ASDC/USDC split of SDCs per scheme.
+
+Expected shape (paper: SDC 15%→9.5%→7.3%, USDC 3.4%→1.8%→1.2%): both total
+SDCs and the unacceptable subset shrink as protection is added.
+"""
+
+from repro.experiments import figure13
+
+
+def test_figure13(benchmark, cache, save_report):
+    rows = benchmark.pedantic(figure13.compute, args=(cache,), rounds=1, iterations=1)
+    avgs = figure13.averages(cache)
+
+    for r in rows:
+        assert abs(r.sdc - (r.asdc + r.usdc)) < 1e-9
+
+    assert avgs["original"].sdc > 0
+    assert avgs["dup"].sdc <= avgs["original"].sdc
+    assert avgs["dup_valchk"].usdc <= avgs["original"].usdc
+
+    save_report("figure13", figure13.report(cache))

@@ -1,0 +1,30 @@
+"""End-to-end recovery experiment (paper Section IV-D closed-loop).
+
+Expected shape: on Dup + val chks binaries under checkpoint recovery, the
+overwhelming majority of injected faults end with a fully correct output —
+detections are rolled back and replayed, masked faults need nothing — and
+only the residual USDCs escape.
+"""
+
+from repro.experiments import recovery_analysis
+
+
+def test_recovery(benchmark, cache, save_report):
+    rows = benchmark.pedantic(
+        recovery_analysis.compute, args=(cache,), rounds=1, iterations=1
+    )
+    assert len(rows) == len(cache.settings.workloads)
+
+    total_trials = sum(r.trials for r in rows)
+    total_corrected = sum(r.corrected for r in rows)
+    total_escaped = sum(r.escaped for r in rows)
+
+    # recoveries do happen and fix the output
+    assert total_corrected > 0
+    # escapes are rare relative to the trial volume
+    assert total_escaped / total_trials < 0.15
+
+    mean_correct = sum(r.correct_output_rate for r in rows) / len(rows)
+    assert mean_correct > 0.6
+
+    save_report("recovery", recovery_analysis.report(cache))

@@ -1,0 +1,101 @@
+"""Micro-benchmarks of the substrate itself (pytest-benchmark timings).
+
+These are the only files in the harness that use pytest-benchmark for actual
+timing statistics — throughput of the interpreter, the compiler, the
+profiling histogram, and the transforms.  They guard against performance
+regressions in the simulator that would make campaigns impractically slow.
+"""
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.profiling import OnlineHistogram, collect_profiles
+from repro.sim import Interpreter, TimingModel
+from repro.transforms import apply_scheme
+from repro.workloads import get_workload
+
+KERNEL = """
+input int data[256];
+output int out[1];
+void main() {
+    int acc = 0;
+    for (int i = 0; i < 256; i++) {
+        acc = (acc * 31 + data[i]) % 65521;
+    }
+    out[0] = acc;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    return compile_source(KERNEL)
+
+
+@pytest.fixture(scope="module")
+def inputs():
+    return {"data": [(i * 7) % 251 for i in range(256)]}
+
+
+def test_compile_throughput(benchmark):
+    module = benchmark(compile_source, KERNEL)
+    assert module.num_instructions() > 10
+
+
+def test_interpreter_throughput(benchmark, compiled, inputs):
+    def run():
+        return Interpreter(compiled).run(inputs=inputs)
+
+    result = benchmark(run)
+    assert result.return_value is None or result.instructions > 1000
+
+
+def test_interpreter_with_timing_model(benchmark, compiled, inputs):
+    def run():
+        timing = TimingModel()
+        Interpreter(compiled, guard_mode="count", timing=timing).run(inputs=inputs)
+        return timing.cycles
+
+    cycles = benchmark(run)
+    assert cycles > 1000
+
+
+def test_histogram_insertion(benchmark):
+    values = [(i * 2654435761) % 1000 for i in range(2000)]
+
+    def run():
+        h = OnlineHistogram(5)
+        for v in values:
+            h.add(v)
+        return h
+
+    h = benchmark(run)
+    assert h.total == 2000
+
+
+def test_profiling_run(benchmark, inputs):
+    module = compile_source(KERNEL)
+
+    def run():
+        return collect_profiles(module, inputs=inputs)
+
+    store = benchmark(run)
+    assert len(store) > 0
+
+
+def test_protection_transform(benchmark, inputs):
+    def run():
+        module = compile_source(KERNEL)
+        profiles = collect_profiles(module, inputs=inputs)
+        return apply_scheme(module, "dup_valchk", profiles=profiles)
+
+    stats = benchmark(run)
+    assert stats.num_duplicated > 0
+
+
+def test_workload_build(benchmark):
+    def run():
+        return get_workload("g721dec").build_module()
+
+    module = benchmark(run)
+    assert module.num_instructions() > 50

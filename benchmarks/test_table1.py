@@ -1,0 +1,10 @@
+"""Regenerates paper Table I: the benchmark inventory."""
+
+from repro.experiments import tables
+from repro.workloads import BENCHMARK_NAMES
+
+
+def test_table1(benchmark, save_report):
+    report = benchmark.pedantic(tables.table1_report, rounds=1, iterations=1)
+    assert all(name in report for name in BENCHMARK_NAMES)
+    save_report("table1", report)

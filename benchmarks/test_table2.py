@@ -1,0 +1,10 @@
+"""Regenerates paper Table II: the simulated core configuration."""
+
+from repro.experiments import tables
+
+
+def test_table2(benchmark, save_report):
+    report = benchmark.pedantic(tables.table2_report, rounds=1, iterations=1)
+    for fragment in ("256 entries", "192 entries", "Issue width", "32KB, 2-way"):
+        assert fragment in report
+    save_report("table2", report)

@@ -1,0 +1,10 @@
+"""Legacy setuptools entry point.
+
+Kept so the package installs in environments without the ``wheel`` package
+(where pip's PEP-660 editable build is unavailable): ``python setup.py develop``
+or ``pip install -e . --no-build-isolation`` both work. All metadata lives in
+pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

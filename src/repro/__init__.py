@@ -1,0 +1,79 @@
+"""repro — a full reproduction of *Harnessing Soft Computations for
+Low-budget Fault Tolerance* (Khudia & Mahlke, MICRO 2014).
+
+The package builds every layer of the paper's system from scratch:
+
+* :mod:`repro.frontend` — SCL, a small C-like language, compiled to SSA;
+* :mod:`repro.ir` — the SSA IR with guard (check) instructions;
+* :mod:`repro.analysis` — dominators, loops, use-def, state variables;
+* :mod:`repro.profiling` — value profiling (paper Algorithms 1 and 2);
+* :mod:`repro.transforms` — state-variable duplication, expected-value
+  checks, the full-duplication baseline (the paper's contribution);
+* :mod:`repro.sim` — the execution substrate: interpreter, register-file
+  fault model, out-of-order timing estimator (paper Table II);
+* :mod:`repro.faultinjection` — statistical fault-injection campaigns;
+* :mod:`repro.fidelity` — PSNR / segmental SNR / classification metrics;
+* :mod:`repro.workloads` — the 13 benchmarks of paper Table I, in SCL;
+* :mod:`repro.experiments` — drivers regenerating every table and figure.
+
+Quickstart::
+
+    from repro import protect, compile_source, Interpreter
+
+    module = compile_source(open("kernel.scl").read())
+    stats = protect(module, train_inputs={"data": [...]})   # dup + val chks
+    Interpreter(module).run(inputs={"data": [...]})
+"""
+
+from typing import Dict, Optional, Sequence
+
+from .frontend.compiler import compile_source
+from .ir.module import Module
+from .profiling.profiler import collect_profiles
+from .sim.config import SimConfig
+from .sim.interpreter import Interpreter
+from .transforms.checkconfig import ProtectionConfig
+from .transforms.pipeline import SchemeStats, apply_scheme
+
+__version__ = "1.0.0"
+
+
+def protect(
+    module: Module,
+    scheme: str = "dup_valchk",
+    train_inputs: Optional[Dict[str, Sequence]] = None,
+    entry: str = "main",
+    config: Optional[ProtectionConfig] = None,
+) -> SchemeStats:
+    """One-call protection: profile (if needed) and instrument a module.
+
+    ``scheme`` is one of ``'dup'``, ``'dup_valchk'`` (default — the paper's
+    proposed technique; requires ``train_inputs`` for the profiling run), or
+    ``'full_dup'``.  The module is transformed in place; the returned stats
+    describe what was inserted.
+    """
+    profiles = None
+    if scheme == "dup_valchk":
+        cfg = config or ProtectionConfig()
+        profiles = collect_profiles(
+            module,
+            inputs=train_inputs,
+            entry=entry,
+            num_bins=cfg.histogram_bins,
+            top_capacity=cfg.top_value_capacity,
+        )
+    return apply_scheme(module, scheme, profiles=profiles, config=config)
+
+
+__all__ = [
+    "__version__",
+    "compile_source",
+    "collect_profiles",
+    "protect",
+    "apply_scheme",
+    "Interpreter",
+    "Module",
+    "ProtectionConfig",
+    "SchemeStats",
+    "SimConfig",
+]

@@ -1,0 +1,38 @@
+"""Compiler analyses: CFG, dominators, natural loops, use-def chains,
+state-variable identification, and liveness."""
+
+from .cfg import (
+    predecessors_map,
+    reachable_blocks,
+    reverse_postorder,
+    split_critical_edges,
+    successors_map,
+)
+from .dominators import DominatorTree
+from .liveness import LivenessInfo, compute_liveness
+from .loops import Loop, LoopInfo
+from .statevars import (
+    StateVariable,
+    classify_header_phi,
+    count_state_variables,
+    find_state_variables,
+)
+from .usedef import (
+    DUPLICABLE_CLASSES,
+    depends_on,
+    is_chain_terminator,
+    producer_chain,
+    transitive_users,
+)
+
+__all__ = [
+    "predecessors_map", "reachable_blocks", "reverse_postorder",
+    "split_critical_edges", "successors_map",
+    "DominatorTree",
+    "LivenessInfo", "compute_liveness",
+    "Loop", "LoopInfo",
+    "StateVariable", "classify_header_phi", "count_state_variables",
+    "find_state_variables",
+    "DUPLICABLE_CLASSES", "depends_on", "is_chain_terminator",
+    "producer_chain", "transitive_users",
+]

@@ -1,0 +1,87 @@
+"""Control-flow-graph utilities: orderings and edge maps over a function."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from ..ir.basicblock import BasicBlock
+from ..ir.function import Function
+
+
+def successors_map(fn: Function) -> Dict[BasicBlock, List[BasicBlock]]:
+    """Block → successor list for every block in the function."""
+    return {block: block.successors for block in fn.blocks}
+
+
+def predecessors_map(fn: Function) -> Dict[BasicBlock, List[BasicBlock]]:
+    """Block → predecessor list, computed in one pass over the CFG."""
+    preds: Dict[BasicBlock, List[BasicBlock]] = {block: [] for block in fn.blocks}
+    for block in fn.blocks:
+        for succ in block.successors:
+            preds[succ].append(block)
+    return preds
+
+
+def reverse_postorder(fn: Function) -> List[BasicBlock]:
+    """Blocks in reverse postorder from the entry (unreachable blocks omitted).
+
+    Reverse postorder visits every block before its successors (except along
+    back edges), which is the canonical iteration order for forward dataflow.
+    """
+    visited: Set[int] = set()
+    postorder: List[BasicBlock] = []
+
+    # Iterative DFS to avoid recursion limits on long CFGs.
+    stack: List[tuple] = [(fn.entry, iter(fn.entry.successors))]
+    visited.add(id(fn.entry))
+    while stack:
+        block, succ_iter = stack[-1]
+        advanced = False
+        for succ in succ_iter:
+            if id(succ) not in visited:
+                visited.add(id(succ))
+                stack.append((succ, iter(succ.successors)))
+                advanced = True
+                break
+        if not advanced:
+            postorder.append(block)
+            stack.pop()
+    postorder.reverse()
+    return postorder
+
+
+def reachable_blocks(fn: Function) -> Set[int]:
+    """Ids of blocks reachable from the entry."""
+    return {id(b) for b in reverse_postorder(fn)}
+
+
+def split_critical_edges(fn: Function) -> int:
+    """Split every critical edge (multi-succ block → multi-pred block).
+
+    Inserts a fresh forwarding block on each critical edge and rewrites phi
+    incomings.  Returns the number of edges split.  Needed before placing
+    per-edge code (e.g. guard checks on loop back edges).
+    """
+    from ..ir.instructions import Br
+
+    split = 0
+    preds = predecessors_map(fn)
+    for block in list(fn.blocks):
+        succs = block.successors
+        if len(succs) < 2:
+            continue
+        for succ in succs:
+            if len(preds[succ]) < 2:
+                continue
+            mid = fn.add_block(f"{block.name}.{succ.name}.split", after=block)
+            mid.append(Br(succ))
+            term = block.terminator
+            term.replace_successor(succ, mid)  # type: ignore[union-attr]
+            for phi in succ.phis():
+                for idx, pred in enumerate(phi.incoming_blocks):
+                    if pred is block:
+                        phi.incoming_blocks[idx] = mid
+            preds[succ] = [p for p in preds[succ] if p is not block] + [mid]
+            preds[mid] = [block]
+            split += 1
+    return split

@@ -1,0 +1,122 @@
+"""Dominator tree and dominance frontiers (Cooper–Harvey–Kennedy).
+
+Used by the verifier (SSA dominance checks), by mem2reg (phi placement at
+dominance frontiers), and by the loop analysis (back edge = edge to a
+dominator).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from ..ir.basicblock import BasicBlock
+from ..ir.function import Function
+from .cfg import predecessors_map, reverse_postorder
+
+
+class DominatorTree:
+    """Immediate-dominator tree for a function's reachable blocks."""
+
+    def __init__(
+        self,
+        fn: Function,
+        idom: Dict[BasicBlock, Optional[BasicBlock]],
+        rpo: List[BasicBlock],
+    ) -> None:
+        self.function = fn
+        self.idom = idom
+        self.rpo = rpo
+        self._rpo_index = {id(b): i for i, b in enumerate(rpo)}
+        self.children: Dict[BasicBlock, List[BasicBlock]] = {b: [] for b in rpo}
+        for block, dom in idom.items():
+            if dom is not None and dom is not block:
+                self.children[dom].append(block)
+
+    @classmethod
+    def compute(cls, fn: Function) -> "DominatorTree":
+        """Cooper–Harvey–Kennedy iterative dominator algorithm."""
+        rpo = reverse_postorder(fn)
+        rpo_index = {id(b): i for i, b in enumerate(rpo)}
+        preds = predecessors_map(fn)
+        entry = fn.entry
+
+        idom: Dict[BasicBlock, Optional[BasicBlock]] = {b: None for b in rpo}
+        idom[entry] = entry
+
+        def intersect(b1: BasicBlock, b2: BasicBlock) -> BasicBlock:
+            while b1 is not b2:
+                while rpo_index[id(b1)] > rpo_index[id(b2)]:
+                    b1 = idom[b1]  # type: ignore[assignment]
+                while rpo_index[id(b2)] > rpo_index[id(b1)]:
+                    b2 = idom[b2]  # type: ignore[assignment]
+            return b1
+
+        changed = True
+        while changed:
+            changed = False
+            for block in rpo:
+                if block is entry:
+                    continue
+                new_idom: Optional[BasicBlock] = None
+                for pred in preds[block]:
+                    if id(pred) not in rpo_index:
+                        continue  # unreachable predecessor
+                    if idom.get(pred) is None:
+                        continue
+                    new_idom = pred if new_idom is None else intersect(pred, new_idom)
+                if new_idom is not None and idom[block] is not new_idom:
+                    idom[block] = new_idom
+                    changed = True
+        return cls(fn, idom, rpo)
+
+    # -- queries ---------------------------------------------------------------
+
+    def is_reachable(self, block: BasicBlock) -> bool:
+        return id(block) in self._rpo_index
+
+    def immediate_dominator(self, block: BasicBlock) -> Optional[BasicBlock]:
+        dom = self.idom.get(block)
+        return None if dom is block else dom
+
+    def dominates(self, a: BasicBlock, b: BasicBlock) -> bool:
+        """True when ``a`` dominates ``b`` (reflexive)."""
+        if not self.is_reachable(a) or not self.is_reachable(b):
+            return False
+        node: Optional[BasicBlock] = b
+        while node is not None:
+            if node is a:
+                return True
+            parent = self.idom[node]
+            node = None if parent is node else parent
+        return False
+
+    def strictly_dominates(self, a: BasicBlock, b: BasicBlock) -> bool:
+        return a is not b and self.dominates(a, b)
+
+    def dominance_frontier(self) -> Dict[BasicBlock, Set[BasicBlock]]:
+        """DF(b) = blocks where b's dominance ends; drives phi placement."""
+        preds = predecessors_map(self.function)
+        frontier: Dict[BasicBlock, Set[BasicBlock]] = {b: set() for b in self.rpo}
+        for block in self.rpo:
+            block_preds = [p for p in preds[block] if self.is_reachable(p)]
+            if len(block_preds) < 2:
+                continue
+            target_idom = self.idom[block]
+            for pred in block_preds:
+                runner = pred
+                # idom[entry] is entry, so this walk always terminates: the
+                # target's idom is an ancestor of every reachable predecessor.
+                while runner is not target_idom:
+                    frontier[runner].add(block)
+                    runner = self.idom[runner]  # type: ignore[assignment]
+        return frontier
+
+    def dominated_by(self, block: BasicBlock) -> List[BasicBlock]:
+        """All blocks dominated by ``block`` (subtree of the dom tree)."""
+        out: List[BasicBlock] = []
+        stack = [block]
+        while stack:
+            b = stack.pop()
+            out.append(b)
+            stack.extend(self.children.get(b, ()))
+        return out

@@ -1,0 +1,146 @@
+"""Use-def traversals: producer chains.
+
+The paper protects a state variable by duplicating its *producer chain* — the
+recursive closure of its use-def chain, terminated at loads ("we do not
+duplicate loads to save on memory traffic", Fig. 7) and at anything with side
+effects.  This module computes those chains; the duplication transform
+consumes them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Set
+
+from ..ir.instructions import (
+    Alloca,
+    BinaryOp,
+    Call,
+    Cast,
+    FCmp,
+    GetElementPtr,
+    ICmp,
+    Instruction,
+    IntrinsicCall,
+    Load,
+    Phi,
+    Select,
+)
+from ..ir.values import Value
+
+
+#: Instruction classes that may be cloned into a shadow (duplicated) chain.
+#: Loads are deliberately excluded (memory traffic; faults on the address
+#: operand surface as symptoms instead).  GEPs are pure address arithmetic and
+#: are duplicable.  Non-header phis are also duplicable, but only when the
+#: chain walk has loop context (see :func:`producer_chain`).
+DUPLICABLE_CLASSES = (BinaryOp, ICmp, FCmp, Select, Cast, GetElementPtr, IntrinsicCall)
+
+
+def is_chain_terminator(instr: Instruction, header_blocks: Optional[Set[int]] = None) -> bool:
+    """True when producer-chain traversal must stop *at* this instruction.
+
+    Loads terminate the chain (their result is consumed by the shadow chain
+    as-is); calls and allocas likewise act as chain inputs.  Phi nodes in
+    *loop headers* terminate too (they are recurrences — the duplication pass
+    shadows them explicitly), but ordinary merge phis (if-else joins inside a
+    loop body, e.g. a conditional min/max update) are part of the computation
+    and are duplicated when ``header_blocks`` is provided; without loop
+    context every phi conservatively terminates the chain.
+    """
+    if isinstance(instr, (Load, Call, Alloca)):
+        return True
+    if isinstance(instr, Phi):
+        if header_blocks is None:
+            return True
+        return id(instr.parent) in header_blocks
+    return False
+
+
+def producer_chain(
+    root: Value,
+    stop_at: Optional[Callable[[Instruction], bool]] = None,
+    restrict_to_blocks: Optional[Set[int]] = None,
+    header_blocks: Optional[Set[int]] = None,
+) -> List[Instruction]:
+    """Duplicable producer chain of ``root`` in dependency (def-before-use) order.
+
+    Walks the use-def chain recursively.  Traversal stops at:
+
+    * non-instruction values (constants, arguments, globals),
+    * chain terminators (:func:`is_chain_terminator`),
+    * instructions outside ``restrict_to_blocks`` (when given — used to keep
+      chains inside the loop being protected),
+    * instructions for which ``stop_at`` returns True (used by Optimization 2:
+      value-check-amenable instructions end the chain).
+
+    The returned list contains only duplicable instructions, ordered so that
+    every instruction appears after all chain members it depends on; cloning
+    in list order is therefore safe.
+    """
+    ordered: List[Instruction] = []
+    visited: Set[int] = set()
+
+    def visit(value: Value) -> None:
+        if not isinstance(value, Instruction):
+            return
+        if id(value) in visited:
+            return
+        visited.add(id(value))
+        if is_chain_terminator(value, header_blocks):
+            return
+        if restrict_to_blocks is not None and id(value.parent) not in restrict_to_blocks:
+            return
+        if not isinstance(value, (*DUPLICABLE_CLASSES, Phi)):
+            return
+        if stop_at is not None and stop_at(value):
+            return
+        for op in value.operands:
+            visit(op)
+        ordered.append(value)
+
+    visit(root)
+    return ordered
+
+
+def transitive_users(
+    roots: Iterable[Instruction], within_blocks: Optional[Set[int]] = None
+) -> Set[int]:
+    """Ids of all instructions transitively using any of ``roots``.
+
+    Phi uses are included (so influence propagates across iterations), but the
+    walk does not revisit nodes; used by Optimization 1 to find whether an
+    amenable instruction feeds another amenable instruction downstream.
+    """
+    seen: Set[int] = set()
+    stack: List[Instruction] = list(roots)
+    while stack:
+        instr = stack.pop()
+        for user in instr.users:
+            if id(user) in seen:
+                continue
+            if within_blocks is not None and id(user.parent) not in within_blocks:
+                continue
+            seen.add(id(user))
+            stack.append(user)
+    return seen
+
+
+def depends_on(value: Value, target: Value, max_nodes: int = 100_000) -> bool:
+    """True when ``value`` transitively depends on ``target`` via use-def edges.
+
+    Used to detect state variables: a loop-header phi whose in-loop incoming
+    depends on the phi itself carries state across iterations.
+    """
+    if value is target:
+        return True
+    seen: Set[int] = set()
+    stack: List[Value] = [value]
+    while stack and len(seen) < max_nodes:
+        v = stack.pop()
+        if v is target:
+            return True
+        if not isinstance(v, Instruction) or id(v) in seen:
+            continue
+        seen.add(id(v))
+        stack.extend(v.operands)
+    return False

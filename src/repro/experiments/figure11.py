@@ -1,0 +1,101 @@
+"""Figure 11: fault-coverage classification per scheme.
+
+For each benchmark and each of Original / Dup only / Dup + val chks, the
+fraction of injected faults ending in Masked / SWDetect / HWDetect / Failure
+/ USDC.  The paper's headline: USDCs drop from 3.4% (original) to 1.8% (dup
+only) to 1.2% (dup + value checks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..faultinjection.outcomes import CampaignResult
+from .reporting import format_table, pct, stacked_bar_chart
+from .runner import ExperimentCache, global_cache
+
+SCHEMES = ("original", "dup", "dup_valchk")
+SCHEME_LABELS = {
+    "original": "Original",
+    "dup": "Dup only",
+    "dup_valchk": "Dup + val chks",
+    "full_dup": "Full duplication",
+}
+
+
+@dataclass
+class Figure11Row:
+    benchmark: str
+    scheme: str
+    masked: float
+    swdetect: float
+    hwdetect: float
+    failure: float
+    usdc: float
+
+    @property
+    def coverage(self) -> float:
+        return self.masked + self.swdetect + self.hwdetect
+
+
+def _row(name: str, scheme: str, campaign: CampaignResult) -> Figure11Row:
+    return Figure11Row(
+        benchmark=name,
+        scheme=scheme,
+        masked=campaign.masked,
+        swdetect=campaign.swdetect,
+        hwdetect=campaign.hwdetect,
+        failure=campaign.failure,
+        usdc=campaign.usdc,
+    )
+
+
+def compute(cache: Optional[ExperimentCache] = None) -> List[Figure11Row]:
+    cache = cache or global_cache()
+    rows = []
+    for name in cache.settings.workloads:
+        for scheme in SCHEMES:
+            rows.append(_row(name, scheme, cache.campaign(name, scheme)))
+    for scheme in SCHEMES:
+        scheme_rows = [r for r in rows if r.scheme == scheme and r.benchmark != "average"]
+        n = len(scheme_rows)
+        rows.append(
+            Figure11Row(
+                benchmark="average",
+                scheme=scheme,
+                masked=sum(r.masked for r in scheme_rows) / n,
+                swdetect=sum(r.swdetect for r in scheme_rows) / n,
+                hwdetect=sum(r.hwdetect for r in scheme_rows) / n,
+                failure=sum(r.failure for r in scheme_rows) / n,
+                usdc=sum(r.usdc for r in scheme_rows) / n,
+            )
+        )
+    return rows
+
+
+def averages(cache: Optional[ExperimentCache] = None) -> Dict[str, Figure11Row]:
+    return {r.scheme: r for r in compute(cache) if r.benchmark == "average"}
+
+
+def report(cache: Optional[ExperimentCache] = None) -> str:
+    rows = compute(cache)
+    table = format_table(
+        ["benchmark", "scheme", "Masked", "SWDetect", "HWDetect", "Failure",
+         "USDC", "coverage"],
+        [
+            (r.benchmark, SCHEME_LABELS[r.scheme], pct(r.masked), pct(r.swdetect),
+             pct(r.hwdetect), pct(r.failure), pct(r.usdc), pct(r.coverage))
+            for r in rows
+        ],
+        title="Figure 11: outcome classification of injected faults",
+    )
+    chart = stacked_bar_chart(
+        [
+            (f"{r.benchmark}/{SCHEME_LABELS[r.scheme]}",
+             [r.masked, r.swdetect, r.hwdetect, r.failure, r.usdc])
+            for r in rows
+        ],
+        series=["Masked", "SWDetect", "HWDetect", "Failure", "USDC"],
+    )
+    return f"{table}\n\n{chart}"

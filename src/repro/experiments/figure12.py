@@ -1,0 +1,62 @@
+"""Figure 12: performance overhead per scheme.
+
+Estimated out-of-order runtime (Table II core) of each protected binary,
+relative to the original.  The paper's means: 7.6% for Dup only, 19.5% for
+Dup + val chks; the full-duplication baseline (quoted in the text, not the
+figure) costs 57%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from .figure11 import SCHEME_LABELS
+from .reporting import format_table, pct
+from .runner import ExperimentCache, global_cache
+
+SCHEMES = ("dup", "dup_valchk", "full_dup")
+
+
+@dataclass
+class Figure12Row:
+    benchmark: str
+    #: overhead fractions keyed by scheme (0.076 = 7.6%)
+    dup: float
+    dup_valchk: float
+    full_dup: float
+
+
+def compute(cache: Optional[ExperimentCache] = None) -> List[Figure12Row]:
+    cache = cache or global_cache()
+    rows = []
+    for name in cache.settings.workloads:
+        rows.append(
+            Figure12Row(
+                benchmark=name,
+                dup=cache.overhead(name, "dup"),
+                dup_valchk=cache.overhead(name, "dup_valchk"),
+                full_dup=cache.overhead(name, "full_dup"),
+            )
+        )
+    n = len(rows)
+    rows.append(
+        Figure12Row(
+            benchmark="average",
+            dup=sum(r.dup for r in rows) / n,
+            dup_valchk=sum(r.dup_valchk for r in rows) / n,
+            full_dup=sum(r.full_dup for r in rows) / n,
+        )
+    )
+    return rows
+
+
+def report(cache: Optional[ExperimentCache] = None) -> str:
+    rows = compute(cache)
+    return format_table(
+        ["benchmark", SCHEME_LABELS["dup"], SCHEME_LABELS["dup_valchk"],
+         SCHEME_LABELS["full_dup"]],
+        [(r.benchmark, pct(r.dup), pct(r.dup_valchk), pct(r.full_dup)) for r in rows],
+        title="Figure 12: runtime overhead vs. original "
+              "(out-of-order timing model)",
+    )

@@ -1,0 +1,78 @@
+"""Figure 13: ASDC/USDC breakdown of silent data corruptions per scheme.
+
+Each benchmark × scheme column is the total SDC fraction, split into
+acceptable (ASDC) and unacceptable (USDC) corruptions.  The paper's means:
+SDCs fall 15% → 9.5% → 7.3% and USDCs 3.4% → 1.8% → 1.2% across
+Original → Dup only → Dup + val chks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from .figure11 import SCHEME_LABELS, SCHEMES
+from .reporting import format_table, pct, stacked_bar_chart
+from .runner import ExperimentCache, global_cache
+
+
+@dataclass
+class Figure13Row:
+    benchmark: str
+    scheme: str
+    sdc: float
+    asdc: float
+    usdc: float
+
+
+def compute(cache: Optional[ExperimentCache] = None) -> List[Figure13Row]:
+    cache = cache or global_cache()
+    rows = []
+    for name in cache.settings.workloads:
+        for scheme in SCHEMES:
+            c = cache.campaign(name, scheme)
+            rows.append(
+                Figure13Row(
+                    benchmark=name, scheme=scheme,
+                    sdc=c.sdc, asdc=c.asdc, usdc=c.usdc,
+                )
+            )
+    for scheme in SCHEMES:
+        scheme_rows = [r for r in rows if r.scheme == scheme and r.benchmark != "average"]
+        n = len(scheme_rows)
+        rows.append(
+            Figure13Row(
+                benchmark="average",
+                scheme=scheme,
+                sdc=sum(r.sdc for r in scheme_rows) / n,
+                asdc=sum(r.asdc for r in scheme_rows) / n,
+                usdc=sum(r.usdc for r in scheme_rows) / n,
+            )
+        )
+    return rows
+
+
+def averages(cache: Optional[ExperimentCache] = None) -> Dict[str, Figure13Row]:
+    return {r.scheme: r for r in compute(cache) if r.benchmark == "average"}
+
+
+def report(cache: Optional[ExperimentCache] = None) -> str:
+    rows = compute(cache)
+    table = format_table(
+        ["benchmark", "scheme", "SDC", "ASDC", "USDC"],
+        [
+            (r.benchmark, SCHEME_LABELS[r.scheme], pct(r.sdc), pct(r.asdc), pct(r.usdc))
+            for r in rows
+        ],
+        title="Figure 13: SDCs split into acceptable and unacceptable",
+    )
+    peak = max((r.sdc for r in rows), default=0.0) or 1.0
+    chart = stacked_bar_chart(
+        [
+            (f"{r.benchmark}/{SCHEME_LABELS[r.scheme]}", [r.asdc, r.usdc])
+            for r in rows
+        ],
+        series=["ASDC", "USDC"],
+        total=peak,
+    )
+    return f"{table}\n\n{chart}"

@@ -1,0 +1,88 @@
+"""Figure 2: SDC breakdown on unmodified applications.
+
+For every benchmark, injections into the *original* binary are classified
+into acceptable SDCs (ASDCs) and unacceptable SDCs (USDCs); USDCs are further
+split by whether the injected bit flip caused a large or a small change in
+the corrupted instruction's output value.  The paper finds ~77% of SDCs are
+ASDCs and most USDCs come from large value changes — the motivation for
+expected-value checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..sim.faults import LARGE_CHANGE_THRESHOLD
+from .reporting import format_table, pct, stacked_bar_chart
+from .runner import ExperimentCache, global_cache
+
+
+@dataclass
+class Figure2Row:
+    benchmark: str
+    sdc: float          # total SDC fraction of injected faults
+    asdc: float
+    usdc_large: float   # USDCs with a large injected-value change
+    usdc_small: float
+
+    @property
+    def usdc(self) -> float:
+        return self.usdc_large + self.usdc_small
+
+    @property
+    def asdc_share(self) -> float:
+        """ASDCs as a share of all SDCs (the paper's 77% average)."""
+        return self.asdc / self.sdc if self.sdc else 0.0
+
+
+def compute(cache: Optional[ExperimentCache] = None) -> List[Figure2Row]:
+    cache = cache or global_cache()
+    rows = []
+    for name in cache.settings.workloads:
+        campaign = cache.campaign(name, "original")
+        split = campaign.usdc_by_change(LARGE_CHANGE_THRESHOLD)
+        rows.append(
+            Figure2Row(
+                benchmark=name,
+                sdc=campaign.sdc,
+                asdc=campaign.asdc,
+                usdc_large=split["large"],
+                usdc_small=split["small"],
+            )
+        )
+    rows.append(
+        Figure2Row(
+            benchmark="average",
+            sdc=_mean([r.sdc for r in rows]),
+            asdc=_mean([r.asdc for r in rows]),
+            usdc_large=_mean([r.usdc_large for r in rows]),
+            usdc_small=_mean([r.usdc_small for r in rows]),
+        )
+    )
+    return rows
+
+
+def _mean(values: List[float]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+def report(cache: Optional[ExperimentCache] = None) -> str:
+    rows = compute(cache)
+    table = format_table(
+        ["benchmark", "SDC", "ASDC", "USDC(large)", "USDC(small)", "ASDC/SDC"],
+        [
+            (r.benchmark, pct(r.sdc), pct(r.asdc), pct(r.usdc_large),
+             pct(r.usdc_small), pct(r.asdc_share, 0))
+            for r in rows
+        ],
+        title="Figure 2: SDC breakdown on unmodified applications "
+              "(fractions of injected faults)",
+    )
+    peak = max((r.sdc for r in rows), default=0.0) or 1.0
+    chart = stacked_bar_chart(
+        [(r.benchmark, [r.asdc, r.usdc_large, r.usdc_small]) for r in rows],
+        series=["ASDC", "USDC large", "USDC small"],
+        total=peak,
+    )
+    return f"{table}\n\n{chart}"

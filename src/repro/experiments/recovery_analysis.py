@@ -1,0 +1,124 @@
+"""Recovery end-to-end analysis (paper Section IV-D).
+
+The paper's scheme is detection-only and assumes a recovery mechanism
+(Encore / checkpointing).  This experiment closes the loop on our substrate:
+for each benchmark, faults are injected into the Dup + val chks binary and
+run under checkpoint recovery — measuring how many faulty runs end with a
+*fully correct* output and what the rollback costs.
+
+A trial ends in one of:
+
+* ``corrected`` — a software check fired, rollback + replay produced the
+  golden output;
+* ``clean`` — the fault was masked (output already golden, no recovery);
+* ``acceptable`` — no detection, output differs but is acceptable (ASDC);
+* ``escaped`` — no detection and the output is unacceptable (USDC);
+* ``trapped`` — a hardware symptom ended the run (HWDetect/Failure path;
+  recoverable by the same checkpoints, but accounted separately as the
+  paper does).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..faultinjection.recovery import run_with_recovery
+from ..sim.faults import InjectionPlan
+from .reporting import format_table, pct
+from .runner import ExperimentCache, global_cache
+
+CHECKPOINT_INTERVAL = 50_000
+
+
+@dataclass
+class RecoveryRow:
+    benchmark: str
+    trials: int
+    corrected: int
+    clean: int
+    acceptable: int
+    escaped: int
+    trapped: int
+    #: mean replayed instructions per recovery, as a fraction of the run
+    mean_recovery_cost: float
+
+    @property
+    def correct_output_rate(self) -> float:
+        """Runs ending with a fully golden output."""
+        return (self.corrected + self.clean) / max(self.trials, 1)
+
+
+def compute(cache: Optional[ExperimentCache] = None) -> List[RecoveryRow]:
+    cache = cache or global_cache()
+    rows = []
+    for name in cache.settings.workloads:
+        prepared = cache.prepared(name, "dup_valchk")
+        golden = prepared.golden_outputs
+        trials = max(cache.settings.trials // 2, 5)
+        rng = random.Random(cache.settings.seed ^ 0x5EC0)
+
+        counts = dict(corrected=0, clean=0, acceptable=0, escaped=0, trapped=0)
+        costs: List[float] = []
+        for _ in range(trials):
+            plan = InjectionPlan(
+                cycle=rng.randrange(1, prepared.golden_instructions + 1),
+                bit=rng.randrange(32),
+                seed=rng.randrange(1 << 30),
+            )
+            result = run_with_recovery(
+                prepared.module,
+                prepared.inputs,
+                plan,
+                checkpoint_interval=CHECKPOINT_INTERVAL,
+                disabled_guards=set(prepared.noisy_guards),
+                max_instructions=prepared.golden_instructions * 10 + 10_000,
+            )
+            if result.trapped:
+                counts["trapped"] += 1
+                continue
+            identical = all(
+                np.array_equal(golden[k], result.outputs[k]) for k in golden
+            )
+            if result.recovered:
+                counts["corrected" if identical else "escaped"] += 1
+                costs.append(
+                    result.replayed_instructions / prepared.golden_instructions
+                )
+                continue
+            if identical:
+                counts["clean"] += 1
+            else:
+                fid = prepared.workload.fidelity(golden, result.outputs)
+                counts["acceptable" if fid.acceptable else "escaped"] += 1
+
+        rows.append(
+            RecoveryRow(
+                benchmark=name,
+                trials=trials,
+                mean_recovery_cost=sum(costs) / len(costs) if costs else 0.0,
+                **counts,
+            )
+        )
+    return rows
+
+
+def report(cache: Optional[ExperimentCache] = None) -> str:
+    rows = compute(cache)
+    table = format_table(
+        ["benchmark", "trials", "corrected", "clean", "acceptable",
+         "escaped", "trapped", "correct rate", "recovery cost"],
+        [
+            (r.benchmark, r.trials, r.corrected, r.clean, r.acceptable,
+             r.escaped, r.trapped, pct(r.correct_output_rate),
+             pct(r.mean_recovery_cost))
+            for r in rows
+        ],
+        title=f"Detection + checkpoint recovery (interval "
+              f"{CHECKPOINT_INTERVAL} instructions, Dup + val chks binaries)",
+    )
+    overall = sum(r.correct_output_rate for r in rows) / max(len(rows), 1)
+    return f"{table}\nmean fully-correct-output rate: {pct(overall)}"

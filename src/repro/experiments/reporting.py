@@ -1,0 +1,82 @@
+"""Plain-text table rendering for experiment reports."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = ""
+) -> str:
+    """Render rows as an aligned ASCII table (floats as percentages are the
+    caller's responsibility)."""
+    str_rows: List[List[str]] = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def pct(value: float, digits: int = 1) -> str:
+    """0.073 → '7.3%'"""
+    return f"{100.0 * value:.{digits}f}%"
+
+
+#: glyphs for stacked-bar segments, in series order
+BAR_GLYPHS = "█▓▒░▚·"
+
+
+def stacked_bar_chart(
+    rows: Sequence[tuple],
+    series: Sequence[str],
+    width: int = 50,
+    total: float = 1.0,
+    title: str = "",
+) -> str:
+    """Render rows of stacked fractions as a text bar chart.
+
+    ``rows`` are ``(label, [fraction per series])``; each bar is ``width``
+    characters at full ``total``.  Used to render Figures 2/11/13 the way the
+    paper draws them — stacked columns per benchmark — without any plotting
+    dependency.
+    """
+    if not series or len(series) > len(BAR_GLYPHS):
+        raise ValueError(f"between 1 and {len(BAR_GLYPHS)} series supported")
+    label_w = max((len(str(r[0])) for r in rows), default=0)
+    lines = []
+    if title:
+        lines.append(title)
+    legend = "  ".join(
+        f"{BAR_GLYPHS[i]} {name}" for i, name in enumerate(series)
+    )
+    lines.append(f"legend: {legend}")
+    for label, fractions in rows:
+        if len(fractions) != len(series):
+            raise ValueError(f"row {label!r} has {len(fractions)} values, "
+                             f"expected {len(series)}")
+        bar = []
+        used = 0
+        for i, fraction in enumerate(fractions):
+            cells = round(width * max(fraction, 0.0) / total)
+            cells = min(cells, width - used)
+            bar.append(BAR_GLYPHS[i] * cells)
+            used += cells
+        shown = sum(fractions)
+        lines.append(
+            f"{str(label):<{label_w}}  |{''.join(bar):<{width}}| {pct(shown)}"
+        )
+    return "\n".join(lines)

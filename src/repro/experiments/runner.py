@@ -1,0 +1,134 @@
+"""Shared experiment infrastructure.
+
+All figure drivers pull their data through this module so that one expensive
+artifact (a fault-injection campaign, a prepared module, a timing run) is
+computed once and reused: Figures 2, 11, and 13 all come from the same
+campaigns; Figure 10's static statistics come from the same prepared modules.
+
+Trial counts honour the ``REPRO_TRIALS`` environment variable (paper: 1000
+per benchmark; default here: 60, chosen so the full benchmark suite
+regenerates every figure in minutes on a laptop — the margin-of-error helper
+reports the resulting confidence).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from ..faultinjection.campaign import (
+    CampaignConfig,
+    PreparedWorkload,
+    prepare,
+    run_campaign,
+)
+from ..faultinjection.outcomes import CampaignResult
+from ..profiling.profiler import collect_profiles
+from ..sim.interpreter import Interpreter
+from ..sim.timing import TimingModel
+from ..transforms.pipeline import SchemeStats, apply_scheme
+from ..workloads.base import Workload
+from ..workloads.registry import BENCHMARK_NAMES, get_workload
+
+DEFAULT_TRIALS = 60
+
+
+def default_trials() -> int:
+    """Trial count per (workload, scheme) campaign; REPRO_TRIALS overrides."""
+    value = os.environ.get("REPRO_TRIALS", "")
+    try:
+        return max(1, int(value))
+    except ValueError:
+        return DEFAULT_TRIALS
+
+
+@dataclass
+class ExperimentSettings:
+    """Scope and scale of an experiment run."""
+
+    trials: int = field(default_factory=default_trials)
+    seed: int = 2014
+    workloads: Tuple[str, ...] = tuple(BENCHMARK_NAMES)
+    campaign: CampaignConfig = field(default_factory=CampaignConfig)
+
+    def campaign_config(self) -> CampaignConfig:
+        return replace(self.campaign, trials=self.trials, seed=self.seed)
+
+
+class ExperimentCache:
+    """Memoises prepared workloads, campaigns, and timing runs."""
+
+    def __init__(self, settings: Optional[ExperimentSettings] = None) -> None:
+        self.settings = settings or ExperimentSettings()
+        self._prepared: Dict[Tuple[str, str, bool], PreparedWorkload] = {}
+        self._campaigns: Dict[Tuple[str, str, bool], CampaignResult] = {}
+        self._runtimes: Dict[Tuple[str, str], float] = {}
+
+    # -- prepared modules ----------------------------------------------------------
+
+    def prepared(
+        self, name: str, scheme: str, swap_train_test: bool = False
+    ) -> PreparedWorkload:
+        key = (name, scheme, swap_train_test)
+        if key not in self._prepared:
+            config = self.settings.campaign_config()
+            config = replace(config, swap_train_test=swap_train_test)
+            self._prepared[key] = prepare(get_workload(name), scheme, config)
+        return self._prepared[key]
+
+    # -- campaigns ---------------------------------------------------------------------
+
+    def campaign(
+        self, name: str, scheme: str, swap_train_test: bool = False
+    ) -> CampaignResult:
+        key = (name, scheme, swap_train_test)
+        if key not in self._campaigns:
+            config = self.settings.campaign_config()
+            config = replace(config, swap_train_test=swap_train_test)
+            prepared = self.prepared(name, scheme, swap_train_test)
+            self._campaigns[key] = run_campaign(
+                prepared.workload, scheme, config, prepared=prepared
+            )
+        return self._campaigns[key]
+
+    # -- timing runs (Figure 12) -----------------------------------------------------------
+
+    def runtime_cycles(self, name: str, scheme: str) -> float:
+        """Estimated out-of-order cycles of one golden run under ``scheme``."""
+        key = (name, scheme)
+        if key not in self._runtimes:
+            prepared = self.prepared(name, scheme)
+            timing = TimingModel(self.settings.campaign.sim)
+            interp = Interpreter(
+                prepared.module,
+                config=self.settings.campaign.sim,
+                guard_mode="count",
+                timing=timing,
+            )
+            prepared.workload.run(prepared.module, prepared.inputs, interpreter=interp)
+            self._runtimes[key] = timing.cycles
+        return self._runtimes[key]
+
+    def overhead(self, name: str, scheme: str) -> float:
+        """Runtime overhead of ``scheme`` relative to the original binary."""
+        base = self.runtime_cycles(name, "original")
+        return self.runtime_cycles(name, scheme) / base - 1.0
+
+
+_GLOBAL_CACHE: Optional[ExperimentCache] = None
+
+
+def global_cache() -> ExperimentCache:
+    """Process-wide cache shared by all figure drivers and benchmarks."""
+    global _GLOBAL_CACHE
+    if _GLOBAL_CACHE is None:
+        _GLOBAL_CACHE = ExperimentCache()
+    return _GLOBAL_CACHE
+
+
+def reset_global_cache(settings: Optional[ExperimentSettings] = None) -> ExperimentCache:
+    """Replace the global cache (used by tests to control scale)."""
+    global _GLOBAL_CACHE
+    _GLOBAL_CACHE = ExperimentCache(settings)
+    return _GLOBAL_CACHE

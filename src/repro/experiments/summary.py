@@ -1,0 +1,103 @@
+"""Headline summary: this reproduction's numbers next to the paper's.
+
+Collects the abstract's headline claims (overheads, SDC/USDC reductions, the
+full-duplication comparison, USDC detection coverage) and prints them beside
+the values measured on this substrate.  Absolute numbers differ — the paper
+ran ARM binaries on gem5, we run IR on our simulator — but the *shape* (who
+wins, ordering, rough factors) is the reproduction target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from . import figure11, figure12, figure13
+from .reporting import format_table, pct
+from .runner import ExperimentCache, global_cache
+
+#: headline numbers from the paper (fractions)
+PAPER = {
+    "overhead_dup": 0.076,
+    "overhead_dup_valchk": 0.195,
+    "overhead_full_dup": 0.57,
+    "sdc_original": 0.15,
+    "sdc_dup": 0.095,
+    "sdc_dup_valchk": 0.073,
+    "usdc_original": 0.034,
+    "usdc_dup": 0.018,
+    "usdc_dup_valchk": 0.012,
+    "usdc_full_dup": 0.014,
+    "usdc_coverage": 0.825,
+}
+
+
+@dataclass
+class SummaryRow:
+    metric: str
+    paper: float
+    measured: float
+
+    @property
+    def shape_holds(self) -> bool:
+        """Loose agreement: same sign and within a factor-of-3 band.
+
+        (Absolute agreement is not expected across substrates; this flag is a
+        sanity check that the reproduction is in the right regime.)
+        """
+        if self.paper == 0:
+            return self.measured == 0
+        if self.measured <= 0:
+            return self.paper <= 0.02
+        ratio = self.measured / self.paper
+        return 1 / 3 <= ratio <= 3
+
+
+def usdc_detection_coverage(cache: ExperimentCache) -> float:
+    """Fraction of the original binary's USDCs eliminated by Dup + val chks
+    (the paper's 82.5%-coverage-of-USDCs comparison with Thomas et al.)."""
+    f13 = figure13.averages(cache)
+    base = f13["original"].usdc
+    protected = f13["dup_valchk"].usdc
+    if base <= 0:
+        return 1.0
+    return max(0.0, 1.0 - protected / base)
+
+
+def compute(cache: Optional[ExperimentCache] = None) -> List[SummaryRow]:
+    cache = cache or global_cache()
+    f12 = {r.benchmark: r for r in figure12.compute(cache)}["average"]
+    f13 = figure13.averages(cache)
+    f11 = figure11.averages(cache)
+
+    full_dup_usdc = _full_dup_usdc(cache)
+    rows = [
+        SummaryRow("overhead: Dup only", PAPER["overhead_dup"], f12.dup),
+        SummaryRow("overhead: Dup + val chks", PAPER["overhead_dup_valchk"], f12.dup_valchk),
+        SummaryRow("overhead: full duplication", PAPER["overhead_full_dup"], f12.full_dup),
+        SummaryRow("SDC: original", PAPER["sdc_original"], f13["original"].sdc),
+        SummaryRow("SDC: Dup only", PAPER["sdc_dup"], f13["dup"].sdc),
+        SummaryRow("SDC: Dup + val chks", PAPER["sdc_dup_valchk"], f13["dup_valchk"].sdc),
+        SummaryRow("USDC: original", PAPER["usdc_original"], f13["original"].usdc),
+        SummaryRow("USDC: Dup only", PAPER["usdc_dup"], f13["dup"].usdc),
+        SummaryRow("USDC: Dup + val chks", PAPER["usdc_dup_valchk"], f13["dup_valchk"].usdc),
+        SummaryRow("USDC: full duplication", PAPER["usdc_full_dup"], full_dup_usdc),
+        SummaryRow("USDC coverage of Dup + val chks", PAPER["usdc_coverage"],
+                   usdc_detection_coverage(cache)),
+    ]
+    return rows
+
+
+def _full_dup_usdc(cache: ExperimentCache) -> float:
+    usdc = [cache.campaign(name, "full_dup").usdc for name in cache.settings.workloads]
+    return sum(usdc) / len(usdc) if usdc else 0.0
+
+
+def report(cache: Optional[ExperimentCache] = None) -> str:
+    rows = compute(cache)
+    return format_table(
+        ["metric", "paper", "measured", "shape holds"],
+        [(r.metric, pct(r.paper), pct(r.measured), "yes" if r.shape_holds else "NO")
+         for r in rows],
+        title="Paper vs. measured (headline numbers)",
+    )

@@ -1,0 +1,28 @@
+"""Tables I and II of the paper.
+
+Table I is the benchmark inventory (from the workload registry); Table II is
+the simulated core configuration (from :class:`~repro.sim.config.SimConfig`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sim.config import SimConfig
+from ..workloads.registry import table1_rows
+from .reporting import format_table
+
+
+def table1_report() -> str:
+    rows = table1_rows()
+    return format_table(
+        ["Benchmark (Suite)", "Description (Category)", "Inputs",
+         "Fidelity Measure (Threshold)"],
+        [(r["benchmark"], r["description"], r["inputs"], r["fidelity"]) for r in rows],
+        title="Table I: benchmarks",
+    )
+
+
+def table2_report(config: Optional[SimConfig] = None) -> str:
+    config = config or SimConfig()
+    return "Table II: simulator parameters (ARMv7-a profile)\n" + config.describe()

@@ -1,0 +1,19 @@
+"""Statistical fault injection: campaigns, outcome taxonomy, significance."""
+
+from .campaign import (
+    CampaignConfig,
+    PreparedWorkload,
+    prepare,
+    run_campaign,
+    run_trial,
+)
+from .recovery import RecoveryResult, run_with_recovery
+from .outcomes import CampaignResult, Outcome, TrialResult
+from .stats import Z_95, confidence_interval, margin_of_error, trials_for_margin
+
+__all__ = [
+    "CampaignConfig", "PreparedWorkload", "prepare", "run_campaign", "run_trial",
+    "CampaignResult", "Outcome", "TrialResult",
+    "RecoveryResult", "run_with_recovery",
+    "Z_95", "confidence_interval", "margin_of_error", "trials_for_margin",
+]

@@ -1,0 +1,66 @@
+"""Fault-injection CLI: run one campaign and optionally export JSON.
+
+Usage::
+
+    python -m repro.faultinjection jpegdec dup_valchk --trials 100
+    python -m repro.faultinjection kmeans original --json kmeans.json
+    python -m repro.faultinjection g721dec dup --seed 7 --swap-inputs
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..transforms.pipeline import SCHEMES
+from ..workloads.registry import BENCHMARK_NAMES, get_workload
+from .campaign import CampaignConfig, run_campaign
+from .stats import margin_of_error
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.faultinjection",
+        description="Run one statistical fault-injection campaign.",
+    )
+    parser.add_argument("workload", choices=BENCHMARK_NAMES)
+    parser.add_argument("scheme", choices=list(SCHEMES))
+    parser.add_argument("--trials", type=int, default=100)
+    parser.add_argument("--seed", type=int, default=2014)
+    parser.add_argument("--swap-inputs", action="store_true",
+                        help="profile on the test input, inject on the train "
+                             "input (the cross-validation configuration)")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="also write the full campaign record as JSON")
+    args = parser.parse_args(argv)
+
+    config = CampaignConfig(
+        trials=args.trials, seed=args.seed, swap_train_test=args.swap_inputs
+    )
+    result = run_campaign(get_workload(args.workload), args.scheme, config)
+
+    error = margin_of_error(result.num_trials)
+    print(f"{args.workload} [{args.scheme}] — {result.num_trials} trials "
+          f"(±{100 * error:.1f}% at 95% confidence)")
+    for label, value in (
+        ("Masked", result.masked),
+        ("SWDetect", result.swdetect),
+        ("HWDetect", result.hwdetect),
+        ("Failure", result.failure),
+        ("USDC", result.usdc),
+    ):
+        print(f"  {label:9s} {value:7.1%}")
+    print(f"  {'coverage':9s} {result.coverage:7.1%}")
+    print(f"  SDC view: {result.sdc:.1%} total "
+          f"({result.asdc:.1%} acceptable, {result.usdc:.1%} unacceptable)")
+    print(f"  false positives in golden run: {result.golden_guard_failures} "
+          f"over {result.golden_guard_evaluations} check evaluations")
+
+    if args.json:
+        result.save(args.json)
+        print(f"  wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,199 @@
+"""Trial outcome taxonomy (paper Section IV-C).
+
+Every fault-injection trial ends in exactly one of the five paper categories:
+
+* **Masked** — output identical to golden, *or* numerically different but of
+  acceptable quality (the paper folds ASDCs into Masked for the coverage
+  view; the SDC view below keeps them separate);
+* **HWDetect** — a hardware symptom (memory/arithmetic trap) within the
+  symptom window after injection;
+* **SWDetect** — one of the inserted software checks fired;
+* **Failure** — a trap outside the symptom window, or an infinite loop;
+* **USDC** — the program completed but the output quality is unacceptable.
+
+For the SDC analyses (Figures 2 and 13) each completed-but-different trial is
+additionally tagged ASDC/USDC and, for USDCs, large/small by the magnitude of
+the injected value change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional
+
+
+class Outcome(Enum):
+    """Paper Section IV-C trial categories."""
+
+    MASKED = "Masked"
+    HWDETECT = "HWDetect"
+    SWDETECT = "SWDetect"
+    FAILURE = "Failure"
+    USDC = "USDC"
+
+
+@dataclass
+class TrialResult:
+    """Everything recorded about one injection trial."""
+
+    outcome: Outcome
+    injection_cycle: int
+    bit: int
+    #: the flip landed in an occupied register
+    landed: bool = False
+    #: the flipped register held a live value (dead flips are masked)
+    was_live: bool = False
+    #: trap/detection cycle for detected/failed runs
+    event_cycle: Optional[int] = None
+    #: fidelity score for completed runs (None for detected/failed)
+    fidelity_score: Optional[float] = None
+    #: completed run whose output differed from golden (SDC view)
+    is_sdc: bool = False
+    #: SDC that was still acceptable (ASDC)
+    is_asdc: bool = False
+    #: relative magnitude of the injected value change (Figure 2)
+    change_magnitude: float = 0.0
+    #: name of the corrupted IR value (diagnostics)
+    value_name: str = ""
+
+    @property
+    def detected(self) -> bool:
+        return self.outcome in (Outcome.HWDETECT, Outcome.SWDETECT)
+
+
+@dataclass
+class CampaignResult:
+    """Aggregated statistics of one (workload, scheme) campaign."""
+
+    workload: str
+    scheme: str
+    trials: List[TrialResult] = field(default_factory=list)
+    golden_instructions: int = 0
+    #: false positives observed in the fault-free (golden) run
+    golden_guard_failures: int = 0
+    golden_guard_evaluations: int = 0
+
+    # -- fractions of total injected faults --------------------------------------
+
+    @property
+    def num_trials(self) -> int:
+        return len(self.trials)
+
+    def fraction(self, outcome: Outcome) -> float:
+        if not self.trials:
+            return 0.0
+        return sum(1 for t in self.trials if t.outcome is outcome) / len(self.trials)
+
+    @property
+    def masked(self) -> float:
+        return self.fraction(Outcome.MASKED)
+
+    @property
+    def hwdetect(self) -> float:
+        return self.fraction(Outcome.HWDETECT)
+
+    @property
+    def swdetect(self) -> float:
+        return self.fraction(Outcome.SWDETECT)
+
+    @property
+    def failure(self) -> float:
+        return self.fraction(Outcome.FAILURE)
+
+    @property
+    def usdc(self) -> float:
+        return self.fraction(Outcome.USDC)
+
+    @property
+    def coverage(self) -> float:
+        """Masked + SWDetect + HWDetect (the paper's fault-coverage metric)."""
+        return self.masked + self.swdetect + self.hwdetect
+
+    # -- SDC view (Figures 2, 13) ----------------------------------------------------
+
+    @property
+    def sdc(self) -> float:
+        """Completed runs with numerically different output (ASDC + USDC)."""
+        if not self.trials:
+            return 0.0
+        return sum(1 for t in self.trials if t.is_sdc) / len(self.trials)
+
+    @property
+    def asdc(self) -> float:
+        if not self.trials:
+            return 0.0
+        return sum(1 for t in self.trials if t.is_asdc) / len(self.trials)
+
+    def usdc_by_change(self, threshold: float) -> Dict[str, float]:
+        """USDC fraction split by injected-value change magnitude (Figure 2)."""
+        if not self.trials:
+            return {"large": 0.0, "small": 0.0}
+        n = len(self.trials)
+        large = sum(
+            1 for t in self.trials
+            if t.outcome is Outcome.USDC and t.change_magnitude > threshold
+        )
+        small = sum(
+            1 for t in self.trials
+            if t.outcome is Outcome.USDC and t.change_magnitude <= threshold
+        )
+        return {"large": large / n, "small": small / n}
+
+    def counts(self) -> Dict[str, int]:
+        out = {o.value: 0 for o in Outcome}
+        for t in self.trials:
+            out[t.outcome.value] += 1
+        return out
+
+    def to_dict(self) -> Dict:
+        """JSON-serialisable summary + per-trial records (for offline
+        analysis of campaign data outside this package)."""
+        return {
+            "workload": self.workload,
+            "scheme": self.scheme,
+            "trials": self.num_trials,
+            "golden_instructions": self.golden_instructions,
+            "golden_guard_failures": self.golden_guard_failures,
+            "golden_guard_evaluations": self.golden_guard_evaluations,
+            "fractions": {
+                "masked": self.masked,
+                "swdetect": self.swdetect,
+                "hwdetect": self.hwdetect,
+                "failure": self.failure,
+                "usdc": self.usdc,
+                "sdc": self.sdc,
+                "asdc": self.asdc,
+                "coverage": self.coverage,
+            },
+            "records": [
+                {
+                    "outcome": t.outcome.value,
+                    "cycle": t.injection_cycle,
+                    "bit": t.bit,
+                    "landed": t.landed,
+                    "was_live": t.was_live,
+                    "event_cycle": t.event_cycle,
+                    "fidelity": t.fidelity_score,
+                    "is_sdc": t.is_sdc,
+                    "is_asdc": t.is_asdc,
+                    "change_magnitude": t.change_magnitude,
+                }
+                for t in self.trials
+            ],
+        }
+
+    def save(self, path) -> None:
+        """Write the campaign as JSON to ``path``."""
+        import json
+
+        with open(path, "w") as fh:
+            json.dump(self.to_dict(), fh)
+
+    def __repr__(self) -> str:
+        c = self.counts()
+        return (
+            f"<Campaign {self.workload}/{self.scheme} n={self.num_trials} "
+            f"masked={c['Masked']} hw={c['HWDetect']} sw={c['SWDetect']} "
+            f"fail={c['Failure']} usdc={c['USDC']}>"
+        )

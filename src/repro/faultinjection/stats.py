@@ -1,0 +1,42 @@
+"""Statistical significance of fault-injection results.
+
+The paper (citing Leveugle et al.) reports a 3.1% margin of error at 95%
+confidence for its 1000-trials-per-benchmark setup.  These helpers compute
+the same normal-approximation bounds for whatever trial count a campaign ran,
+so every report can state its own confidence interval.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+#: z-score for a 95% two-sided confidence interval
+Z_95 = 1.959963984540054
+
+
+def margin_of_error(n: int, p: float = 0.5, z: float = Z_95) -> float:
+    """Half-width of the confidence interval for a proportion.
+
+    ``p = 0.5`` gives the worst case, which is what the paper quotes
+    (±3.1% at n=1000).
+    """
+    if n <= 0:
+        return 1.0
+    p = min(max(p, 0.0), 1.0)
+    return z * math.sqrt(p * (1.0 - p) / n)
+
+
+def confidence_interval(p: float, n: int, z: float = Z_95) -> Tuple[float, float]:
+    """(lower, upper) bounds of the proportion's confidence interval, clipped
+    to [0, 1]."""
+    e = margin_of_error(n, p, z)
+    return max(0.0, p - e), min(1.0, p + e)
+
+
+def trials_for_margin(target: float, p: float = 0.5, z: float = Z_95) -> int:
+    """Trials needed for a given margin of error (inverse of the above)."""
+    if target <= 0:
+        raise ValueError("target margin must be positive")
+    p = min(max(p, 0.0), 1.0)
+    return math.ceil(z * z * p * (1.0 - p) / (target * target))

@@ -1,0 +1,17 @@
+"""Application fidelity metrics: PSNR, segmental SNR, classification error,
+and matrix mismatch (paper Table I)."""
+
+from .metrics import (
+    SNR_CLAMP_DB,
+    FidelityResult,
+    classification_error,
+    evaluate,
+    matrix_mismatch,
+    psnr,
+    segmental_snr,
+)
+
+__all__ = [
+    "SNR_CLAMP_DB", "FidelityResult", "classification_error", "evaluate",
+    "matrix_mismatch", "psnr", "segmental_snr",
+]

@@ -1,0 +1,20 @@
+"""SCL frontend: lexer, parser, code generator, and mem2reg SSA construction.
+
+SCL (Soft-Computing Language) is the C-like source language the benchmark
+kernels are written in; :func:`compile_source` turns SCL text into a verified
+SSA module ready for the protection transforms.
+"""
+
+from .codegen import CodegenError, CodeGenerator
+from .compiler import compile_source
+from .lexer import LexError, Token, tokenize
+from .mem2reg import promote_allocas, promote_module
+from .parser import ParseError, Parser, parse
+
+__all__ = [
+    "CodegenError", "CodeGenerator",
+    "compile_source",
+    "LexError", "Token", "tokenize",
+    "promote_allocas", "promote_module",
+    "ParseError", "Parser", "parse",
+]

@@ -1,0 +1,197 @@
+"""AST node definitions for SCL.
+
+Plain dataclasses; no behaviour beyond printing.  Types at this level are the
+surface types ``int`` (→ i32), ``float`` (→ f64), ``void``, and pointers to
+the element types (function parameters only).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass
+class TypeName:
+    """Surface type: base ('int' | 'float' | 'void') plus pointer flag."""
+
+    base: str
+    is_pointer: bool = False
+
+    def __str__(self) -> str:
+        return f"{self.base}*" if self.is_pointer else self.base
+
+
+@dataclass
+class Node:
+    """Base AST node with source position."""
+
+    line: int
+    col: int
+
+
+# -- expressions ------------------------------------------------------------------
+
+
+@dataclass
+class IntLiteral(Node):
+    value: int
+
+
+@dataclass
+class FloatLiteral(Node):
+    value: float
+
+
+@dataclass
+class NameRef(Node):
+    name: str
+
+
+@dataclass
+class IndexExpr(Node):
+    base: "Expr"
+    index: "Expr"
+
+
+@dataclass
+class UnaryExpr(Node):
+    op: str  # '-', '!', '~'
+    operand: "Expr"
+
+
+@dataclass
+class BinaryExpr(Node):
+    op: str  # arithmetic / comparison / logical / bitwise
+    lhs: "Expr"
+    rhs: "Expr"
+
+
+@dataclass
+class TernaryExpr(Node):
+    cond: "Expr"
+    if_true: "Expr"
+    if_false: "Expr"
+
+
+@dataclass
+class CastExpr(Node):
+    target: TypeName
+    operand: "Expr"
+
+
+@dataclass
+class CallExpr(Node):
+    callee: str
+    args: List["Expr"]
+
+
+Expr = Node  # informal union alias for readability in signatures
+
+
+# -- statements --------------------------------------------------------------------
+
+
+@dataclass
+class DeclStmt(Node):
+    """Local declaration: scalar (optionally initialised) or fixed-size array."""
+
+    type: TypeName
+    name: str
+    array_size: Optional[int] = None
+    init: Optional[Expr] = None
+
+
+@dataclass
+class AssignStmt(Node):
+    """``lvalue op= expr``; ``op`` is '' for plain assignment."""
+
+    target: Expr  # NameRef or IndexExpr
+    op: str
+    value: Expr
+
+
+@dataclass
+class ExprStmt(Node):
+    expr: Expr
+
+
+@dataclass
+class IfStmt(Node):
+    cond: Expr
+    then_body: List[Node]
+    else_body: List[Node] = field(default_factory=list)
+
+
+@dataclass
+class WhileStmt(Node):
+    cond: Expr
+    body: List[Node]
+
+
+@dataclass
+class ForStmt(Node):
+    init: Optional[Node]  # DeclStmt or AssignStmt
+    cond: Optional[Expr]
+    step: Optional[Node]  # AssignStmt
+    body: List[Node]
+
+
+@dataclass
+class ReturnStmt(Node):
+    value: Optional[Expr]
+
+
+@dataclass
+class BreakStmt(Node):
+    pass
+
+
+@dataclass
+class ContinueStmt(Node):
+    pass
+
+
+# -- top level -----------------------------------------------------------------------
+
+
+@dataclass
+class Param(Node):
+    type: TypeName
+    name: str
+
+
+@dataclass
+class FunctionDef(Node):
+    return_type: TypeName
+    name: str
+    params: List[Param]
+    body: List[Node]
+
+
+@dataclass
+class GlobalDecl(Node):
+    """Module-level array: ``[input|output] type name[count] [= {...}];``"""
+
+    type: TypeName
+    name: str
+    count: int
+    initializer: Optional[List[float]] = None
+    is_input: bool = False
+    is_output: bool = False
+
+
+@dataclass
+class ConstDecl(Node):
+    """``const int N = <literal>;`` — substituted at compile time."""
+
+    type: TypeName
+    name: str
+    value: object = None
+
+
+@dataclass
+class Program(Node):
+    globals: List[GlobalDecl] = field(default_factory=list)
+    consts: List[ConstDecl] = field(default_factory=list)
+    functions: List[FunctionDef] = field(default_factory=list)

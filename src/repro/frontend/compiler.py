@@ -1,0 +1,30 @@
+"""The SCL compilation pipeline: source text → verified SSA module.
+
+``compile_source`` is the one-call entry point the workloads use:
+
+1. lex + parse (:mod:`repro.frontend.parser`),
+2. generate alloca-based IR (:mod:`repro.frontend.codegen`),
+3. promote stack slots to SSA (:mod:`repro.frontend.mem2reg`),
+4. eliminate dead code (:mod:`repro.opt.dce`) — drops dead recurrences that
+   would otherwise masquerade as state variables,
+5. verify the result (:mod:`repro.ir.verifier`).
+"""
+
+from __future__ import annotations
+
+from ..ir.module import Module
+from ..ir.verifier import verify_module
+from ..opt.dce import eliminate_dead_code_module
+from .codegen import CodeGenerator
+from .mem2reg import promote_module
+from .parser import parse
+
+
+def compile_source(source: str, name: str = "scl") -> Module:
+    """Compile SCL source text into a verified SSA :class:`Module`."""
+    program = parse(source)
+    module = CodeGenerator(program, name).generate()
+    promote_module(module)
+    eliminate_dead_code_module(module)
+    verify_module(module)
+    return module

@@ -1,0 +1,450 @@
+"""Recursive-descent parser for SCL.
+
+The grammar is a compact C subset: global arrays (with ``input`` / ``output``
+qualifiers marking workload I/O), compile-time constants, functions with
+scalar/pointer parameters, the usual statements (declarations, assignments,
+``if``/``while``/``for``, ``return``, ``break``, ``continue``), and C
+expression syntax with standard precedence, the ternary operator, casts, and
+calls (user functions and math builtins).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .astnodes import (
+    AssignStmt,
+    BinaryExpr,
+    BreakStmt,
+    CallExpr,
+    CastExpr,
+    ConstDecl,
+    ContinueStmt,
+    DeclStmt,
+    Expr,
+    ExprStmt,
+    FloatLiteral,
+    ForStmt,
+    FunctionDef,
+    GlobalDecl,
+    IfStmt,
+    IndexExpr,
+    IntLiteral,
+    NameRef,
+    Param,
+    Program,
+    ReturnStmt,
+    TernaryExpr,
+    TypeName,
+    UnaryExpr,
+    WhileStmt,
+)
+from .lexer import Token, tokenize
+
+
+class ParseError(Exception):
+    """Raised on syntax errors, with source position."""
+
+    def __init__(self, message: str, token: Token) -> None:
+        super().__init__(f"{message} at line {token.line}, column {token.col} (near {token.text!r})")
+        self.token = token
+
+
+_ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="}
+
+#: binary operator precedence levels, low to high
+_BINARY_LEVELS = [
+    ["||"],
+    ["&&"],
+    ["|"],
+    ["^"],
+    ["&"],
+    ["==", "!="],
+    ["<", "<=", ">", ">="],
+    ["<<", ">>"],
+    ["+", "-"],
+    ["*", "/", "%"],
+]
+
+
+class Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token helpers ---------------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def peek(self, offset: int = 1) -> Token:
+        idx = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[idx]
+
+    def advance(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def expect_op(self, text: str) -> Token:
+        tok = self.current
+        if not tok.is_op(text):
+            raise ParseError(f"expected {text!r}", tok)
+        return self.advance()
+
+    def expect_ident(self) -> Token:
+        tok = self.current
+        if tok.kind != "ident":
+            raise ParseError("expected identifier", tok)
+        return self.advance()
+
+    def at_type(self) -> bool:
+        return self.current.kind == "keyword" and self.current.text in ("int", "float", "void")
+
+    # -- top level ----------------------------------------------------------------
+
+    def parse_program(self) -> Program:
+        program = Program(1, 1)
+        while self.current.kind != "eof":
+            tok = self.current
+            if tok.is_keyword("const"):
+                program.consts.append(self._parse_const())
+            elif tok.is_keyword("input") or tok.is_keyword("output"):
+                program.globals.append(self._parse_global())
+            elif self.at_type():
+                # Disambiguate global array vs. function by the token after
+                # the name: '[' = global array, '(' = function.
+                after_name = self.peek(2)
+                if after_name.is_op("["):
+                    program.globals.append(self._parse_global())
+                else:
+                    program.functions.append(self._parse_function())
+            else:
+                raise ParseError("expected declaration or function", tok)
+        return program
+
+    def _parse_type(self) -> TypeName:
+        tok = self.current
+        if not self.at_type():
+            raise ParseError("expected type name", tok)
+        self.advance()
+        is_pointer = False
+        if self.current.is_op("*"):
+            self.advance()
+            is_pointer = True
+        return TypeName(tok.text, is_pointer)
+
+    def _parse_const(self) -> ConstDecl:
+        start = self.advance()  # 'const'
+        type_ = self._parse_type()
+        name = self.expect_ident().text
+        self.expect_op("=")
+        value = self._parse_literal_value()
+        self.expect_op(";")
+        return ConstDecl(start.line, start.col, type=type_, name=name, value=value)
+
+    def _parse_literal_value(self):
+        """A literal, optionally negated (for const and array initialisers)."""
+        neg = False
+        if self.current.is_op("-"):
+            self.advance()
+            neg = True
+        tok = self.current
+        if tok.kind not in ("int_lit", "float_lit"):
+            raise ParseError("expected literal", tok)
+        self.advance()
+        value = tok.value
+        return -value if neg else value  # type: ignore[operator]
+
+    def _parse_global(self) -> GlobalDecl:
+        start = self.current
+        is_input = is_output = False
+        if start.is_keyword("input"):
+            is_input = True
+            self.advance()
+        elif start.is_keyword("output"):
+            is_output = True
+            self.advance()
+        type_ = self._parse_type()
+        if type_.is_pointer or type_.base == "void":
+            raise ParseError("global arrays must have int or float elements", start)
+        name = self.expect_ident().text
+        self.expect_op("[")
+        size_tok = self.current
+        if size_tok.kind != "int_lit":
+            raise ParseError("global array size must be an integer literal", size_tok)
+        self.advance()
+        self.expect_op("]")
+        initializer: Optional[List[float]] = None
+        if self.current.is_op("="):
+            self.advance()
+            self.expect_op("{")
+            initializer = []
+            if not self.current.is_op("}"):
+                initializer.append(self._parse_literal_value())
+                while self.current.is_op(","):
+                    self.advance()
+                    if self.current.is_op("}"):
+                        break  # trailing comma
+                    initializer.append(self._parse_literal_value())
+            self.expect_op("}")
+        self.expect_op(";")
+        return GlobalDecl(
+            start.line, start.col,
+            type=type_, name=name, count=size_tok.value,  # type: ignore[arg-type]
+            initializer=initializer, is_input=is_input, is_output=is_output,
+        )
+
+    def _parse_function(self) -> FunctionDef:
+        start = self.current
+        return_type = self._parse_type()
+        name = self.expect_ident().text
+        self.expect_op("(")
+        params: List[Param] = []
+        if not self.current.is_op(")"):
+            params.append(self._parse_param())
+            while self.current.is_op(","):
+                self.advance()
+                params.append(self._parse_param())
+        self.expect_op(")")
+        body = self._parse_block()
+        return FunctionDef(start.line, start.col, return_type=return_type,
+                           name=name, params=params, body=body)
+
+    def _parse_param(self) -> Param:
+        start = self.current
+        type_ = self._parse_type()
+        if type_.base == "void":
+            raise ParseError("parameters may not be void", start)
+        name = self.expect_ident().text
+        return Param(start.line, start.col, type=type_, name=name)
+
+    # -- statements --------------------------------------------------------------------
+
+    def _parse_block(self) -> List:
+        self.expect_op("{")
+        stmts: List = []
+        while not self.current.is_op("}"):
+            if self.current.kind == "eof":
+                raise ParseError("unterminated block", self.current)
+            stmts.append(self._parse_statement())
+        self.advance()
+        return stmts
+
+    def _parse_statement(self):
+        tok = self.current
+        if tok.is_op("{"):
+            # A bare block: flatten into an if(1)-like sequence is unnecessary;
+            # represent as an IfStmt with constant-true? Simpler: inline list.
+            inner = self._parse_block()
+            return IfStmt(tok.line, tok.col, cond=IntLiteral(tok.line, tok.col, 1),
+                          then_body=inner)
+        if self.at_type():
+            return self._parse_decl()
+        if tok.is_keyword("if"):
+            return self._parse_if()
+        if tok.is_keyword("while"):
+            return self._parse_while()
+        if tok.is_keyword("for"):
+            return self._parse_for()
+        if tok.is_keyword("return"):
+            self.advance()
+            value = None
+            if not self.current.is_op(";"):
+                value = self._parse_expr()
+            self.expect_op(";")
+            return ReturnStmt(tok.line, tok.col, value=value)
+        if tok.is_keyword("break"):
+            self.advance()
+            self.expect_op(";")
+            return BreakStmt(tok.line, tok.col)
+        if tok.is_keyword("continue"):
+            self.advance()
+            self.expect_op(";")
+            return ContinueStmt(tok.line, tok.col)
+        stmt = self._parse_simple_statement()
+        self.expect_op(";")
+        return stmt
+
+    def _parse_decl(self) -> DeclStmt:
+        start = self.current
+        type_ = self._parse_type()
+        name = self.expect_ident().text
+        if self.current.is_op("["):
+            self.advance()
+            size_tok = self.current
+            if size_tok.kind != "int_lit":
+                raise ParseError("local array size must be an integer literal", size_tok)
+            self.advance()
+            self.expect_op("]")
+            self.expect_op(";")
+            return DeclStmt(start.line, start.col, type=type_, name=name,
+                            array_size=size_tok.value)  # type: ignore[arg-type]
+        init = None
+        if self.current.is_op("="):
+            self.advance()
+            init = self._parse_expr()
+        self.expect_op(";")
+        return DeclStmt(start.line, start.col, type=type_, name=name, init=init)
+
+    def _parse_simple_statement(self):
+        """Assignment, increment/decrement, or expression statement (no ';')."""
+        start = self.current
+        expr = self._parse_expr()
+        tok = self.current
+        if tok.kind == "op" and tok.text in _ASSIGN_OPS:
+            if not isinstance(expr, (NameRef, IndexExpr)):
+                raise ParseError("assignment target must be a variable or element", tok)
+            self.advance()
+            value = self._parse_expr()
+            op = "" if tok.text == "=" else tok.text[:-1]
+            return AssignStmt(start.line, start.col, target=expr, op=op, value=value)
+        if tok.is_op("++") or tok.is_op("--"):
+            if not isinstance(expr, (NameRef, IndexExpr)):
+                raise ParseError("increment target must be a variable or element", tok)
+            self.advance()
+            delta = IntLiteral(tok.line, tok.col, 1)
+            return AssignStmt(start.line, start.col, target=expr,
+                              op="+" if tok.text == "++" else "-", value=delta)
+        return ExprStmt(start.line, start.col, expr=expr)
+
+    def _parse_if(self) -> IfStmt:
+        start = self.advance()  # 'if'
+        self.expect_op("(")
+        cond = self._parse_expr()
+        self.expect_op(")")
+        then_body = self._parse_body_or_single()
+        else_body: List = []
+        if self.current.is_keyword("else"):
+            self.advance()
+            else_body = self._parse_body_or_single()
+        return IfStmt(start.line, start.col, cond=cond, then_body=then_body,
+                      else_body=else_body)
+
+    def _parse_while(self) -> WhileStmt:
+        start = self.advance()
+        self.expect_op("(")
+        cond = self._parse_expr()
+        self.expect_op(")")
+        body = self._parse_body_or_single()
+        return WhileStmt(start.line, start.col, cond=cond, body=body)
+
+    def _parse_for(self) -> ForStmt:
+        start = self.advance()
+        self.expect_op("(")
+        init = None
+        if not self.current.is_op(";"):
+            if self.at_type():
+                init = self._parse_decl()  # consumes the ';'
+            else:
+                init = self._parse_simple_statement()
+                self.expect_op(";")
+        else:
+            self.advance()
+        cond = None
+        if not self.current.is_op(";"):
+            cond = self._parse_expr()
+        self.expect_op(";")
+        step = None
+        if not self.current.is_op(")"):
+            step = self._parse_simple_statement()
+        self.expect_op(")")
+        body = self._parse_body_or_single()
+        return ForStmt(start.line, start.col, init=init, cond=cond, step=step, body=body)
+
+    def _parse_body_or_single(self) -> List:
+        if self.current.is_op("{"):
+            return self._parse_block()
+        return [self._parse_statement()]
+
+    # -- expressions ----------------------------------------------------------------------
+
+    def _parse_expr(self) -> Expr:
+        return self._parse_ternary()
+
+    def _parse_ternary(self) -> Expr:
+        cond = self._parse_binary(0)
+        if self.current.is_op("?"):
+            start = self.advance()
+            if_true = self._parse_expr()
+            self.expect_op(":")
+            if_false = self._parse_ternary()
+            return TernaryExpr(start.line, start.col, cond=cond,
+                               if_true=if_true, if_false=if_false)
+        return cond
+
+    def _parse_binary(self, level: int) -> Expr:
+        if level >= len(_BINARY_LEVELS):
+            return self._parse_unary()
+        ops = _BINARY_LEVELS[level]
+        lhs = self._parse_binary(level + 1)
+        while self.current.kind == "op" and self.current.text in ops:
+            tok = self.advance()
+            rhs = self._parse_binary(level + 1)
+            lhs = BinaryExpr(tok.line, tok.col, op=tok.text, lhs=lhs, rhs=rhs)
+        return lhs
+
+    def _parse_unary(self) -> Expr:
+        tok = self.current
+        if tok.kind == "op" and tok.text in ("-", "!", "~"):
+            self.advance()
+            operand = self._parse_unary()
+            return UnaryExpr(tok.line, tok.col, op=tok.text, operand=operand)
+        # cast: '(' type ')' unary
+        if tok.is_op("(") and self.peek().kind == "keyword" and self.peek().text in ("int", "float"):
+            # Distinguish a cast from a parenthesised expression: the token
+            # after the type must be ')'.
+            if self.peek(2).is_op(")"):
+                self.advance()
+                target = self._parse_type()
+                self.expect_op(")")
+                operand = self._parse_unary()
+                return CastExpr(tok.line, tok.col, target=target, operand=operand)
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> Expr:
+        expr = self._parse_primary()
+        while True:
+            tok = self.current
+            if tok.is_op("["):
+                self.advance()
+                index = self._parse_expr()
+                self.expect_op("]")
+                expr = IndexExpr(tok.line, tok.col, base=expr, index=index)
+            else:
+                return expr
+
+    def _parse_primary(self) -> Expr:
+        tok = self.current
+        if tok.kind == "int_lit":
+            self.advance()
+            return IntLiteral(tok.line, tok.col, tok.value)  # type: ignore[arg-type]
+        if tok.kind == "float_lit":
+            self.advance()
+            return FloatLiteral(tok.line, tok.col, tok.value)  # type: ignore[arg-type]
+        if tok.kind == "ident":
+            self.advance()
+            if self.current.is_op("("):
+                self.advance()
+                args: List[Expr] = []
+                if not self.current.is_op(")"):
+                    args.append(self._parse_expr())
+                    while self.current.is_op(","):
+                        self.advance()
+                        args.append(self._parse_expr())
+                self.expect_op(")")
+                return CallExpr(tok.line, tok.col, callee=tok.text, args=args)
+            return NameRef(tok.line, tok.col, name=tok.text)
+        if tok.is_op("("):
+            self.advance()
+            expr = self._parse_expr()
+            self.expect_op(")")
+            return expr
+        raise ParseError("expected expression", tok)
+
+
+def parse(source: str) -> Program:
+    """Parse SCL source text into an AST."""
+    return Parser(tokenize(source)).parse_program()

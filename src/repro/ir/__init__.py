@@ -1,0 +1,86 @@
+"""SSA intermediate representation: the substrate the paper's passes operate on.
+
+Public surface:
+
+* types: :data:`I1` ... :data:`I64`, :data:`F32`, :data:`F64`, :data:`PTR`,
+  :data:`VOID`
+* values: :class:`Constant`, :class:`Argument`, :class:`GlobalVariable`
+* containers: :class:`Module`, :class:`Function`, :class:`BasicBlock`
+* instructions: arithmetic, memory, control flow, phi, calls, and the three
+  guard instructions the protection transforms insert
+* :class:`IRBuilder` for construction, :func:`verify_module` for validation,
+  :func:`module_to_str` for printing
+"""
+
+from .basicblock import BasicBlock
+from .builder import IRBuilder
+from .function import Function
+from .instructions import (
+    Alloca,
+    BinaryOp,
+    Br,
+    Call,
+    Cast,
+    CondBr,
+    FCmp,
+    GetElementPtr,
+    GuardBase,
+    GuardEq,
+    GuardRange,
+    GuardValues,
+    ICmp,
+    Instruction,
+    IntrinsicCall,
+    INTRINSICS,
+    Load,
+    Phi,
+    Ret,
+    Select,
+    Store,
+)
+from .module import Module
+from .parser import IRParseError, parse_module
+from .printer import function_to_str, module_to_str
+from .types import (
+    F32,
+    F64,
+    I1,
+    I8,
+    I16,
+    I32,
+    I64,
+    PTR,
+    VOID,
+    FloatType,
+    IntType,
+    IRType,
+    PointerType,
+    VoidType,
+    parse_type,
+)
+from .values import (
+    Argument,
+    Constant,
+    GlobalVariable,
+    UndefValue,
+    Value,
+    const_bool,
+    const_float,
+    const_int,
+)
+from .verifier import VerificationError, verify_function, verify_module
+
+__all__ = [
+    "BasicBlock", "IRBuilder", "Function", "Module",
+    "Alloca", "BinaryOp", "Br", "Call", "Cast", "CondBr", "FCmp",
+    "GetElementPtr", "GuardBase", "GuardEq", "GuardRange", "GuardValues",
+    "ICmp", "Instruction", "IntrinsicCall", "INTRINSICS", "Load", "Phi",
+    "Ret", "Select", "Store",
+    "function_to_str", "module_to_str",
+    "IRParseError", "parse_module",
+    "F32", "F64", "I1", "I8", "I16", "I32", "I64", "PTR", "VOID",
+    "FloatType", "IntType", "IRType", "PointerType", "VoidType", "parse_type",
+    "Argument", "Constant", "GlobalVariable", "UndefValue", "Value",
+    "const_bool", "const_float", "const_int",
+    "VerificationError", "verify_function", "verify_module",
+]

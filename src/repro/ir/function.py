@@ -1,0 +1,91 @@
+"""Functions: named, typed collections of basic blocks."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator, List, Optional, Sequence, Tuple
+
+from .basicblock import BasicBlock
+from .instructions import Instruction
+from .types import IRType, VOID
+from .values import Argument
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .module import Module
+
+
+class Function:
+    """An IR function.
+
+    The first block in :attr:`blocks` is the entry block.  Value names are
+    unique within a function (the block appending logic asks
+    :meth:`next_value_name` for fresh names).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        return_type: IRType = VOID,
+        arg_types: Sequence[Tuple[IRType, str]] = (),
+        module: Optional["Module"] = None,
+    ) -> None:
+        self.name = name
+        self.return_type = return_type
+        self.module = module
+        self.args: List[Argument] = [
+            Argument(ty, arg_name, self, i) for i, (ty, arg_name) in enumerate(arg_types)
+        ]
+        self.blocks: List[BasicBlock] = []
+        self._name_counter = 0
+        self._block_counter = 0
+
+    # -- construction ---------------------------------------------------------
+
+    def add_block(self, name: str = "", after: Optional[BasicBlock] = None) -> BasicBlock:
+        """Create and register a new basic block (optionally right after another)."""
+        if not name:
+            name = f"bb{self._block_counter}"
+            self._block_counter += 1
+        elif any(b.name == name for b in self.blocks):
+            name = f"{name}.{self._block_counter}"
+            self._block_counter += 1
+        block = BasicBlock(name, parent=self)
+        if after is not None:
+            self.blocks.insert(self.blocks.index(after) + 1, block)
+        else:
+            self.blocks.append(block)
+        return block
+
+    def next_value_name(self) -> str:
+        self._name_counter += 1
+        return f"v{self._name_counter}"
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def entry(self) -> BasicBlock:
+        if not self.blocks:
+            raise ValueError(f"function @{self.name} has no blocks")
+        return self.blocks[0]
+
+    def block(self, name: str) -> BasicBlock:
+        for b in self.blocks:
+            if b.name == name:
+                return b
+        raise KeyError(f"no block %{name} in @{self.name}")
+
+    def instructions(self) -> Iterator[Instruction]:
+        """All instructions, in block order."""
+        for block in self.blocks:
+            yield from block.instructions
+
+    def num_instructions(self) -> int:
+        return sum(len(b) for b in self.blocks)
+
+    def values(self) -> Iterator[Instruction]:
+        """All value-producing instructions."""
+        for instr in self.instructions():
+            if instr.has_result:
+                yield instr
+
+    def __repr__(self) -> str:
+        return f"<Function @{self.name} ({len(self.blocks)} blocks)>"

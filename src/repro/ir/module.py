@@ -1,0 +1,83 @@
+"""Modules: the top-level IR container (functions + global arrays)."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from .function import Function
+from .types import IRType, VOID
+from .values import GlobalVariable
+
+
+class Module:
+    """A compilation unit: global variables plus functions.
+
+    The entry point of a workload is the function named ``main`` by
+    convention (overridable in :class:`repro.sim.interpreter.Interpreter`).
+    """
+
+    def __init__(self, name: str = "module") -> None:
+        self.name = name
+        self.functions: Dict[str, Function] = {}
+        self.globals: Dict[str, GlobalVariable] = {}
+
+    # -- construction ----------------------------------------------------------
+
+    def add_function(
+        self,
+        name: str,
+        return_type: IRType = VOID,
+        arg_types: Sequence[Tuple[IRType, str]] = (),
+    ) -> Function:
+        if name in self.functions:
+            raise ValueError(f"duplicate function @{name}")
+        fn = Function(name, return_type, arg_types, module=self)
+        self.functions[name] = fn
+        return fn
+
+    def add_global(
+        self,
+        name: str,
+        elem_type: IRType,
+        count: int,
+        initializer: Optional[list] = None,
+        is_input: bool = False,
+        is_output: bool = False,
+    ) -> GlobalVariable:
+        if name in self.globals:
+            raise ValueError(f"duplicate global @{name}")
+        gv = GlobalVariable(name, elem_type, count, initializer, is_input, is_output)
+        self.globals[name] = gv
+        return gv
+
+    # -- queries -----------------------------------------------------------------
+
+    def function(self, name: str) -> Function:
+        try:
+            return self.functions[name]
+        except KeyError:
+            raise KeyError(f"no function @{name} in module {self.name}") from None
+
+    def global_var(self, name: str) -> GlobalVariable:
+        try:
+            return self.globals[name]
+        except KeyError:
+            raise KeyError(f"no global @{name} in module {self.name}") from None
+
+    def input_globals(self) -> List[GlobalVariable]:
+        return [g for g in self.globals.values() if g.is_input]
+
+    def output_globals(self) -> List[GlobalVariable]:
+        return [g for g in self.globals.values() if g.is_output]
+
+    def num_instructions(self) -> int:
+        return sum(fn.num_instructions() for fn in self.functions.values())
+
+    def __iter__(self) -> Iterator[Function]:
+        return iter(self.functions.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"<Module {self.name}: {len(self.functions)} functions, "
+            f"{len(self.globals)} globals>"
+        )

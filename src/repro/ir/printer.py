@@ -1,0 +1,40 @@
+"""Textual dump of IR modules and functions (for debugging and golden tests)."""
+
+from __future__ import annotations
+
+from .function import Function
+from .module import Module
+
+
+def function_to_str(fn: Function) -> str:
+    """Render a function in a stable, LLVM-flavoured text format."""
+    args = ", ".join(f"{a.type} %{a.name}" for a in fn.args)
+    lines = [f"define {fn.return_type} @{fn.name}({args}) {{"]
+    for block in fn.blocks:
+        lines.append(f"{block.name}:")
+        for instr in block.instructions:
+            marker = "  ;dup" if instr.is_shadow else ""
+            lines.append(f"  {instr.format()}{marker}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def module_to_str(module: Module) -> str:
+    """Render a whole module: globals first, then functions."""
+    lines = [f"; module {module.name}"]
+    for gv in module.globals.values():
+        flags = []
+        if gv.is_input:
+            flags.append("input")
+        if gv.is_output:
+            flags.append("output")
+        suffix = f"  ; {' '.join(flags)}" if flags else ""
+        init = ""
+        if gv.initializer is not None:
+            body = ", ".join(repr(v) for v in gv.initializer)
+            init = f" {{{body}}}"
+        lines.append(f"@{gv.name} = global {gv.elem_type} x {gv.count}{init}{suffix}")
+    for fn in module.functions.values():
+        lines.append("")
+        lines.append(function_to_str(fn))
+    return "\n".join(lines) + "\n"

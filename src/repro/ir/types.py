@@ -1,0 +1,180 @@
+"""Type system for the repro IR.
+
+The IR is deliberately small: fixed-width two's-complement integers, IEEE-754
+floats, an opaque byte-addressed pointer type, and ``void`` for instructions
+that produce no value.  Types are interned singletons, so identity comparison
+(``a is b``) and equality comparison coincide.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+
+class IRType:
+    """Base class for all IR types.
+
+    Instances are interned: constructing the same type twice returns the same
+    object, which makes type checks cheap and keeps printed IR stable.
+    """
+
+    _interned: Dict[Tuple, "IRType"] = {}
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def __repr__(self) -> str:
+        return self.name
+
+    @property
+    def is_integer(self) -> bool:
+        return isinstance(self, IntType)
+
+    @property
+    def is_float(self) -> bool:
+        return isinstance(self, FloatType)
+
+    @property
+    def is_pointer(self) -> bool:
+        return isinstance(self, PointerType)
+
+    @property
+    def is_void(self) -> bool:
+        return isinstance(self, VoidType)
+
+    @property
+    def is_bool(self) -> bool:
+        return isinstance(self, IntType) and self.bits == 1
+
+
+class IntType(IRType):
+    """Fixed-width integer type (``i1``, ``i8``, ``i16``, ``i32``, ``i64``).
+
+    Values of this type are stored as Python ints in two's-complement,
+    normalised to the *signed* range of the width.  All arithmetic wraps.
+    """
+
+    def __new__(cls, bits: int) -> "IntType":
+        key = ("int", bits)
+        inst = IRType._interned.get(key)
+        if inst is None:
+            inst = object.__new__(cls)
+            IRType._interned[key] = inst
+        return inst  # type: ignore[return-value]
+
+    def __init__(self, bits: int) -> None:
+        super().__init__(f"i{bits}")
+        self.bits = bits
+        self.mask = (1 << bits) - 1
+        self.sign_bit = 1 << (bits - 1)
+        self.min_signed = -(1 << (bits - 1)) if bits > 1 else 0 if bits == 1 else 0
+        if bits == 1:
+            self.min_signed = 0
+            self.max_signed = 1
+        else:
+            self.max_signed = (1 << (bits - 1)) - 1
+
+    @property
+    def size_bytes(self) -> int:
+        return max(1, self.bits // 8)
+
+    def wrap(self, value: int) -> int:
+        """Normalise a Python int into this type's signed two's-complement range."""
+        value &= self.mask
+        if self.bits > 1 and value & self.sign_bit:
+            value -= 1 << self.bits
+        return value
+
+    def to_unsigned(self, value: int) -> int:
+        """Reinterpret a (signed-normalised) value as unsigned."""
+        return value & self.mask
+
+
+class FloatType(IRType):
+    """IEEE-754 float type (``f32`` or ``f64``).
+
+    Values are Python floats.  f32 results are round-tripped through a 32-bit
+    representation on demand (bit flips and stores), not on every operation;
+    this matches the precision the paper's workloads observe at the register
+    level while keeping the interpreter fast.
+    """
+
+    def __new__(cls, bits: int) -> "FloatType":
+        key = ("float", bits)
+        inst = IRType._interned.get(key)
+        if inst is None:
+            inst = object.__new__(cls)
+            IRType._interned[key] = inst
+        return inst  # type: ignore[return-value]
+
+    def __init__(self, bits: int) -> None:
+        super().__init__(f"f{bits}")
+        self.bits = bits
+
+    @property
+    def size_bytes(self) -> int:
+        return self.bits // 8
+
+
+class PointerType(IRType):
+    """Opaque byte-addressed pointer.
+
+    Pointer values are 64-bit addresses into the simulator's segmented memory
+    (see :mod:`repro.sim.memory`).  Element types live on the instructions that
+    use pointers (loads, stores, GEPs), not on the pointer itself.
+    """
+
+    def __new__(cls) -> "PointerType":
+        key = ("ptr",)
+        inst = IRType._interned.get(key)
+        if inst is None:
+            inst = object.__new__(cls)
+            IRType._interned[key] = inst
+        return inst  # type: ignore[return-value]
+
+    def __init__(self) -> None:
+        super().__init__("ptr")
+        self.bits = 64
+
+    @property
+    def size_bytes(self) -> int:
+        return 8
+
+
+class VoidType(IRType):
+    """Type of instructions that produce no value (stores, branches, guards)."""
+
+    def __new__(cls) -> "VoidType":
+        key = ("void",)
+        inst = IRType._interned.get(key)
+        if inst is None:
+            inst = object.__new__(cls)
+            IRType._interned[key] = inst
+        return inst  # type: ignore[return-value]
+
+    def __init__(self) -> None:
+        super().__init__("void")
+
+
+# Interned singletons used throughout the code base.
+I1 = IntType(1)
+I8 = IntType(8)
+I16 = IntType(16)
+I32 = IntType(32)
+I64 = IntType(64)
+F32 = FloatType(32)
+F64 = FloatType(64)
+PTR = PointerType()
+VOID = VoidType()
+
+INT_TYPES = (I1, I8, I16, I32, I64)
+FLOAT_TYPES = (F32, F64)
+
+
+def parse_type(name: str) -> IRType:
+    """Look up a type by its printed name (``"i32"`` → :data:`I32`)."""
+    table = {t.name: t for t in (*INT_TYPES, *FLOAT_TYPES, PTR, VOID)}
+    try:
+        return table[name]
+    except KeyError:
+        raise ValueError(f"unknown IR type name: {name!r}") from None

@@ -1,0 +1,17 @@
+"""Generic (protection-agnostic) IR optimizations: dead-code elimination,
+CFG simplification, and constant folding.
+
+Only DCE runs in the default frontend pipeline; the others are opt-in (the
+evaluated binaries keep codegen's layout, as an -O0-plus-protection build
+would), available for experiments and tests.
+"""
+
+from .constfold import fold_constants, fold_constants_module
+from .dce import eliminate_dead_code, eliminate_dead_code_module
+from .simplifycfg import simplify_cfg, simplify_cfg_module
+
+__all__ = [
+    "fold_constants", "fold_constants_module",
+    "eliminate_dead_code", "eliminate_dead_code_module",
+    "simplify_cfg", "simplify_cfg_module",
+]

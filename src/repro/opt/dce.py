@@ -1,0 +1,59 @@
+"""Dead-code elimination (mark and sweep over SSA).
+
+Roots are the instructions with observable effects: stores, calls (callees
+may store), terminators, and guards.  Everything not transitively reachable
+from a root through operand edges is removed — including dead loop-carried
+recurrences (a phi + update cycle nothing reads), which mem2reg's local
+pruning cannot see.
+
+Loads are treated as pure and removable: the memory model has no volatile
+accesses, and DCE runs at compile time, before any fault is injected.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from ..ir.function import Function
+from ..ir.instructions import Call, GuardBase, Instruction, Store
+from ..ir.module import Module
+from ..ir.values import Value
+
+
+def eliminate_dead_code_module(module: Module) -> int:
+    """Run DCE on every function; returns total instructions removed."""
+    return sum(eliminate_dead_code(fn) for fn in module.functions.values())
+
+
+def eliminate_dead_code(fn: Function) -> int:
+    """Remove instructions whose results are never observed."""
+    live: Set[int] = set()
+    worklist: List[Instruction] = []
+
+    def mark(value: Value) -> None:
+        if isinstance(value, Instruction) and id(value) not in live:
+            live.add(id(value))
+            worklist.append(value)
+
+    for block in fn.blocks:
+        for instr in block.instructions:
+            if (
+                instr.is_terminator
+                or isinstance(instr, (Store, Call, GuardBase))
+            ):
+                mark(instr)
+
+    while worklist:
+        instr = worklist.pop()
+        for op in instr.operands:
+            mark(op)
+
+    removed = 0
+    for block in fn.blocks:
+        for instr in list(block.instructions):
+            if id(instr) in live:
+                continue
+            instr.drop_all_references()
+            block.remove(instr)
+            removed += 1
+    return removed

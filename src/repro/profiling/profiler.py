@@ -1,0 +1,93 @@
+"""Value-profiling runs (the paper's offline profiling pass).
+
+The paper instruments LLVM IR to collect value profiles on a *train* input,
+one time per benchmark, then feeds those profiles to the check-insertion
+pass.  Here the instrumentation is the interpreter's value hook: a profiling
+run executes the module with the train input and streams every
+(instruction, value) pair into a :class:`~repro.profiling.profiles.ProfileStore`.
+
+Only integer- and float-valued instructions are profiled; pointers (GEPs,
+allocas) are excluded — the paper's value checks target data computations,
+while address corruption is covered by symptoms.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from ..ir.instructions import Instruction
+from ..ir.module import Module
+from ..ir.types import FloatType, IntType
+from ..sim.config import SimConfig
+from ..sim.interpreter import Interpreter
+from .profiles import ProfileStore
+
+
+def collect_profiles(
+    module: Module,
+    inputs: Optional[Dict[str, Sequence]] = None,
+    entry: str = "main",
+    args: Sequence[object] = (),
+    num_bins: int = 5,
+    top_capacity: int = 8,
+    config: Optional[SimConfig] = None,
+    max_instructions: int = 50_000_000,
+) -> ProfileStore:
+    """Run ``module`` once on the train input, profiling every data value.
+
+    Returns the populated :class:`ProfileStore`.  Guards already present in
+    the module (none, normally — profiling happens before transformation) run
+    in counting mode so they cannot abort the profile run.
+    """
+    store = ProfileStore(num_bins=num_bins, top_capacity=top_capacity)
+
+    def hook(instr: Instruction, value) -> None:
+        t = instr.type
+        if isinstance(t, IntType):
+            if t.bits > 1:  # booleans carry no useful range information
+                store.observe(instr, value)
+        elif isinstance(t, FloatType):
+            store.observe(instr, float(value))
+
+    interp = Interpreter(module, config=config, guard_mode="count", value_hook=hook)
+    interp.run(entry=entry, args=args, inputs=inputs, max_instructions=max_instructions)
+    return store
+
+
+def collect_profiles_multi(
+    module: Module,
+    input_sets: Sequence[Dict[str, Sequence]],
+    entry: str = "main",
+    args: Sequence[object] = (),
+    num_bins: int = 5,
+    top_capacity: int = 8,
+    config: Optional[SimConfig] = None,
+    max_instructions: int = 50_000_000,
+) -> ProfileStore:
+    """Profile over several inputs into one combined store.
+
+    The paper (Section V) notes the false-positive rate "can be further
+    reduced by combining profiling from multiple inputs and thus inserting
+    checks only on more stable invariant values" — this is that combiner:
+    every run streams into the same histograms, so ranges widen to cover all
+    inputs and pseudo-invariants that vary across inputs stop qualifying for
+    single/two-value checks.
+    """
+    if not input_sets:
+        raise ValueError("need at least one input set")
+    store = ProfileStore(num_bins=num_bins, top_capacity=top_capacity)
+
+    def hook(instr: Instruction, value) -> None:
+        t = instr.type
+        if isinstance(t, IntType):
+            if t.bits > 1:
+                store.observe(instr, value)
+        elif isinstance(t, FloatType):
+            store.observe(instr, float(value))
+
+    for inputs in input_sets:
+        interp = Interpreter(module, config=config, guard_mode="count", value_hook=hook)
+        interp.run(
+            entry=entry, args=args, inputs=inputs, max_instructions=max_instructions
+        )
+    return store

@@ -1,0 +1,99 @@
+"""Greedy compact-range extraction from a histogram (paper Algorithm 2).
+
+Given the per-instruction histogram from Algorithm 1, find a tight
+``[lo, hi]`` interval concentrating most of the observed values: start from
+the highest-frequency bin and greedily absorb the neighbouring bin with the
+larger frequency, as long as the resulting range stays within the range
+threshold ``R_thr``.  The returned range and its covered-sample fraction feed
+the check-amenability decision in :mod:`repro.transforms.valuechecks`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .histogram import Bin, OnlineHistogram
+
+
+@dataclass
+class FrequentRange:
+    """Result of Algorithm 2: a compact range plus coverage statistics."""
+
+    lo: float
+    hi: float
+    count: int
+    total: int
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of all profiled samples that fell inside [lo, hi]."""
+        return self.count / self.total if self.total else 0.0
+
+    @property
+    def width(self) -> float:
+        return self.hi - self.lo
+
+
+def compact_range(
+    histogram: OnlineHistogram, range_threshold: float
+) -> Optional[FrequentRange]:
+    """Algorithm 2: greedy growth of the max-frequency bin.
+
+    ``range_threshold`` (the paper's R_thr) caps the width of the returned
+    range.  The seed bin is used even if it alone exceeds the threshold (a
+    range check on it may still be useless — the caller decides via coverage
+    and width).  Extension prefers the neighbour with the higher frequency,
+    matching the paper's pseudocode, and stops when neither neighbour can be
+    absorbed without exceeding the threshold.
+    """
+    bins = histogram.bins
+    if not bins:
+        return None
+
+    seed_idx = max(range(len(bins)), key=lambda i: bins[i].count)
+    lo = bins[seed_idx].lb
+    hi = bins[seed_idx].rb
+    count = bins[seed_idx].count
+    left = seed_idx - 1
+    right = seed_idx + 1
+
+    while left >= 0 or right < len(bins):
+        left_bin: Optional[Bin] = bins[left] if left >= 0 else None
+        right_bin: Optional[Bin] = bins[right] if right < len(bins) else None
+
+        take_left = False
+        if left_bin is not None and right_bin is not None:
+            take_left = left_bin.count >= right_bin.count
+        elif left_bin is not None:
+            take_left = True
+
+        if take_left:
+            assert left_bin is not None
+            if hi - left_bin.lb <= range_threshold:
+                lo = left_bin.lb
+                count += left_bin.count
+                left -= 1
+                continue
+            # Can't grow left within threshold; try the other side.
+            if right_bin is not None and right_bin.rb - lo <= range_threshold:
+                hi = right_bin.rb
+                count += right_bin.count
+                right += 1
+                continue
+            break
+        else:
+            assert right_bin is not None
+            if right_bin.rb - lo <= range_threshold:
+                hi = right_bin.rb
+                count += right_bin.count
+                right += 1
+                continue
+            if left_bin is not None and hi - left_bin.lb <= range_threshold:
+                lo = left_bin.lb
+                count += left_bin.count
+                left -= 1
+                continue
+            break
+
+    return FrequentRange(lo=lo, hi=hi, count=count, total=histogram.total)

@@ -1,0 +1,41 @@
+"""Execution substrate: IR interpreter, segmented memory, register-file fault
+model, caches, and the out-of-order timing estimator (paper Table II)."""
+
+from .cache import BranchPredictor, SetAssociativeCache
+from .config import CacheConfig, SimConfig
+from .events import (
+    ArithmeticTrap,
+    GuardStats,
+    GuardTrap,
+    MemoryTrap,
+    RunResult,
+    SimTrap,
+    StackOverflowTrap,
+    TimeoutTrap,
+)
+from .faults import (
+    LARGE_CHANGE_THRESHOLD,
+    InjectionPlan,
+    InjectionRecord,
+    flip_bit,
+    value_change_magnitude,
+)
+from .interpreter import Frame, Interpreter
+from .memory import Memory, Segment
+from .regfile import RegisterFile, RegisterSlot
+from .timing import TimingModel
+from .trace import TraceEvent, Tracer, first_divergence, trace_run
+
+__all__ = [
+    "BranchPredictor", "SetAssociativeCache",
+    "CacheConfig", "SimConfig",
+    "ArithmeticTrap", "GuardStats", "GuardTrap", "MemoryTrap", "RunResult",
+    "SimTrap", "StackOverflowTrap", "TimeoutTrap",
+    "LARGE_CHANGE_THRESHOLD", "InjectionPlan", "InjectionRecord", "flip_bit",
+    "value_change_magnitude",
+    "Frame", "Interpreter",
+    "Memory", "Segment",
+    "RegisterFile", "RegisterSlot",
+    "TimingModel",
+    "TraceEvent", "Tracer", "first_divergence", "trace_run",
+]

@@ -1,0 +1,89 @@
+"""L1 data-cache and branch-predictor models for the timing estimator.
+
+Both are deliberately simple — the paper's overhead numbers are *relative*
+(instrumented vs. original runtime), so what matters is that extra loads and
+branches added by the protection transforms pay realistic costs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .config import CacheConfig
+
+
+class SetAssociativeCache:
+    """LRU set-associative cache; ``access`` returns True on hit."""
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        self.num_sets = config.num_sets
+        self.line_shift = config.line_bytes.bit_length() - 1
+        # Each set is an ordered list of tags, most-recently-used last.
+        self._sets: List[List[int]] = [[] for _ in range(self.num_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, address: int) -> bool:
+        line = address >> self.line_shift
+        set_idx = line % self.num_sets
+        ways = self._sets[set_idx]
+        try:
+            ways.remove(line)
+            ways.append(line)
+            self.hits += 1
+            return True
+        except ValueError:
+            ways.append(line)
+            if len(ways) > self.config.associativity:
+                ways.pop(0)
+            self.misses += 1
+            return False
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        total = self.accesses
+        return self.misses / total if total else 0.0
+
+    def reset(self) -> None:
+        self._sets = [[] for _ in range(self.num_sets)]
+        self.hits = 0
+        self.misses = 0
+
+
+class BranchPredictor:
+    """Per-branch 2-bit saturating counters; ``predict_and_update`` returns
+    True when the prediction was correct."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[int, int] = {}
+        self.correct = 0
+        self.mispredicts = 0
+
+    def predict_and_update(self, branch_key: int, taken: bool) -> bool:
+        counter = self._counters.get(branch_key, 2)  # weakly taken default
+        predicted_taken = counter >= 2
+        if taken and counter < 3:
+            counter += 1
+        elif not taken and counter > 0:
+            counter -= 1
+        self._counters[branch_key] = counter
+        if predicted_taken == taken:
+            self.correct += 1
+            return True
+        self.mispredicts += 1
+        return False
+
+    @property
+    def accuracy(self) -> float:
+        total = self.correct + self.mispredicts
+        return self.correct / total if total else 1.0
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self.correct = 0
+        self.mispredicts = 0

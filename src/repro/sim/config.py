@@ -1,0 +1,127 @@
+"""Simulator configuration (paper Table II).
+
+``SimConfig`` bundles the microarchitectural parameters the paper's gem5 setup
+used: a 2 GHz out-of-order ARMv7-a-profile core with a 2-wide issue, 192-entry
+ROB, 256-entry physical integer register file, 32 KB 2-way L1-D, and 64 KB
+2-way L1-I.  The timing model (:mod:`repro.sim.timing`) and fault model
+(:mod:`repro.sim.faults`) read their parameters from here, and the Table II
+experiment driver prints this structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+#: Issue-slot cost (micro-ops) per opcode class; guards expand to their
+#: compare+branch sequences.
+DEFAULT_SLOT_COSTS: Dict[str, int] = {
+    # Guard sequences assume fused compare-and-branch µops (cbz/cmp+b.cond
+    # fusion); the range check uses the classic bias + single unsigned
+    # compare idiom, so it is sub + fused-cmp-br = 2 µops.
+    "guard_eq": 1,       # fused cmp + br
+    "guard_range": 2,    # bias sub + fused unsigned cmp + br
+    "guard_values_1": 1, # fused cmp + br
+    "guard_values_2": 2, # 2x fused cmp + br
+    "load": 2,           # address generation + access
+    "store": 2,
+    "call": 2,
+    "intrinsic": 4,      # libm-style helper sequences
+}
+
+#: Result latency (cycles) per opcode; anything missing defaults to 1.
+DEFAULT_LATENCIES: Dict[str, int] = {
+    "mul": 3,
+    "sdiv": 12,
+    "udiv": 12,
+    "srem": 12,
+    "urem": 12,
+    "fadd": 3,
+    "fsub": 3,
+    "fmul": 3,
+    "fdiv": 12,
+    "frem": 14,
+    "fcmp": 2,
+    "sitofp": 2,
+    "fptosi": 2,
+    "fpext": 2,
+    "fptrunc": 2,
+    "load": 2,           # L1 hit latency; misses add miss_penalty
+    "sqrt": 15,
+    "exp": 20,
+    "log": 20,
+    "sin": 20,
+    "cos": 20,
+    "pow": 25,
+}
+
+
+@dataclass
+class CacheConfig:
+    """Set-associative cache geometry."""
+
+    size_bytes: int
+    associativity: int
+    line_bytes: int = 64
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.associativity * self.line_bytes)
+
+
+@dataclass
+class SimConfig:
+    """All tunables of the execution substrate (defaults = paper Table II)."""
+
+    # Core (Table II)
+    frequency_ghz: float = 2.0
+    issue_width: int = 2
+    rob_entries: int = 192
+    #: issue-queue (scheduler) window — instructions can only issue out of
+    #: order within this many in-flight instructions; the key structural
+    #: limit on how much duplicated work the core can hide (not in Table II;
+    #: sized for an A9-class 2-wide core)
+    issue_queue: int = 24
+    phys_int_registers: int = 256
+
+    # Memory hierarchy (Table II)
+    l1d: CacheConfig = field(default_factory=lambda: CacheConfig(32 * 1024, 2))
+    l1i: CacheConfig = field(default_factory=lambda: CacheConfig(64 * 1024, 2))
+    dtlb_entries: int = 64
+    itlb_entries: int = 64
+
+    # Timing-model extras (not in Table II; standard values)
+    miss_penalty: int = 30
+    mispredict_penalty: int = 9
+    latencies: Dict[str, int] = field(default_factory=lambda: dict(DEFAULT_LATENCIES))
+    slot_costs: Dict[str, int] = field(default_factory=lambda: dict(DEFAULT_SLOT_COSTS))
+
+    # Fault model (Section IV-C)
+    symptom_window_cycles: int = 1000
+    register_flip_bits: int = 32  # ARMv7-a general registers are 32-bit
+    #: injections pick among this many most-recently-written registers (the
+    #: architecturally mapped part of the register file); 0 = all of them
+    injection_recent_window: int = 32
+    #: probability that the injection targets a register whose value is still
+    #: live (will be read again).  Architectural registers mostly hold live
+    #: values — a register allocator only keeps what has future uses — while
+    #: flips on dead physical registers are masked by construction.
+    injection_live_bias: float = 0.75
+    stack_segment_bytes: int = 1 << 20
+    max_call_depth: int = 256
+
+    def describe(self) -> str:
+        """Render a Table II-style parameter listing."""
+        rows = [
+            ("Processor core", f"@ {self.frequency_ghz:g}GHz, out-of-order"),
+            ("Simulation mode", "Syscall emulation (IR interpretation)"),
+            ("Physical integer register file size", f"{self.phys_int_registers} entries"),
+            ("Reorder Buffer Size", f"{self.rob_entries} entries"),
+            ("Issue width", str(self.issue_width)),
+            ("L1-I cache", f"{self.l1i.size_bytes // 1024}KB, {self.l1i.associativity}-way"),
+            ("L1-D cache", f"{self.l1d.size_bytes // 1024}KB, {self.l1d.associativity}-way"),
+            ("DTLB/ITLB", f"{self.dtlb_entries} entries (each)"),
+        ]
+        width = max(len(k) for k, _ in rows)
+        return "\n".join(f"{k:<{width}}  {v}" for k, v in rows)

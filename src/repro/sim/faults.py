@@ -1,0 +1,125 @@
+"""Transient-fault models (paper Section IV-C).
+
+The fault model is the traditional single bit flip, randomized in time (a
+uniformly random dynamic cycle within the golden run length) and space (a
+uniformly random occupied physical register, then a uniformly random bit of
+that register).  :func:`flip_bit` implements the per-type bit-flip semantics;
+:class:`InjectionPlan` describes one planned injection; :class:`InjectionRecord`
+captures what actually happened, including the before/after values used by the
+Figure 2 large-vs-small value-change analysis.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..ir.types import FloatType, IntType, IRType, PointerType
+
+_F64 = struct.Struct("<d")
+_F32 = struct.Struct("<f")
+
+
+def flip_bit(type_: IRType, value, bit: int, pointer_bits: int = 32):
+    """Return ``value`` with ``bit`` flipped, respecting the type's encoding.
+
+    * integers: two's-complement flip within the type's width (``bit`` taken
+      modulo the width);
+    * floats: IEEE-754 bit flip (f64 = 64 bits); NaN results are kept — they
+      propagate like hardware NaNs;
+    * pointers: flip within the low ``pointer_bits`` bits (ARMv7-a registers
+      are 32-bit).
+    """
+    if isinstance(type_, IntType):
+        bit %= type_.bits
+        return type_.wrap((value & type_.mask) ^ (1 << bit))
+    if isinstance(type_, FloatType):
+        bit %= 64
+        raw = _F64.unpack(_F64.pack(float(value)))[0]
+        bits = struct.unpack("<Q", _F64.pack(raw))[0]
+        bits ^= 1 << bit
+        return struct.unpack("<d", struct.pack("<Q", bits))[0]
+    if isinstance(type_, PointerType):
+        bit %= pointer_bits
+        return (int(value) ^ (1 << bit)) & ((1 << 64) - 1)
+    raise TypeError(f"cannot flip a bit of type {type_}")
+
+
+def value_change_magnitude(type_: IRType, before, after) -> float:
+    """Relative magnitude of a value corruption, for the ASDC/USDC large-vs-
+    small split of Figure 2.
+
+    Defined as ``|after - before| / max(|before|, 1)`` for numeric types.
+    Non-finite floats count as an infinite change.
+    """
+    if isinstance(type_, (IntType, PointerType)):
+        b, a = int(before), int(after)
+        return abs(a - b) / max(abs(b), 1)
+    if isinstance(type_, FloatType):
+        b, a = float(before), float(after)
+        if not math.isfinite(a) or not math.isfinite(b):
+            return math.inf
+        return abs(a - b) / max(abs(b), 1.0)
+    raise TypeError(f"no change magnitude for type {type_}")
+
+
+@dataclass
+class InjectionPlan:
+    """A fault to inject at dynamic cycle ``cycle``.
+
+    ``kind`` selects the fault model:
+
+    * ``"register"`` (default, the paper's model): flip bit ``bit`` of a
+      randomly chosen occupied physical register (the register is drawn at
+      injection time so the population is the live one);
+    * ``"control"``: corrupt the target of the next branch — the jump lands
+      on a uniformly random wrong block of the executing function.  This is
+      the branch-target fault class the paper explicitly excludes from its
+      own coverage and defers to signature-based schemes (Section IV-C);
+      the :mod:`repro.transforms.cfcss` transform protects against it.
+    """
+
+    cycle: int
+    bit: int
+    seed: int = 0
+    kind: str = "register"
+
+    def __post_init__(self) -> None:
+        if self.cycle < 0:
+            raise ValueError("injection cycle must be non-negative")
+        if self.bit < 0:
+            raise ValueError("injection bit must be non-negative")
+        if self.kind not in ("register", "control"):
+            raise ValueError(f"unknown injection kind {self.kind!r}")
+
+
+@dataclass
+class InjectionRecord:
+    """What an injection actually did (filled in by the interpreter)."""
+
+    plan: InjectionPlan
+    landed: bool
+    #: name of the IR value whose register was flipped ('' if none occupied)
+    value_name: str = ""
+    type_name: str = ""
+    before: object = None
+    after: object = None
+    #: True when the flipped register's value was still live (frame active and
+    #: not yet overwritten); dead flips are naturally masked.
+    was_live: bool = False
+
+    @property
+    def change_magnitude(self) -> float:
+        """Relative corruption size (0.0 when the flip landed nowhere)."""
+        if not self.landed or self.before is None:
+            return 0.0
+        from ..ir.types import parse_type
+
+        return value_change_magnitude(parse_type(self.type_name), self.before, self.after)
+
+
+#: Threshold on :func:`value_change_magnitude` above which a corruption counts
+#: as a "large value change" in the Figure 2 analysis.
+LARGE_CHANGE_THRESHOLD = 4.0

@@ -1,0 +1,845 @@
+"""IR interpreter with cycle counting, fault injection, and optional hooks.
+
+This is the execution substrate standing in for the paper's gem5 setup:
+
+* **atomic model** — each retired IR instruction advances the cycle counter by
+  one; fault-coverage campaigns use this mode (fast), matching the paper's use
+  of gem5's atomic CPU for coverage runs;
+* **timing model** — attach a :class:`~repro.sim.timing.TimingModel` and the
+  run also produces an out-of-order cycle estimate (the paper's Figure 12
+  performance numbers come from the detailed CPU; ours from this model);
+* **fault injection** — pass an :class:`~repro.sim.faults.InjectionPlan`; at
+  the planned cycle a random occupied physical register is chosen and one bit
+  flipped (see :mod:`repro.sim.regfile`);
+* **hooks** — a value hook receives every (instruction, value) pair produced,
+  which is how value profiling (:mod:`repro.profiling`) observes the program.
+
+Guards run in one of two modes: ``detect`` raises :class:`GuardTrap` on the
+first failure (a fault-injection trial ends in SWDetect), while ``count``
+records failures and continues (used on fault-free runs to measure the
+false-positive rate, modelling the paper's recover-once-then-ignore policy).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import struct
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..ir.basicblock import BasicBlock
+from ..ir.function import Function
+from ..ir.instructions import (
+    Alloca,
+    BinaryOp,
+    Br,
+    Call,
+    Cast,
+    CondBr,
+    FCmp,
+    GetElementPtr,
+    GuardEq,
+    GuardRange,
+    GuardValues,
+    ICmp,
+    Instruction,
+    IntrinsicCall,
+    Load,
+    Phi,
+    Ret,
+    Select,
+    Store,
+)
+from ..ir.module import Module
+from ..ir.types import F32, FloatType, IntType, PointerType
+from ..ir.values import Argument, Constant, GlobalVariable, UndefValue, Value
+from .config import SimConfig
+from .events import (
+    ArithmeticTrap,
+    GuardStats,
+    GuardTrap,
+    MemoryTrap,
+    RunResult,
+    StackOverflowTrap,
+    TimeoutTrap,
+)
+from .faults import InjectionPlan, InjectionRecord, flip_bit
+from .memory import Memory, Segment
+from .regfile import RegisterFile
+from .timing import TimingModel
+
+_MISSING = object()
+_F32_STRUCT = struct.Struct("<f")
+
+
+def _c_div(a: int, b: int) -> int:
+    """C-style truncating division."""
+    q = abs(a) // abs(b)
+    return -q if (a < 0) != (b < 0) else q
+
+
+def _c_rem(a: int, b: int) -> int:
+    """C-style remainder (sign of the dividend)."""
+    return a - _c_div(a, b) * b
+
+
+def _float_div(a: float, b: float) -> float:
+    if b == 0.0:
+        if a == 0.0 or math.isnan(a):
+            return math.nan
+        return math.inf if (a > 0) == (math.copysign(1.0, b) > 0) else -math.inf
+    return a / b
+
+
+def _make_int_binops() -> Dict[str, Callable]:
+    """Opcode → (a, b, type) evaluators with two's-complement wrap."""
+
+    def add(a, b, t):
+        return t.wrap(a + b)
+
+    def sub(a, b, t):
+        return t.wrap(a - b)
+
+    def mul(a, b, t):
+        return t.wrap(a * b)
+
+    def sdiv(a, b, t):
+        if b == 0:
+            raise ZeroDivisionError
+        return t.wrap(_c_div(a, b))
+
+    def udiv(a, b, t):
+        if b == 0:
+            raise ZeroDivisionError
+        return t.wrap((a & t.mask) // (b & t.mask))
+
+    def srem(a, b, t):
+        if b == 0:
+            raise ZeroDivisionError
+        return t.wrap(_c_rem(a, b))
+
+    def urem(a, b, t):
+        if b == 0:
+            raise ZeroDivisionError
+        return t.wrap((a & t.mask) % (b & t.mask))
+
+    def and_(a, b, t):
+        return t.wrap(a & b)
+
+    def or_(a, b, t):
+        return t.wrap(a | b)
+
+    def xor(a, b, t):
+        return t.wrap(a ^ b)
+
+    def shl(a, b, t):
+        return t.wrap(a << (b & (t.bits - 1)))
+
+    def lshr(a, b, t):
+        return t.wrap((a & t.mask) >> (b & (t.bits - 1)))
+
+    def ashr(a, b, t):
+        return t.wrap(a >> (b & (t.bits - 1)))
+
+    return {
+        "add": add, "sub": sub, "mul": mul, "sdiv": sdiv, "udiv": udiv,
+        "srem": srem, "urem": urem, "and": and_, "or": or_, "xor": xor,
+        "shl": shl, "lshr": lshr, "ashr": ashr,
+    }
+
+
+def _make_float_binops() -> Dict[str, Callable]:
+    return {
+        "fadd": lambda a, b: a + b,
+        "fsub": lambda a, b: a - b,
+        "fmul": lambda a, b: a * b,
+        "fdiv": _float_div,
+        "frem": lambda a, b: math.fmod(a, b) if b != 0.0 else math.nan,
+    }
+
+
+_INT_BINOPS = _make_int_binops()
+_FLOAT_BINOPS = _make_float_binops()
+
+_ICMP = {
+    "eq": lambda a, b, t: a == b,
+    "ne": lambda a, b, t: a != b,
+    "slt": lambda a, b, t: a < b,
+    "sle": lambda a, b, t: a <= b,
+    "sgt": lambda a, b, t: a > b,
+    "sge": lambda a, b, t: a >= b,
+    "ult": lambda a, b, t: (a & t.mask) < (b & t.mask),
+    "ule": lambda a, b, t: (a & t.mask) <= (b & t.mask),
+    "ugt": lambda a, b, t: (a & t.mask) > (b & t.mask),
+    "uge": lambda a, b, t: (a & t.mask) >= (b & t.mask),
+}
+
+_FCMP = {
+    "oeq": lambda a, b: a == b,
+    "one": lambda a, b: a != b and not (math.isnan(a) or math.isnan(b)),
+    "olt": lambda a, b: a < b,
+    "ole": lambda a, b: a <= b,
+    "ogt": lambda a, b: a > b,
+    "oge": lambda a, b: a >= b,
+}
+
+
+def _safe_sqrt(x: float) -> float:
+    return math.sqrt(x) if x >= 0.0 else math.nan
+
+
+def _safe_exp(x: float) -> float:
+    try:
+        return math.exp(x)
+    except OverflowError:
+        return math.inf
+
+
+def _safe_log(x: float) -> float:
+    if x > 0.0:
+        return math.log(x)
+    return -math.inf if x == 0.0 else math.nan
+
+
+def _safe_pow(a: float, b: float):
+    try:
+        return math.pow(a, b)
+    except (OverflowError, ValueError):
+        return math.nan
+
+
+_INTRINSICS_IMPL = {
+    "sqrt": _safe_sqrt,
+    "exp": _safe_exp,
+    "log": _safe_log,
+    "sin": math.sin,
+    "cos": math.cos,
+    "fabs": abs,
+    "abs": abs,
+    "min": min,
+    "max": max,
+    "floor": lambda x: float(math.floor(x)),
+    "pow": _safe_pow,
+}
+
+
+class Frame:
+    """One activation record."""
+
+    __slots__ = ("function", "values", "block", "prev_block", "index",
+                 "call_instr", "stack_mark", "active")
+
+    def __init__(self, function: Function, call_instr: Optional[Call], stack_mark: int) -> None:
+        self.function = function
+        self.values: Dict[int, object] = {}
+        self.block: BasicBlock = function.entry
+        self.prev_block: Optional[BasicBlock] = None
+        self.index = 0
+        self.call_instr = call_instr
+        self.stack_mark = stack_mark
+        self.active = True
+
+
+class Interpreter:
+    """Executes a module; one instance may run many times (segments are
+    remapped per run, so runs are independent)."""
+
+    def __init__(
+        self,
+        module: Module,
+        config: Optional[SimConfig] = None,
+        guard_mode: str = "detect",
+        value_hook: Optional[Callable[[Instruction, object], None]] = None,
+        timing: Optional[TimingModel] = None,
+        disabled_guards: Optional[set] = None,
+    ) -> None:
+        if guard_mode not in ("detect", "count"):
+            raise ValueError("guard_mode must be 'detect' or 'count'")
+        self.module = module
+        self.config = config or SimConfig()
+        self.guard_mode = guard_mode
+        #: guard ids whose failures never raise — the paper's recover-once
+        #: policy: a check that also fails after recovery (i.e. in the golden
+        #: run) stops triggering recoveries
+        self.disabled_guards = disabled_guards or set()
+        self.value_hook = value_hook
+        self.timing = timing
+        self.memory: Optional[Memory] = None
+        self.global_segments: Dict[str, Segment] = {}
+        self._global_addr: Dict[str, int] = {}
+        self.cycle = 0
+        self.guard_stats = GuardStats()
+        self.injection_record: Optional[InjectionRecord] = None
+        self._regfile: Optional[RegisterFile] = None
+        self._rng: Optional[random.Random] = None
+        self._pending_control_fault = False
+        self._control_fault_fired = False
+
+    # -- setup ---------------------------------------------------------------------
+
+    def _bind_globals(self, inputs: Optional[Dict[str, Sequence]]) -> None:
+        assert self.memory is not None
+        self.global_segments = {}
+        self._global_addr = {}
+        for gv in self.module.globals.values():
+            seg = self.memory.map_segment(gv.name, gv.size_bytes)
+            self.global_segments[gv.name] = seg
+            self._global_addr[gv.name] = seg.base
+            data = None
+            if inputs is not None and gv.name in inputs:
+                data = inputs[gv.name]
+            elif gv.initializer is not None:
+                data = gv.initializer
+            if data is not None:
+                if len(data) > gv.count:
+                    raise ValueError(
+                        f"input for @{gv.name} has {len(data)} elements, max {gv.count}"
+                    )
+                self.memory.write_array(seg, gv.elem_type, data)
+
+    def read_global(self, name: str) -> List:
+        """Read a global array's contents after a run (harness output API)."""
+        gv = self.module.global_var(name)
+        seg = self.global_segments[name]
+        assert self.memory is not None
+        return self.memory.read_array(seg, gv.elem_type, gv.count)
+
+    # -- fault injection --------------------------------------------------------------
+
+    def _liveness_for(self, fn: Function):
+        """Static liveness, cached on the function (shared across trials)."""
+        cache = getattr(fn, "_liveness_cache", None)
+        if cache is None:
+            from ..analysis.liveness import compute_liveness
+
+            cache = compute_liveness(fn)
+            fn._liveness_cache = cache
+        return cache
+
+    def _slot_is_live(self, slot) -> bool:
+        """Will the value in this register be read again (approximately)?
+
+        True when the owning frame is active and the value is statically live
+        into the frame's current block, or is used later within that block.
+        """
+        frame: Frame = slot.frame
+        if not frame.active or slot.value_key not in frame.values:
+            return False
+        value = slot.value_obj
+        block = frame.block
+        liveness = self._liveness_for(frame.function)
+        if value in liveness.live_in.get(block, ()):  # pragma: no branch
+            return True
+        instrs = block.instructions
+        for user, _ in value.uses:
+            if user.parent is block:
+                try:
+                    if instrs.index(user) >= frame.index:
+                        return True
+                except ValueError:  # pragma: no cover - stale use list
+                    continue
+        return False
+
+    def _do_injection(self, plan: InjectionPlan) -> None:
+        record = InjectionRecord(plan=plan, landed=False)
+        self.injection_record = record
+        self._guard_armed = True
+        if plan.kind == "control":
+            # Arm a branch-target corruption: the next branch jumps wrong.
+            self._pending_control_fault = True
+            record.value_name = "<branch-target>"
+            record.type_name = "ptr"
+            return
+        assert self._regfile is not None and self._rng is not None
+        window = self.config.injection_recent_window
+        slot = None
+        if self._rng.random() < self.config.injection_live_bias:
+            candidates = [
+                s for s in self._regfile.occupied_slots()
+                if (window <= 0 or s.tag >= self._regfile._writes - window)
+                and self._slot_is_live(s)
+            ]
+            if candidates:
+                slot = candidates[self._rng.randrange(len(candidates))]
+        if slot is None:
+            slot = self._regfile.pick_random(self._rng, window)
+        if slot is None:
+            return
+        value_obj = slot.value_obj
+        frame: Frame = slot.frame  # type: ignore[assignment]
+        record.value_name = getattr(value_obj, "name", "")
+        record.type_name = value_obj.type.name
+        current = frame.values.get(slot.value_key, _MISSING)
+        if not frame.active or current is _MISSING:
+            # Stale register (frame returned): flip is architecturally dead.
+            record.landed = True
+            record.was_live = False
+            return
+        flipped = flip_bit(
+            value_obj.type, current, plan.bit, self.config.register_flip_bits
+        )
+        frame.values[slot.value_key] = flipped
+        record.landed = True
+        record.was_live = True
+        record.before = current
+        record.after = flipped
+
+    # -- execution -----------------------------------------------------------------------
+
+    def run(
+        self,
+        entry: str = "main",
+        args: Sequence[object] = (),
+        inputs: Optional[Dict[str, Sequence]] = None,
+        injection: Optional[InjectionPlan] = None,
+        max_instructions: int = 50_000_000,
+    ) -> RunResult:
+        """Execute ``entry`` to completion.
+
+        Raises a :class:`~repro.sim.events.SimTrap` subclass on any
+        run-terminating event (memory trap, arithmetic trap, guard detection,
+        timeout); returns a :class:`~repro.sim.events.RunResult` otherwise.
+        """
+        fn = self.module.function(entry)
+        if len(args) != len(fn.args):
+            raise ValueError(
+                f"@{entry} expects {len(fn.args)} args, got {len(args)}"
+            )
+
+        self.memory = Memory()
+        self._bind_globals(inputs)
+        stack_seg = self.memory.map_segment("__stack__", self.config.stack_segment_bytes)
+        stack_sp = stack_seg.base
+        stack_limit = stack_seg.base + stack_seg.size
+
+        self.cycle = 0
+        self.guard_stats = GuardStats()
+        self.injection_record = None
+        # Guards only *raise* (in detect mode) once the fault has been
+        # injected: a check that fails before any fault exists is a false
+        # positive, which the paper's recover-once policy absorbs instead of
+        # aborting the run.  Without an injection plan guards are always armed.
+        self._guard_armed = injection is None
+        self._pending_control_fault = False
+        self._control_fault_fired = False
+        inject_cycle = -1
+        if injection is not None:
+            self._regfile = RegisterFile(self.config.phys_int_registers)
+            self._rng = random.Random(injection.seed)
+            inject_cycle = injection.cycle
+        else:
+            self._regfile = None
+            self._rng = None
+
+        track_registers = self._regfile is not None
+        regfile = self._regfile
+        timing = self.timing
+        value_hook = self.value_hook
+        guard_detect = self.guard_mode == "detect"
+        disabled_guards = self.disabled_guards
+        memory = self.memory
+
+        frame = Frame(fn, None, stack_sp)
+        for formal, actual in zip(fn.args, args):
+            frame.values[id(formal)] = actual
+        frames: List[Frame] = [frame]
+
+        fetch = self._fetch
+        return_value: object = None
+
+        while True:
+            block_instrs = frame.block.instructions
+            idx = frame.index
+            if idx >= len(block_instrs):  # pragma: no cover - verifier prevents
+                raise RuntimeError(f"fell off block %{frame.block.name}")
+            instr = block_instrs[idx]
+            frame.index = idx + 1
+
+            self.cycle += 1
+            cycle = self.cycle
+            if cycle > max_instructions:
+                raise TimeoutTrap(max_instructions, cycle)
+            if inject_cycle >= 0 and cycle >= inject_cycle:
+                inject_cycle = -1
+                self._do_injection(injection)  # type: ignore[arg-type]
+
+            cls = instr.__class__
+
+            # ---- arithmetic / logic -------------------------------------------
+            if cls is BinaryOp:
+                ops = instr._operands
+                a = fetch(frame, ops[0])
+                b = fetch(frame, ops[1])
+                opcode = instr.opcode
+                fn_int = _INT_BINOPS.get(opcode)
+                try:
+                    if fn_int is not None:
+                        result = fn_int(a, b, instr.type)
+                    else:
+                        result = _FLOAT_BINOPS[opcode](a, b)
+                except ZeroDivisionError:
+                    raise ArithmeticTrap(opcode, cycle) from None
+                frame.values[id(instr)] = result
+                if track_registers:
+                    regfile.write(frame, instr)
+                if value_hook is not None:
+                    value_hook(instr, result)
+                if timing is not None:
+                    timing.observe(instr)
+                continue
+
+            if cls is Load:
+                addr = fetch(frame, instr._operands[0])
+                try:
+                    result = memory.load(instr.type, addr)
+                except MemoryTrap as trap:
+                    raise MemoryTrap(trap.kind, trap.address, cycle) from None
+                frame.values[id(instr)] = result
+                if track_registers:
+                    regfile.write(frame, instr)
+                if value_hook is not None:
+                    value_hook(instr, result)
+                if timing is not None:
+                    timing.observe_load(instr, addr)
+                continue
+
+            if cls is Store:
+                ops = instr._operands
+                value = fetch(frame, ops[0])
+                addr = fetch(frame, ops[1])
+                try:
+                    memory.store(ops[0].type, addr, value)
+                except MemoryTrap as trap:
+                    raise MemoryTrap(trap.kind, trap.address, cycle) from None
+                if timing is not None:
+                    timing.observe_store(instr, addr)
+                continue
+
+            if cls is GetElementPtr:
+                ops = instr._operands
+                base = fetch(frame, ops[0])
+                index = fetch(frame, ops[1])
+                result = (base + index * instr.elem_size) & 0xFFFFFFFFFFFFFFFF
+                frame.values[id(instr)] = result
+                if track_registers:
+                    regfile.write(frame, instr)
+                if timing is not None:
+                    timing.observe(instr)
+                continue
+
+            if cls is ICmp:
+                ops = instr._operands
+                a = fetch(frame, ops[0])
+                b = fetch(frame, ops[1])
+                result = 1 if _ICMP[instr.predicate](a, b, ops[0].type) else 0
+                frame.values[id(instr)] = result
+                if track_registers:
+                    regfile.write(frame, instr)
+                if value_hook is not None:
+                    value_hook(instr, result)
+                if timing is not None:
+                    timing.observe(instr)
+                continue
+
+            if cls is CondBr:
+                cond = fetch(frame, instr._operands[0])
+                taken = bool(cond & 1)
+                target = instr.if_true if taken else instr.if_false
+                if self._pending_control_fault:
+                    target = self._corrupt_target(frame, target)
+                if timing is not None:
+                    timing.observe_branch(instr, taken)
+                self._enter_block(frame, target, track_registers, value_hook, timing)
+                # timeout/injection bookkeeping done inside _enter_block via cycles
+                if inject_cycle >= 0 and self.cycle >= inject_cycle:
+                    inject_cycle = -1
+                    self._do_injection(injection)  # type: ignore[arg-type]
+                continue
+
+            if cls is Br:
+                target = instr.target
+                if self._pending_control_fault:
+                    target = self._corrupt_target(frame, target)
+                if timing is not None:
+                    timing.observe_jump(instr)
+                self._enter_block(frame, target, track_registers, value_hook, timing)
+                if inject_cycle >= 0 and self.cycle >= inject_cycle:
+                    inject_cycle = -1
+                    self._do_injection(injection)  # type: ignore[arg-type]
+                continue
+
+            if cls is Cast:
+                result = self._eval_cast(instr, fetch(frame, instr._operands[0]))
+                frame.values[id(instr)] = result
+                if track_registers:
+                    regfile.write(frame, instr)
+                if value_hook is not None:
+                    value_hook(instr, result)
+                if timing is not None:
+                    timing.observe(instr)
+                continue
+
+            if cls is Select:
+                ops = instr._operands
+                cond = fetch(frame, ops[0])
+                result = fetch(frame, ops[1]) if (cond & 1) else fetch(frame, ops[2])
+                frame.values[id(instr)] = result
+                if track_registers:
+                    regfile.write(frame, instr)
+                if value_hook is not None:
+                    value_hook(instr, result)
+                if timing is not None:
+                    timing.observe(instr)
+                continue
+
+            if cls is FCmp:
+                ops = instr._operands
+                a = fetch(frame, ops[0])
+                b = fetch(frame, ops[1])
+                result = 1 if _FCMP[instr.predicate](a, b) else 0
+                frame.values[id(instr)] = result
+                if track_registers:
+                    regfile.write(frame, instr)
+                if value_hook is not None:
+                    value_hook(instr, result)
+                if timing is not None:
+                    timing.observe(instr)
+                continue
+
+            if cls is IntrinsicCall:
+                argv = [fetch(frame, op) for op in instr._operands]
+                result = _INTRINSICS_IMPL[instr.intrinsic](*argv)
+                frame.values[id(instr)] = result
+                if track_registers:
+                    regfile.write(frame, instr)
+                if value_hook is not None:
+                    value_hook(instr, result)
+                if timing is not None:
+                    timing.observe(instr)
+                continue
+
+            # ---- guards ----------------------------------------------------------
+            if cls is GuardEq:
+                ops = instr._operands
+                self.guard_stats.evaluations += 1
+                if fetch(frame, ops[0]) != fetch(frame, ops[1]):
+                    self.guard_stats.record_failure(instr.guard_id)
+                    if (
+                        guard_detect
+                        and self._guard_armed
+                        and instr.guard_id not in disabled_guards
+                    ):
+                        raise GuardTrap(instr.guard_id, "eq", cycle)
+                if timing is not None:
+                    timing.observe_guard(instr)
+                continue
+
+            if cls is GuardRange:
+                ops = instr._operands
+                self.guard_stats.evaluations += 1
+                v = fetch(frame, ops[0])
+                lo = ops[1].value
+                hi = ops[2].value
+                failed = not (lo <= v <= hi)
+                if isinstance(v, float) and math.isnan(v):
+                    failed = True
+                if failed:
+                    self.guard_stats.record_failure(instr.guard_id)
+                    if (
+                        guard_detect
+                        and self._guard_armed
+                        and instr.guard_id not in disabled_guards
+                    ):
+                        raise GuardTrap(instr.guard_id, "range", cycle)
+                if timing is not None:
+                    timing.observe_guard(instr)
+                continue
+
+            if cls is GuardValues:
+                ops = instr._operands
+                self.guard_stats.evaluations += 1
+                v = fetch(frame, ops[0])
+                ok = any(v == c.value for c in ops[1:])
+                if not ok:
+                    self.guard_stats.record_failure(instr.guard_id)
+                    if (
+                        guard_detect
+                        and self._guard_armed
+                        and instr.guard_id not in disabled_guards
+                    ):
+                        raise GuardTrap(instr.guard_id, "values", cycle)
+                if timing is not None:
+                    timing.observe_guard(instr)
+                continue
+
+            # ---- calls / returns --------------------------------------------------
+            if cls is Call:
+                callee = instr.callee
+                if len(frames) >= self.config.max_call_depth:
+                    raise StackOverflowTrap(cycle)
+                if timing is not None:
+                    timing.observe_call(instr)
+                new_frame = Frame(callee, instr, stack_sp)
+                for formal, op in zip(callee.args, instr._operands):
+                    new_frame.values[id(formal)] = fetch(frame, op)
+                frames.append(new_frame)
+                frame = new_frame
+                continue
+
+            if cls is Ret:
+                value = fetch(frame, instr._operands[0]) if instr._operands else None
+                frame.active = False
+                stack_sp = frame.stack_mark
+                frames.pop()
+                if not frames:
+                    return_value = value
+                    break
+                caller = frames[-1]
+                call_instr = frame.call_instr
+                if call_instr is not None and call_instr.has_result:
+                    caller.values[id(call_instr)] = value
+                    if track_registers:
+                        regfile.write(caller, call_instr)
+                    if value_hook is not None:
+                        value_hook(call_instr, value)
+                if timing is not None:
+                    timing.observe_return(call_instr)
+                frame = caller
+                continue
+
+            if cls is Alloca:
+                size = instr.size_bytes
+                aligned = (stack_sp + 7) & ~7
+                if aligned + size > stack_limit:
+                    raise StackOverflowTrap(cycle)
+                frame.values[id(instr)] = aligned
+                stack_sp = aligned + size
+                if track_registers:
+                    regfile.write(frame, instr)
+                if timing is not None:
+                    timing.observe(instr)
+                continue
+
+            raise RuntimeError(f"unhandled instruction {instr.format()}")  # pragma: no cover
+
+        return RunResult(
+            return_value=return_value,
+            instructions=self.cycle,
+            guard_stats=self.guard_stats,
+            injection=self.injection_record,
+            cycles=timing.cycles if timing is not None else None,
+        )
+
+    # -- helpers ---------------------------------------------------------------------------
+
+    def _corrupt_target(self, frame: Frame, correct: BasicBlock) -> BasicBlock:
+        """Resolve a pending control fault: jump to a random wrong block."""
+        self._pending_control_fault = False
+        record = self.injection_record
+        blocks = [b for b in frame.function.blocks if b is not correct]
+        if not blocks:
+            return correct
+        assert self._rng is not None
+        wrong = blocks[self._rng.randrange(len(blocks))]
+        self._control_fault_fired = True
+        if record is not None:
+            record.landed = True
+            record.was_live = True
+        return wrong
+
+    def _enter_block(
+        self,
+        frame: Frame,
+        target: BasicBlock,
+        track_registers: bool,
+        value_hook,
+        timing,
+    ) -> None:
+        """Transfer control to ``target``, executing its phis as parallel copies."""
+        prev = frame.block
+        frame.block = target
+        frame.prev_block = prev
+        instrs = target.instructions
+        n_phis = 0
+        staged = []
+        fetch = self._fetch
+        # Parallel-copy semantics: fetch every incoming before committing any
+        # phi result (a header phi may use a sibling phi's *old* value).
+        for instr in instrs:
+            if instr.__class__ is not Phi:
+                break
+            n_phis += 1
+            try:
+                incoming = instr.incoming_for(prev)
+            except KeyError:
+                # Only reachable after a control fault landed us on a block
+                # whose phis have no incoming for the (wrong) predecessor;
+                # hardware would read garbage — model it as the first incoming.
+                incoming = instr.operands[0]
+            staged.append((instr, fetch(frame, incoming), incoming))
+        for instr, value, incoming in staged:
+            frame.values[id(instr)] = value
+            if track_registers:
+                self._regfile.write(frame, instr)  # type: ignore[union-attr]
+            if value_hook is not None:
+                value_hook(instr, value)
+            if timing is not None:
+                timing.observe_phi(instr, incoming)
+        self.cycle += n_phis
+        frame.index = n_phis
+
+    def _fetch(self, frame: Frame, value: Value):
+        v = frame.values.get(id(value), _MISSING)
+        if v is not _MISSING:
+            return v
+        cls = value.__class__
+        if cls is Constant:
+            return value.value
+        if cls is GlobalVariable:
+            return self._global_addr[value.name]
+        if cls is UndefValue:
+            return 0
+        if self._control_fault_fired:
+            # A wrong-target jump can reach code whose inputs were never
+            # computed; the hardware would read whatever the register holds.
+            return 0 if not value.type.is_float else 0.0
+        raise RuntimeError(
+            f"value {value.short()} has no binding in frame of @{frame.function.name}"
+        )
+
+    def _eval_cast(self, instr: Cast, value):
+        opcode = instr.opcode
+        to_type = instr.type
+        if opcode == "trunc":
+            return to_type.wrap(value)
+        if opcode == "zext":
+            return to_type.wrap(value & instr._operands[0].type.mask)
+        if opcode == "sext":
+            return to_type.wrap(value)
+        if opcode == "sitofp":
+            result = float(value)
+            if to_type is F32:
+                result = _F32_STRUCT.unpack(_F32_STRUCT.pack(result))[0]
+            return result
+        if opcode == "fptosi":
+            if math.isnan(value):
+                return 0
+            if value >= to_type.max_signed:
+                return to_type.max_signed
+            if value <= to_type.min_signed:
+                return to_type.min_signed
+            return int(value)
+        if opcode == "fpext":
+            return float(value)
+        if opcode == "fptrunc":
+            try:
+                return _F32_STRUCT.unpack(_F32_STRUCT.pack(value))[0]
+            except (OverflowError, ValueError):
+                return math.inf if value > 0 else -math.inf
+        if opcode == "ptrtoint":
+            return to_type.wrap(value)
+        if opcode == "inttoptr":
+            return value & 0xFFFFFFFFFFFFFFFF
+        if opcode == "bitcast":
+            return value
+        raise RuntimeError(f"unhandled cast {opcode}")  # pragma: no cover

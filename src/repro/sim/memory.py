@@ -1,0 +1,155 @@
+"""Segmented, bounds-checked memory for the simulator.
+
+Every global array and every stack frame lives in its own segment, separated
+by unmapped guard gaps.  Any access outside a mapped segment raises a
+:class:`~repro.sim.events.MemoryTrap` — the analogue of the page faults the
+paper uses as hardware symptoms for soft-error detection.
+
+Layout: segment ``i`` occupies addresses ``[(i+1) << SEGMENT_SHIFT, ... )``.
+Address 0 is never mapped, so null-pointer dereferences always trap.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List, Optional, Tuple
+
+from ..ir.types import F32, F64, FloatType, IntType, IRType, PointerType
+from .events import MemoryTrap
+
+#: log2 of the per-segment address stride (1 MiB).
+SEGMENT_SHIFT = 20
+SEGMENT_STRIDE = 1 << SEGMENT_SHIFT
+
+_F32_STRUCT = struct.Struct("<f")
+_F64_STRUCT = struct.Struct("<d")
+
+
+class Segment:
+    """One contiguous mapped region."""
+
+    __slots__ = ("name", "base", "size", "data")
+
+    def __init__(self, name: str, base: int, size: int) -> None:
+        self.name = name
+        self.base = base
+        self.size = size
+        self.data = bytearray(size)
+
+    def __repr__(self) -> str:
+        return f"<Segment {self.name} @{self.base:#x} +{self.size}>"
+
+
+class Memory:
+    """The simulated address space.
+
+    The interpreter timestamps accesses; this class knows nothing about
+    cycles — it raises traps with ``cycle=-1`` and the interpreter re-raises
+    with the current cycle filled in.
+    """
+
+    def __init__(self) -> None:
+        self._segments: Dict[int, Segment] = {}
+        self._next_index = 1
+
+    # -- mapping -----------------------------------------------------------------
+
+    def map_segment(self, name: str, size: int) -> Segment:
+        """Allocate a fresh segment of at least ``size`` bytes."""
+        if size <= 0:
+            raise ValueError("segment size must be positive")
+        index = self._next_index
+        span = (size + SEGMENT_STRIDE - 1) >> SEGMENT_SHIFT
+        self._next_index += span
+        seg = Segment(name, index << SEGMENT_SHIFT, size)
+        for i in range(index, index + span):
+            self._segments[i] = seg
+        return seg
+
+    def unmap_segment(self, seg: Segment) -> None:
+        span = (seg.size + SEGMENT_STRIDE - 1) >> SEGMENT_SHIFT
+        start = seg.base >> SEGMENT_SHIFT
+        for i in range(start, start + span):
+            self._segments.pop(i, None)
+
+    def segment_at(self, address: int) -> Optional[Segment]:
+        seg = self._segments.get(address >> SEGMENT_SHIFT)
+        if seg is None:
+            return None
+        if address < seg.base or address >= seg.base + seg.size:
+            return None
+        return seg
+
+    # -- typed access ----------------------------------------------------------------
+
+    def _locate(self, address: int, size: int) -> Tuple[Segment, int]:
+        if address <= 0:
+            raise MemoryTrap("null", address, -1)
+        seg = self._segments.get(address >> SEGMENT_SHIFT)
+        if seg is None:
+            raise MemoryTrap("unmapped", address, -1)
+        offset = address - seg.base
+        if offset < 0 or offset + size > seg.size:
+            raise MemoryTrap("out-of-bounds", address, -1)
+        return seg, offset
+
+    def load(self, type_: IRType, address: int):
+        """Read one value of ``type_`` (little-endian) at ``address``."""
+        if isinstance(type_, IntType):
+            size = type_.size_bytes
+            seg, off = self._locate(address, size)
+            raw = int.from_bytes(seg.data[off : off + size], "little")
+            return type_.wrap(raw)
+        if isinstance(type_, FloatType):
+            size = type_.size_bytes
+            seg, off = self._locate(address, size)
+            st = _F64_STRUCT if type_ is F64 else _F32_STRUCT
+            return st.unpack_from(seg.data, off)[0]
+        if isinstance(type_, PointerType):
+            seg, off = self._locate(address, 8)
+            return int.from_bytes(seg.data[off : off + 8], "little")
+        raise TypeError(f"cannot load value of type {type_}")
+
+    def store(self, type_: IRType, address: int, value) -> None:
+        """Write one value of ``type_`` (little-endian) at ``address``."""
+        if isinstance(type_, IntType):
+            size = type_.size_bytes
+            seg, off = self._locate(address, size)
+            seg.data[off : off + size] = (value & type_.mask).to_bytes(size, "little")
+            return
+        if isinstance(type_, FloatType):
+            size = type_.size_bytes
+            seg, off = self._locate(address, size)
+            st = _F64_STRUCT if type_ is F64 else _F32_STRUCT
+            try:
+                st.pack_into(seg.data, off, value)
+            except (OverflowError, ValueError):
+                # f32 overflow from a corrupted f64 value saturates to +-inf,
+                # as a hardware down-conversion would.
+                st.pack_into(seg.data, off, float("inf") if value > 0 else float("-inf"))
+            return
+        if isinstance(type_, PointerType):
+            seg, off = self._locate(address, 8)
+            seg.data[off : off + 8] = (value & ((1 << 64) - 1)).to_bytes(8, "little")
+            return
+        raise TypeError(f"cannot store value of type {type_}")
+
+    # -- bulk access (harness I/O) -----------------------------------------------------
+
+    def write_array(self, seg: Segment, elem_type: IRType, values) -> None:
+        """Fill a segment with ``values`` starting at its base."""
+        addr = seg.base
+        step = elem_type.size_bytes  # type: ignore[attr-defined]
+        for v in values:
+            self.store(elem_type, addr, v)
+            addr += step
+
+    def read_array(self, seg: Segment, elem_type: IRType, count: int) -> List:
+        """Read ``count`` elements from the start of a segment."""
+        addr = seg.base
+        step = elem_type.size_bytes  # type: ignore[attr-defined]
+        out = []
+        for _ in range(count):
+            out.append(self.load(elem_type, addr))
+            addr += step
+        return out

@@ -1,0 +1,90 @@
+"""Physical-register-file model for fault injection.
+
+The paper injects single bit flips "randomized in both time and space" into
+the register file of the simulated core.  Here every value-producing IR
+instruction, when it retires, writes its result into the next slot of a
+circular physical register file (:data:`SimConfig.phys_int_registers` entries,
+256 by default).  An injection picks a random occupied slot:
+
+* If the slot's value is still live in its frame, the flip corrupts the value
+  the program will read — an architecturally visible fault.
+* If the value is dead (overwritten in the frame, or the frame has returned),
+  the flip lands in a stale register and is naturally masked — reproducing the
+  large masked fraction the paper observes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+
+class RegisterSlot:
+    """One physical register: which frame/value it holds and a freshness tag."""
+
+    __slots__ = ("frame", "value_key", "value_obj", "tag")
+
+    def __init__(self) -> None:
+        self.frame = None
+        self.value_key: Optional[int] = None
+        self.value_obj = None
+        self.tag = -1
+
+    @property
+    def occupied(self) -> bool:
+        return self.frame is not None
+
+
+class RegisterFile:
+    """Circular allocation of physical registers to retired results."""
+
+    def __init__(self, num_registers: int) -> None:
+        if num_registers <= 0:
+            raise ValueError("register file must have at least one register")
+        self.slots: List[RegisterSlot] = [RegisterSlot() for _ in range(num_registers)]
+        self._cursor = 0
+        self._writes = 0
+
+    def write(self, frame, value_obj) -> None:
+        """Record that ``value_obj``'s result (in ``frame``) now occupies a register."""
+        slot = self.slots[self._cursor]
+        slot.frame = frame
+        slot.value_key = id(value_obj)
+        slot.value_obj = value_obj
+        slot.tag = self._writes
+        self._writes += 1
+        self._cursor += 1
+        if self._cursor == len(self.slots):
+            self._cursor = 0
+
+    def occupied_slots(self) -> List[RegisterSlot]:
+        return [s for s in self.slots if s.occupied]
+
+    def pick_random(self, rng, recent_window: int = 0) -> Optional[RegisterSlot]:
+        """Random occupied slot (None when nothing has retired yet).
+
+        With ``recent_window > 0`` the choice is restricted to the most
+        recently written ``recent_window`` registers — the architecturally
+        *mapped* portion of the physical register file, where a flip is
+        likely to hit a live value.  A uniform choice over all 256 physical
+        registers mostly hits stale (unmapped) registers, which are masked by
+        construction; real register-file injection studies (Wang et al.,
+        cited by the paper) report much higher architectural visibility.
+        """
+        occupied = self.occupied_slots()
+        if not occupied:
+            return None
+        if recent_window > 0:
+            cutoff = self._writes - recent_window
+            recent = [s for s in occupied if s.tag >= cutoff]
+            if recent:
+                occupied = recent
+        return occupied[rng.randrange(len(occupied))]
+
+    def reset(self) -> None:
+        for slot in self.slots:
+            slot.frame = None
+            slot.value_key = None
+            slot.value_obj = None
+            slot.tag = -1
+        self._cursor = 0
+        self._writes = 0

@@ -1,0 +1,222 @@
+"""Approximate out-of-order timing model.
+
+Consumes the retired instruction stream from the interpreter and estimates
+execution cycles for the Table II core: dependence-limited issue with a finite
+issue width, a finite reorder buffer, per-opcode latencies, an L1-D cache, and
+a branch predictor.
+
+The model is a dataflow lower bound with structural constraints — the standard
+"ideal fetch, finite width/ROB" approximation:
+
+* each retired instruction issues no earlier than its operands are ready;
+* no more than ``issue_width`` instructions issue per cycle (tracked as a
+  monotonic front);
+* an instruction cannot issue before the instruction ``rob_entries`` older
+  than it has completed (ROB occupancy);
+* loads add the miss penalty on an L1-D miss;
+* mispredicted conditional branches stall the issue front by the mispredict
+  penalty (flush + refill).
+
+Relative runtimes between an original binary and its protected variants are
+what the paper's Figure 12 reports, and those are preserved: shadow chains add
+issue-bandwidth pressure (mostly hidden by the OoO window), while checks add
+compare+branch work on the critical path.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from ..ir.instructions import (
+    BinaryOp,
+    Call,
+    Cast,
+    CondBr,
+    FCmp,
+    GuardEq,
+    GuardRange,
+    GuardValues,
+    Instruction,
+    IntrinsicCall,
+    Load,
+    Store,
+)
+from .cache import BranchPredictor, SetAssociativeCache
+from .config import SimConfig
+
+
+class TimingModel:
+    """Online cycle estimator attached to an interpreter run."""
+
+    def __init__(self, config: Optional[SimConfig] = None) -> None:
+        self.config = config or SimConfig()
+        self.dcache = SetAssociativeCache(self.config.l1d)
+        self.branch_predictor = BranchPredictor()
+        self._latencies = self.config.latencies
+        self._slot_costs = self.config.slot_costs
+        self.reset()
+
+    def reset(self) -> None:
+        #: completion time (cycles, float) per live SSA value id
+        self._ready: dict = {}
+        #: total issue-slot units consumed (the bandwidth floor is slots/width)
+        self._slots = 0.0
+        #: no micro-op may issue before this time (mispredict flush point)
+        self._serial_gate = 0.0
+        #: completion times of the last `rob_entries` instructions
+        self._rob: deque = deque()
+        #: issue times of the last `issue_queue` micro-ops (scheduler window)
+        self._iq: deque = deque()
+        self._last_completion = 0.0
+        self.retired = 0
+        self.dcache.reset()
+        self.branch_predictor.reset()
+
+    # -- core issue mechanics ---------------------------------------------------
+
+    def _issue(self, earliest: float, slots: int, latency: float) -> float:
+        """Issue a micro-op no earlier than ``earliest``; returns completion time.
+
+        The issue time is the max of four constraints:
+
+        * operand readiness (``earliest``),
+        * the aggregate bandwidth floor (total slots so far / issue width) —
+          out-of-order back-filling of stall gaps is allowed, but total
+          throughput never exceeds the width,
+        * the scheduler window (cannot issue before the micro-op
+          ``issue_queue`` older issued) and the ROB (cannot issue before the
+          micro-op ``rob_entries`` older completed),
+        * the serial gate left behind by the last mispredict flush.
+        """
+        cfg = self.config
+        if len(self._rob) >= cfg.rob_entries:
+            oldest_done = self._rob.popleft()
+            if oldest_done > earliest:
+                earliest = oldest_done
+        if len(self._iq) >= cfg.issue_queue:
+            window_gate = self._iq.popleft()
+            if window_gate > earliest:
+                earliest = window_gate
+        if self._serial_gate > earliest:
+            earliest = self._serial_gate
+
+        width_floor = self._slots / cfg.issue_width
+        issue_at = earliest if earliest > width_floor else width_floor
+        self._slots += slots
+
+        done = issue_at + latency
+        self._iq.append(issue_at)
+        self._rob.append(done)
+        if done > self._last_completion:
+            self._last_completion = done
+        self.retired += 1
+        return done
+
+    def _operands_ready(self, instr: Instruction) -> float:
+        ready = 0.0
+        get = self._ready.get
+        for op in instr.operands:
+            t = get(id(op))
+            if t is not None and t > ready:
+                ready = t
+        return ready
+
+    # -- public observation API (called by the interpreter) -----------------------
+
+    def observe(self, instr: Instruction) -> None:
+        """Plain ALU/cast/compare/phi/etc. retirement."""
+        latency = self._latencies.get(instr.opcode, 1)
+        slots = 1
+        if isinstance(instr, IntrinsicCall):
+            latency = self._latencies.get(instr.intrinsic, 10)
+            slots = self._slot_costs.get("intrinsic", 4)
+        done = self._issue(self._operands_ready(instr), slots, latency)
+        if instr.has_result:
+            self._ready[id(instr)] = done
+
+    def observe_load(self, instr: Load, address: int) -> None:
+        latency = self._latencies.get("load", 2)
+        if not self.dcache.access(address):
+            latency += self.config.miss_penalty
+        slots = self._slot_costs.get("load", 2)
+        done = self._issue(self._operands_ready(instr), slots, latency)
+        self._ready[id(instr)] = done
+
+    def observe_store(self, instr: Store, address: int) -> None:
+        # Stores retire through the store buffer; a miss is buffered and does
+        # not stall retirement, but it still occupies the cache.
+        self.dcache.access(address)
+        self._issue(self._operands_ready(instr), self._slot_costs.get("store", 2), 1)
+
+    def observe_branch(self, instr: CondBr, taken: bool) -> None:
+        ready = self._operands_ready(instr)
+        done = self._issue(ready, 1, 1)
+        if not self.branch_predictor.predict_and_update(id(instr), taken):
+            # Flush: nothing issues until the branch resolves + refill delay,
+            # and the bandwidth of those dead cycles is destroyed.
+            stall_until = done + self.config.mispredict_penalty
+            if stall_until > self._serial_gate:
+                self._serial_gate = stall_until
+            floor_slots = stall_until * self.config.issue_width
+            if floor_slots > self._slots:
+                self._slots = floor_slots
+        elif taken:
+            self._end_fetch_group()
+
+    def observe_jump(self, instr) -> None:
+        """Unconditional branch: 1 slot, and it ends the fetch group."""
+        self._issue(self._operands_ready(instr), 1, 1)
+        self._end_fetch_group()
+
+    def _end_fetch_group(self) -> None:
+        """A taken branch ends the fetch group on a narrow front end: the
+        rest of the current fetch cycle's slots are wasted.  This keeps tight
+        loops throughput-bound, so duplicated work cannot hide entirely in
+        front-end slack."""
+        width = self.config.issue_width
+        import math as _math
+
+        self._slots = _math.ceil(self._slots / width) * width
+
+    def observe_guard(self, instr) -> None:
+        if isinstance(instr, GuardEq):
+            slots = self._slot_costs.get("guard_eq", 2)
+        elif isinstance(instr, GuardRange):
+            slots = self._slot_costs.get("guard_range", 4)
+        elif isinstance(instr, GuardValues):
+            key = "guard_values_1" if len(instr.expected) == 1 else "guard_values_2"
+            slots = self._slot_costs.get(key, 2)
+        else:  # pragma: no cover - only guards reach here
+            slots = 2
+        # Guards are compare+branch sequences: the branches are
+        # highly predictable (they fail essentially never), so latency is 1
+        # but they consume issue bandwidth.
+        self._issue(self._operands_ready(instr), slots, 1)
+
+    def observe_call(self, instr: Call) -> None:
+        self._issue(self._operands_ready(instr), self._slot_costs.get("call", 2), 2)
+
+    def observe_return(self, call_instr: Optional[Call], ret_value_ready: float = 0.0) -> None:
+        if call_instr is not None and call_instr.has_result:
+            current = self._ready.get(id(call_instr), 0.0)
+            self._ready[id(call_instr)] = max(current, ret_value_ready, self._front)
+
+    def value_ready_time(self, value) -> float:
+        return self._ready.get(id(value), 0.0)
+
+    def observe_phi(self, phi: Instruction, chosen_value) -> None:
+        """Phis are resolved at register rename: zero issue cost, and the phi
+        result becomes ready when the *selected* incoming value is."""
+        self._ready[id(phi)] = self._ready.get(id(chosen_value), 0.0)
+
+    # -- results ----------------------------------------------------------------------
+
+    @property
+    def cycles(self) -> float:
+        """Total estimated cycles for everything observed so far."""
+        return max(
+            self._slots / self.config.issue_width,
+            self._last_completion,
+            self._serial_gate,
+        )

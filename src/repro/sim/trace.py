@@ -1,0 +1,99 @@
+"""Execution tracing: a value-history log for debugging kernels and faults.
+
+A :class:`Tracer` attaches to the interpreter's value hook and records the
+last N (cycle, function, value name, value) events — enough to answer "what
+did the corrupted value do next" when diagnosing an injection outcome, and to
+diff a faulty trace against a golden one to find the divergence point.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Iterable, List, Optional, Tuple
+
+from ..ir.instructions import Instruction
+from ..ir.module import Module
+from .config import SimConfig
+from .events import SimTrap
+from .interpreter import Interpreter
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One retired value: (dynamic index, defining instruction name, value)."""
+
+    index: int
+    function: str
+    name: str
+    value: object
+
+    def __str__(self) -> str:
+        return f"[{self.index:>8}] @{self.function} %{self.name} = {self.value!r}"
+
+
+class Tracer:
+    """Bounded value-event recorder; pass :attr:`hook` as the value hook."""
+
+    def __init__(self, limit: int = 100_000) -> None:
+        if limit <= 0:
+            raise ValueError("trace limit must be positive")
+        self.limit = limit
+        self.events: Deque[TraceEvent] = deque(maxlen=limit)
+        self._index = 0
+
+    def hook(self, instr: Instruction, value) -> None:
+        fn = instr.function
+        self.events.append(
+            TraceEvent(self._index, fn.name if fn else "?", instr.name, value)
+        )
+        self._index += 1
+
+    # -- queries ---------------------------------------------------------------
+
+    def history_of(self, name: str) -> List[TraceEvent]:
+        """All recorded events for one value name (e.g. a state variable)."""
+        return [e for e in self.events if e.name == name]
+
+    def tail(self, count: int = 20) -> List[TraceEvent]:
+        return list(self.events)[-count:]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+def trace_run(
+    module: Module,
+    inputs=None,
+    entry: str = "main",
+    injection=None,
+    limit: int = 100_000,
+    config: Optional[SimConfig] = None,
+    max_instructions: int = 50_000_000,
+) -> Tuple[Tracer, Optional[SimTrap]]:
+    """Run with tracing; returns (tracer, trap-or-None)."""
+    tracer = Tracer(limit)
+    interp = Interpreter(
+        module, config=config, guard_mode="count", value_hook=tracer.hook
+    )
+    trap: Optional[SimTrap] = None
+    try:
+        interp.run(entry=entry, inputs=inputs, injection=injection,
+                   max_instructions=max_instructions)
+    except SimTrap as caught:
+        trap = caught
+    return tracer, trap
+
+
+def first_divergence(
+    golden: Iterable[TraceEvent], faulty: Iterable[TraceEvent]
+) -> Optional[Tuple[TraceEvent, TraceEvent]]:
+    """First (golden, faulty) event pair whose value differs.
+
+    Both traces must come from the same binary and input (so indices align);
+    returns None when the recorded windows are value-identical.
+    """
+    for g, f in zip(golden, faulty):
+        if g.name != f.name or g.value != f.value:
+            return g, f
+    return None

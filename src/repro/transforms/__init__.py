@@ -1,0 +1,31 @@
+"""Protection transforms: state-variable duplication, expected-value checks,
+the full-duplication baseline, and scheme pipelines."""
+
+from .cfcss import CfcssPass, CfcssResult, protect_control_flow
+from .checkconfig import ProtectionConfig
+from .duplication import (
+    DuplicationPass,
+    DuplicationResult,
+    clone_instruction,
+    duplicate_state_variables,
+)
+from .fulldup import FullDuplicationPass, FullDuplicationResult, full_duplication
+from .pipeline import SCHEMES, SchemeStats, apply_scheme
+from .valuechecks import (
+    CheckPlan,
+    apply_optimization1,
+    compute_check_plans,
+    insert_checks,
+    plan_check,
+)
+
+__all__ = [
+    "ProtectionConfig",
+    "CfcssPass", "CfcssResult", "protect_control_flow",
+    "DuplicationPass", "DuplicationResult", "clone_instruction",
+    "duplicate_state_variables",
+    "FullDuplicationPass", "FullDuplicationResult", "full_duplication",
+    "SCHEMES", "SchemeStats", "apply_scheme",
+    "CheckPlan", "apply_optimization1", "compute_check_plans",
+    "insert_checks", "plan_check",
+]

@@ -1,0 +1,73 @@
+"""Configuration of the protection transforms.
+
+Every heuristic knob of the paper's compiler passes lives here so the
+ablation benchmarks can sweep them: histogram size (B=5 in the paper), the
+range threshold R_thr, the coverage needed before a check is considered
+worthwhile, the range padding that trades detection tightness against false
+positives, and the two duplication/check-interaction optimizations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class ProtectionConfig:
+    """Knobs for the duplication + value-check pipeline."""
+
+    # -- value profiling (Algorithm 1) -------------------------------------------
+    histogram_bins: int = 5
+    top_value_capacity: int = 8
+    #: minimum dynamic samples before an instruction's profile is trusted
+    min_profile_samples: int = 32
+    #: allow expected-value checks on load results (off: checks only cover
+    #: computed values, as in the paper's Figure 6 examples)
+    check_loads: bool = False
+    #: allow checks on values that only ever feed address arithmetic (off:
+    #: address faults are covered by memory symptoms instead)
+    check_address_values: bool = False
+
+    # -- check amenability (Figure 6) ---------------------------------------------
+    #: fraction of profiled samples a check form must cover to be inserted
+    coverage_threshold: float = 0.995
+    #: single/two-value checks additionally require *every* profiled sample to
+    #: match (frequent-value checks must be true invariants) ...
+    exact_value_coverage: float = 1.0
+    #: ... and at least this many samples (a value seen a handful of times is
+    #: not evidence of an invariant)
+    min_value_check_samples: int = 64
+    #: R_thr for Algorithm 2, as a multiple of the observed value span
+    range_threshold_factor: float = 1.0
+    #: widest acceptable range check for integer values (absolute width)
+    int_range_limit: float = float(1 << 24)
+    #: widest acceptable range check for float values (absolute width)
+    float_range_limit: float = 1e12
+    #: ranges are padded by this fraction of their width on each side — the
+    #: checks exist to catch *large* deviations (Figure 2), so generous slack
+    #: trades a little coverage for a low false-positive rate on unseen inputs
+    range_pad_factor: float = 1.0
+    #: minimum absolute padding (so point-like ranges still get slack)
+    range_pad_min: float = 8.0
+    #: extra padding proportional to the bound magnitude — absorbs the
+    #: input-dependent shift of profiled values between train and test inputs
+    magnitude_slack: float = 0.5
+
+    # -- optimizations (Section III-C) ----------------------------------------------
+    #: Opt 1: only check the deepest amenable instruction of a producer chain
+    optimization1: bool = True
+    #: Opt 2: terminate duplication chains at amenable instructions
+    optimization2: bool = True
+
+    # -- duplication ------------------------------------------------------------------
+    #: also duplicate the (once-executed) producer chains of state-variable
+    #: init values, not just the in-loop update chains
+    duplicate_init_chains: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.coverage_threshold <= 1.0:
+            raise ValueError("coverage_threshold must be in (0, 1]")
+        if self.histogram_bins < 2:
+            raise ValueError("histogram_bins must be >= 2")
+        if self.range_pad_factor < 0:
+            raise ValueError("range_pad_factor must be non-negative")

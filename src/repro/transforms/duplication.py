@@ -1,0 +1,254 @@
+"""State-variable producer-chain duplication (paper Sections III-B, III-C).
+
+For every state variable (loop-header phi carrying state across iterations) a
+*shadow phi* is created, and for every incoming value of the original phi the
+producer chain of that value is cloned into a shadow chain (Fig. 7).  A
+:class:`~repro.ir.instructions.GuardEq` comparing the original and shadow
+incoming values is inserted in each incoming block, right before its
+terminator — so a divergence is detected before the corrupted value commits to
+the next loop iteration.
+
+Chain policy (paper Fig. 7/9):
+
+* loads terminate the chain — their value feeds both chains and address
+  faults surface as memory symptoms instead;
+* calls, phis (other than the protected state phis), and allocas likewise
+  terminate;
+* with Optimization 2 enabled and value-check plans available, a
+  check-amenable instruction also terminates the chain, and its plan is marked
+  ``forced`` so Optimization 1 cannot drop it (Fig. 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..analysis.loops import LoopInfo
+from ..analysis.statevars import StateVariable, find_state_variables
+from ..analysis.usedef import producer_chain
+from ..ir.basicblock import BasicBlock
+from ..ir.function import Function
+from ..ir.instructions import (
+    BinaryOp,
+    Cast,
+    FCmp,
+    GetElementPtr,
+    GuardEq,
+    ICmp,
+    Instruction,
+    IntrinsicCall,
+    Phi,
+    Select,
+)
+from ..ir.module import Module
+from ..ir.values import Value
+from .checkconfig import ProtectionConfig
+from .valuechecks import CheckPlan
+
+
+def clone_instruction(instr: Instruction, operand_map: Dict[int, Value]) -> Instruction:
+    """Structural clone of a pure instruction with operands remapped.
+
+    Only chain-duplicable instruction classes are supported (loads, stores,
+    calls, and control flow never enter a shadow chain).
+    """
+
+    def m(op: Value) -> Value:
+        return operand_map.get(id(op), op)
+
+    if isinstance(instr, Phi):
+        clone: Instruction = Phi(instr.type)
+        for value, block in instr.incomings:
+            clone.add_incoming(m(value), block)  # type: ignore[attr-defined]
+    elif isinstance(instr, BinaryOp):
+        clone = BinaryOp(instr.opcode, m(instr.lhs), m(instr.rhs))
+    elif isinstance(instr, ICmp):
+        clone = ICmp(instr.predicate, m(instr.operands[0]), m(instr.operands[1]))
+    elif isinstance(instr, FCmp):
+        clone = FCmp(instr.predicate, m(instr.operands[0]), m(instr.operands[1]))
+    elif isinstance(instr, Select):
+        ops = instr.operands
+        clone = Select(m(ops[0]), m(ops[1]), m(ops[2]))
+    elif isinstance(instr, Cast):
+        clone = Cast(instr.opcode, m(instr.value), instr.type)
+    elif isinstance(instr, GetElementPtr):
+        clone = GetElementPtr(m(instr.base), m(instr.index), instr.elem_type)
+    elif isinstance(instr, IntrinsicCall):
+        clone = IntrinsicCall(instr.intrinsic, [m(op) for op in instr.operands])
+    else:
+        raise TypeError(f"cannot clone {type(instr).__name__} into a shadow chain")
+    clone.is_shadow = True
+    clone.shadow_of = instr
+    return clone
+
+
+@dataclass
+class DuplicationResult:
+    """What the duplication pass did to a module."""
+
+    state_variables: List[StateVariable] = field(default_factory=list)
+    num_shadow_instructions: int = 0
+    num_guards: int = 0
+    #: ids of amenable instructions that terminated a shadow chain (Opt 2);
+    #: their check plans must be kept by Optimization 1
+    forced_check_ids: Set[int] = field(default_factory=set)
+    next_guard_id: int = 0
+
+
+class DuplicationPass:
+    """Applies state-variable duplication to a module in place."""
+
+    def __init__(
+        self,
+        config: Optional[ProtectionConfig] = None,
+        check_plans: Optional[Dict[int, CheckPlan]] = None,
+        next_guard_id: int = 0,
+    ) -> None:
+        self.config = config or ProtectionConfig()
+        #: value-check plans (for Opt 2); None disables chain termination at
+        #: amenable instructions even when optimization2 is set
+        self.check_plans = check_plans
+        self.next_guard_id = next_guard_id
+        self._header_blocks: Set[int] = set()
+
+    def run(self, module: Module) -> DuplicationResult:
+        result = DuplicationResult(next_guard_id=self.next_guard_id)
+        for fn in module.functions.values():
+            self._run_on_function(fn, result)
+        result.next_guard_id = self.next_guard_id
+        return result
+
+    # ------------------------------------------------------------------------------
+
+    def _run_on_function(self, fn: Function, result: DuplicationResult) -> None:
+        loop_info = LoopInfo.compute(fn)
+        state_vars = find_state_variables(fn, loop_info)
+        if not state_vars:
+            return
+        result.state_variables.extend(state_vars)
+        # Loop-header phis terminate chains (they are the recurrences being
+        # shadowed); merge phis inside loop bodies are duplicated through.
+        self._header_blocks = {id(l.header) for l in loop_info.loops}
+
+        # Shadow map shared across all state variables of the function so
+        # overlapping chains are cloned once.
+        shadow_map: Dict[int, Value] = {}
+
+        # 1. Create all shadow phis first: chains of one state variable may
+        #    reference another state variable's phi.
+        shadow_phis: List[Tuple[StateVariable, Phi]] = []
+        for sv in state_vars:
+            phi = sv.phi
+            shadow = Phi(phi.type)
+            shadow.is_shadow = True
+            shadow.shadow_of = phi
+            block = phi.parent
+            assert block is not None
+            block.insert(block.first_non_phi_index(), shadow)
+            shadow_map[id(phi)] = shadow
+            shadow_phis.append((sv, shadow))
+            result.num_shadow_instructions += 1
+
+        stop_at = self._make_stop_predicate(result)
+
+        # 2. Clone incoming chains and wire shadow phis + guards.
+        guarded_edges: Set[Tuple[int, int]] = set()
+        for sv, shadow_phi in shadow_phis:
+            phi = sv.phi
+            for value, pred in phi.incomings:
+                in_loop = sv.loop.contains(pred)
+                if in_loop or self.config.duplicate_init_chains:
+                    shadow_value = self._clone_chain(
+                        value, shadow_map, stop_at, result
+                    )
+                else:
+                    shadow_value = value
+                shadow_phi.add_incoming(shadow_value, pred)
+                if shadow_value is not value:
+                    edge_key = (id(value), id(pred))
+                    if edge_key not in guarded_edges:
+                        guarded_edges.add(edge_key)
+                        self._insert_guard(pred, value, shadow_value, result)
+
+    def _make_stop_predicate(self, result: DuplicationResult):
+        if not self.config.optimization2 or self.check_plans is None:
+            return None
+        plans = self.check_plans
+
+        def stop(instr: Instruction) -> bool:
+            return id(instr) in plans
+
+        return stop
+
+    def _clone_chain(
+        self,
+        root: Value,
+        shadow_map: Dict[int, Value],
+        stop_at,
+        result: DuplicationResult,
+    ) -> Value:
+        """Clone the producer chain of ``root``; returns root's shadow (or the
+        original value when nothing was duplicable)."""
+        if id(root) in shadow_map:
+            return shadow_map[id(root)]
+
+        # The chain root itself is always duplicated when duplicable — Opt 2
+        # only terminates *deeper* in the chain (a check on the root would
+        # leave the recurrence itself unprotected).
+        effective_stop = None
+        if stop_at is not None:
+            effective_stop = lambda i: i is not root and stop_at(i)
+
+        chain = producer_chain(
+            root, stop_at=effective_stop, header_blocks=self._header_blocks
+        )
+        chain_ids = {id(c) for c in chain}
+
+        # Record Opt-2 termination points: chain operands that are amenable
+        # instructions outside the chain.
+        if self.check_plans is not None:
+            for c in chain:
+                for op in c.operands:
+                    if (
+                        isinstance(op, Instruction)
+                        and id(op) not in chain_ids
+                        and id(op) in self.check_plans
+                    ):
+                        self.check_plans[id(op)].forced = True
+                        result.forced_check_ids.add(id(op))
+
+        for instr in chain:
+            if id(instr) in shadow_map:
+                continue
+            clone = clone_instruction(instr, shadow_map)
+            block = instr.parent
+            assert block is not None
+            if isinstance(clone, Phi):
+                block.insert(block.first_non_phi_index(), clone)
+            else:
+                block.insert_after(instr, clone)
+            shadow_map[id(instr)] = clone
+            result.num_shadow_instructions += 1
+
+        return shadow_map.get(id(root), root)
+
+    def _insert_guard(
+        self, block: BasicBlock, original: Value, shadow: Value, result: DuplicationResult
+    ) -> None:
+        guard = GuardEq(original, shadow, self.next_guard_id)
+        self.next_guard_id += 1
+        term = block.terminator
+        assert term is not None, f"block %{block.name} lacks a terminator"
+        block.insert_before(term, guard)
+        result.num_guards += 1
+
+
+def duplicate_state_variables(
+    module: Module,
+    config: Optional[ProtectionConfig] = None,
+    check_plans: Optional[Dict[int, CheckPlan]] = None,
+    next_guard_id: int = 0,
+) -> DuplicationResult:
+    """Convenience wrapper: run the duplication pass over ``module``."""
+    return DuplicationPass(config, check_plans, next_guard_id).run(module)

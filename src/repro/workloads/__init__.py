@@ -1,0 +1,20 @@
+"""The 13 soft-computing benchmarks of paper Table I, written in SCL, plus
+synthetic input generators and the workload registry."""
+
+from .base import Workload
+from .registry import BENCHMARK_NAMES, all_workloads, get_workload, table1_rows
+from .signals import (
+    gaussian_clusters,
+    synthetic_audio,
+    synthetic_image,
+    synthetic_rgb_image,
+    synthetic_video,
+    two_class_data,
+)
+
+__all__ = [
+    "Workload",
+    "BENCHMARK_NAMES", "all_workloads", "get_workload", "table1_rows",
+    "gaussian_clusters", "synthetic_audio", "synthetic_image",
+    "synthetic_rgb_image", "synthetic_video", "two_class_data",
+]

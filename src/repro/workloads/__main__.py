@@ -1,0 +1,99 @@
+"""Workload CLI: run any Table I benchmark under any protection scheme.
+
+Usage::
+
+    python -m repro.workloads list
+    python -m repro.workloads run jpegdec --scheme dup_valchk
+    python -m repro.workloads run kmeans --scheme dup --inject 5000 --bit 12
+    python -m repro.workloads ir g721enc --scheme dup          # dump the IR
+
+``run`` executes the golden run (reporting instructions, estimated cycles,
+check statistics) and optionally one fault injection with outcome
+classification.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..faultinjection.campaign import CampaignConfig, prepare, run_trial
+from ..ir import module_to_str
+from ..sim.interpreter import Interpreter
+from ..sim.timing import TimingModel
+from .registry import BENCHMARK_NAMES, get_workload, table1_rows
+
+
+def _cmd_list(_args) -> int:
+    for row in table1_rows():
+        print(f"{row['benchmark']:26s} {row['description']:44s} {row['fidelity']}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    config = CampaignConfig(trials=1, seed=args.seed)
+    prepared = prepare(get_workload(args.name), args.scheme, config)
+    stats = prepared.scheme_stats
+
+    timing = TimingModel(config.sim)
+    interp = Interpreter(prepared.module, config=config.sim,
+                         guard_mode="count", timing=timing)
+    prepared.workload.run(prepared.module, prepared.inputs, interpreter=interp)
+
+    print(f"{args.name} [{args.scheme}]")
+    print(f"  static IR instructions : {stats.instructions_after} "
+          f"(was {stats.instructions_before})")
+    print(f"  state variables        : {stats.num_state_variables}")
+    print(f"  duplicated instructions: {stats.num_duplicated}")
+    print(f"  value checks           : {stats.num_value_checks} {stats.checks_by_kind}")
+    print(f"  golden instructions    : {prepared.golden_instructions}")
+    print(f"  estimated cycles       : {timing.cycles:.0f}")
+    print(f"  check evaluations      : {prepared.golden_guard_evaluations} "
+          f"({prepared.golden_guard_failures} false positives)")
+
+    if args.inject is not None:
+        trial = run_trial(prepared, args.inject, args.bit, args.seed, config)
+        print(f"  injection @ cycle {args.inject}, bit {args.bit}: "
+              f"{trial.outcome.value}"
+              + (f" (fidelity {trial.fidelity_score:.2f})"
+                 if trial.fidelity_score is not None else ""))
+    return 0
+
+
+def _cmd_ir(args) -> int:
+    config = CampaignConfig(trials=1)
+    prepared = prepare(get_workload(args.name), args.scheme, config)
+    print(module_to_str(prepared.module))
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.workloads")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the 13 benchmarks (Table I)")
+
+    run_p = sub.add_parser("run", help="run one benchmark under a scheme")
+    run_p.add_argument("name", choices=BENCHMARK_NAMES)
+    run_p.add_argument("--scheme", default="dup_valchk",
+                       choices=["original", "dup", "dup_valchk", "full_dup"])
+    run_p.add_argument("--inject", type=int, default=None, metavar="CYCLE",
+                       help="also inject one bit flip at this dynamic cycle")
+    run_p.add_argument("--bit", type=int, default=0)
+    run_p.add_argument("--seed", type=int, default=2014)
+
+    ir_p = sub.add_parser("ir", help="dump a benchmark's (protected) IR")
+    ir_p.add_argument("name", choices=BENCHMARK_NAMES)
+    ir_p.add_argument("--scheme", default="original",
+                      choices=["original", "dup", "dup_valchk", "full_dup"])
+
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _cmd_list(args)
+    if args.command == "run":
+        return _cmd_run(args)
+    return _cmd_ir(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,103 @@
+"""Workload abstraction: one paper benchmark = one SCL kernel + inputs + metric.
+
+A workload owns:
+
+* its SCL source (the benchmark kernel, compiled per variant so transforms
+  never contaminate each other);
+* train and test input bindings (different data, as in Table I: profiling and
+  fault-injection runs use different inputs);
+* the fidelity metric + threshold that decides ASDC vs. USDC.
+
+Buffers are fixed-size globals; workloads whose input length varies between
+train and test carry the live length in a parameter global (mirroring how the
+paper's benchmarks size themselves from the input file).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..fidelity.metrics import FidelityResult, evaluate
+from ..ir.module import Module
+from ..frontend.compiler import compile_source
+from ..sim.config import SimConfig
+from ..sim.events import RunResult
+from ..sim.interpreter import Interpreter
+
+
+class Workload:
+    """Base class; subclasses set the class attributes and input methods."""
+
+    #: benchmark name as in paper Table I (e.g. 'jpegdec')
+    name: str = ""
+    #: originating suite in the paper (mediabench, mibench, SDVBS, ...)
+    suite: str = ""
+    #: domain category: image / audio / video / vision / ml
+    category: str = ""
+    description: str = ""
+    #: fidelity metric key ('psnr' | 'segsnr' | 'class_error' | 'matrix_mismatch')
+    fidelity_metric: str = "psnr"
+    #: acceptability threshold for the metric (Table I column 4)
+    fidelity_threshold: float = 30.0
+    #: SCL source text of the kernel
+    source: str = ""
+    entry: str = "main"
+    #: human-readable train/test input description (Table I column 3)
+    train_label: str = ""
+    test_label: str = ""
+
+    # -- inputs (overridden by subclasses) --------------------------------------
+
+    def train_inputs(self) -> Dict[str, Sequence]:
+        """Input binding used for value profiling (the 'train' file)."""
+        raise NotImplementedError
+
+    def test_inputs(self) -> Dict[str, Sequence]:
+        """Input binding used for fault injection (the 'test' file)."""
+        raise NotImplementedError
+
+    # -- compilation and execution ------------------------------------------------
+
+    def build_module(self) -> Module:
+        """Compile a fresh module (deterministic; one per protection variant)."""
+        if not self.source:
+            raise ValueError(f"workload {self.name!r} has no source")
+        return compile_source(self.source, self.name)
+
+    def output_names(self, module: Module) -> List[str]:
+        names = [g.name for g in module.output_globals()]
+        if not names:
+            raise ValueError(f"workload {self.name!r} declares no output globals")
+        return names
+
+    def run(
+        self,
+        module: Module,
+        inputs: Dict[str, Sequence],
+        interpreter: Optional[Interpreter] = None,
+        config: Optional[SimConfig] = None,
+        **run_kwargs,
+    ) -> Tuple[Dict[str, np.ndarray], RunResult]:
+        """Execute the module on ``inputs``; returns (outputs, run result)."""
+        interp = interpreter or Interpreter(module, config=config)
+        result = interp.run(entry=self.entry, inputs=inputs, **run_kwargs)
+        outputs = {
+            name: np.asarray(interp.read_global(name))
+            for name in self.output_names(module)
+        }
+        return outputs, result
+
+    # -- fidelity ---------------------------------------------------------------------
+
+    def fidelity(
+        self, golden: Dict[str, np.ndarray], observed: Dict[str, np.ndarray]
+    ) -> FidelityResult:
+        """Score a faulty run's outputs against the golden outputs."""
+        ref = np.concatenate([np.ravel(golden[k]) for k in sorted(golden)])
+        obs = np.concatenate([np.ravel(observed[k]) for k in sorted(observed)])
+        return evaluate(self.fidelity_metric, ref, obs, self.fidelity_threshold)
+
+    def __repr__(self) -> str:
+        return f"<Workload {self.name} ({self.category}, {self.fidelity_metric})>"

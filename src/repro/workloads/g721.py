@@ -1,0 +1,215 @@
+"""g721enc / g721dec: ADPCM audio codec (paper Table I, mediabench).
+
+IMA-style adaptive differential PCM at 4 bits/sample: the coder keeps a
+*predicted value* and an adaptive *step index* across samples — the exact
+loop-carried predictive state the paper's Figure 3 discussion targets (a
+corrupted predictor poisons every subsequent sample).
+
+The decoder's input codes come from :func:`reference_encode`, the Python twin
+of the encoder kernel.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from .base import Workload
+from .signals import synthetic_audio
+
+#: IMA ADPCM index adaptation table (4-bit codes)
+INDEX_TABLE = [-1, -1, -1, -1, 2, 4, 6, 8, -1, -1, -1, -1, 2, 4, 6, 8]
+
+#: IMA ADPCM step size table (89 entries)
+STEP_TABLE = [
+    7, 8, 9, 10, 11, 12, 13, 14, 16, 17,
+    19, 21, 23, 25, 28, 31, 34, 37, 41, 45,
+    50, 55, 60, 66, 73, 80, 88, 97, 107, 118,
+    130, 143, 157, 173, 190, 209, 230, 253, 279, 307,
+    337, 371, 408, 449, 494, 544, 598, 658, 724, 796,
+    876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066,
+    2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358,
+    5894, 6484, 7132, 7845, 8630, 9493, 10442, 11487, 12635, 13899,
+    15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767,
+]
+
+TRAIN_SAMPLES = 1400
+TEST_SAMPLES = 700
+MAX_SAMPLES = TRAIN_SAMPLES
+
+
+def _int_list(values: Sequence[int]) -> str:
+    return ", ".join(str(int(v)) for v in values)
+
+
+_TABLES = f"""
+int idx_tab[16] = {{ {_int_list(INDEX_TABLE)} }};
+int step_tab[89] = {{ {_int_list(STEP_TABLE)} }};
+"""
+
+G721ENC_SOURCE = f"""
+// g721enc: IMA-style ADPCM encoder (4 bits/sample)
+input int audio[{MAX_SAMPLES}];
+input int params[1];         // number of samples
+output int codes[{MAX_SAMPLES}];
+{_TABLES}
+
+void main() {{
+    int n = params[0];
+    int valpred = 0;
+    int index = 0;
+    for (int i = 0; i < n; i++) {{
+        int sample = audio[i];
+        int diff = sample - valpred;
+        int sign = 0;
+        if (diff < 0) {{
+            sign = 8;
+            diff = -diff;
+        }}
+        int step = step_tab[index];
+        int delta = 0;
+        int vpdiff = step >> 3;
+        if (diff >= step) {{
+            delta = 4;
+            diff -= step;
+            vpdiff += step;
+        }}
+        step >>= 1;
+        if (diff >= step) {{
+            delta |= 2;
+            diff -= step;
+            vpdiff += step;
+        }}
+        step >>= 1;
+        if (diff >= step) {{
+            delta |= 1;
+            vpdiff += step;
+        }}
+        if (sign != 0) {{
+            valpred -= vpdiff;
+        }} else {{
+            valpred += vpdiff;
+        }}
+        if (valpred > 32767) {{ valpred = 32767; }}
+        if (valpred < -32768) {{ valpred = -32768; }}
+        delta |= sign;
+        index += idx_tab[delta];
+        if (index < 0) {{ index = 0; }}
+        if (index > 88) {{ index = 88; }}
+        codes[i] = delta;
+    }}
+}}
+"""
+
+G721DEC_SOURCE = f"""
+// g721dec: IMA-style ADPCM decoder
+input int codes[{MAX_SAMPLES}];
+input int params[1];         // number of samples
+output int audio[{MAX_SAMPLES}];
+{_TABLES}
+
+void main() {{
+    int n = params[0];
+    int valpred = 0;
+    int index = 0;
+    for (int i = 0; i < n; i++) {{
+        int delta = codes[i];
+        int step = step_tab[index];
+        int vpdiff = step >> 3;
+        if ((delta & 4) != 0) {{ vpdiff += step; }}
+        if ((delta & 2) != 0) {{ vpdiff += step >> 1; }}
+        if ((delta & 1) != 0) {{ vpdiff += step >> 2; }}
+        if ((delta & 8) != 0) {{
+            valpred -= vpdiff;
+        }} else {{
+            valpred += vpdiff;
+        }}
+        if (valpred > 32767) {{ valpred = 32767; }}
+        if (valpred < -32768) {{ valpred = -32768; }}
+        index += idx_tab[delta];
+        if (index < 0) {{ index = 0; }}
+        if (index > 88) {{ index = 88; }}
+        audio[i] = valpred;
+    }}
+}}
+"""
+
+
+def reference_encode(samples: Sequence[int]) -> List[int]:
+    """Python twin of the g721enc kernel; produces the g721dec input codes."""
+    valpred, index = 0, 0
+    codes: List[int] = []
+    for sample in samples:
+        diff = int(sample) - valpred
+        sign = 8 if diff < 0 else 0
+        if sign:
+            diff = -diff
+        step = STEP_TABLE[index]
+        delta = 0
+        vpdiff = step >> 3
+        if diff >= step:
+            delta = 4
+            diff -= step
+            vpdiff += step
+        step >>= 1
+        if diff >= step:
+            delta |= 2
+            diff -= step
+            vpdiff += step
+        step >>= 1
+        if diff >= step:
+            delta |= 1
+            vpdiff += step
+        valpred = valpred - vpdiff if sign else valpred + vpdiff
+        valpred = max(-32768, min(32767, valpred))
+        delta |= sign
+        index = max(0, min(88, index + INDEX_TABLE[delta]))
+        codes.append(delta)
+    return codes
+
+
+class G721EncWorkload(Workload):
+    """ADPCM audio encoder (audio category, segmental SNR >= 80 dB)."""
+
+    name = "g721enc"
+    suite = "mediabench"
+    category = "audio"
+    description = "Audio encoding (audio)"
+    fidelity_metric = "segsnr"
+    fidelity_threshold = 80.0
+    source = G721ENC_SOURCE
+    train_label = f"train {TRAIN_SAMPLES}-sample audio"
+    test_label = f"test {TEST_SAMPLES}-sample audio"
+
+    def _inputs(self, n: int, seed: int) -> Dict[str, Sequence]:
+        audio = synthetic_audio(n, seed=seed)
+        return {"audio": [int(v) for v in audio], "params": [n]}
+
+    def train_inputs(self) -> Dict[str, Sequence]:
+        return self._inputs(TRAIN_SAMPLES, seed=51)
+
+    def test_inputs(self) -> Dict[str, Sequence]:
+        return self._inputs(TEST_SAMPLES, seed=67)
+
+
+class G721DecWorkload(Workload):
+    """ADPCM audio decoder (audio category, segmental SNR >= 80 dB)."""
+
+    name = "g721dec"
+    suite = "mediabench"
+    category = "audio"
+    description = "Audio decoding (audio)"
+    fidelity_metric = "segsnr"
+    fidelity_threshold = 80.0
+    source = G721DEC_SOURCE
+    train_label = f"train {TRAIN_SAMPLES}-sample audio"
+    test_label = f"test {TEST_SAMPLES}-sample audio"
+
+    def _inputs(self, n: int, seed: int) -> Dict[str, Sequence]:
+        audio = synthetic_audio(n, seed=seed)
+        return {"codes": reference_encode(audio), "params": [n]}
+
+    def train_inputs(self) -> Dict[str, Sequence]:
+        return self._inputs(TRAIN_SAMPLES, seed=52)
+
+    def test_inputs(self) -> Dict[str, Sequence]:
+        return self._inputs(TEST_SAMPLES, seed=68)

@@ -1,0 +1,235 @@
+"""h264enc / h264dec: motion-compensated video codec (paper Table I,
+mediabench II).
+
+The kernels implement the core H.264 P-frame loop at reduced scale: full
+8x8-block motion search (±1 px) against the previous *reconstructed* frame,
+residual computation, uniform quantisation, and in-loop reconstruction (so
+encoder and decoder drift never diverges in the fault-free run).  Frame 0 is
+intra-coded against a mid-gray predictor.
+
+State structure matches the paper's analysis: the best-SAD/best-MV reduction
+variables and the block/frame cursors are loop-carried state; the SAD and
+residual arithmetic is value-check-amenable soft computation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from .base import Workload
+from .signals import synthetic_video
+
+BLOCK = 8
+SIZE = 16                 # width == height
+TRAIN_FRAMES = 4
+TEST_FRAMES = 3
+MAX_FRAMES = TRAIN_FRAMES
+FRAME_PIXELS = SIZE * SIZE
+BLOCKS_PER_FRAME = (SIZE // BLOCK) * (SIZE // BLOCK)
+MAX_BLOCKS = MAX_FRAMES * BLOCKS_PER_FRAME
+QSTEP = 8
+SEARCH = 1                # motion search radius in pixels
+
+H264ENC_SOURCE = f"""
+// h264enc: 8x8 motion estimation + residual quantisation + reconstruction
+input int video[{MAX_FRAMES * FRAME_PIXELS}];
+input int params[1];          // number of frames
+output int mvs[{MAX_BLOCKS * 2}];
+output int resq[{MAX_BLOCKS * 64}];
+
+int recon[{MAX_FRAMES * FRAME_PIXELS}];
+const int W = {SIZE};
+const int B = {BLOCK};
+const int Q = {QSTEP};
+
+void main() {{
+    int nframes = params[0];
+    int bi = 0;
+    for (int f = 0; f < nframes; f++) {{
+        int fbase = f * W * W;
+        int pbase = (f - 1) * W * W;
+        for (int by = 0; by < W; by += B) {{
+            for (int bx = 0; bx < W; bx += B) {{
+                int mvx = 0;
+                int mvy = 0;
+                if (f > 0) {{
+                    // full search, radius {SEARCH}
+                    int best = 1 << 28;
+                    for (int dy = -{SEARCH}; dy <= {SEARCH}; dy++) {{
+                        for (int dx = -{SEARCH}; dx <= {SEARCH}; dx++) {{
+                            if (by + dy < 0) {{ continue; }}
+                            if (bx + dx < 0) {{ continue; }}
+                            if (by + dy + B > W) {{ continue; }}
+                            if (bx + dx + B > W) {{ continue; }}
+                            int sad = 0;
+                            for (int y = 0; y < B; y++) {{
+                                for (int x = 0; x < B; x++) {{
+                                    int c = video[fbase + (by + y) * W + bx + x];
+                                    int p = recon[pbase + (by + dy + y) * W + bx + dx + x];
+                                    sad += abs(c - p);
+                                }}
+                            }}
+                            if (sad < best) {{
+                                best = sad;
+                                mvx = dx;
+                                mvy = dy;
+                            }}
+                        }}
+                    }}
+                }}
+                mvs[bi * 2] = mvx;
+                mvs[bi * 2 + 1] = mvy;
+                // residual, quantise, reconstruct
+                for (int y = 0; y < B; y++) {{
+                    for (int x = 0; x < B; x++) {{
+                        int cur = video[fbase + (by + y) * W + bx + x];
+                        int pred = 128;
+                        if (f > 0) {{
+                            pred = recon[pbase + (by + mvy + y) * W + bx + mvx + x];
+                        }}
+                        int res = cur - pred;
+                        int rq = (res + (res < 0 ? -Q / 2 : Q / 2)) / Q;
+                        resq[bi * 64 + y * B + x] = rq;
+                        int rec = pred + rq * Q;
+                        if (rec < 0) {{ rec = 0; }}
+                        if (rec > 255) {{ rec = 255; }}
+                        recon[fbase + (by + y) * W + bx + x] = rec;
+                    }}
+                }}
+                bi++;
+            }}
+        }}
+    }}
+}}
+"""
+
+H264DEC_SOURCE = f"""
+// h264dec: motion compensation + residual reconstruction
+input int mvs[{MAX_BLOCKS * 2}];
+input int resq[{MAX_BLOCKS * 64}];
+input int params[1];          // number of frames
+output int video[{MAX_FRAMES * FRAME_PIXELS}];
+
+const int W = {SIZE};
+const int B = {BLOCK};
+const int Q = {QSTEP};
+
+void main() {{
+    int nframes = params[0];
+    int bi = 0;
+    for (int f = 0; f < nframes; f++) {{
+        int fbase = f * W * W;
+        int pbase = (f - 1) * W * W;
+        for (int by = 0; by < W; by += B) {{
+            for (int bx = 0; bx < W; bx += B) {{
+                int mvx = mvs[bi * 2];
+                int mvy = mvs[bi * 2 + 1];
+                for (int y = 0; y < B; y++) {{
+                    for (int x = 0; x < B; x++) {{
+                        int pred = 128;
+                        if (f > 0) {{
+                            pred = video[pbase + (by + mvy + y) * W + bx + mvx + x];
+                        }}
+                        int rec = pred + resq[bi * 64 + y * B + x] * Q;
+                        if (rec < 0) {{ rec = 0; }}
+                        if (rec > 255) {{ rec = 255; }}
+                        video[fbase + (by + y) * W + bx + x] = rec;
+                    }}
+                }}
+                bi++;
+            }}
+        }}
+    }}
+}}
+"""
+
+
+def reference_encode(video: np.ndarray) -> Tuple[List[int], List[int]]:
+    """NumPy twin of the h264enc kernel → (motion vectors, quantised residuals)."""
+    frames, height, width = video.shape
+    recon = np.zeros_like(video)
+    mvs: List[int] = []
+    resq: List[int] = []
+    for f in range(frames):
+        for by in range(0, height, BLOCK):
+            for bx in range(0, width, BLOCK):
+                cur = video[f, by : by + BLOCK, bx : bx + BLOCK].astype(np.int64)
+                mvx = mvy = 0
+                if f > 0:
+                    best = 1 << 28
+                    for dy in range(-SEARCH, SEARCH + 1):
+                        for dx in range(-SEARCH, SEARCH + 1):
+                            if not (0 <= by + dy and by + dy + BLOCK <= height):
+                                continue
+                            if not (0 <= bx + dx and bx + dx + BLOCK <= width):
+                                continue
+                            ref = recon[f - 1, by + dy : by + dy + BLOCK,
+                                        bx + dx : bx + dx + BLOCK]
+                            sad = int(np.sum(np.abs(cur - ref)))
+                            if sad < best:
+                                best, mvx, mvy = sad, dx, dy
+                    pred = recon[f - 1, by + mvy : by + mvy + BLOCK,
+                                 bx + mvx : bx + mvx + BLOCK].astype(np.int64)
+                else:
+                    pred = np.full((BLOCK, BLOCK), 128, dtype=np.int64)
+                mvs.extend((mvx, mvy))
+                res = cur - pred
+                # mirror the kernel's C-style truncating division
+                rq = np.trunc(
+                    (res + np.where(res < 0, -(QSTEP // 2), QSTEP // 2)) / QSTEP
+                ).astype(np.int64)
+                resq.extend(int(v) for v in rq.reshape(-1))
+                rec = np.clip(pred + rq * QSTEP, 0, 255)
+                recon[f, by : by + BLOCK, bx : bx + BLOCK] = rec
+    return mvs, resq
+
+
+class H264EncWorkload(Workload):
+    """H.264-style video encoder (video category, PSNR >= 30 dB)."""
+
+    name = "h264enc"
+    suite = "mediabench II"
+    category = "video"
+    description = "H.264 video encoding (video)"
+    fidelity_metric = "psnr"
+    fidelity_threshold = 30.0
+    source = H264ENC_SOURCE
+    train_label = f"train {TRAIN_FRAMES}-frame {SIZE}x{SIZE} video"
+    test_label = f"test {TEST_FRAMES}-frame {SIZE}x{SIZE} video"
+
+    def _inputs(self, frames: int, seed: int) -> Dict[str, Sequence]:
+        video = synthetic_video(SIZE, SIZE, frames, seed=seed)
+        return {"video": [int(v) for v in video.reshape(-1)], "params": [frames]}
+
+    def train_inputs(self) -> Dict[str, Sequence]:
+        return self._inputs(TRAIN_FRAMES, seed=91)
+
+    def test_inputs(self) -> Dict[str, Sequence]:
+        return self._inputs(TEST_FRAMES, seed=103)
+
+
+class H264DecWorkload(Workload):
+    """H.264-style video decoder (video category, PSNR >= 30 dB)."""
+
+    name = "h264dec"
+    suite = "mediabench II"
+    category = "video"
+    description = "H.264 video decoding (video)"
+    fidelity_metric = "psnr"
+    fidelity_threshold = 30.0
+    source = H264DEC_SOURCE
+    train_label = f"train {TRAIN_FRAMES}-frame {SIZE}x{SIZE} video"
+    test_label = f"test {TEST_FRAMES}-frame {SIZE}x{SIZE} video"
+
+    def _inputs(self, frames: int, seed: int) -> Dict[str, Sequence]:
+        video = synthetic_video(SIZE, SIZE, frames, seed=seed)
+        mvs, resq = reference_encode(video)
+        return {"mvs": mvs, "resq": resq, "params": [frames]}
+
+    def train_inputs(self) -> Dict[str, Sequence]:
+        return self._inputs(TRAIN_FRAMES, seed=92)
+
+    def test_inputs(self) -> Dict[str, Sequence]:
+        return self._inputs(TEST_FRAMES, seed=104)

@@ -1,0 +1,295 @@
+"""jpegenc / jpegdec: DCT-based image codec (paper Table I, mediabench).
+
+The kernels implement the JPEG luminance path at reduced scale: 8x8 block
+DCT-II with the standard luminance quantisation matrix, zigzag scan, and
+run-length coding of the coefficient stream.  The encoder turns an image into
+an RLE stream; the decoder inverts the pipeline.  Both exhibit the paper's
+soft-computation structure: long float dot-product chains whose values live
+in compact ranges (value-check amenable), plus loop counters, stream
+positions, and RLE run counts whose corruption is catastrophic (state
+variables).
+
+The decoder's input stream is produced by :func:`reference_encode` — the
+NumPy twin of the encoder kernel — standing in for the paper's pre-encoded
+test files.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from .base import Workload
+from .signals import synthetic_image
+
+#: standard JPEG luminance quantisation matrix
+QUANT_TABLE = [
+    16, 11, 10, 16, 24, 40, 51, 61,
+    12, 12, 14, 19, 26, 58, 60, 55,
+    14, 13, 16, 24, 40, 57, 69, 56,
+    14, 17, 22, 29, 51, 87, 80, 62,
+    18, 22, 37, 56, 68, 109, 103, 77,
+    24, 35, 55, 64, 81, 104, 113, 92,
+    49, 64, 78, 87, 103, 121, 120, 101,
+    72, 92, 95, 98, 112, 100, 103, 99,
+]
+
+#: zigzag scan order of an 8x8 block
+ZIGZAG = [
+    0, 1, 8, 16, 9, 2, 3, 10,
+    17, 24, 32, 25, 18, 11, 4, 5,
+    12, 19, 26, 33, 40, 48, 41, 34,
+    27, 20, 13, 6, 7, 14, 21, 28,
+    35, 42, 49, 56, 57, 50, 43, 36,
+    29, 22, 15, 23, 30, 37, 44, 51,
+    58, 59, 52, 45, 38, 31, 39, 46,
+    53, 60, 61, 54, 47, 55, 62, 63,
+]
+
+#: end-of-block marker in the RLE stream
+EOB = -999
+
+TRAIN_SIZE = 24   # 24x24 = 9 blocks (the 'train image')
+TEST_SIZE = 16    # 16x16 = 4 blocks (the 'test image')
+MAX_PIXELS = TRAIN_SIZE * TRAIN_SIZE
+MAX_STREAM = MAX_PIXELS * 2 + 9 * 2 + 16
+
+
+def _int_list(values: Sequence[int]) -> str:
+    return ", ".join(str(int(v)) for v in values)
+
+
+_COMMON_TABLES = f"""
+int zz[64] = {{ {_int_list(ZIGZAG)} }};
+int qtab[64] = {{ {_int_list(QUANT_TABLE)} }};
+const float PI = 3.141592653589793;
+float ctab[64];
+
+void init_ctab() {{
+    for (int u = 0; u < 8; u++) {{
+        float su = 0.3535533905932738;
+        if (u > 0) {{ su = 0.5; }}
+        for (int x = 0; x < 8; x++) {{
+            ctab[u * 8 + x] = su * cos((2.0 * (float)x + 1.0) * (float)u * PI / 16.0);
+        }}
+    }}
+}}
+"""
+
+JPEGENC_SOURCE = f"""
+// jpegenc: 8x8 DCT + quantise + zigzag + RLE
+input int image[{MAX_PIXELS}];
+input int params[2];            // width, height (multiples of 8)
+output int stream[{MAX_STREAM}];
+output int stream_len[1];
+
+float blk[64];
+float tmpb[64];
+int coef[64];
+{_COMMON_TABLES}
+
+void main() {{
+    int width = params[0];
+    int height = params[1];
+    init_ctab();
+    int pos = 0;
+    for (int by = 0; by < height; by += 8) {{
+        for (int bx = 0; bx < width; bx += 8) {{
+            for (int y = 0; y < 8; y++) {{
+                for (int x = 0; x < 8; x++) {{
+                    blk[y * 8 + x] = (float)(image[(by + y) * width + bx + x] - 128);
+                }}
+            }}
+            // row DCT
+            for (int y = 0; y < 8; y++) {{
+                for (int u = 0; u < 8; u++) {{
+                    float s = 0.0;
+                    for (int x = 0; x < 8; x++) {{
+                        s += blk[y * 8 + x] * ctab[u * 8 + x];
+                    }}
+                    tmpb[y * 8 + u] = s;
+                }}
+            }}
+            // column DCT + quantise
+            for (int v = 0; v < 8; v++) {{
+                for (int u = 0; u < 8; u++) {{
+                    float s = 0.0;
+                    for (int y = 0; y < 8; y++) {{
+                        s += tmpb[y * 8 + u] * ctab[v * 8 + y];
+                    }}
+                    float q = s / (float)qtab[v * 8 + u];
+                    coef[v * 8 + u] = (int)(q + (q < 0.0 ? -0.5 : 0.5));
+                }}
+            }}
+            // zigzag + run-length encode
+            int run = 0;
+            for (int i = 0; i < 64; i++) {{
+                int c = coef[zz[i]];
+                if (c == 0) {{
+                    run++;
+                }} else {{
+                    stream[pos] = run;
+                    stream[pos + 1] = c;
+                    pos += 2;
+                    run = 0;
+                }}
+            }}
+            stream[pos] = {EOB};
+            stream[pos + 1] = run;
+            pos += 2;
+        }}
+    }}
+    stream_len[0] = pos;
+}}
+"""
+
+JPEGDEC_SOURCE = f"""
+// jpegdec: RLE decode + dezigzag + dequantise + IDCT
+input int stream[{MAX_STREAM}];
+input int params[3];            // width, height, stream length
+output int image[{MAX_PIXELS}];
+
+float coefs[64];
+float tmpb[64];
+{_COMMON_TABLES}
+
+void main() {{
+    int width = params[0];
+    int height = params[1];
+    int slen = params[2];
+    init_ctab();
+    int pos = 0;
+    for (int by = 0; by < height; by += 8) {{
+        for (int bx = 0; bx < width; bx += 8) {{
+            for (int i = 0; i < 64; i++) {{ coefs[i] = 0.0; }}
+            // RLE decode one block (until the EOB marker)
+            int zi = 0;
+            while (pos < slen) {{
+                int run = stream[pos];
+                int val = stream[pos + 1];
+                pos += 2;
+                if (run == {EOB}) {{
+                    break;
+                }}
+                zi += run;
+                if (zi < 64) {{
+                    coefs[zz[zi]] = (float)(val * qtab[zz[zi]]);
+                }}
+                zi++;
+            }}
+            // column IDCT
+            for (int y = 0; y < 8; y++) {{
+                for (int u = 0; u < 8; u++) {{
+                    float s = 0.0;
+                    for (int v = 0; v < 8; v++) {{
+                        s += coefs[v * 8 + u] * ctab[v * 8 + y];
+                    }}
+                    tmpb[y * 8 + u] = s;
+                }}
+            }}
+            // row IDCT + level shift + clamp
+            for (int y = 0; y < 8; y++) {{
+                for (int x = 0; x < 8; x++) {{
+                    float s = 0.0;
+                    for (int u = 0; u < 8; u++) {{
+                        s += tmpb[y * 8 + u] * ctab[u * 8 + x];
+                    }}
+                    int p = (int)(s + (s < 0.0 ? -0.5 : 0.5)) + 128;
+                    if (p < 0) {{ p = 0; }}
+                    if (p > 255) {{ p = 255; }}
+                    image[(by + y) * width + bx + x] = p;
+                }}
+            }}
+        }}
+    }}
+}}
+"""
+
+
+def _dct_matrix() -> np.ndarray:
+    u = np.arange(8).reshape(8, 1)
+    x = np.arange(8).reshape(1, 8)
+    m = 0.5 * np.cos((2 * x + 1) * u * np.pi / 16.0)
+    m[0, :] = 0.3535533905932738
+    return m
+
+
+def reference_encode(image: np.ndarray) -> List[int]:
+    """NumPy twin of the jpegenc kernel; produces the jpegdec input stream."""
+    height, width = image.shape
+    m = _dct_matrix()
+    q = np.array(QUANT_TABLE, dtype=np.float64).reshape(8, 8)
+    stream: List[int] = []
+    for by in range(0, height, 8):
+        for bx in range(0, width, 8):
+            blk = image[by : by + 8, bx : bx + 8].astype(np.float64) - 128.0
+            coef = m @ blk @ m.T
+            quant = coef / q
+            quant = np.where(quant < 0, quant - 0.5, quant + 0.5).astype(np.int64)
+            flat = quant.reshape(64)
+            run = 0
+            for zi in ZIGZAG:
+                c = int(flat[zi])
+                if c == 0:
+                    run += 1
+                else:
+                    stream.extend((run, c))
+                    run = 0
+            stream.extend((EOB, run))
+    return stream
+
+
+class JpegEncWorkload(Workload):
+    """JPEG-style image encoder (image category, PSNR >= 30 dB)."""
+
+    name = "jpegenc"
+    suite = "mediabench"
+    category = "image"
+    description = "A JPEG image encoder (image)"
+    fidelity_metric = "psnr"
+    fidelity_threshold = 30.0
+    source = JPEGENC_SOURCE
+    train_label = f"train {TRAIN_SIZE}x{TRAIN_SIZE} image"
+    test_label = f"test {TEST_SIZE}x{TEST_SIZE} image"
+
+    def _inputs(self, size: int, seed: int) -> Dict[str, Sequence]:
+        img = synthetic_image(size, size, seed=seed)
+        return {
+            "image": [int(v) for v in img.reshape(-1)],
+            "params": [size, size],
+        }
+
+    def train_inputs(self) -> Dict[str, Sequence]:
+        return self._inputs(TRAIN_SIZE, seed=11)
+
+    def test_inputs(self) -> Dict[str, Sequence]:
+        return self._inputs(TEST_SIZE, seed=23)
+
+
+class JpegDecWorkload(Workload):
+    """JPEG-style image decoder (image category, PSNR >= 30 dB)."""
+
+    name = "jpegdec"
+    suite = "mediabench"
+    category = "image"
+    description = "A JPEG image decoder (image)"
+    fidelity_metric = "psnr"
+    fidelity_threshold = 30.0
+    source = JPEGDEC_SOURCE
+    train_label = f"train {TRAIN_SIZE}x{TRAIN_SIZE} image"
+    test_label = f"test {TEST_SIZE}x{TEST_SIZE} image"
+
+    def _inputs(self, size: int, seed: int) -> Dict[str, Sequence]:
+        img = synthetic_image(size, size, seed=seed)
+        stream = reference_encode(img)
+        return {
+            "stream": stream,
+            "params": [size, size, len(stream)],
+        }
+
+    def train_inputs(self) -> Dict[str, Sequence]:
+        return self._inputs(TRAIN_SIZE, seed=12)
+
+    def test_inputs(self) -> Dict[str, Sequence]:
+        return self._inputs(TEST_SIZE, seed=24)

@@ -1,0 +1,105 @@
+"""kmeans: Lloyd's clustering (paper Table I, in-house ML benchmark).
+
+Fixed-iteration k-means over integer feature vectors: assignment by squared
+Euclidean distance, centroid update from per-cluster accumulators.  The
+centroid coordinates and accumulator sums are loop-carried state across
+iterations; the distance arithmetic is soft.  The output is the assignment
+label per point; fidelity is classification error vs. the golden run
+(<= 10%).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from .base import Workload
+from .signals import gaussian_clusters
+
+K = 4
+DIMS = 4
+ITERATIONS = 5
+TRAIN_POINTS = 64
+TEST_POINTS = 40
+MAX_POINTS = TRAIN_POINTS
+
+KMEANS_SOURCE = f"""
+// kmeans: Lloyd's algorithm, fixed iteration count
+input int points[{MAX_POINTS * DIMS}];
+input int params[1];            // number of points
+output int labels[{MAX_POINTS}];
+
+int centroid[{K * DIMS}];
+int csum[{K * DIMS}];
+int ccnt[{K}];
+const int KC = {K};
+const int D = {DIMS};
+
+void main() {{
+    int n = params[0];
+    // initialise centroids from the first K points
+    for (int k = 0; k < KC; k++) {{
+        for (int d = 0; d < D; d++) {{
+            centroid[k * D + d] = points[k * D + d];
+        }}
+    }}
+    for (int it = 0; it < {ITERATIONS}; it++) {{
+        for (int k = 0; k < KC; k++) {{
+            ccnt[k] = 0;
+            for (int d = 0; d < D; d++) {{ csum[k * D + d] = 0; }}
+        }}
+        for (int i = 0; i < n; i++) {{
+            int best = 0;
+            int bestd = 1 << 30;
+            for (int k = 0; k < KC; k++) {{
+                int dist = 0;
+                for (int d = 0; d < D; d++) {{
+                    int diff = points[i * D + d] - centroid[k * D + d];
+                    dist += diff * diff;
+                }}
+                if (dist < bestd) {{
+                    bestd = dist;
+                    best = k;
+                }}
+            }}
+            labels[i] = best;
+            ccnt[best] += 1;
+            for (int d = 0; d < D; d++) {{
+                csum[best * D + d] += points[i * D + d];
+            }}
+        }}
+        for (int k = 0; k < KC; k++) {{
+            if (ccnt[k] > 0) {{
+                for (int d = 0; d < D; d++) {{
+                    centroid[k * D + d] = csum[k * D + d] / ccnt[k];
+                }}
+            }}
+        }}
+    }}
+}}
+"""
+
+
+class KmeansWorkload(Workload):
+    """Clustering algorithm (machine learning, classification error <= 10%)."""
+
+    name = "kmeans"
+    suite = "in-house"
+    category = "ml"
+    description = "Clustering algorithm (Machine learning)"
+    fidelity_metric = "class_error"
+    fidelity_threshold = 0.10
+    source = KMEANS_SOURCE
+    train_label = f"train {TRAIN_POINTS}x{DIMS} samples"
+    test_label = f"test {TEST_POINTS}x{DIMS} samples"
+
+    def _inputs(self, n: int, seed: int) -> Dict[str, Sequence]:
+        points, _ = gaussian_clusters(n, K, DIMS, seed=seed)
+        # scale down so squared distances stay far from i32 overflow
+        points = points // 4
+        return {"points": [int(v) for v in points.reshape(-1)], "params": [n]}
+
+    def train_inputs(self) -> Dict[str, Sequence]:
+        return self._inputs(TRAIN_POINTS, seed=151)
+
+    def test_inputs(self) -> Dict[str, Sequence]:
+        return self._inputs(TEST_POINTS, seed=163)

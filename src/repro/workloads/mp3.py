@@ -1,0 +1,212 @@
+"""mp3enc / mp3dec: windowed-transform audio codec (paper Table I, mibench mad).
+
+A simplified perceptual-codec pipeline with the structure of an MP3 layer:
+sine-windowed MDCT-style analysis over overlapping frames, per-frame adaptive
+scalefactors that are *delta-coded against the previous frame* (the predictive
+loop-carried state the paper's mp3dec example in Figure 3 revolves around),
+and quantised coefficients.  The decoder reverses the pipeline with
+overlap-add synthesis.
+
+The decoder's input (coefficients + delta-coded scalefactors) comes from
+:func:`reference_encode`, the NumPy twin of the encoder kernel.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from .base import Workload
+from .signals import synthetic_audio
+
+NUM_COEF = 12          # coefficients per frame
+WINDOW = 24            # analysis window length
+HOP = 12               # frame hop (50% overlap)
+TRAIN_FRAMES = 26
+TEST_FRAMES = 13
+MAX_FRAMES = TRAIN_FRAMES
+MAX_SAMPLES = MAX_FRAMES * HOP + (WINDOW - HOP)
+
+_HEADER = f"""
+const int NCOEF = {NUM_COEF};
+const int WIN = {WINDOW};
+const int HOP = {HOP};
+const float PI = 3.141592653589793;
+float costab[{NUM_COEF * WINDOW}];
+float wintab[{WINDOW}];
+
+void init_tabs() {{
+    for (int n = 0; n < WIN; n++) {{
+        wintab[n] = sin(PI * ((float)n + 0.5) / (float)WIN);
+    }}
+    for (int k = 0; k < NCOEF; k++) {{
+        for (int n = 0; n < WIN; n++) {{
+            // true MDCT basis: the +NCOEF/2 phase gives time-domain alias
+            // cancellation with the sine window (Princen-Bradley)
+            costab[k * WIN + n] =
+                cos(PI / (float)NCOEF
+                    * ((float)n + 0.5 + (float)NCOEF / 2.0)
+                    * ((float)k + 0.5));
+        }}
+    }}
+}}
+"""
+
+MP3ENC_SOURCE = f"""
+// mp3enc: windowed transform analysis + adaptive quantisation
+input int audio[{MAX_SAMPLES}];
+input int params[1];            // number of frames
+output int coefq[{MAX_FRAMES * NUM_COEF}];
+output int sfdelta[{MAX_FRAMES}];
+
+float spec[{NUM_COEF}];
+{_HEADER}
+
+void main() {{
+    int nframes = params[0];
+    init_tabs();
+    int prev_sf = 0;
+    for (int f = 0; f < nframes; f++) {{
+        int pos = f * HOP;
+        float peak = 1.0;
+        for (int k = 0; k < NCOEF; k++) {{
+            float s = 0.0;
+            for (int n = 0; n < WIN; n++) {{
+                s += (float)audio[pos + n] * wintab[n] * costab[k * WIN + n];
+            }}
+            spec[k] = s;
+            float a = fabs(s);
+            if (a > peak) {{ peak = a; }}
+        }}
+        // scalefactor: smallest power-of-two-ish divisor keeping |q| <= 127
+        int sf = (int)(peak / 127.0) + 1;
+        sfdelta[f] = sf - prev_sf;          // delta-coded against previous frame
+        prev_sf = sf;
+        for (int k = 0; k < NCOEF; k++) {{
+            float q = spec[k] / (float)sf;
+            coefq[f * NCOEF + k] = (int)(q + (q < 0.0 ? -0.5 : 0.5));
+        }}
+    }}
+}}
+"""
+
+MP3DEC_SOURCE = f"""
+// mp3dec: dequantise + inverse transform + overlap-add synthesis
+input int coefq[{MAX_FRAMES * NUM_COEF}];
+input int sfdelta[{MAX_FRAMES}];
+input int params[1];            // number of frames
+output int audio[{MAX_SAMPLES}];
+
+float synth[{WINDOW}];
+float overlap[{WINDOW}];
+{_HEADER}
+
+void main() {{
+    int nframes = params[0];
+    init_tabs();
+    for (int n = 0; n < WIN; n++) {{ overlap[n] = 0.0; }}
+    int sf = 0;
+    for (int f = 0; f < nframes; f++) {{
+        sf += sfdelta[f];                   // reconstruct the scalefactor chain
+        int pos = f * HOP;
+        for (int n = 0; n < WIN; n++) {{
+            float s = 0.0;
+            for (int k = 0; k < NCOEF; k++) {{
+                s += (float)coefq[f * NCOEF + k] * (float)sf * costab[k * WIN + n];
+            }}
+            synth[n] = s * wintab[n] * (2.0 / (float)NCOEF);
+        }}
+        for (int n = 0; n < HOP; n++) {{
+            float v = overlap[n] + synth[n];
+            int out = (int)(v + (v < 0.0 ? -0.5 : 0.5));
+            if (out > 32767) {{ out = 32767; }}
+            if (out < -32768) {{ out = -32768; }}
+            audio[pos + n] = out;
+        }}
+        for (int n = 0; n < WIN - HOP; n++) {{
+            overlap[n] = synth[HOP + n];
+        }}
+        for (int n = WIN - HOP; n < WIN; n++) {{ overlap[n] = 0.0; }}
+    }}
+}}
+"""
+
+
+def _tables() -> Tuple[np.ndarray, np.ndarray]:
+    n = np.arange(WINDOW)
+    win = np.sin(math.pi * (n + 0.5) / WINDOW)
+    k = np.arange(NUM_COEF).reshape(-1, 1)
+    cos_tab = np.cos(math.pi / NUM_COEF * (n + 0.5 + NUM_COEF / 2) * (k + 0.5))
+    return win, cos_tab
+
+
+def reference_encode(audio: Sequence[int], nframes: int) -> Tuple[List[int], List[int]]:
+    """NumPy twin of the mp3enc kernel → (quantised coefficients, sf deltas)."""
+    win, cos_tab = _tables()
+    samples = np.asarray(audio, dtype=np.float64)
+    coefq: List[int] = []
+    sfdelta: List[int] = []
+    prev_sf = 0
+    for f in range(nframes):
+        seg = samples[f * HOP : f * HOP + WINDOW] * win
+        spec = cos_tab @ seg
+        peak = max(float(np.max(np.abs(spec))), 1.0)
+        sf = int(peak / 127.0) + 1
+        sfdelta.append(sf - prev_sf)
+        prev_sf = sf
+        q = spec / sf
+        coefq.extend(int(v) for v in np.where(q < 0, q - 0.5, q + 0.5).astype(np.int64))
+    return coefq, sfdelta
+
+
+class Mp3EncWorkload(Workload):
+    """MP3-style audio encoder (audio category, PSNR >= 30 dB)."""
+
+    name = "mp3enc"
+    suite = "mibench"
+    category = "audio"
+    description = "Audio encoding (audio)"
+    fidelity_metric = "psnr"
+    fidelity_threshold = 30.0
+    source = MP3ENC_SOURCE
+    train_label = f"train {TRAIN_FRAMES}-frame audio"
+    test_label = f"test {TEST_FRAMES}-frame audio"
+
+    def _inputs(self, nframes: int, seed: int) -> Dict[str, Sequence]:
+        n = nframes * HOP + (WINDOW - HOP)
+        audio = synthetic_audio(n, seed=seed)
+        return {"audio": [int(v) for v in audio], "params": [nframes]}
+
+    def train_inputs(self) -> Dict[str, Sequence]:
+        return self._inputs(TRAIN_FRAMES, seed=71)
+
+    def test_inputs(self) -> Dict[str, Sequence]:
+        return self._inputs(TEST_FRAMES, seed=83)
+
+
+class Mp3DecWorkload(Workload):
+    """MP3-style audio decoder (audio category, PSNR >= 30 dB)."""
+
+    name = "mp3dec"
+    suite = "mibench"
+    category = "audio"
+    description = "Audio decoding (audio)"
+    fidelity_metric = "psnr"
+    fidelity_threshold = 30.0
+    source = MP3DEC_SOURCE
+    train_label = f"train {TRAIN_FRAMES}-frame audio"
+    test_label = f"test {TEST_FRAMES}-frame audio"
+
+    def _inputs(self, nframes: int, seed: int) -> Dict[str, Sequence]:
+        n = nframes * HOP + (WINDOW - HOP)
+        audio = synthetic_audio(n, seed=seed)
+        coefq, sfdelta = reference_encode([int(v) for v in audio], nframes)
+        return {"coefq": coefq, "sfdelta": sfdelta, "params": [nframes]}
+
+    def train_inputs(self) -> Dict[str, Sequence]:
+        return self._inputs(TRAIN_FRAMES, seed=72)
+
+    def test_inputs(self) -> Dict[str, Sequence]:
+        return self._inputs(TEST_FRAMES, seed=84)

@@ -1,0 +1,77 @@
+"""Workload registry: the 13 paper benchmarks (Table I).
+
+Five categories, at least two benchmarks each, as in the paper: image
+(jpegenc, jpegdec, tiff2bw), vision (segm, tex_synth), audio (g721enc,
+g721dec, mp3dec, mp3enc), video (h264enc, h264dec), and machine learning
+(kmeans, svm).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from .base import Workload
+from .g721 import G721DecWorkload, G721EncWorkload
+from .h264 import H264DecWorkload, H264EncWorkload
+from .jpeg import JpegDecWorkload, JpegEncWorkload
+from .kmeans import KmeansWorkload
+from .mp3 import Mp3DecWorkload, Mp3EncWorkload
+from .segm import SegmWorkload
+from .svm import SvmWorkload
+from .tex_synth import TexSynthWorkload
+from .tiff2bw import Tiff2BwWorkload
+
+_WORKLOAD_CLASSES: List[Type[Workload]] = [
+    JpegEncWorkload,
+    JpegDecWorkload,
+    Tiff2BwWorkload,
+    SegmWorkload,
+    TexSynthWorkload,
+    G721EncWorkload,
+    G721DecWorkload,
+    Mp3DecWorkload,
+    Mp3EncWorkload,
+    H264EncWorkload,
+    H264DecWorkload,
+    KmeansWorkload,
+    SvmWorkload,
+]
+
+BENCHMARK_NAMES: List[str] = [cls.name for cls in _WORKLOAD_CLASSES]
+
+
+def all_workloads() -> List[Workload]:
+    """Fresh instances of all 13 benchmarks, in Table I order."""
+    return [cls() for cls in _WORKLOAD_CLASSES]
+
+
+def get_workload(name: str) -> Workload:
+    """Look up one benchmark by its Table I name."""
+    for cls in _WORKLOAD_CLASSES:
+        if cls.name == name:
+            return cls()
+    raise KeyError(f"unknown workload {name!r}; known: {BENCHMARK_NAMES}")
+
+
+def table1_rows() -> List[Dict[str, str]]:
+    """Rows of the paper's Table I for this reproduction."""
+    rows = []
+    for cls in _WORKLOAD_CLASSES:
+        threshold = cls.fidelity_threshold
+        if cls.fidelity_metric == "psnr":
+            measure = f"Peak Signal to Noise Ratio (PSNR) ({threshold:g} dB)"
+        elif cls.fidelity_metric == "segsnr":
+            measure = f"Segmental SNR ({threshold:g} dB)"
+        elif cls.fidelity_metric == "class_error":
+            measure = f"Classification error ({threshold:.0%})"
+        else:
+            measure = f"Output matrix mismatch ({threshold:.0%})"
+        rows.append(
+            {
+                "benchmark": f"{cls.name} ({cls.suite})",
+                "description": cls.description,
+                "inputs": f"{cls.train_label}; {cls.test_label}",
+                "fidelity": measure,
+            }
+        )
+    return rows

@@ -1,0 +1,124 @@
+"""segm: intensity-based image segmentation (paper Table I, SDVBS).
+
+Iterative centroid segmentation: K intensity centroids are refined over the
+image (Lloyd iterations with integer centroid accumulators — sum and count
+per segment are loop-carried state), then a 3x3 majority filter smooths the
+label matrix, as segmentation pipelines do.  The output is the segment label
+matrix; fidelity is the fraction of mismatching labels (<= 10%).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from .base import Workload
+from .signals import synthetic_image
+
+NUM_SEGMENTS = 3
+ITERATIONS = 4
+TRAIN_SIZE = 22
+TEST_SIZE = 12
+MAX_PIXELS = TRAIN_SIZE * TRAIN_SIZE
+
+SEGM_SOURCE = f"""
+// segm: iterative intensity clustering + majority smoothing
+input int image[{MAX_PIXELS}];
+input int params[2];            // width, height
+output int labels[{MAX_PIXELS}];
+
+int centroid[{NUM_SEGMENTS}];
+int seg_sum[{NUM_SEGMENTS}];
+int seg_cnt[{NUM_SEGMENTS}];
+int rawlab[{MAX_PIXELS}];
+const int K = {NUM_SEGMENTS};
+
+void main() {{
+    int width = params[0];
+    int height = params[1];
+    int npix = width * height;
+
+    // spread initial centroids across the intensity range
+    for (int k = 0; k < K; k++) {{
+        centroid[k] = 255 * (2 * k + 1) / (2 * K);
+    }}
+
+    for (int it = 0; it < {ITERATIONS}; it++) {{
+        for (int k = 0; k < K; k++) {{
+            seg_sum[k] = 0;
+            seg_cnt[k] = 0;
+        }}
+        for (int i = 0; i < npix; i++) {{
+            int v = image[i];
+            int best = 0;
+            int bestd = abs(v - centroid[0]);
+            for (int k = 1; k < K; k++) {{
+                int d = abs(v - centroid[k]);
+                if (d < bestd) {{
+                    bestd = d;
+                    best = k;
+                }}
+            }}
+            rawlab[i] = best;
+            seg_sum[best] += v;
+            seg_cnt[best] += 1;
+        }}
+        for (int k = 0; k < K; k++) {{
+            if (seg_cnt[k] > 0) {{
+                centroid[k] = seg_sum[k] / seg_cnt[k];
+            }}
+        }}
+    }}
+
+    // 3x3 majority smoothing of the label matrix
+    for (int y = 0; y < height; y++) {{
+        for (int x = 0; x < width; x++) {{
+            int votes0 = 0;
+            int votes1 = 0;
+            int votes2 = 0;
+            for (int dy = -1; dy <= 1; dy++) {{
+                for (int dx = -1; dx <= 1; dx++) {{
+                    int ny = y + dy;
+                    int nx = x + dx;
+                    if (ny < 0) {{ ny = 0; }}
+                    if (nx < 0) {{ nx = 0; }}
+                    if (ny >= height) {{ ny = height - 1; }}
+                    if (nx >= width) {{ nx = width - 1; }}
+                    int l = rawlab[ny * width + nx];
+                    if (l == 0) {{ votes0++; }}
+                    if (l == 1) {{ votes1++; }}
+                    if (l == 2) {{ votes2++; }}
+                }}
+            }}
+            int winner = 0;
+            int wv = votes0;
+            if (votes1 > wv) {{ winner = 1; wv = votes1; }}
+            if (votes2 > wv) {{ winner = 2; }}
+            labels[y * width + x] = winner;
+        }}
+    }}
+}}
+"""
+
+
+class SegmWorkload(Workload):
+    """Image segmentation (computer vision, segment mismatch <= 10%)."""
+
+    name = "segm"
+    suite = "SDVBS"
+    category = "vision"
+    description = "Image segmentation (Computer vision)"
+    fidelity_metric = "matrix_mismatch"
+    fidelity_threshold = 0.10
+    source = SEGM_SOURCE
+    train_label = f"train {TRAIN_SIZE}x{TRAIN_SIZE} image"
+    test_label = f"test {TEST_SIZE}x{TEST_SIZE} image"
+
+    def _inputs(self, size: int, seed: int) -> Dict[str, Sequence]:
+        img = synthetic_image(size, size, seed=seed)
+        return {"image": [int(v) for v in img.reshape(-1)], "params": [size, size]}
+
+    def train_inputs(self) -> Dict[str, Sequence]:
+        return self._inputs(TRAIN_SIZE, seed=111)
+
+    def test_inputs(self) -> Dict[str, Sequence]:
+        return self._inputs(TEST_SIZE, seed=123)

@@ -1,0 +1,93 @@
+"""tex_synth: non-parametric texture synthesis (paper Table I, SDVBS).
+
+Efros-Leung-style synthesis in raster order: every output pixel is chosen by
+exhaustively matching its causal neighbourhood (left, up, up-left) against
+all interior positions of the sample texture (SSD), then copying the best
+match.  The best-SSD reduction variables are loop-carried state; the SSD
+accumulation is value-check-amenable soft computation.  Fidelity is output
+matrix mismatch (<= 10%).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from .base import Workload
+from .signals import synthetic_image
+
+SAMPLE = 9                # sample texture is SAMPLE x SAMPLE
+TRAIN_OUT = 9             # synthesised output side (train)
+TEST_OUT = 6              # synthesised output side (test)
+MAX_OUT = TRAIN_OUT * TRAIN_OUT
+
+TEX_SYNTH_SOURCE = f"""
+// tex_synth: causal-neighbourhood texture synthesis
+input int sample[{SAMPLE * SAMPLE}];
+input int seedrow[{TRAIN_OUT}];     // first output row is seeded from the sample
+input int params[1];                // output side length
+output int out[{MAX_OUT}];
+
+const int S = {SAMPLE};
+
+void main() {{
+    int osz = params[0];
+    for (int x = 0; x < osz; x++) {{
+        out[x] = seedrow[x];
+    }}
+    for (int y = 1; y < osz; y++) {{
+        for (int x = 0; x < osz; x++) {{
+            int bestval = 0;
+            int bestssd = 1 << 28;
+            for (int sy = 1; sy < S; sy++) {{
+                for (int sx = 1; sx < S; sx++) {{
+                    int ssd = 0;
+                    // up neighbour always exists (y >= 1)
+                    int du = out[(y - 1) * osz + x] - sample[(sy - 1) * S + sx];
+                    ssd += du * du;
+                    if (x > 0) {{
+                        int dl = out[y * osz + x - 1] - sample[sy * S + sx - 1];
+                        ssd += dl * dl;
+                        int dd = out[(y - 1) * osz + x - 1] - sample[(sy - 1) * S + sx - 1];
+                        ssd += dd * dd;
+                    }}
+                    if (ssd < bestssd) {{
+                        bestssd = ssd;
+                        bestval = sample[sy * S + sx];
+                    }}
+                }}
+            }}
+            out[y * osz + x] = bestval;
+        }}
+    }}
+}}
+"""
+
+
+class TexSynthWorkload(Workload):
+    """Texture synthesis (computer vision, output mismatch <= 10%)."""
+
+    name = "tex_synth"
+    suite = "SDVBS"
+    category = "vision"
+    description = "Texture synthesis (Computer vision)"
+    fidelity_metric = "matrix_mismatch"
+    fidelity_threshold = 0.10
+    source = TEX_SYNTH_SOURCE
+    train_label = f"train {TRAIN_OUT}x{TRAIN_OUT} output"
+    test_label = f"test {TEST_OUT}x{TEST_OUT} output"
+
+    def _inputs(self, out_size: int, seed: int) -> Dict[str, Sequence]:
+        sample = synthetic_image(SAMPLE, SAMPLE, seed=seed)
+        seedrow = [int(v) for v in sample[0, :out_size]]
+        seedrow += [0] * (TRAIN_OUT - len(seedrow))
+        return {
+            "sample": [int(v) for v in sample.reshape(-1)],
+            "seedrow": seedrow,
+            "params": [out_size],
+        }
+
+    def train_inputs(self) -> Dict[str, Sequence]:
+        return self._inputs(TRAIN_OUT, seed=131)
+
+    def test_inputs(self) -> Dict[str, Sequence]:
+        return self._inputs(TEST_OUT, seed=143)

@@ -1,0 +1,79 @@
+"""tiff2bw: colour-to-grayscale conversion with contrast stretch (mibench).
+
+Two passes over an RGB image: the first computes the ITU-R 601 luminance of
+every pixel while tracking the running min/max (classic state variables —
+corrupting the running max rescales the whole output); the second stretches
+the luminance range to full 8-bit contrast.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from .base import Workload
+from .signals import synthetic_rgb_image
+
+TRAIN_SIZE = 26
+TEST_SIZE = 18
+MAX_PIXELS = TRAIN_SIZE * TRAIN_SIZE
+
+TIFF2BW_SOURCE = f"""
+// tiff2bw: luminance conversion + contrast stretch
+input int rgb[{MAX_PIXELS * 3}];
+input int params[2];        // width, height
+output int bw[{MAX_PIXELS}];
+
+int lum[{MAX_PIXELS}];
+
+void main() {{
+    int width = params[0];
+    int height = params[1];
+    int npix = width * height;
+    int lo = 255;
+    int hi = 0;
+    for (int i = 0; i < npix; i++) {{
+        int r = rgb[i * 3];
+        int g = rgb[i * 3 + 1];
+        int b = rgb[i * 3 + 2];
+        int y = (r * 77 + g * 151 + b * 28) >> 8;
+        lum[i] = y;
+        if (y < lo) {{ lo = y; }}
+        if (y > hi) {{ hi = y; }}
+    }}
+    int span = hi - lo;
+    if (span < 1) {{ span = 1; }}
+    for (int i = 0; i < npix; i++) {{
+        int v = ((lum[i] - lo) * 255) / span;
+        if (v < 0) {{ v = 0; }}
+        if (v > 255) {{ v = 255; }}
+        bw[i] = v;
+    }}
+}}
+"""
+
+
+class Tiff2BwWorkload(Workload):
+    """TIFF-to-BW converter (image category, PSNR >= 30 dB)."""
+
+    name = "tiff2bw"
+    suite = "mibench"
+    category = "image"
+    description = "A tiff format to BW converter (image)"
+    fidelity_metric = "psnr"
+    fidelity_threshold = 30.0
+    source = TIFF2BW_SOURCE
+    train_label = f"train {TRAIN_SIZE}x{TRAIN_SIZE} image"
+    test_label = f"test {TEST_SIZE}x{TEST_SIZE} image"
+
+    def _inputs(self, size: int, seed: int) -> Dict[str, Sequence]:
+        rgb = synthetic_rgb_image(size, size, seed=seed)
+        return {
+            "rgb": [int(v) for v in rgb.reshape(-1)],
+            "params": [size, size],
+        }
+
+    def train_inputs(self) -> Dict[str, Sequence]:
+        return self._inputs(TRAIN_SIZE, seed=31)
+
+    def test_inputs(self) -> Dict[str, Sequence]:
+        return self._inputs(TEST_SIZE, seed=47)

@@ -1,0 +1,99 @@
+; module g721dec
+@codes = global i32 x 1400  ; input
+@params = global i32 x 1  ; input
+@audio = global i32 x 1400  ; output
+@idx_tab = global i32 x 16 {-1, -1, -1, -1, 2, 4, 6, 8, -1, -1, -1, -1, 2, 4, 6, 8}
+@step_tab = global i32 x 89 {7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31, 34, 37, 41, 45, 50, 55, 60, 66, 73, 80, 88, 97, 107, 118, 130, 143, 157, 173, 190, 209, 230, 253, 279, 307, 337, 371, 408, 449, 494, 544, 598, 658, 724, 796, 876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066, 2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358, 5894, 6484, 7132, 7845, 8630, 9493, 10442, 11487, 12635, 13899, 15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767}
+
+define void @main() {
+entry:
+  %v1 = gep @params, i32 0 x i32
+  %v2 = load i32, %v1
+  br label %for.cond
+for.cond:
+  %i.21 = phi i32 [i32 0, %entry], [%v62, %for.step]
+  %index.19 = phi i32 [i32 0, %entry], [%index.18, %for.step]
+  %valpred.15 = phi i32 [i32 0, %entry], [%valpred.14, %for.step]
+  %v5 = icmp slt %i.21, %v2
+  condbr %v5, label %for.body, label %for.end
+for.body:
+  %v7 = gep @codes, %i.21 x i32
+  %v8 = load i32, %v7
+  %v10 = gep @step_tab, %index.19 x i32
+  %v11 = load i32, %v10
+  %v13 = ashr i32 %v11, i32 3
+  %v15 = and i32 %v8, i32 4
+  %v16 = icmp ne %v15, i32 0
+  condbr %v16, label %if.then, label %if.end
+for.step:
+  %v62 = add i32 %i.21, i32 1
+  br label %for.cond
+for.end:
+  ret void
+if.then:
+  %v19 = add i32 %v13, %v11
+  br label %if.end
+if.end:
+  %vpdiff.27 = phi i32 [%v13, %for.body], [%v19, %if.then]
+  %v21 = and i32 %v8, i32 2
+  %v22 = icmp ne %v21, i32 0
+  condbr %v22, label %if.then.0, label %if.end.1
+if.then.0:
+  %v24 = ashr i32 %v11, i32 1
+  %v26 = add i32 %vpdiff.27, %v24
+  br label %if.end.1
+if.end.1:
+  %vpdiff.26 = phi i32 [%vpdiff.27, %if.end], [%v26, %if.then.0]
+  %v28 = and i32 %v8, i32 1
+  %v29 = icmp ne %v28, i32 0
+  condbr %v29, label %if.then.2, label %if.end.3
+if.then.2:
+  %v31 = ashr i32 %v11, i32 2
+  %v33 = add i32 %vpdiff.26, %v31
+  br label %if.end.3
+if.end.3:
+  %vpdiff.24 = phi i32 [%vpdiff.26, %if.end.1], [%v33, %if.then.2]
+  %v35 = and i32 %v8, i32 8
+  %v36 = icmp ne %v35, i32 0
+  condbr %v36, label %if.then.4, label %if.else
+if.then.4:
+  %v39 = sub i32 %valpred.15, %vpdiff.24
+  br label %if.end.5
+if.else:
+  %v42 = add i32 %valpred.15, %vpdiff.24
+  br label %if.end.5
+if.end.5:
+  %valpred.17 = phi i32 [%v42, %if.else], [%v39, %if.then.4]
+  %v44 = icmp sgt %valpred.17, i32 32767
+  condbr %v44, label %if.then.6, label %if.end.7
+if.then.6:
+  br label %if.end.7
+if.end.7:
+  %valpred.16 = phi i32 [%valpred.17, %if.end.5], [i32 32767, %if.then.6]
+  %v46 = sub i32 i32 0, i32 32768
+  %v47 = icmp slt %valpred.16, %v46
+  condbr %v47, label %if.then.8, label %if.end.9
+if.then.8:
+  %v48 = sub i32 i32 0, i32 32768
+  br label %if.end.9
+if.end.9:
+  %valpred.14 = phi i32 [%valpred.16, %if.end.7], [%v48, %if.then.8]
+  %v50 = gep @idx_tab, %v8 x i32
+  %v51 = load i32, %v50
+  %v53 = add i32 %index.19, %v51
+  %v55 = icmp slt %v53, i32 0
+  condbr %v55, label %if.then.10, label %if.end.11
+if.then.10:
+  br label %if.end.11
+if.end.11:
+  %index.20 = phi i32 [%v53, %if.end.9], [i32 0, %if.then.10]
+  %v57 = icmp sgt %index.20, i32 88
+  condbr %v57, label %if.then.12, label %if.end.13
+if.then.12:
+  br label %if.end.13
+if.end.13:
+  %index.18 = phi i32 [%index.20, %if.end.11], [i32 88, %if.then.12]
+  %v59 = gep @audio, %i.21 x i32
+  store %valpred.14, %v59
+  br label %for.step
+}

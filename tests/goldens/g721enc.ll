@@ -1,0 +1,114 @@
+; module g721enc
+@audio = global i32 x 1400  ; input
+@params = global i32 x 1  ; input
+@codes = global i32 x 1400  ; output
+@idx_tab = global i32 x 16 {-1, -1, -1, -1, 2, 4, 6, 8, -1, -1, -1, -1, 2, 4, 6, 8}
+@step_tab = global i32 x 89 {7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31, 34, 37, 41, 45, 50, 55, 60, 66, 73, 80, 88, 97, 107, 118, 130, 143, 157, 173, 190, 209, 230, 253, 279, 307, 337, 371, 408, 449, 494, 544, 598, 658, 724, 796, 876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066, 2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358, 5894, 6484, 7132, 7845, 8630, 9493, 10442, 11487, 12635, 13899, 15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767}
+
+define void @main() {
+entry:
+  %v1 = gep @params, i32 0 x i32
+  %v2 = load i32, %v1
+  br label %for.cond
+for.cond:
+  %i.23 = phi i32 [i32 0, %entry], [%v83, %for.step]
+  %index.21 = phi i32 [i32 0, %entry], [%index.20, %for.step]
+  %valpred.17 = phi i32 [i32 0, %entry], [%valpred.16, %for.step]
+  %v5 = icmp slt %i.23, %v2
+  condbr %v5, label %for.body, label %for.end
+for.body:
+  %v7 = gep @audio, %i.23 x i32
+  %v8 = load i32, %v7
+  %v11 = sub i32 %v8, %valpred.17
+  %v13 = icmp slt %v11, i32 0
+  condbr %v13, label %if.then, label %if.end
+for.step:
+  %v83 = add i32 %i.23, i32 1
+  br label %for.cond
+for.end:
+  ret void
+if.then:
+  %v15 = sub i32 i32 0, %v11
+  br label %if.end
+if.end:
+  %sign.29 = phi i32 [i32 0, %for.body], [i32 8, %if.then]
+  %diff.28 = phi i32 [%v11, %for.body], [%v15, %if.then]
+  %v17 = gep @step_tab, %index.21 x i32
+  %v18 = load i32, %v17
+  %v20 = ashr i32 %v18, i32 3
+  %v23 = icmp sge %diff.28, %v18
+  condbr %v23, label %if.then.0, label %if.end.1
+if.then.0:
+  %v26 = sub i32 %diff.28, %v18
+  %v29 = add i32 %v20, %v18
+  br label %if.end.1
+if.end.1:
+  %vpdiff.39 = phi i32 [%v20, %if.end], [%v29, %if.then.0]
+  %delta.35 = phi i32 [i32 0, %if.end], [i32 4, %if.then.0]
+  %diff.27 = phi i32 [%diff.28, %if.end], [%v26, %if.then.0]
+  %v31 = ashr i32 %v18, i32 1
+  %v34 = icmp sge %diff.27, %v31
+  condbr %v34, label %if.then.2, label %if.end.3
+if.then.2:
+  %v36 = or i32 %delta.35, i32 2
+  %v39 = sub i32 %diff.27, %v31
+  %v42 = add i32 %vpdiff.39, %v31
+  br label %if.end.3
+if.end.3:
+  %vpdiff.38 = phi i32 [%vpdiff.39, %if.end.1], [%v42, %if.then.2]
+  %delta.34 = phi i32 [%delta.35, %if.end.1], [%v36, %if.then.2]
+  %diff.25 = phi i32 [%diff.27, %if.end.1], [%v39, %if.then.2]
+  %v44 = ashr i32 %v31, i32 1
+  %v47 = icmp sge %diff.25, %v44
+  condbr %v47, label %if.then.4, label %if.end.5
+if.then.4:
+  %v49 = or i32 %delta.34, i32 1
+  %v52 = add i32 %vpdiff.38, %v44
+  br label %if.end.5
+if.end.5:
+  %vpdiff.36 = phi i32 [%vpdiff.38, %if.end.3], [%v52, %if.then.4]
+  %delta.33 = phi i32 [%delta.34, %if.end.3], [%v49, %if.then.4]
+  %v54 = icmp ne %sign.29, i32 0
+  condbr %v54, label %if.then.6, label %if.else
+if.then.6:
+  %v57 = sub i32 %valpred.17, %vpdiff.36
+  br label %if.end.7
+if.else:
+  %v60 = add i32 %valpred.17, %vpdiff.36
+  br label %if.end.7
+if.end.7:
+  %valpred.19 = phi i32 [%v60, %if.else], [%v57, %if.then.6]
+  %v62 = icmp sgt %valpred.19, i32 32767
+  condbr %v62, label %if.then.8, label %if.end.9
+if.then.8:
+  br label %if.end.9
+if.end.9:
+  %valpred.18 = phi i32 [%valpred.19, %if.end.7], [i32 32767, %if.then.8]
+  %v64 = sub i32 i32 0, i32 32768
+  %v65 = icmp slt %valpred.18, %v64
+  condbr %v65, label %if.then.10, label %if.end.11
+if.then.10:
+  %v66 = sub i32 i32 0, i32 32768
+  br label %if.end.11
+if.end.11:
+  %valpred.16 = phi i32 [%valpred.18, %if.end.9], [%v66, %if.then.10]
+  %v69 = or i32 %delta.33, %sign.29
+  %v71 = gep @idx_tab, %v69 x i32
+  %v72 = load i32, %v71
+  %v74 = add i32 %index.21, %v72
+  %v76 = icmp slt %v74, i32 0
+  condbr %v76, label %if.then.12, label %if.end.13
+if.then.12:
+  br label %if.end.13
+if.end.13:
+  %index.22 = phi i32 [%v74, %if.end.11], [i32 0, %if.then.12]
+  %v78 = icmp sgt %index.22, i32 88
+  condbr %v78, label %if.then.14, label %if.end.15
+if.then.14:
+  br label %if.end.15
+if.end.15:
+  %index.20 = phi i32 [%index.22, %if.end.13], [i32 88, %if.then.14]
+  %v80 = gep @codes, %i.23 x i32
+  store %v69, %v80
+  br label %for.step
+}

@@ -1,0 +1,125 @@
+; module h264dec
+@mvs = global i32 x 32  ; input
+@resq = global i32 x 1024  ; input
+@params = global i32 x 1  ; input
+@video = global i32 x 1024  ; output
+
+define void @main() {
+entry:
+  %v1 = gep @params, i32 0 x i32
+  %v2 = load i32, %v1
+  br label %for.cond
+for.cond:
+  %f.23 = phi i32 [i32 0, %entry], [%v87, %for.step]
+  %bi.22 = phi i32 [i32 0, %entry], [%bi.21, %for.step]
+  %v5 = icmp slt %f.23, %v2
+  condbr %v5, label %for.body, label %for.end
+for.body:
+  %v7 = mul i32 %f.23, i32 16
+  %v8 = mul i32 %v7, i32 16
+  %v10 = sub i32 %f.23, i32 1
+  %v11 = mul i32 %v10, i32 16
+  %v12 = mul i32 %v11, i32 16
+  br label %for.cond.0
+for.step:
+  %v87 = add i32 %f.23, i32 1
+  br label %for.cond
+for.end:
+  ret void
+for.cond.0:
+  %by.26 = phi i32 [i32 0, %for.body], [%v85, %for.step.2]
+  %bi.21 = phi i32 [%bi.22, %for.body], [%bi.20, %for.step.2]
+  %v14 = icmp slt %by.26, i32 16
+  condbr %v14, label %for.body.1, label %for.end.3
+for.body.1:
+  br label %for.cond.4
+for.step.2:
+  %v85 = add i32 %by.26, i32 8
+  br label %for.cond.0
+for.end.3:
+  br label %for.step
+for.cond.4:
+  %bx.28 = phi i32 [i32 0, %for.body.1], [%v83, %for.step.6]
+  %bi.20 = phi i32 [%bi.21, %for.body.1], [%v81, %for.step.6]
+  %v16 = icmp slt %bx.28, i32 16
+  condbr %v16, label %for.body.5, label %for.end.7
+for.body.5:
+  %v18 = mul i32 %bi.20, i32 2
+  %v19 = gep @mvs, %v18 x i32
+  %v20 = load i32, %v19
+  %v22 = mul i32 %bi.20, i32 2
+  %v23 = add i32 %v22, i32 1
+  %v24 = gep @mvs, %v23 x i32
+  %v25 = load i32, %v24
+  br label %for.cond.8
+for.step.6:
+  %v83 = add i32 %bx.28, i32 8
+  br label %for.cond.4
+for.end.7:
+  br label %for.step.2
+for.cond.8:
+  %y.37 = phi i32 [i32 0, %for.body.5], [%v79, %for.step.10]
+  %v27 = icmp slt %y.37, i32 8
+  condbr %v27, label %for.body.9, label %for.end.11
+for.body.9:
+  br label %for.cond.12
+for.step.10:
+  %v79 = add i32 %y.37, i32 1
+  br label %for.cond.8
+for.end.11:
+  %v81 = add i32 %bi.20, i32 1
+  br label %for.step.6
+for.cond.12:
+  %x.41 = phi i32 [i32 0, %for.body.9], [%v77, %for.step.14]
+  %v29 = icmp slt %x.41, i32 8
+  condbr %v29, label %for.body.13, label %for.end.15
+for.body.13:
+  %v31 = icmp sgt %f.23, i32 0
+  condbr %v31, label %if.then, label %if.end
+for.step.14:
+  %v77 = add i32 %x.41, i32 1
+  br label %for.cond.12
+for.end.15:
+  br label %for.step.10
+if.then:
+  %v35 = add i32 %by.26, %v25
+  %v37 = add i32 %v35, %y.37
+  %v38 = mul i32 %v37, i32 16
+  %v39 = add i32 %v12, %v38
+  %v41 = add i32 %v39, %bx.28
+  %v43 = add i32 %v41, %v20
+  %v45 = add i32 %v43, %x.41
+  %v46 = gep @video, %v45 x i32
+  %v47 = load i32, %v46
+  br label %if.end
+if.end:
+  %pred.46 = phi i32 [i32 128, %for.body.13], [%v47, %if.then]
+  %v50 = mul i32 %bi.20, i32 64
+  %v52 = mul i32 %y.37, i32 8
+  %v53 = add i32 %v50, %v52
+  %v55 = add i32 %v53, %x.41
+  %v56 = gep @resq, %v55 x i32
+  %v57 = load i32, %v56
+  %v58 = mul i32 %v57, i32 8
+  %v59 = add i32 %pred.46, %v58
+  %v61 = icmp slt %v59, i32 0
+  condbr %v61, label %if.then.16, label %if.end.17
+if.then.16:
+  br label %if.end.17
+if.end.17:
+  %rec.58 = phi i32 [%v59, %if.end], [i32 0, %if.then.16]
+  %v63 = icmp sgt %rec.58, i32 255
+  condbr %v63, label %if.then.18, label %if.end.19
+if.then.18:
+  br label %if.end.19
+if.end.19:
+  %rec.52 = phi i32 [%rec.58, %if.end.17], [i32 255, %if.then.18]
+  %v67 = add i32 %by.26, %y.37
+  %v68 = mul i32 %v67, i32 16
+  %v69 = add i32 %v8, %v68
+  %v71 = add i32 %v69, %bx.28
+  %v73 = add i32 %v71, %x.41
+  %v74 = gep @video, %v73 x i32
+  store %rec.52, %v74
+  br label %for.step.14
+}

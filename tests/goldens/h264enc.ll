@@ -1,0 +1,265 @@
+; module h264enc
+@video = global i32 x 1024  ; input
+@params = global i32 x 1  ; input
+@mvs = global i32 x 32  ; output
+@resq = global i32 x 1024  ; output
+@recon = global i32 x 1024
+
+define void @main() {
+entry:
+  %v1 = gep @params, i32 0 x i32
+  %v2 = load i32, %v1
+  br label %for.cond
+for.cond:
+  %f.51 = phi i32 [i32 0, %entry], [%v191, %for.step]
+  %bi.50 = phi i32 [i32 0, %entry], [%bi.49, %for.step]
+  %v5 = icmp slt %f.51, %v2
+  condbr %v5, label %for.body, label %for.end
+for.body:
+  %v7 = mul i32 %f.51, i32 16
+  %v8 = mul i32 %v7, i32 16
+  %v10 = sub i32 %f.51, i32 1
+  %v11 = mul i32 %v10, i32 16
+  %v12 = mul i32 %v11, i32 16
+  br label %for.cond.0
+for.step:
+  %v191 = add i32 %f.51, i32 1
+  br label %for.cond
+for.end:
+  ret void
+for.cond.0:
+  %by.54 = phi i32 [i32 0, %for.body], [%v189, %for.step.2]
+  %bi.49 = phi i32 [%bi.50, %for.body], [%bi.48, %for.step.2]
+  %v14 = icmp slt %by.54, i32 16
+  condbr %v14, label %for.body.1, label %for.end.3
+for.body.1:
+  br label %for.cond.4
+for.step.2:
+  %v189 = add i32 %by.54, i32 8
+  br label %for.cond.0
+for.end.3:
+  br label %for.step
+for.cond.4:
+  %bx.56 = phi i32 [i32 0, %for.body.1], [%v187, %for.step.6]
+  %bi.48 = phi i32 [%bi.49, %for.body.1], [%v185, %for.step.6]
+  %v16 = icmp slt %bx.56, i32 16
+  condbr %v16, label %for.body.5, label %for.end.7
+for.body.5:
+  %v18 = icmp sgt %f.51, i32 0
+  condbr %v18, label %if.then, label %if.end
+for.step.6:
+  %v187 = add i32 %bx.56, i32 8
+  br label %for.cond.4
+for.end.7:
+  br label %for.step.2
+if.then:
+  %v19 = shl i32 i32 1, i32 28
+  %v20 = sub i32 i32 0, i32 1
+  br label %for.cond.8
+if.end:
+  %mvy.71 = phi i32 [i32 0, %for.body.5], [%mvy.70, %for.end.11]
+  %mvx.63 = phi i32 [i32 0, %for.body.5], [%mvx.62, %for.end.11]
+  %v97 = mul i32 %bi.48, i32 2
+  %v98 = gep @mvs, %v97 x i32
+  store %mvx.63, %v98
+  %v101 = mul i32 %bi.48, i32 2
+  %v102 = add i32 %v101, i32 1
+  %v103 = gep @mvs, %v102 x i32
+  store %mvy.71, %v103
+  br label %for.cond.34
+for.cond.8:
+  %dy.83 = phi i32 [%v20, %if.then], [%v95, %for.step.10]
+  %best.78 = phi i32 [%v19, %if.then], [%best.77, %for.step.10]
+  %mvy.70 = phi i32 [i32 0, %if.then], [%mvy.69, %for.step.10]
+  %mvx.62 = phi i32 [i32 0, %if.then], [%mvx.61, %for.step.10]
+  %v22 = icmp sle %dy.83, i32 1
+  condbr %v22, label %for.body.9, label %for.end.11
+for.body.9:
+  %v23 = sub i32 i32 0, i32 1
+  br label %for.cond.12
+for.step.10:
+  %v95 = add i32 %dy.83, i32 1
+  br label %for.cond.8
+for.end.11:
+  br label %if.end
+for.cond.12:
+  %dx.92 = phi i32 [%v23, %for.body.9], [%v93, %for.step.14]
+  %best.77 = phi i32 [%best.78, %for.body.9], [%best.76, %for.step.14]
+  %mvy.69 = phi i32 [%mvy.70, %for.body.9], [%mvy.68, %for.step.14]
+  %mvx.61 = phi i32 [%mvx.62, %for.body.9], [%mvx.60, %for.step.14]
+  %v25 = icmp sle %dx.92, i32 1
+  condbr %v25, label %for.body.13, label %for.end.15
+for.body.13:
+  %v28 = add i32 %by.54, %dy.83
+  %v29 = icmp slt %v28, i32 0
+  condbr %v29, label %if.then.16, label %if.end.17
+for.step.14:
+  %best.76 = phi i32 [%best.75, %if.end.33], [%best.77, %if.then.22], [%best.77, %if.then.20], [%best.77, %if.then.18], [%best.77, %if.then.16]
+  %mvy.68 = phi i32 [%mvy.67, %if.end.33], [%mvy.69, %if.then.22], [%mvy.69, %if.then.20], [%mvy.69, %if.then.18], [%mvy.69, %if.then.16]
+  %mvx.60 = phi i32 [%mvx.59, %if.end.33], [%mvx.61, %if.then.22], [%mvx.61, %if.then.20], [%mvx.61, %if.then.18], [%mvx.61, %if.then.16]
+  %v93 = add i32 %dx.92, i32 1
+  br label %for.cond.12
+for.end.15:
+  br label %for.step.10
+if.then.16:
+  br label %for.step.14
+if.end.17:
+  %v32 = add i32 %bx.56, %dx.92
+  %v33 = icmp slt %v32, i32 0
+  condbr %v33, label %if.then.18, label %if.end.19
+if.then.18:
+  br label %for.step.14
+if.end.19:
+  %v36 = add i32 %by.54, %dy.83
+  %v37 = add i32 %v36, i32 8
+  %v38 = icmp sgt %v37, i32 16
+  condbr %v38, label %if.then.20, label %if.end.21
+if.then.20:
+  br label %for.step.14
+if.end.21:
+  %v41 = add i32 %bx.56, %dx.92
+  %v42 = add i32 %v41, i32 8
+  %v43 = icmp sgt %v42, i32 16
+  condbr %v43, label %if.then.22, label %if.end.23
+if.then.22:
+  br label %for.step.14
+if.end.23:
+  br label %for.cond.24
+for.cond.24:
+  %y.107 = phi i32 [i32 0, %if.end.23], [%v85, %for.step.26]
+  %sad.99 = phi i32 [i32 0, %if.end.23], [%sad.98, %for.step.26]
+  %v45 = icmp slt %y.107, i32 8
+  condbr %v45, label %for.body.25, label %for.end.27
+for.body.25:
+  br label %for.cond.28
+for.step.26:
+  %v85 = add i32 %y.107, i32 1
+  br label %for.cond.24
+for.end.27:
+  %v88 = icmp slt %sad.99, %best.77
+  condbr %v88, label %if.then.32, label %if.end.33
+for.cond.28:
+  %x.115 = phi i32 [i32 0, %for.body.25], [%v83, %for.step.30]
+  %sad.98 = phi i32 [%sad.99, %for.body.25], [%v81, %for.step.30]
+  %v47 = icmp slt %x.115, i32 8
+  condbr %v47, label %for.body.29, label %for.end.31
+for.body.29:
+  %v51 = add i32 %by.54, %y.107
+  %v52 = mul i32 %v51, i32 16
+  %v53 = add i32 %v8, %v52
+  %v55 = add i32 %v53, %bx.56
+  %v57 = add i32 %v55, %x.115
+  %v58 = gep @video, %v57 x i32
+  %v59 = load i32, %v58
+  %v63 = add i32 %by.54, %dy.83
+  %v65 = add i32 %v63, %y.107
+  %v66 = mul i32 %v65, i32 16
+  %v67 = add i32 %v12, %v66
+  %v69 = add i32 %v67, %bx.56
+  %v71 = add i32 %v69, %dx.92
+  %v73 = add i32 %v71, %x.115
+  %v74 = gep @recon, %v73 x i32
+  %v75 = load i32, %v74
+  %v78 = sub i32 %v59, %v75
+  %v79 = abs(%v78)
+  %v81 = add i32 %sad.98, %v79
+  br label %for.step.30
+for.step.30:
+  %v83 = add i32 %x.115, i32 1
+  br label %for.cond.28
+for.end.31:
+  br label %for.step.26
+if.then.32:
+  br label %if.end.33
+if.end.33:
+  %best.75 = phi i32 [%best.77, %for.end.27], [%sad.99, %if.then.32]
+  %mvy.67 = phi i32 [%mvy.69, %for.end.27], [%dy.83, %if.then.32]
+  %mvx.59 = phi i32 [%mvx.61, %for.end.27], [%dx.92, %if.then.32]
+  br label %for.step.14
+for.cond.34:
+  %y.88 = phi i32 [i32 0, %if.end], [%v183, %for.step.36]
+  %v106 = icmp slt %y.88, i32 8
+  condbr %v106, label %for.body.35, label %for.end.37
+for.body.35:
+  br label %for.cond.38
+for.step.36:
+  %v183 = add i32 %y.88, i32 1
+  br label %for.cond.34
+for.end.37:
+  %v185 = add i32 %bi.48, i32 1
+  br label %for.step.6
+for.cond.38:
+  %x.142 = phi i32 [i32 0, %for.body.35], [%v181, %for.step.40]
+  %v108 = icmp slt %x.142, i32 8
+  condbr %v108, label %for.body.39, label %for.end.41
+for.body.39:
+  %v112 = add i32 %by.54, %y.88
+  %v113 = mul i32 %v112, i32 16
+  %v114 = add i32 %v8, %v113
+  %v116 = add i32 %v114, %bx.56
+  %v118 = add i32 %v116, %x.142
+  %v119 = gep @video, %v118 x i32
+  %v120 = load i32, %v119
+  %v122 = icmp sgt %f.51, i32 0
+  condbr %v122, label %if.then.42, label %if.end.43
+for.step.40:
+  %v181 = add i32 %x.142, i32 1
+  br label %for.cond.38
+for.end.41:
+  br label %for.step.36
+if.then.42:
+  %v126 = add i32 %by.54, %mvy.71
+  %v128 = add i32 %v126, %y.88
+  %v129 = mul i32 %v128, i32 16
+  %v130 = add i32 %v12, %v129
+  %v132 = add i32 %v130, %bx.56
+  %v134 = add i32 %v132, %mvx.63
+  %v136 = add i32 %v134, %x.142
+  %v137 = gep @recon, %v136 x i32
+  %v138 = load i32, %v137
+  br label %if.end.43
+if.end.43:
+  %pred.152 = phi i32 [i32 128, %for.body.39], [%v138, %if.then.42]
+  %v141 = sub i32 %v120, %pred.152
+  %v144 = icmp slt %v141, i32 0
+  condbr %v144, label %sel.then, label %sel.else
+sel.then:
+  %v145 = sub i32 i32 0, i32 8
+  %v146 = sdiv i32 %v145, i32 2
+  br label %sel.end
+sel.else:
+  %v147 = sdiv i32 i32 8, i32 2
+  br label %sel.end
+sel.end:
+  %v148 = phi i32 [%v146, %sel.then], [%v147, %sel.else]
+  %v149 = add i32 %v141, %v148
+  %v150 = sdiv i32 %v149, i32 8
+  %v152 = mul i32 %bi.48, i32 64
+  %v154 = mul i32 %y.88, i32 8
+  %v155 = add i32 %v152, %v154
+  %v157 = add i32 %v155, %x.142
+  %v158 = gep @resq, %v157 x i32
+  store %v150, %v158
+  %v162 = mul i32 %v150, i32 8
+  %v163 = add i32 %pred.152, %v162
+  %v165 = icmp slt %v163, i32 0
+  condbr %v165, label %if.then.44, label %if.end.45
+if.then.44:
+  br label %if.end.45
+if.end.45:
+  %rec.174 = phi i32 [%v163, %sel.end], [i32 0, %if.then.44]
+  %v167 = icmp sgt %rec.174, i32 255
+  condbr %v167, label %if.then.46, label %if.end.47
+if.then.46:
+  br label %if.end.47
+if.end.47:
+  %rec.168 = phi i32 [%rec.174, %if.end.45], [i32 255, %if.then.46]
+  %v171 = add i32 %by.54, %y.88
+  %v172 = mul i32 %v171, i32 16
+  %v173 = add i32 %v8, %v172
+  %v175 = add i32 %v173, %bx.56
+  %v177 = add i32 %v175, %x.142
+  %v178 = gep @recon, %v177 x i32
+  store %rec.168, %v178
+  br label %for.step.40
+}

@@ -1,0 +1,265 @@
+; module jpegdec
+@stream = global i32 x 1186  ; input
+@params = global i32 x 3  ; input
+@image = global i32 x 576  ; output
+@coefs = global f64 x 64
+@tmpb = global f64 x 64
+@zz = global i32 x 64 {0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41, 34, 27, 20, 13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51, 58, 59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63}
+@qtab = global i32 x 64 {16, 11, 10, 16, 24, 40, 51, 61, 12, 12, 14, 19, 26, 58, 60, 55, 14, 13, 16, 24, 40, 57, 69, 56, 14, 17, 22, 29, 51, 87, 80, 62, 18, 22, 37, 56, 68, 109, 103, 77, 24, 35, 55, 64, 81, 104, 113, 92, 49, 64, 78, 87, 103, 121, 120, 101, 72, 92, 95, 98, 112, 100, 103, 99}
+@ctab = global f64 x 64
+
+define void @init_ctab() {
+entry:
+  br label %for.cond
+for.cond:
+  %u.4 = phi i32 [i32 0, %entry], [%v27, %for.step]
+  %v2 = icmp slt %u.4, i32 8
+  condbr %v2, label %for.body, label %for.end
+for.body:
+  %v4 = icmp sgt %u.4, i32 0
+  condbr %v4, label %if.then, label %if.end
+for.step:
+  %v27 = add i32 %u.4, i32 1
+  br label %for.cond
+for.end:
+  ret void
+if.then:
+  br label %if.end
+if.end:
+  %su.5 = phi f64 [f64 0.3535533905932738, %for.body], [f64 0.5, %if.then]
+  br label %for.cond.0
+for.cond.0:
+  %x.7 = phi i32 [i32 0, %if.end], [%v25, %for.step.2]
+  %v6 = icmp slt %x.7, i32 8
+  condbr %v6, label %for.body.1, label %for.end.3
+for.body.1:
+  %v8 = mul i32 %u.4, i32 8
+  %v10 = add i32 %v8, %x.7
+  %v11 = gep @ctab, %v10 x f64
+  %v14 = sitofp %x.7 to f64
+  %v15 = fmul f64 f64 2.0, %v14
+  %v16 = fadd f64 %v15, f64 1.0
+  %v18 = sitofp %u.4 to f64
+  %v19 = fmul f64 %v16, %v18
+  %v20 = fmul f64 %v19, f64 3.141592653589793
+  %v21 = fdiv f64 %v20, f64 16.0
+  %v22 = cos(%v21)
+  %v23 = fmul f64 %su.5, %v22
+  store %v23, %v11
+  br label %for.step.2
+for.step.2:
+  %v25 = add i32 %x.7, i32 1
+  br label %for.cond.0
+for.end.3:
+  br label %for.step
+}
+
+define void @main() {
+entry:
+  %v1 = gep @params, i32 0 x i32
+  %v2 = load i32, %v1
+  %v3 = gep @params, i32 1 x i32
+  %v4 = load i32, %v3
+  %v5 = gep @params, i32 2 x i32
+  %v6 = load i32, %v5
+  call @init_ctab()
+  br label %for.cond
+for.cond:
+  %by.42 = phi i32 [i32 0, %entry], [%v139, %for.step]
+  %pos.41 = phi i32 [i32 0, %entry], [%pos.40, %for.step]
+  %v9 = icmp slt %by.42, %v4
+  condbr %v9, label %for.body, label %for.end
+for.body:
+  br label %for.cond.0
+for.step:
+  %v139 = add i32 %by.42, i32 8
+  br label %for.cond
+for.end:
+  ret void
+for.cond.0:
+  %bx.43 = phi i32 [i32 0, %for.body], [%v137, %for.step.2]
+  %pos.40 = phi i32 [%pos.41, %for.body], [%pos.39, %for.step.2]
+  %v12 = icmp slt %bx.43, %v2
+  condbr %v12, label %for.body.1, label %for.end.3
+for.body.1:
+  br label %for.cond.4
+for.step.2:
+  %v137 = add i32 %bx.43, i32 8
+  br label %for.cond.0
+for.end.3:
+  br label %for.step
+for.cond.4:
+  %i.45 = phi i32 [i32 0, %for.body.1], [%v18, %for.step.6]
+  %v14 = icmp slt %i.45, i32 64
+  condbr %v14, label %for.body.5, label %for.end.7
+for.body.5:
+  %v16 = gep @coefs, %i.45 x f64
+  store f64 0.0, %v16
+  br label %for.step.6
+for.step.6:
+  %v18 = add i32 %i.45, i32 1
+  br label %for.cond.4
+for.end.7:
+  br label %while.cond
+while.cond:
+  %zi.48 = phi i32 [i32 0, %for.end.7], [%v52, %if.end.9]
+  %pos.38 = phi i32 [%pos.40, %for.end.7], [%v30, %if.end.9]
+  %v21 = icmp slt %pos.38, %v6
+  condbr %v21, label %while.body, label %while.end
+while.body:
+  %v23 = gep @stream, %pos.38 x i32
+  %v24 = load i32, %v23
+  %v26 = add i32 %pos.38, i32 1
+  %v27 = gep @stream, %v26 x i32
+  %v28 = load i32, %v27
+  %v30 = add i32 %pos.38, i32 2
+  %v32 = sub i32 i32 0, i32 999
+  %v33 = icmp eq %v24, %v32
+  condbr %v33, label %if.then, label %if.end
+while.end:
+  %pos.39 = phi i32 [%pos.38, %while.cond], [%v30, %if.then]
+  br label %for.cond.10
+if.then:
+  br label %while.end
+if.end:
+  %v36 = add i32 %zi.48, %v24
+  %v38 = icmp slt %v36, i32 64
+  condbr %v38, label %if.then.8, label %if.end.9
+if.then.8:
+  %v40 = gep @zz, %v36 x i32
+  %v41 = load i32, %v40
+  %v42 = gep @coefs, %v41 x f64
+  %v45 = gep @zz, %v36 x i32
+  %v46 = load i32, %v45
+  %v47 = gep @qtab, %v46 x i32
+  %v48 = load i32, %v47
+  %v49 = mul i32 %v28, %v48
+  %v50 = sitofp %v49 to f64
+  store %v50, %v42
+  br label %if.end.9
+if.end.9:
+  %v52 = add i32 %v36, i32 1
+  br label %while.cond
+for.cond.10:
+  %y.59 = phi i32 [i32 0, %while.end], [%v85, %for.step.12]
+  %v54 = icmp slt %y.59, i32 8
+  condbr %v54, label %for.body.11, label %for.end.13
+for.body.11:
+  br label %for.cond.14
+for.step.12:
+  %v85 = add i32 %y.59, i32 1
+  br label %for.cond.10
+for.end.13:
+  br label %for.cond.22
+for.cond.14:
+  %u.62 = phi i32 [i32 0, %for.body.11], [%v83, %for.step.16]
+  %v56 = icmp slt %u.62, i32 8
+  condbr %v56, label %for.body.15, label %for.end.17
+for.body.15:
+  br label %for.cond.18
+for.step.16:
+  %v83 = add i32 %u.62, i32 1
+  br label %for.cond.14
+for.end.17:
+  br label %for.step.12
+for.cond.18:
+  %v.74 = phi i32 [i32 0, %for.body.15], [%v75, %for.step.20]
+  %s.69 = phi f64 [f64 0.0, %for.body.15], [%v73, %for.step.20]
+  %v58 = icmp slt %v.74, i32 8
+  condbr %v58, label %for.body.19, label %for.end.21
+for.body.19:
+  %v60 = mul i32 %v.74, i32 8
+  %v62 = add i32 %v60, %u.62
+  %v63 = gep @coefs, %v62 x f64
+  %v64 = load f64, %v63
+  %v66 = mul i32 %v.74, i32 8
+  %v68 = add i32 %v66, %y.59
+  %v69 = gep @ctab, %v68 x f64
+  %v70 = load f64, %v69
+  %v71 = fmul f64 %v64, %v70
+  %v73 = fadd f64 %s.69, %v71
+  br label %for.step.20
+for.step.20:
+  %v75 = add i32 %v.74, i32 1
+  br label %for.cond.18
+for.end.21:
+  %v77 = mul i32 %y.59, i32 8
+  %v79 = add i32 %v77, %u.62
+  %v80 = gep @tmpb, %v79 x f64
+  store %s.69, %v80
+  br label %for.step.16
+for.cond.22:
+  %y.66 = phi i32 [i32 0, %for.end.13], [%v135, %for.step.24]
+  %v87 = icmp slt %y.66, i32 8
+  condbr %v87, label %for.body.23, label %for.end.25
+for.body.23:
+  br label %for.cond.26
+for.step.24:
+  %v135 = add i32 %y.66, i32 1
+  br label %for.cond.22
+for.end.25:
+  br label %for.step.2
+for.cond.26:
+  %x.79 = phi i32 [i32 0, %for.body.23], [%v133, %for.step.28]
+  %v89 = icmp slt %x.79, i32 8
+  condbr %v89, label %for.body.27, label %for.end.29
+for.body.27:
+  br label %for.cond.30
+for.step.28:
+  %v133 = add i32 %x.79, i32 1
+  br label %for.cond.26
+for.end.29:
+  br label %for.step.24
+for.cond.30:
+  %u.88 = phi i32 [i32 0, %for.body.27], [%v108, %for.step.32]
+  %s.83 = phi f64 [f64 0.0, %for.body.27], [%v106, %for.step.32]
+  %v91 = icmp slt %u.88, i32 8
+  condbr %v91, label %for.body.31, label %for.end.33
+for.body.31:
+  %v93 = mul i32 %y.66, i32 8
+  %v95 = add i32 %v93, %u.88
+  %v96 = gep @tmpb, %v95 x f64
+  %v97 = load f64, %v96
+  %v99 = mul i32 %u.88, i32 8
+  %v101 = add i32 %v99, %x.79
+  %v102 = gep @ctab, %v101 x f64
+  %v103 = load f64, %v102
+  %v104 = fmul f64 %v97, %v103
+  %v106 = fadd f64 %s.83, %v104
+  br label %for.step.32
+for.step.32:
+  %v108 = add i32 %u.88, i32 1
+  br label %for.cond.30
+for.end.33:
+  %v111 = fcmp olt %s.83, f64 0.0
+  condbr %v111, label %sel.then, label %sel.else
+sel.then:
+  %v112 = fsub f64 f64 0.0, f64 0.5
+  br label %sel.end
+sel.else:
+  br label %sel.end
+sel.end:
+  %v113 = phi f64 [%v112, %sel.then], [f64 0.5, %sel.else]
+  %v114 = fadd f64 %s.83, %v113
+  %v115 = fptosi %v114 to i32
+  %v116 = add i32 %v115, i32 128
+  %v118 = icmp slt %v116, i32 0
+  condbr %v118, label %if.then.34, label %if.end.35
+if.then.34:
+  br label %if.end.35
+if.end.35:
+  %p.98 = phi i32 [%v116, %sel.end], [i32 0, %if.then.34]
+  %v120 = icmp sgt %p.98, i32 255
+  condbr %v120, label %if.then.36, label %if.end.37
+if.then.36:
+  br label %if.end.37
+if.end.37:
+  %p.93 = phi i32 [%p.98, %if.end.35], [i32 255, %if.then.36]
+  %v123 = add i32 %by.42, %y.66
+  %v125 = mul i32 %v123, %v2
+  %v127 = add i32 %v125, %bx.43
+  %v129 = add i32 %v127, %x.79
+  %v130 = gep @image, %v129 x i32
+  store %p.93, %v130
+  br label %for.step.28
+}

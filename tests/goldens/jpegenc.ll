@@ -1,0 +1,280 @@
+; module jpegenc
+@image = global i32 x 576  ; input
+@params = global i32 x 2  ; input
+@stream = global i32 x 1186  ; output
+@stream_len = global i32 x 1  ; output
+@blk = global f64 x 64
+@tmpb = global f64 x 64
+@coef = global i32 x 64
+@zz = global i32 x 64 {0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41, 34, 27, 20, 13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51, 58, 59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63}
+@qtab = global i32 x 64 {16, 11, 10, 16, 24, 40, 51, 61, 12, 12, 14, 19, 26, 58, 60, 55, 14, 13, 16, 24, 40, 57, 69, 56, 14, 17, 22, 29, 51, 87, 80, 62, 18, 22, 37, 56, 68, 109, 103, 77, 24, 35, 55, 64, 81, 104, 113, 92, 49, 64, 78, 87, 103, 121, 120, 101, 72, 92, 95, 98, 112, 100, 103, 99}
+@ctab = global f64 x 64
+
+define void @init_ctab() {
+entry:
+  br label %for.cond
+for.cond:
+  %u.4 = phi i32 [i32 0, %entry], [%v27, %for.step]
+  %v2 = icmp slt %u.4, i32 8
+  condbr %v2, label %for.body, label %for.end
+for.body:
+  %v4 = icmp sgt %u.4, i32 0
+  condbr %v4, label %if.then, label %if.end
+for.step:
+  %v27 = add i32 %u.4, i32 1
+  br label %for.cond
+for.end:
+  ret void
+if.then:
+  br label %if.end
+if.end:
+  %su.5 = phi f64 [f64 0.3535533905932738, %for.body], [f64 0.5, %if.then]
+  br label %for.cond.0
+for.cond.0:
+  %x.7 = phi i32 [i32 0, %if.end], [%v25, %for.step.2]
+  %v6 = icmp slt %x.7, i32 8
+  condbr %v6, label %for.body.1, label %for.end.3
+for.body.1:
+  %v8 = mul i32 %u.4, i32 8
+  %v10 = add i32 %v8, %x.7
+  %v11 = gep @ctab, %v10 x f64
+  %v14 = sitofp %x.7 to f64
+  %v15 = fmul f64 f64 2.0, %v14
+  %v16 = fadd f64 %v15, f64 1.0
+  %v18 = sitofp %u.4 to f64
+  %v19 = fmul f64 %v16, %v18
+  %v20 = fmul f64 %v19, f64 3.141592653589793
+  %v21 = fdiv f64 %v20, f64 16.0
+  %v22 = cos(%v21)
+  %v23 = fmul f64 %su.5, %v22
+  store %v23, %v11
+  br label %for.step.2
+for.step.2:
+  %v25 = add i32 %x.7, i32 1
+  br label %for.cond.0
+for.end.3:
+  br label %for.step
+}
+
+define void @main() {
+entry:
+  %v1 = gep @params, i32 0 x i32
+  %v2 = load i32, %v1
+  %v3 = gep @params, i32 1 x i32
+  %v4 = load i32, %v3
+  call @init_ctab()
+  br label %for.cond
+for.cond:
+  %by.44 = phi i32 [i32 0, %entry], [%v152, %for.step]
+  %pos.41 = phi i32 [i32 0, %entry], [%pos.40, %for.step]
+  %v7 = icmp slt %by.44, %v4
+  condbr %v7, label %for.body, label %for.end
+for.body:
+  br label %for.cond.0
+for.step:
+  %v152 = add i32 %by.44, i32 8
+  br label %for.cond
+for.end:
+  %v153 = gep @stream_len, i32 0 x i32
+  store %pos.41, %v153
+  ret void
+for.cond.0:
+  %bx.45 = phi i32 [i32 0, %for.body], [%v150, %for.step.2]
+  %pos.40 = phi i32 [%pos.41, %for.body], [%v148, %for.step.2]
+  %v10 = icmp slt %bx.45, %v2
+  condbr %v10, label %for.body.1, label %for.end.3
+for.body.1:
+  br label %for.cond.4
+for.step.2:
+  %v150 = add i32 %bx.45, i32 8
+  br label %for.cond.0
+for.end.3:
+  br label %for.step
+for.cond.4:
+  %y.47 = phi i32 [i32 0, %for.body.1], [%v36, %for.step.6]
+  %v12 = icmp slt %y.47, i32 8
+  condbr %v12, label %for.body.5, label %for.end.7
+for.body.5:
+  br label %for.cond.8
+for.step.6:
+  %v36 = add i32 %y.47, i32 1
+  br label %for.cond.4
+for.end.7:
+  br label %for.cond.12
+for.cond.8:
+  %x.50 = phi i32 [i32 0, %for.body.5], [%v34, %for.step.10]
+  %v14 = icmp slt %x.50, i32 8
+  condbr %v14, label %for.body.9, label %for.end.11
+for.body.9:
+  %v16 = mul i32 %y.47, i32 8
+  %v18 = add i32 %v16, %x.50
+  %v19 = gep @blk, %v18 x f64
+  %v22 = add i32 %by.44, %y.47
+  %v24 = mul i32 %v22, %v2
+  %v26 = add i32 %v24, %bx.45
+  %v28 = add i32 %v26, %x.50
+  %v29 = gep @image, %v28 x i32
+  %v30 = load i32, %v29
+  %v31 = sub i32 %v30, i32 128
+  %v32 = sitofp %v31 to f64
+  store %v32, %v19
+  br label %for.step.10
+for.step.10:
+  %v34 = add i32 %x.50, i32 1
+  br label %for.cond.8
+for.end.11:
+  br label %for.step.6
+for.cond.12:
+  %y.54 = phi i32 [i32 0, %for.end.7], [%v69, %for.step.14]
+  %v38 = icmp slt %y.54, i32 8
+  condbr %v38, label %for.body.13, label %for.end.15
+for.body.13:
+  br label %for.cond.16
+for.step.14:
+  %v69 = add i32 %y.54, i32 1
+  br label %for.cond.12
+for.end.15:
+  br label %for.cond.24
+for.cond.16:
+  %u.57 = phi i32 [i32 0, %for.body.13], [%v67, %for.step.18]
+  %v40 = icmp slt %u.57, i32 8
+  condbr %v40, label %for.body.17, label %for.end.19
+for.body.17:
+  br label %for.cond.20
+for.step.18:
+  %v67 = add i32 %u.57, i32 1
+  br label %for.cond.16
+for.end.19:
+  br label %for.step.14
+for.cond.20:
+  %x.69 = phi i32 [i32 0, %for.body.17], [%v59, %for.step.22]
+  %s.64 = phi f64 [f64 0.0, %for.body.17], [%v57, %for.step.22]
+  %v42 = icmp slt %x.69, i32 8
+  condbr %v42, label %for.body.21, label %for.end.23
+for.body.21:
+  %v44 = mul i32 %y.54, i32 8
+  %v46 = add i32 %v44, %x.69
+  %v47 = gep @blk, %v46 x f64
+  %v48 = load f64, %v47
+  %v50 = mul i32 %u.57, i32 8
+  %v52 = add i32 %v50, %x.69
+  %v53 = gep @ctab, %v52 x f64
+  %v54 = load f64, %v53
+  %v55 = fmul f64 %v48, %v54
+  %v57 = fadd f64 %s.64, %v55
+  br label %for.step.22
+for.step.22:
+  %v59 = add i32 %x.69, i32 1
+  br label %for.cond.20
+for.end.23:
+  %v61 = mul i32 %y.54, i32 8
+  %v63 = add i32 %v61, %u.57
+  %v64 = gep @tmpb, %v63 x f64
+  store %s.64, %v64
+  br label %for.step.18
+for.cond.24:
+  %v.61 = phi i32 [i32 0, %for.end.15], [%v117, %for.step.26]
+  %v71 = icmp slt %v.61, i32 8
+  condbr %v71, label %for.body.25, label %for.end.27
+for.body.25:
+  br label %for.cond.28
+for.step.26:
+  %v117 = add i32 %v.61, i32 1
+  br label %for.cond.24
+for.end.27:
+  br label %for.cond.36
+for.cond.28:
+  %u.74 = phi i32 [i32 0, %for.body.25], [%v115, %for.step.30]
+  %v73 = icmp slt %u.74, i32 8
+  condbr %v73, label %for.body.29, label %for.end.31
+for.body.29:
+  br label %for.cond.32
+for.step.30:
+  %v115 = add i32 %u.74, i32 1
+  br label %for.cond.28
+for.end.31:
+  br label %for.step.26
+for.cond.32:
+  %y.90 = phi i32 [i32 0, %for.body.29], [%v92, %for.step.34]
+  %s.85 = phi f64 [f64 0.0, %for.body.29], [%v90, %for.step.34]
+  %v75 = icmp slt %y.90, i32 8
+  condbr %v75, label %for.body.33, label %for.end.35
+for.body.33:
+  %v77 = mul i32 %y.90, i32 8
+  %v79 = add i32 %v77, %u.74
+  %v80 = gep @tmpb, %v79 x f64
+  %v81 = load f64, %v80
+  %v83 = mul i32 %v.61, i32 8
+  %v85 = add i32 %v83, %y.90
+  %v86 = gep @ctab, %v85 x f64
+  %v87 = load f64, %v86
+  %v88 = fmul f64 %v81, %v87
+  %v90 = fadd f64 %s.85, %v88
+  br label %for.step.34
+for.step.34:
+  %v92 = add i32 %y.90, i32 1
+  br label %for.cond.32
+for.end.35:
+  %v95 = mul i32 %v.61, i32 8
+  %v97 = add i32 %v95, %u.74
+  %v98 = gep @qtab, %v97 x i32
+  %v99 = load i32, %v98
+  %v100 = sitofp %v99 to f64
+  %v101 = fdiv f64 %s.85, %v100
+  %v103 = mul i32 %v.61, i32 8
+  %v105 = add i32 %v103, %u.74
+  %v106 = gep @coef, %v105 x i32
+  %v109 = fcmp olt %v101, f64 0.0
+  condbr %v109, label %sel.then, label %sel.else
+sel.then:
+  %v110 = fsub f64 f64 0.0, f64 0.5
+  br label %sel.end
+sel.else:
+  br label %sel.end
+sel.end:
+  %v111 = phi f64 [%v110, %sel.then], [f64 0.5, %sel.else]
+  %v112 = fadd f64 %v101, %v111
+  %v113 = fptosi %v112 to i32
+  store %v113, %v106
+  br label %for.step.30
+for.cond.36:
+  %i.82 = phi i32 [i32 0, %for.end.27], [%v139, %for.step.38]
+  %run.79 = phi i32 [i32 0, %for.end.27], [%run.78, %for.step.38]
+  %pos.43 = phi i32 [%pos.40, %for.end.27], [%pos.42, %for.step.38]
+  %v119 = icmp slt %i.82, i32 64
+  condbr %v119, label %for.body.37, label %for.end.39
+for.body.37:
+  %v121 = gep @zz, %i.82 x i32
+  %v122 = load i32, %v121
+  %v123 = gep @coef, %v122 x i32
+  %v124 = load i32, %v123
+  %v126 = icmp eq %v124, i32 0
+  condbr %v126, label %if.then, label %if.else
+for.step.38:
+  %v139 = add i32 %i.82, i32 1
+  br label %for.cond.36
+for.end.39:
+  %v141 = gep @stream, %pos.43 x i32
+  %v142 = sub i32 i32 0, i32 999
+  store %v142, %v141
+  %v144 = add i32 %pos.43, i32 1
+  %v145 = gep @stream, %v144 x i32
+  store %run.79, %v145
+  %v148 = add i32 %pos.43, i32 2
+  br label %for.step.2
+if.then:
+  %v128 = add i32 %run.79, i32 1
+  br label %if.end
+if.else:
+  %v130 = gep @stream, %pos.43 x i32
+  store %run.79, %v130
+  %v133 = add i32 %pos.43, i32 1
+  %v134 = gep @stream, %v133 x i32
+  store %v124, %v134
+  %v137 = add i32 %pos.43, i32 2
+  br label %if.end
+if.end:
+  %run.78 = phi i32 [i32 0, %if.else], [%v128, %if.then]
+  %pos.42 = phi i32 [%v137, %if.else], [%pos.43, %if.then]
+  br label %for.step.38
+}

@@ -1,0 +1,205 @@
+; module kmeans
+@points = global i32 x 256  ; input
+@params = global i32 x 1  ; input
+@labels = global i32 x 64  ; output
+@centroid = global i32 x 16
+@csum = global i32 x 16
+@ccnt = global i32 x 4
+
+define void @main() {
+entry:
+  %v1 = gep @params, i32 0 x i32
+  %v2 = load i32, %v1
+  br label %for.cond
+for.cond:
+  %k.42 = phi i32 [i32 0, %entry], [%v21, %for.step]
+  %v4 = icmp slt %k.42, i32 4
+  condbr %v4, label %for.body, label %for.end
+for.body:
+  br label %for.cond.0
+for.step:
+  %v21 = add i32 %k.42, i32 1
+  br label %for.cond
+for.end:
+  br label %for.cond.4
+for.cond.0:
+  %d.43 = phi i32 [i32 0, %for.body], [%v19, %for.step.2]
+  %v6 = icmp slt %d.43, i32 4
+  condbr %v6, label %for.body.1, label %for.end.3
+for.body.1:
+  %v8 = mul i32 %k.42, i32 4
+  %v10 = add i32 %v8, %d.43
+  %v11 = gep @centroid, %v10 x i32
+  %v13 = mul i32 %k.42, i32 4
+  %v15 = add i32 %v13, %d.43
+  %v16 = gep @points, %v15 x i32
+  %v17 = load i32, %v16
+  store %v17, %v11
+  br label %for.step.2
+for.step.2:
+  %v19 = add i32 %d.43, i32 1
+  br label %for.cond.0
+for.end.3:
+  br label %for.step
+for.cond.4:
+  %it.45 = phi i32 [i32 0, %for.end], [%v128, %for.step.6]
+  %v23 = icmp slt %it.45, i32 5
+  condbr %v23, label %for.body.5, label %for.end.7
+for.body.5:
+  br label %for.cond.8
+for.step.6:
+  %v128 = add i32 %it.45, i32 1
+  br label %for.cond.4
+for.end.7:
+  ret void
+for.cond.8:
+  %k.46 = phi i32 [i32 0, %for.body.5], [%v38, %for.step.10]
+  %v25 = icmp slt %k.46, i32 4
+  condbr %v25, label %for.body.9, label %for.end.11
+for.body.9:
+  %v27 = gep @ccnt, %k.46 x i32
+  store i32 0, %v27
+  br label %for.cond.12
+for.step.10:
+  %v38 = add i32 %k.46, i32 1
+  br label %for.cond.8
+for.end.11:
+  br label %for.cond.16
+for.cond.12:
+  %d.48 = phi i32 [i32 0, %for.body.9], [%v36, %for.step.14]
+  %v29 = icmp slt %d.48, i32 4
+  condbr %v29, label %for.body.13, label %for.end.15
+for.body.13:
+  %v31 = mul i32 %k.46, i32 4
+  %v33 = add i32 %v31, %d.48
+  %v34 = gep @csum, %v33 x i32
+  store i32 0, %v34
+  br label %for.step.14
+for.step.14:
+  %v36 = add i32 %d.48, i32 1
+  br label %for.cond.12
+for.end.15:
+  br label %for.step.10
+for.cond.16:
+  %i.51 = phi i32 [i32 0, %for.end.11], [%v99, %for.step.18]
+  %v41 = icmp slt %i.51, %v2
+  condbr %v41, label %for.body.17, label %for.end.19
+for.body.17:
+  %v42 = shl i32 i32 1, i32 30
+  br label %for.cond.20
+for.step.18:
+  %v99 = add i32 %i.51, i32 1
+  br label %for.cond.16
+for.end.19:
+  br label %for.cond.32
+for.cond.20:
+  %k.61 = phi i32 [i32 0, %for.body.17], [%v73, %for.step.22]
+  %bestd.58 = phi i32 [%v42, %for.body.17], [%bestd.57, %for.step.22]
+  %best.54 = phi i32 [i32 0, %for.body.17], [%best.53, %for.step.22]
+  %v44 = icmp slt %k.61, i32 4
+  condbr %v44, label %for.body.21, label %for.end.23
+for.body.21:
+  br label %for.cond.24
+for.step.22:
+  %v73 = add i32 %k.61, i32 1
+  br label %for.cond.20
+for.end.23:
+  %v75 = gep @labels, %i.51 x i32
+  store %best.54, %v75
+  %v78 = gep @ccnt, %best.54 x i32
+  %v79 = load i32, %v78
+  %v80 = add i32 %v79, i32 1
+  store %v80, %v78
+  br label %for.cond.28
+for.cond.24:
+  %d.70 = phi i32 [i32 0, %for.body.21], [%v66, %for.step.26]
+  %dist.66 = phi i32 [i32 0, %for.body.21], [%v64, %for.step.26]
+  %v46 = icmp slt %d.70, i32 4
+  condbr %v46, label %for.body.25, label %for.end.27
+for.body.25:
+  %v48 = mul i32 %i.51, i32 4
+  %v50 = add i32 %v48, %d.70
+  %v51 = gep @points, %v50 x i32
+  %v52 = load i32, %v51
+  %v54 = mul i32 %k.61, i32 4
+  %v56 = add i32 %v54, %d.70
+  %v57 = gep @centroid, %v56 x i32
+  %v58 = load i32, %v57
+  %v59 = sub i32 %v52, %v58
+  %v62 = mul i32 %v59, %v59
+  %v64 = add i32 %dist.66, %v62
+  br label %for.step.26
+for.step.26:
+  %v66 = add i32 %d.70, i32 1
+  br label %for.cond.24
+for.end.27:
+  %v69 = icmp slt %dist.66, %bestd.58
+  condbr %v69, label %if.then, label %if.end
+if.then:
+  br label %if.end
+if.end:
+  %bestd.57 = phi i32 [%bestd.58, %for.end.27], [%dist.66, %if.then]
+  %best.53 = phi i32 [%best.54, %for.end.27], [%k.61, %if.then]
+  br label %for.step.22
+for.cond.28:
+  %d.74 = phi i32 [i32 0, %for.end.23], [%v97, %for.step.30]
+  %v82 = icmp slt %d.74, i32 4
+  condbr %v82, label %for.body.29, label %for.end.31
+for.body.29:
+  %v84 = mul i32 %best.54, i32 4
+  %v86 = add i32 %v84, %d.74
+  %v87 = gep @csum, %v86 x i32
+  %v89 = mul i32 %i.51, i32 4
+  %v91 = add i32 %v89, %d.74
+  %v92 = gep @points, %v91 x i32
+  %v93 = load i32, %v92
+  %v94 = load i32, %v87
+  %v95 = add i32 %v94, %v93
+  store %v95, %v87
+  br label %for.step.30
+for.step.30:
+  %v97 = add i32 %d.74, i32 1
+  br label %for.cond.28
+for.end.31:
+  br label %for.step.18
+for.cond.32:
+  %k.64 = phi i32 [i32 0, %for.end.19], [%v126, %for.step.34]
+  %v101 = icmp slt %k.64, i32 4
+  condbr %v101, label %for.body.33, label %for.end.35
+for.body.33:
+  %v103 = gep @ccnt, %k.64 x i32
+  %v104 = load i32, %v103
+  %v105 = icmp sgt %v104, i32 0
+  condbr %v105, label %if.then.36, label %if.end.37
+for.step.34:
+  %v126 = add i32 %k.64, i32 1
+  br label %for.cond.32
+for.end.35:
+  br label %for.step.6
+if.then.36:
+  br label %for.cond.38
+if.end.37:
+  br label %for.step.34
+for.cond.38:
+  %d.81 = phi i32 [i32 0, %if.then.36], [%v124, %for.step.40]
+  %v107 = icmp slt %d.81, i32 4
+  condbr %v107, label %for.body.39, label %for.end.41
+for.body.39:
+  %v109 = mul i32 %k.64, i32 4
+  %v111 = add i32 %v109, %d.81
+  %v112 = gep @centroid, %v111 x i32
+  %v114 = mul i32 %k.64, i32 4
+  %v116 = add i32 %v114, %d.81
+  %v117 = gep @csum, %v116 x i32
+  %v118 = load i32, %v117
+  %v120 = gep @ccnt, %k.64 x i32
+  %v121 = load i32, %v120
+  %v122 = sdiv i32 %v118, %v121
+  store %v122, %v112
+  br label %for.step.40
+for.step.40:
+  %v124 = add i32 %d.81, i32 1
+  br label %for.cond.38
+for.end.41:
+  br label %if.end.37
+}

@@ -1,0 +1,227 @@
+; module mp3dec
+@coefq = global i32 x 312  ; input
+@sfdelta = global i32 x 26  ; input
+@params = global i32 x 1  ; input
+@audio = global i32 x 324  ; output
+@synth = global f64 x 24
+@overlap = global f64 x 24
+@costab = global f64 x 288
+@wintab = global f64 x 24
+
+define void @init_tabs() {
+entry:
+  br label %for.cond
+for.cond:
+  %n.8 = phi i32 [i32 0, %entry], [%v13, %for.step]
+  %v2 = icmp slt %n.8, i32 24
+  condbr %v2, label %for.body, label %for.end
+for.body:
+  %v4 = gep @wintab, %n.8 x f64
+  %v6 = sitofp %n.8 to f64
+  %v7 = fadd f64 %v6, f64 0.5
+  %v8 = fmul f64 f64 3.141592653589793, %v7
+  %v9 = sitofp i32 24 to f64
+  %v10 = fdiv f64 %v8, %v9
+  %v11 = sin(%v10)
+  store %v11, %v4
+  br label %for.step
+for.step:
+  %v13 = add i32 %n.8, i32 1
+  br label %for.cond
+for.end:
+  br label %for.cond.0
+for.cond.0:
+  %k.9 = phi i32 [i32 0, %for.end], [%v40, %for.step.2]
+  %v15 = icmp slt %k.9, i32 12
+  condbr %v15, label %for.body.1, label %for.end.3
+for.body.1:
+  br label %for.cond.4
+for.step.2:
+  %v40 = add i32 %k.9, i32 1
+  br label %for.cond.0
+for.end.3:
+  ret void
+for.cond.4:
+  %n.10 = phi i32 [i32 0, %for.body.1], [%v38, %for.step.6]
+  %v17 = icmp slt %n.10, i32 24
+  condbr %v17, label %for.body.5, label %for.end.7
+for.body.5:
+  %v19 = mul i32 %k.9, i32 24
+  %v21 = add i32 %v19, %n.10
+  %v22 = gep @costab, %v21 x f64
+  %v23 = sitofp i32 12 to f64
+  %v24 = fdiv f64 f64 3.141592653589793, %v23
+  %v26 = sitofp %n.10 to f64
+  %v27 = fadd f64 %v26, f64 0.5
+  %v28 = sitofp i32 12 to f64
+  %v29 = fdiv f64 %v28, f64 2.0
+  %v30 = fadd f64 %v27, %v29
+  %v31 = fmul f64 %v24, %v30
+  %v33 = sitofp %k.9 to f64
+  %v34 = fadd f64 %v33, f64 0.5
+  %v35 = fmul f64 %v31, %v34
+  %v36 = cos(%v35)
+  store %v36, %v22
+  br label %for.step.6
+for.step.6:
+  %v38 = add i32 %n.10, i32 1
+  br label %for.cond.4
+for.end.7:
+  br label %for.step.2
+}
+
+define void @main() {
+entry:
+  %v1 = gep @params, i32 0 x i32
+  %v2 = load i32, %v1
+  call @init_tabs()
+  br label %for.cond
+for.cond:
+  %n.26 = phi i32 [i32 0, %entry], [%v8, %for.step]
+  %v4 = icmp slt %n.26, i32 24
+  condbr %v4, label %for.body, label %for.end
+for.body:
+  %v6 = gep @overlap, %n.26 x f64
+  store f64 0.0, %v6
+  br label %for.step
+for.step:
+  %v8 = add i32 %n.26, i32 1
+  br label %for.cond
+for.end:
+  br label %for.cond.0
+for.cond.0:
+  %f.28 = phi i32 [i32 0, %for.end], [%v104, %for.step.2]
+  %sf.27 = phi i32 [i32 0, %for.end], [%v16, %for.step.2]
+  %v11 = icmp slt %f.28, %v2
+  condbr %v11, label %for.body.1, label %for.end.3
+for.body.1:
+  %v13 = gep @sfdelta, %f.28 x i32
+  %v14 = load i32, %v13
+  %v16 = add i32 %sf.27, %v14
+  %v18 = mul i32 %f.28, i32 12
+  br label %for.cond.4
+for.step.2:
+  %v104 = add i32 %f.28, i32 1
+  br label %for.cond.0
+for.end.3:
+  ret void
+for.cond.4:
+  %n.30 = phi i32 [i32 0, %for.body.1], [%v55, %for.step.6]
+  %v20 = icmp slt %n.30, i32 24
+  condbr %v20, label %for.body.5, label %for.end.7
+for.body.5:
+  br label %for.cond.8
+for.step.6:
+  %v55 = add i32 %n.30, i32 1
+  br label %for.cond.4
+for.end.7:
+  br label %for.cond.12
+for.cond.8:
+  %k.35 = phi i32 [i32 0, %for.body.5], [%v43, %for.step.10]
+  %s.32 = phi f64 [f64 0.0, %for.body.5], [%v41, %for.step.10]
+  %v22 = icmp slt %k.35, i32 12
+  condbr %v22, label %for.body.9, label %for.end.11
+for.body.9:
+  %v24 = mul i32 %f.28, i32 12
+  %v26 = add i32 %v24, %k.35
+  %v27 = gep @coefq, %v26 x i32
+  %v28 = load i32, %v27
+  %v29 = sitofp %v28 to f64
+  %v31 = sitofp %v16 to f64
+  %v32 = fmul f64 %v29, %v31
+  %v34 = mul i32 %k.35, i32 24
+  %v36 = add i32 %v34, %n.30
+  %v37 = gep @costab, %v36 x f64
+  %v38 = load f64, %v37
+  %v39 = fmul f64 %v32, %v38
+  %v41 = fadd f64 %s.32, %v39
+  br label %for.step.10
+for.step.10:
+  %v43 = add i32 %k.35, i32 1
+  br label %for.cond.8
+for.end.11:
+  %v45 = gep @synth, %n.30 x f64
+  %v48 = gep @wintab, %n.30 x f64
+  %v49 = load f64, %v48
+  %v50 = fmul f64 %s.32, %v49
+  %v51 = sitofp i32 12 to f64
+  %v52 = fdiv f64 f64 2.0, %v51
+  %v53 = fmul f64 %v50, %v52
+  store %v53, %v45
+  br label %for.step.6
+for.cond.12:
+  %n.38 = phi i32 [i32 0, %for.end.7], [%v84, %for.step.14]
+  %v57 = icmp slt %n.38, i32 12
+  condbr %v57, label %for.body.13, label %for.end.15
+for.body.13:
+  %v59 = gep @overlap, %n.38 x f64
+  %v60 = load f64, %v59
+  %v62 = gep @synth, %n.38 x f64
+  %v63 = load f64, %v62
+  %v64 = fadd f64 %v60, %v63
+  %v67 = fcmp olt %v64, f64 0.0
+  condbr %v67, label %sel.then, label %sel.else
+for.step.14:
+  %v84 = add i32 %n.38, i32 1
+  br label %for.cond.12
+for.end.15:
+  br label %for.cond.18
+sel.then:
+  %v68 = fsub f64 f64 0.0, f64 0.5
+  br label %sel.end
+sel.else:
+  br label %sel.end
+sel.end:
+  %v69 = phi f64 [%v68, %sel.then], [f64 0.5, %sel.else]
+  %v70 = fadd f64 %v64, %v69
+  %v71 = fptosi %v70 to i32
+  %v73 = icmp sgt %v71, i32 32767
+  condbr %v73, label %if.then, label %if.end
+if.then:
+  br label %if.end
+if.end:
+  %out.45 = phi i32 [%v71, %sel.end], [i32 32767, %if.then]
+  %v75 = sub i32 i32 0, i32 32768
+  %v76 = icmp slt %out.45, %v75
+  condbr %v76, label %if.then.16, label %if.end.17
+if.then.16:
+  %v77 = sub i32 i32 0, i32 32768
+  br label %if.end.17
+if.end.17:
+  %out.42 = phi i32 [%out.45, %if.end], [%v77, %if.then.16]
+  %v80 = add i32 %v18, %n.38
+  %v81 = gep @audio, %v80 x i32
+  store %out.42, %v81
+  br label %for.step.14
+for.cond.18:
+  %n.46 = phi i32 [i32 0, %for.end.15], [%v95, %for.step.20]
+  %v86 = sub i32 i32 24, i32 12
+  %v87 = icmp slt %n.46, %v86
+  condbr %v87, label %for.body.19, label %for.end.21
+for.body.19:
+  %v89 = gep @overlap, %n.46 x f64
+  %v91 = add i32 i32 12, %n.46
+  %v92 = gep @synth, %v91 x f64
+  %v93 = load f64, %v92
+  store %v93, %v89
+  br label %for.step.20
+for.step.20:
+  %v95 = add i32 %n.46, i32 1
+  br label %for.cond.18
+for.end.21:
+  %v96 = sub i32 i32 24, i32 12
+  br label %for.cond.22
+for.cond.22:
+  %n.48 = phi i32 [%v96, %for.end.21], [%v102, %for.step.24]
+  %v98 = icmp slt %n.48, i32 24
+  condbr %v98, label %for.body.23, label %for.end.25
+for.body.23:
+  %v100 = gep @overlap, %n.48 x f64
+  store f64 0.0, %v100
+  br label %for.step.24
+for.step.24:
+  %v102 = add i32 %n.48, i32 1
+  br label %for.cond.22
+for.end.25:
+  br label %for.step.2
+}

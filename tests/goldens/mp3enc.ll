@@ -1,0 +1,173 @@
+; module mp3enc
+@audio = global i32 x 324  ; input
+@params = global i32 x 1  ; input
+@coefq = global i32 x 312  ; output
+@sfdelta = global i32 x 26  ; output
+@spec = global f64 x 12
+@costab = global f64 x 288
+@wintab = global f64 x 24
+
+define void @init_tabs() {
+entry:
+  br label %for.cond
+for.cond:
+  %n.8 = phi i32 [i32 0, %entry], [%v13, %for.step]
+  %v2 = icmp slt %n.8, i32 24
+  condbr %v2, label %for.body, label %for.end
+for.body:
+  %v4 = gep @wintab, %n.8 x f64
+  %v6 = sitofp %n.8 to f64
+  %v7 = fadd f64 %v6, f64 0.5
+  %v8 = fmul f64 f64 3.141592653589793, %v7
+  %v9 = sitofp i32 24 to f64
+  %v10 = fdiv f64 %v8, %v9
+  %v11 = sin(%v10)
+  store %v11, %v4
+  br label %for.step
+for.step:
+  %v13 = add i32 %n.8, i32 1
+  br label %for.cond
+for.end:
+  br label %for.cond.0
+for.cond.0:
+  %k.9 = phi i32 [i32 0, %for.end], [%v40, %for.step.2]
+  %v15 = icmp slt %k.9, i32 12
+  condbr %v15, label %for.body.1, label %for.end.3
+for.body.1:
+  br label %for.cond.4
+for.step.2:
+  %v40 = add i32 %k.9, i32 1
+  br label %for.cond.0
+for.end.3:
+  ret void
+for.cond.4:
+  %n.10 = phi i32 [i32 0, %for.body.1], [%v38, %for.step.6]
+  %v17 = icmp slt %n.10, i32 24
+  condbr %v17, label %for.body.5, label %for.end.7
+for.body.5:
+  %v19 = mul i32 %k.9, i32 24
+  %v21 = add i32 %v19, %n.10
+  %v22 = gep @costab, %v21 x f64
+  %v23 = sitofp i32 12 to f64
+  %v24 = fdiv f64 f64 3.141592653589793, %v23
+  %v26 = sitofp %n.10 to f64
+  %v27 = fadd f64 %v26, f64 0.5
+  %v28 = sitofp i32 12 to f64
+  %v29 = fdiv f64 %v28, f64 2.0
+  %v30 = fadd f64 %v27, %v29
+  %v31 = fmul f64 %v24, %v30
+  %v33 = sitofp %k.9 to f64
+  %v34 = fadd f64 %v33, f64 0.5
+  %v35 = fmul f64 %v31, %v34
+  %v36 = cos(%v35)
+  store %v36, %v22
+  br label %for.step.6
+for.step.6:
+  %v38 = add i32 %n.10, i32 1
+  br label %for.cond.4
+for.end.7:
+  br label %for.step.2
+}
+
+define void @main() {
+entry:
+  %v1 = gep @params, i32 0 x i32
+  %v2 = load i32, %v1
+  call @init_tabs()
+  br label %for.cond
+for.cond:
+  %f.13 = phi i32 [i32 0, %entry], [%v77, %for.step]
+  %prev_sf.12 = phi i32 [i32 0, %entry], [%v47, %for.step]
+  %v5 = icmp slt %f.13, %v2
+  condbr %v5, label %for.body, label %for.end
+for.body:
+  %v7 = mul i32 %f.13, i32 12
+  br label %for.cond.0
+for.step:
+  %v77 = add i32 %f.13, i32 1
+  br label %for.cond
+for.end:
+  ret void
+for.cond.0:
+  %k.18 = phi i32 [i32 0, %for.body], [%v43, %for.step.2]
+  %peak.16 = phi f64 [f64 1.0, %for.body], [%peak.15, %for.step.2]
+  %v9 = icmp slt %k.18, i32 12
+  condbr %v9, label %for.body.1, label %for.end.3
+for.body.1:
+  br label %for.cond.4
+for.step.2:
+  %v43 = add i32 %k.18, i32 1
+  br label %for.cond.0
+for.end.3:
+  %v45 = fdiv f64 %peak.16, f64 127.0
+  %v46 = fptosi %v45 to i32
+  %v47 = add i32 %v46, i32 1
+  %v49 = gep @sfdelta, %f.13 x i32
+  %v52 = sub i32 %v47, %prev_sf.12
+  store %v52, %v49
+  br label %for.cond.8
+for.cond.4:
+  %n.23 = phi i32 [i32 0, %for.body.1], [%v32, %for.step.6]
+  %s.20 = phi f64 [f64 0.0, %for.body.1], [%v30, %for.step.6]
+  %v11 = icmp slt %n.23, i32 24
+  condbr %v11, label %for.body.5, label %for.end.7
+for.body.5:
+  %v14 = add i32 %v7, %n.23
+  %v15 = gep @audio, %v14 x i32
+  %v16 = load i32, %v15
+  %v17 = sitofp %v16 to f64
+  %v19 = gep @wintab, %n.23 x f64
+  %v20 = load f64, %v19
+  %v21 = fmul f64 %v17, %v20
+  %v23 = mul i32 %k.18, i32 24
+  %v25 = add i32 %v23, %n.23
+  %v26 = gep @costab, %v25 x f64
+  %v27 = load f64, %v26
+  %v28 = fmul f64 %v21, %v27
+  %v30 = fadd f64 %s.20, %v28
+  br label %for.step.6
+for.step.6:
+  %v32 = add i32 %n.23, i32 1
+  br label %for.cond.4
+for.end.7:
+  %v34 = gep @spec, %k.18 x f64
+  store %s.20, %v34
+  %v37 = fabs(%s.20)
+  %v40 = fcmp ogt %v37, %peak.16
+  condbr %v40, label %if.then, label %if.end
+if.then:
+  br label %if.end
+if.end:
+  %peak.15 = phi f64 [%peak.16, %for.end.7], [%v37, %if.then]
+  br label %for.step.2
+for.cond.8:
+  %k.27 = phi i32 [i32 0, %for.end.3], [%v75, %for.step.10]
+  %v55 = icmp slt %k.27, i32 12
+  condbr %v55, label %for.body.9, label %for.end.11
+for.body.9:
+  %v57 = gep @spec, %k.27 x f64
+  %v58 = load f64, %v57
+  %v60 = sitofp %v47 to f64
+  %v61 = fdiv f64 %v58, %v60
+  %v63 = mul i32 %f.13, i32 12
+  %v65 = add i32 %v63, %k.27
+  %v66 = gep @coefq, %v65 x i32
+  %v69 = fcmp olt %v61, f64 0.0
+  condbr %v69, label %sel.then, label %sel.else
+for.step.10:
+  %v75 = add i32 %k.27, i32 1
+  br label %for.cond.8
+for.end.11:
+  br label %for.step
+sel.then:
+  %v70 = fsub f64 f64 0.0, f64 0.5
+  br label %sel.end
+sel.else:
+  br label %sel.end
+sel.end:
+  %v71 = phi f64 [%v70, %sel.then], [f64 0.5, %sel.else]
+  %v72 = fadd f64 %v61, %v71
+  %v73 = fptosi %v72 to i32
+  store %v73, %v66
+  br label %for.step.10
+}

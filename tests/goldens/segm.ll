@@ -1,0 +1,260 @@
+; module segm
+@image = global i32 x 484  ; input
+@params = global i32 x 2  ; input
+@labels = global i32 x 484  ; output
+@centroid = global i32 x 3
+@seg_sum = global i32 x 3
+@seg_cnt = global i32 x 3
+@rawlab = global i32 x 484
+
+define void @main() {
+entry:
+  %v1 = gep @params, i32 0 x i32
+  %v2 = load i32, %v1
+  %v3 = gep @params, i32 1 x i32
+  %v4 = load i32, %v3
+  %v7 = mul i32 %v2, %v4
+  br label %for.cond
+for.cond:
+  %k.56 = phi i32 [i32 0, %entry], [%v19, %for.step]
+  %v9 = icmp slt %k.56, i32 3
+  condbr %v9, label %for.body, label %for.end
+for.body:
+  %v11 = gep @centroid, %k.56 x i32
+  %v13 = mul i32 i32 2, %k.56
+  %v14 = add i32 %v13, i32 1
+  %v15 = mul i32 i32 255, %v14
+  %v16 = mul i32 i32 2, i32 3
+  %v17 = sdiv i32 %v15, %v16
+  store %v17, %v11
+  br label %for.step
+for.step:
+  %v19 = add i32 %k.56, i32 1
+  br label %for.cond
+for.end:
+  br label %for.cond.0
+for.cond.0:
+  %it.57 = phi i32 [i32 0, %for.end], [%v88, %for.step.2]
+  %v21 = icmp slt %it.57, i32 4
+  condbr %v21, label %for.body.1, label %for.end.3
+for.body.1:
+  br label %for.cond.4
+for.step.2:
+  %v88 = add i32 %it.57, i32 1
+  br label %for.cond.0
+for.end.3:
+  br label %for.cond.22
+for.cond.4:
+  %k.58 = phi i32 [i32 0, %for.body.1], [%v29, %for.step.6]
+  %v23 = icmp slt %k.58, i32 3
+  condbr %v23, label %for.body.5, label %for.end.7
+for.body.5:
+  %v25 = gep @seg_sum, %k.58 x i32
+  store i32 0, %v25
+  %v27 = gep @seg_cnt, %k.58 x i32
+  store i32 0, %v27
+  br label %for.step.6
+for.step.6:
+  %v29 = add i32 %k.58, i32 1
+  br label %for.cond.4
+for.end.7:
+  br label %for.cond.8
+for.cond.8:
+  %i.61 = phi i32 [i32 0, %for.end.7], [%v69, %for.step.10]
+  %v32 = icmp slt %i.61, %v7
+  condbr %v32, label %for.body.9, label %for.end.11
+for.body.9:
+  %v34 = gep @image, %i.61 x i32
+  %v35 = load i32, %v34
+  %v37 = gep @centroid, i32 0 x i32
+  %v38 = load i32, %v37
+  %v39 = sub i32 %v35, %v38
+  %v40 = abs(%v39)
+  br label %for.cond.12
+for.step.10:
+  %v69 = add i32 %i.61, i32 1
+  br label %for.cond.8
+for.end.11:
+  br label %for.cond.16
+for.cond.12:
+  %k.73 = phi i32 [i32 1, %for.body.9], [%v55, %for.step.14]
+  %bestd.70 = phi i32 [%v40, %for.body.9], [%bestd.69, %for.step.14]
+  %best.66 = phi i32 [i32 0, %for.body.9], [%best.65, %for.step.14]
+  %v42 = icmp slt %k.73, i32 3
+  condbr %v42, label %for.body.13, label %for.end.15
+for.body.13:
+  %v45 = gep @centroid, %k.73 x i32
+  %v46 = load i32, %v45
+  %v47 = sub i32 %v35, %v46
+  %v48 = abs(%v47)
+  %v51 = icmp slt %v48, %bestd.70
+  condbr %v51, label %if.then, label %if.end
+for.step.14:
+  %v55 = add i32 %k.73, i32 1
+  br label %for.cond.12
+for.end.15:
+  %v57 = gep @rawlab, %i.61 x i32
+  store %best.66, %v57
+  %v60 = gep @seg_sum, %best.66 x i32
+  %v62 = load i32, %v60
+  %v63 = add i32 %v62, %v35
+  store %v63, %v60
+  %v65 = gep @seg_cnt, %best.66 x i32
+  %v66 = load i32, %v65
+  %v67 = add i32 %v66, i32 1
+  store %v67, %v65
+  br label %for.step.10
+if.then:
+  br label %if.end
+if.end:
+  %bestd.69 = phi i32 [%bestd.70, %for.body.13], [%v48, %if.then]
+  %best.65 = phi i32 [%best.66, %for.body.13], [%k.73, %if.then]
+  br label %for.step.14
+for.cond.16:
+  %k.76 = phi i32 [i32 0, %for.end.11], [%v86, %for.step.18]
+  %v71 = icmp slt %k.76, i32 3
+  condbr %v71, label %for.body.17, label %for.end.19
+for.body.17:
+  %v73 = gep @seg_cnt, %k.76 x i32
+  %v74 = load i32, %v73
+  %v75 = icmp sgt %v74, i32 0
+  condbr %v75, label %if.then.20, label %if.end.21
+for.step.18:
+  %v86 = add i32 %k.76, i32 1
+  br label %for.cond.16
+for.end.19:
+  br label %for.step.2
+if.then.20:
+  %v77 = gep @centroid, %k.76 x i32
+  %v79 = gep @seg_sum, %k.76 x i32
+  %v80 = load i32, %v79
+  %v82 = gep @seg_cnt, %k.76 x i32
+  %v83 = load i32, %v82
+  %v84 = sdiv i32 %v80, %v83
+  store %v84, %v77
+  br label %if.end.21
+if.end.21:
+  br label %for.step.18
+for.cond.22:
+  %y.60 = phi i32 [i32 0, %for.end.3], [%v162, %for.step.24]
+  %v91 = icmp slt %y.60, %v4
+  condbr %v91, label %for.body.23, label %for.end.25
+for.body.23:
+  br label %for.cond.26
+for.step.24:
+  %v162 = add i32 %y.60, i32 1
+  br label %for.cond.22
+for.end.25:
+  ret void
+for.cond.26:
+  %x.81 = phi i32 [i32 0, %for.body.23], [%v160, %for.step.28]
+  %v94 = icmp slt %x.81, %v2
+  condbr %v94, label %for.body.27, label %for.end.29
+for.body.27:
+  %v95 = sub i32 i32 0, i32 1
+  br label %for.cond.30
+for.step.28:
+  %v160 = add i32 %x.81, i32 1
+  br label %for.cond.26
+for.end.29:
+  br label %for.step.24
+for.cond.30:
+  %dy.98 = phi i32 [%v95, %for.body.27], [%v143, %for.step.32]
+  %votes2.95 = phi i32 [i32 0, %for.body.27], [%votes2.94, %for.step.32]
+  %votes1.90 = phi i32 [i32 0, %for.body.27], [%votes1.89, %for.step.32]
+  %votes0.85 = phi i32 [i32 0, %for.body.27], [%votes0.84, %for.step.32]
+  %v97 = icmp sle %dy.98, i32 1
+  condbr %v97, label %for.body.31, label %for.end.33
+for.body.31:
+  %v98 = sub i32 i32 0, i32 1
+  br label %for.cond.34
+for.step.32:
+  %v143 = add i32 %dy.98, i32 1
+  br label %for.cond.30
+for.end.33:
+  %v147 = icmp sgt %votes1.90, %votes0.85
+  condbr %v147, label %if.then.52, label %if.end.53
+for.cond.34:
+  %dx.101 = phi i32 [%v98, %for.body.31], [%v141, %for.step.36]
+  %votes2.94 = phi i32 [%votes2.95, %for.body.31], [%votes2.93, %for.step.36]
+  %votes1.89 = phi i32 [%votes1.90, %for.body.31], [%votes1.88, %for.step.36]
+  %votes0.84 = phi i32 [%votes0.85, %for.body.31], [%votes0.83, %for.step.36]
+  %v100 = icmp sle %dx.101, i32 1
+  condbr %v100, label %for.body.35, label %for.end.37
+for.body.35:
+  %v103 = add i32 %y.60, %dy.98
+  %v106 = add i32 %x.81, %dx.101
+  %v108 = icmp slt %v103, i32 0
+  condbr %v108, label %if.then.38, label %if.end.39
+for.step.36:
+  %v141 = add i32 %dx.101, i32 1
+  br label %for.cond.34
+for.end.37:
+  br label %for.step.32
+if.then.38:
+  br label %if.end.39
+if.end.39:
+  %ny.117 = phi i32 [%v103, %for.body.35], [i32 0, %if.then.38]
+  %v110 = icmp slt %v106, i32 0
+  condbr %v110, label %if.then.40, label %if.end.41
+if.then.40:
+  br label %if.end.41
+if.end.41:
+  %nx.123 = phi i32 [%v106, %if.end.39], [i32 0, %if.then.40]
+  %v113 = icmp sge %ny.117, %v4
+  condbr %v113, label %if.then.42, label %if.end.43
+if.then.42:
+  %v115 = sub i32 %v4, i32 1
+  br label %if.end.43
+if.end.43:
+  %ny.112 = phi i32 [%ny.117, %if.end.41], [%v115, %if.then.42]
+  %v118 = icmp sge %nx.123, %v2
+  condbr %v118, label %if.then.44, label %if.end.45
+if.then.44:
+  %v120 = sub i32 %v2, i32 1
+  br label %if.end.45
+if.end.45:
+  %nx.118 = phi i32 [%nx.123, %if.end.43], [%v120, %if.then.44]
+  %v123 = mul i32 %ny.112, %v2
+  %v125 = add i32 %v123, %nx.118
+  %v126 = gep @rawlab, %v125 x i32
+  %v127 = load i32, %v126
+  %v129 = icmp eq %v127, i32 0
+  condbr %v129, label %if.then.46, label %if.end.47
+if.then.46:
+  %v131 = add i32 %votes0.84, i32 1
+  br label %if.end.47
+if.end.47:
+  %votes0.83 = phi i32 [%votes0.84, %if.end.45], [%v131, %if.then.46]
+  %v133 = icmp eq %v127, i32 1
+  condbr %v133, label %if.then.48, label %if.end.49
+if.then.48:
+  %v135 = add i32 %votes1.89, i32 1
+  br label %if.end.49
+if.end.49:
+  %votes1.88 = phi i32 [%votes1.89, %if.end.47], [%v135, %if.then.48]
+  %v137 = icmp eq %v127, i32 2
+  condbr %v137, label %if.then.50, label %if.end.51
+if.then.50:
+  %v139 = add i32 %votes2.94, i32 1
+  br label %if.end.51
+if.end.51:
+  %votes2.93 = phi i32 [%votes2.94, %if.end.49], [%v139, %if.then.50]
+  br label %for.step.36
+if.then.52:
+  br label %if.end.53
+if.end.53:
+  %wv.109 = phi i32 [%votes0.85, %for.end.33], [%votes1.90, %if.then.52]
+  %winner.108 = phi i32 [i32 0, %for.end.33], [i32 1, %if.then.52]
+  %v151 = icmp sgt %votes2.95, %wv.109
+  condbr %v151, label %if.then.54, label %if.end.55
+if.then.54:
+  br label %if.end.55
+if.end.55:
+  %winner.105 = phi i32 [%winner.108, %if.end.53], [i32 2, %if.then.54]
+  %v154 = mul i32 %y.60, %v2
+  %v156 = add i32 %v154, %x.81
+  %v157 = gep @labels, %v156 x i32
+  store %winner.105, %v157
+  br label %for.step.28
+}

@@ -1,0 +1,81 @@
+; module svm
+@testx = global i32 x 288  ; input
+@svx = global i32 x 120  ; input
+@alpha = global i32 x 20  ; input
+@params = global i32 x 1  ; input
+@labels = global i32 x 48  ; output
+
+define void @main() {
+entry:
+  %v1 = gep @params, i32 0 x i32
+  %v2 = load i32, %v1
+  br label %for.cond
+for.cond:
+  %i.8 = phi i32 [i32 0, %entry], [%v54, %for.step]
+  %v5 = icmp slt %i.8, %v2
+  condbr %v5, label %for.body, label %for.end
+for.body:
+  br label %for.cond.0
+for.step:
+  %v54 = add i32 %i.8, i32 1
+  br label %for.cond
+for.end:
+  ret void
+for.cond.0:
+  %s.11 = phi i32 [i32 0, %for.body], [%v45, %for.step.2]
+  %score.9 = phi f64 [f64 0.0, %for.body], [%v43, %for.step.2]
+  %v7 = icmp slt %s.11, i32 20
+  condbr %v7, label %for.body.1, label %for.end.3
+for.body.1:
+  br label %for.cond.4
+for.step.2:
+  %v45 = add i32 %s.11, i32 1
+  br label %for.cond.0
+for.end.3:
+  %v47 = fcmp oge %score.9, f64 0.0
+  condbr %v47, label %if.then, label %if.else
+for.cond.4:
+  %d.16 = phi i32 [i32 0, %for.body.1], [%v30, %for.step.6]
+  %dist2.13 = phi f64 [f64 0.0, %for.body.1], [%v28, %for.step.6]
+  %v9 = icmp slt %d.16, i32 6
+  condbr %v9, label %for.body.5, label %for.end.7
+for.body.5:
+  %v11 = mul i32 %i.8, i32 6
+  %v13 = add i32 %v11, %d.16
+  %v14 = gep @testx, %v13 x i32
+  %v15 = load i32, %v14
+  %v17 = mul i32 %s.11, i32 6
+  %v19 = add i32 %v17, %d.16
+  %v20 = gep @svx, %v19 x i32
+  %v21 = load i32, %v20
+  %v22 = sub i32 %v15, %v21
+  %v23 = sitofp %v22 to f64
+  %v26 = fmul f64 %v23, %v23
+  %v28 = fadd f64 %dist2.13, %v26
+  br label %for.step.6
+for.step.6:
+  %v30 = add i32 %d.16, i32 1
+  br label %for.cond.4
+for.end.7:
+  %v32 = fmul f64 f64 1.54320987654321e-05, %dist2.13
+  %v33 = fsub f64 f64 0.0, %v32
+  %v34 = exp(%v33)
+  %v36 = gep @alpha, %s.11 x i32
+  %v37 = load i32, %v36
+  %v38 = sitofp %v37 to f64
+  %v39 = fmul f64 %v38, f64 0.001
+  %v41 = fmul f64 %v39, %v34
+  %v43 = fadd f64 %score.9, %v41
+  br label %for.step.2
+if.then:
+  %v49 = gep @labels, %i.8 x i32
+  store i32 1, %v49
+  br label %if.end
+if.else:
+  %v51 = gep @labels, %i.8 x i32
+  %v52 = sub i32 i32 0, i32 1
+  store %v52, %v51
+  br label %if.end
+if.end:
+  br label %for.step
+}

@@ -1,0 +1,138 @@
+; module tex_synth
+@sample = global i32 x 81  ; input
+@seedrow = global i32 x 9  ; input
+@params = global i32 x 1  ; input
+@out = global i32 x 81  ; output
+
+define void @main() {
+entry:
+  %v1 = gep @params, i32 0 x i32
+  %v2 = load i32, %v1
+  br label %for.cond
+for.cond:
+  %x.18 = phi i32 [i32 0, %entry], [%v12, %for.step]
+  %v5 = icmp slt %x.18, %v2
+  condbr %v5, label %for.body, label %for.end
+for.body:
+  %v7 = gep @out, %x.18 x i32
+  %v9 = gep @seedrow, %x.18 x i32
+  %v10 = load i32, %v9
+  store %v10, %v7
+  br label %for.step
+for.step:
+  %v12 = add i32 %x.18, i32 1
+  br label %for.cond
+for.end:
+  br label %for.cond.0
+for.cond.0:
+  %y.19 = phi i32 [i32 1, %for.end], [%v115, %for.step.2]
+  %v15 = icmp slt %y.19, %v2
+  condbr %v15, label %for.body.1, label %for.end.3
+for.body.1:
+  br label %for.cond.4
+for.step.2:
+  %v115 = add i32 %y.19, i32 1
+  br label %for.cond.0
+for.end.3:
+  ret void
+for.cond.4:
+  %x.20 = phi i32 [i32 0, %for.body.1], [%v113, %for.step.6]
+  %v18 = icmp slt %x.20, %v2
+  condbr %v18, label %for.body.5, label %for.end.7
+for.body.5:
+  %v19 = shl i32 i32 1, i32 28
+  br label %for.cond.8
+for.step.6:
+  %v113 = add i32 %x.20, i32 1
+  br label %for.cond.4
+for.end.7:
+  br label %for.step.2
+for.cond.8:
+  %sy.32 = phi i32 [i32 1, %for.body.5], [%v104, %for.step.10]
+  %bestssd.29 = phi i32 [%v19, %for.body.5], [%bestssd.28, %for.step.10]
+  %bestval.24 = phi i32 [i32 0, %for.body.5], [%bestval.23, %for.step.10]
+  %v21 = icmp slt %sy.32, i32 9
+  condbr %v21, label %for.body.9, label %for.end.11
+for.body.9:
+  br label %for.cond.12
+for.step.10:
+  %v104 = add i32 %sy.32, i32 1
+  br label %for.cond.8
+for.end.11:
+  %v107 = mul i32 %y.19, %v2
+  %v109 = add i32 %v107, %x.20
+  %v110 = gep @out, %v109 x i32
+  store %bestval.24, %v110
+  br label %for.step.6
+for.cond.12:
+  %sx.35 = phi i32 [i32 1, %for.body.9], [%v102, %for.step.14]
+  %bestssd.28 = phi i32 [%bestssd.29, %for.body.9], [%bestssd.27, %for.step.14]
+  %bestval.23 = phi i32 [%bestval.24, %for.body.9], [%bestval.22, %for.step.14]
+  %v23 = icmp slt %sx.35, i32 9
+  condbr %v23, label %for.body.13, label %for.end.15
+for.body.13:
+  %v25 = sub i32 %y.19, i32 1
+  %v27 = mul i32 %v25, %v2
+  %v29 = add i32 %v27, %x.20
+  %v30 = gep @out, %v29 x i32
+  %v31 = load i32, %v30
+  %v33 = sub i32 %sy.32, i32 1
+  %v34 = mul i32 %v33, i32 9
+  %v36 = add i32 %v34, %sx.35
+  %v37 = gep @sample, %v36 x i32
+  %v38 = load i32, %v37
+  %v39 = sub i32 %v31, %v38
+  %v42 = mul i32 %v39, %v39
+  %v44 = add i32 i32 0, %v42
+  %v46 = icmp sgt %x.20, i32 0
+  condbr %v46, label %if.then, label %if.end
+for.step.14:
+  %v102 = add i32 %sx.35, i32 1
+  br label %for.cond.12
+for.end.15:
+  br label %for.step.10
+if.then:
+  %v49 = mul i32 %y.19, %v2
+  %v51 = add i32 %v49, %x.20
+  %v52 = sub i32 %v51, i32 1
+  %v53 = gep @out, %v52 x i32
+  %v54 = load i32, %v53
+  %v56 = mul i32 %sy.32, i32 9
+  %v58 = add i32 %v56, %sx.35
+  %v59 = sub i32 %v58, i32 1
+  %v60 = gep @sample, %v59 x i32
+  %v61 = load i32, %v60
+  %v62 = sub i32 %v54, %v61
+  %v65 = mul i32 %v62, %v62
+  %v67 = add i32 %v44, %v65
+  %v69 = sub i32 %y.19, i32 1
+  %v71 = mul i32 %v69, %v2
+  %v73 = add i32 %v71, %x.20
+  %v74 = sub i32 %v73, i32 1
+  %v75 = gep @out, %v74 x i32
+  %v76 = load i32, %v75
+  %v78 = sub i32 %sy.32, i32 1
+  %v79 = mul i32 %v78, i32 9
+  %v81 = add i32 %v79, %sx.35
+  %v82 = sub i32 %v81, i32 1
+  %v83 = gep @sample, %v82 x i32
+  %v84 = load i32, %v83
+  %v85 = sub i32 %v76, %v84
+  %v88 = mul i32 %v85, %v85
+  %v90 = add i32 %v67, %v88
+  br label %if.end
+if.end:
+  %ssd.39 = phi i32 [%v44, %for.body.13], [%v90, %if.then]
+  %v93 = icmp slt %ssd.39, %bestssd.28
+  condbr %v93, label %if.then.16, label %if.end.17
+if.then.16:
+  %v96 = mul i32 %sy.32, i32 9
+  %v98 = add i32 %v96, %sx.35
+  %v99 = gep @sample, %v98 x i32
+  %v100 = load i32, %v99
+  br label %if.end.17
+if.end.17:
+  %bestssd.27 = phi i32 [%bestssd.28, %if.end], [%ssd.39, %if.then.16]
+  %bestval.22 = phi i32 [%bestval.23, %if.end], [%v100, %if.then.16]
+  br label %for.step.14
+}

@@ -1,0 +1,96 @@
+; module tiff2bw
+@rgb = global i32 x 2028  ; input
+@params = global i32 x 2  ; input
+@bw = global i32 x 676  ; output
+@lum = global i32 x 676
+
+define void @main() {
+entry:
+  %v1 = gep @params, i32 0 x i32
+  %v2 = load i32, %v1
+  %v3 = gep @params, i32 1 x i32
+  %v4 = load i32, %v3
+  %v7 = mul i32 %v2, %v4
+  br label %for.cond
+for.cond:
+  %i.16 = phi i32 [i32 0, %entry], [%v46, %for.step]
+  %hi.15 = phi i32 [i32 0, %entry], [%hi.14, %for.step]
+  %lo.13 = phi i32 [i32 255, %entry], [%lo.12, %for.step]
+  %v10 = icmp slt %i.16, %v7
+  condbr %v10, label %for.body, label %for.end
+for.body:
+  %v12 = mul i32 %i.16, i32 3
+  %v13 = gep @rgb, %v12 x i32
+  %v14 = load i32, %v13
+  %v16 = mul i32 %i.16, i32 3
+  %v17 = add i32 %v16, i32 1
+  %v18 = gep @rgb, %v17 x i32
+  %v19 = load i32, %v18
+  %v21 = mul i32 %i.16, i32 3
+  %v22 = add i32 %v21, i32 2
+  %v23 = gep @rgb, %v22 x i32
+  %v24 = load i32, %v23
+  %v26 = mul i32 %v14, i32 77
+  %v28 = mul i32 %v19, i32 151
+  %v29 = add i32 %v26, %v28
+  %v31 = mul i32 %v24, i32 28
+  %v32 = add i32 %v29, %v31
+  %v33 = ashr i32 %v32, i32 8
+  %v35 = gep @lum, %i.16 x i32
+  store %v33, %v35
+  %v39 = icmp slt %v33, %lo.13
+  condbr %v39, label %if.then, label %if.end
+for.step:
+  %v46 = add i32 %i.16, i32 1
+  br label %for.cond
+for.end:
+  %v49 = sub i32 %hi.15, %lo.13
+  %v51 = icmp slt %v49, i32 1
+  condbr %v51, label %if.then.2, label %if.end.3
+if.then:
+  br label %if.end
+if.end:
+  %lo.12 = phi i32 [%lo.13, %for.body], [%v33, %if.then]
+  %v43 = icmp sgt %v33, %hi.15
+  condbr %v43, label %if.then.0, label %if.end.1
+if.then.0:
+  br label %if.end.1
+if.end.1:
+  %hi.14 = phi i32 [%hi.15, %if.end], [%v33, %if.then.0]
+  br label %for.step
+if.then.2:
+  br label %if.end.3
+if.end.3:
+  %span.21 = phi i32 [%v49, %for.end], [i32 1, %if.then.2]
+  br label %for.cond.4
+for.cond.4:
+  %i.22 = phi i32 [i32 0, %if.end.3], [%v71, %for.step.6]
+  %v54 = icmp slt %i.22, %v7
+  condbr %v54, label %for.body.5, label %for.end.7
+for.body.5:
+  %v56 = gep @lum, %i.22 x i32
+  %v57 = load i32, %v56
+  %v59 = sub i32 %v57, %lo.13
+  %v60 = mul i32 %v59, i32 255
+  %v62 = sdiv i32 %v60, %span.21
+  %v64 = icmp slt %v62, i32 0
+  condbr %v64, label %if.then.8, label %if.end.9
+for.step.6:
+  %v71 = add i32 %i.22, i32 1
+  br label %for.cond.4
+for.end.7:
+  ret void
+if.then.8:
+  br label %if.end.9
+if.end.9:
+  %v.25 = phi i32 [%v62, %for.body.5], [i32 0, %if.then.8]
+  %v66 = icmp sgt %v.25, i32 255
+  condbr %v66, label %if.then.10, label %if.end.11
+if.then.10:
+  br label %if.end.11
+if.end.11:
+  %v.23 = phi i32 [%v.25, %if.end.9], [i32 255, %if.then.10]
+  %v68 = gep @bw, %i.22 x i32
+  store %v.23, %v68
+  br label %for.step.6
+}

@@ -1,0 +1,130 @@
+"""Unit tests for CFG utilities and the dominator analysis."""
+
+import pytest
+
+from repro.analysis import (
+    DominatorTree,
+    predecessors_map,
+    reachable_blocks,
+    reverse_postorder,
+    split_critical_edges,
+)
+from repro.ir import I1, I32, IRBuilder, Module, verify_function
+from tests.conftest import build_sum_loop
+
+
+def build_diamond():
+    """entry -> (left | right) -> merge"""
+    m = Module()
+    fn = m.add_function("f", I32, [(I1, "c")])
+    entry = fn.add_block("entry")
+    left = fn.add_block("left")
+    right = fn.add_block("right")
+    merge = fn.add_block("merge")
+    b = IRBuilder(entry)
+    b.condbr(fn.args[0], left, right)
+    b.set_block(left)
+    lv = b.add(b.const(1), b.const(2))
+    b.br(merge)
+    b.set_block(right)
+    rv = b.add(b.const(3), b.const(4))
+    b.br(merge)
+    b.set_block(merge)
+    phi = b.phi(I32)
+    phi.add_incoming(lv, left)
+    phi.add_incoming(rv, right)
+    b.ret(phi)
+    return fn, entry, left, right, merge
+
+
+class TestOrderings:
+    def test_rpo_starts_at_entry(self, sum_loop):
+        _, h = sum_loop
+        rpo = reverse_postorder(h["fn"])
+        assert rpo[0] is h["entry"]
+        assert set(b.name for b in rpo) == {"entry", "header", "body", "exit"}
+
+    def test_rpo_visits_header_before_body(self, sum_loop):
+        _, h = sum_loop
+        rpo = reverse_postorder(h["fn"])
+        assert rpo.index(h["header"]) < rpo.index(h["body"])
+
+    def test_unreachable_blocks_omitted(self, sum_loop):
+        _, h = sum_loop
+        dead = h["fn"].add_block("dead")
+        IRBuilder(dead).ret(IRBuilder.const(0))
+        assert id(dead) not in reachable_blocks(h["fn"])
+
+    def test_predecessors_map(self, sum_loop):
+        _, h = sum_loop
+        preds = predecessors_map(h["fn"])
+        assert set(preds[h["header"]]) == {h["entry"], h["body"]}
+        assert preds[h["entry"]] == []
+
+
+class TestDominators:
+    def test_diamond_idoms(self):
+        fn, entry, left, right, merge = build_diamond()
+        dt = DominatorTree.compute(fn)
+        assert dt.immediate_dominator(left) is entry
+        assert dt.immediate_dominator(right) is entry
+        assert dt.immediate_dominator(merge) is entry
+        assert dt.immediate_dominator(entry) is None
+
+    def test_dominates_is_reflexive_and_transitive(self, sum_loop):
+        _, h = sum_loop
+        dt = DominatorTree.compute(h["fn"])
+        assert dt.dominates(h["entry"], h["entry"])
+        assert dt.dominates(h["entry"], h["body"])
+        assert dt.dominates(h["header"], h["exit"])
+        assert not dt.dominates(h["body"], h["exit"])
+        assert dt.strictly_dominates(h["entry"], h["body"])
+        assert not dt.strictly_dominates(h["body"], h["body"])
+
+    def test_loop_idoms(self, sum_loop):
+        _, h = sum_loop
+        dt = DominatorTree.compute(h["fn"])
+        assert dt.immediate_dominator(h["header"]) is h["entry"]
+        assert dt.immediate_dominator(h["body"]) is h["header"]
+        assert dt.immediate_dominator(h["exit"]) is h["header"]
+
+    def test_diamond_frontier(self):
+        fn, entry, left, right, merge = build_diamond()
+        dt = DominatorTree.compute(fn)
+        df = dt.dominance_frontier()
+        assert df[left] == {merge}
+        assert df[right] == {merge}
+        assert df[entry] == set()
+
+    def test_loop_frontier_includes_header(self, sum_loop):
+        _, h = sum_loop
+        dt = DominatorTree.compute(h["fn"])
+        df = dt.dominance_frontier()
+        # the body's frontier is the loop header (back edge join)
+        assert h["header"] in df[h["body"]]
+        assert h["header"] in df[h["header"]]
+
+    def test_dominated_by_subtree(self, sum_loop):
+        _, h = sum_loop
+        dt = DominatorTree.compute(h["fn"])
+        subtree = dt.dominated_by(h["header"])
+        assert set(subtree) == {h["header"], h["body"], h["exit"]}
+
+
+class TestCriticalEdges:
+    def test_split_critical_edges(self, sum_loop):
+        module, h = sum_loop
+        # header (2 succs) -> exit (1 pred): not critical.
+        # Make exit have two preds to create a critical edge.
+        fn = h["fn"]
+        other = fn.add_block("other")
+        b = IRBuilder(other)
+        b.br(h["exit"])
+        # header->exit is now critical (multi-succ -> multi-pred)
+        n = split_critical_edges(fn)
+        assert n == 1
+        verify_function(fn)
+
+    def test_no_critical_edges_no_split(self):
+        fn, *_ = build_diamond()
+        assert split_critical_edges(fn) == 0

@@ -1,0 +1,196 @@
+"""Unit tests for loop detection, state variables, use-def, and liveness."""
+
+import pytest
+
+from repro.analysis import (
+    LoopInfo,
+    compute_liveness,
+    depends_on,
+    find_state_variables,
+    is_chain_terminator,
+    producer_chain,
+    transitive_users,
+)
+from repro.frontend import compile_source
+from repro.ir import I32, IRBuilder, Module
+from tests.conftest import build_sum_loop
+
+
+class TestLoopInfo:
+    def test_single_loop_detected(self, sum_loop):
+        _, h = sum_loop
+        li = LoopInfo.compute(h["fn"])
+        assert len(li.loops) == 1
+        loop = li.loops[0]
+        assert loop.header is h["header"]
+        assert loop.blocks == {h["header"], h["body"]}
+        assert loop.latches == [h["body"]]
+        assert loop.depth == 1
+
+    def test_exit_blocks(self, sum_loop):
+        _, h = sum_loop
+        loop = LoopInfo.compute(h["fn"]).loops[0]
+        assert loop.exit_blocks() == [h["exit"]]
+
+    def test_preheader_candidates(self, sum_loop):
+        _, h = sum_loop
+        loop = LoopInfo.compute(h["fn"]).loops[0]
+        assert loop.preheader_candidates() == [h["entry"]]
+
+    def test_nested_loops(self):
+        src = """
+        output int out[1];
+        void main() {
+            int total = 0;
+            for (int i = 0; i < 4; i++) {
+                for (int j = 0; j < 4; j++) {
+                    total += i * j;
+                }
+            }
+            out[0] = total;
+        }
+        """
+        module = compile_source(src)
+        li = LoopInfo.compute(module.function("main"))
+        assert len(li.loops) == 2
+        depths = sorted(l.depth for l in li.loops)
+        assert depths == [1, 2]
+        inner = next(l for l in li.loops if l.depth == 2)
+        outer = next(l for l in li.loops if l.depth == 1)
+        assert inner.parent is outer
+        assert inner in outer.children
+        assert inner.blocks < outer.blocks
+
+    def test_innermost_containing(self):
+        src = """
+        output int out[1];
+        void main() {
+            int t = 0;
+            for (int i = 0; i < 4; i++) {
+                for (int j = 0; j < 4; j++) { t += j; }
+            }
+            out[0] = t;
+        }
+        """
+        module = compile_source(src)
+        fn = module.function("main")
+        li = LoopInfo.compute(fn)
+        inner = next(l for l in li.loops if l.depth == 2)
+        assert li.innermost_loop_containing(inner.header) is inner
+
+
+class TestStateVariables:
+    def test_loop_carried_phis_found(self, sum_loop):
+        _, h = sum_loop
+        svs = find_state_variables(h["fn"])
+        assert {sv.phi for sv in svs} == {h["i"], h["acc"]}
+
+    def test_init_and_update_incomings(self, sum_loop):
+        _, h = sum_loop
+        sv = next(s for s in find_state_variables(h["fn"]) if s.phi is h["acc"])
+        assert len(sv.init_incomings) == 1
+        assert len(sv.update_incomings) == 1
+        assert sv.update_incomings[0][0] is h["acc_next"]
+
+    def test_non_recurrent_header_phi_is_not_state(self):
+        """A header phi whose in-loop incoming does not depend on the phi is
+        not a state variable (recomputed from scratch each iteration)."""
+        m = Module()
+        src = m.add_global("src", I32, 8, is_input=True)
+        fn = m.add_function("main", I32)
+        entry = fn.add_block("entry")
+        header = fn.add_block("header")
+        body = fn.add_block("body")
+        exit_ = fn.add_block("exit")
+        b = IRBuilder(entry)
+        b.br(header)
+        b.set_block(header)
+        i = b.phi(I32, "i")
+        last = b.phi(I32, "last")  # merely carries the previous load
+        cond = b.icmp("slt", i, b.const(8))
+        b.condbr(cond, body, exit_)
+        b.set_block(body)
+        ptr = b.gep(src, i, I32)
+        v = b.load(I32, ptr)
+        i2 = b.add(i, b.const(1))
+        b.br(header)
+        i.add_incoming(b.const(0), entry)
+        i.add_incoming(i2, body)
+        last.add_incoming(b.const(0), entry)
+        last.add_incoming(v, body)  # independent of `last`
+        b.set_block(exit_)
+        b.ret(last)
+        svs = find_state_variables(fn)
+        assert {sv.phi for sv in svs} == {i}
+
+    def test_if_else_merge_phi_is_not_state(self):
+        src = """
+        input int data[8];
+        output int out[1];
+        void main() {
+            int t = 0;
+            for (int i = 0; i < 8; i++) {
+                int v = data[i];
+                int w = 0;
+                if (v > 0) { w = v; } else { w = -v; }
+                t += w;
+            }
+            out[0] = t;
+        }
+        """
+        module = compile_source(src)
+        fn = module.function("main")
+        names = {sv.phi.name for sv in find_state_variables(fn)}
+        # only i and t are loop-carried; the if-else merge of w is not
+        assert len(names) == 2
+
+
+class TestProducerChains:
+    def test_chain_ordered_and_load_terminated(self, sum_loop):
+        _, h = sum_loop
+        chain = producer_chain(h["acc_next"])
+        assert chain == [h["scaled"], h["acc_next"]]
+        assert h["loaded"] not in chain  # loads terminate the chain
+
+    def test_stop_at_predicate(self, sum_loop):
+        _, h = sum_loop
+        chain = producer_chain(h["acc_next"], stop_at=lambda i: i is h["scaled"])
+        assert chain == [h["acc_next"]]
+
+    def test_chain_terminators(self, sum_loop):
+        _, h = sum_loop
+        assert is_chain_terminator(h["loaded"])
+        assert is_chain_terminator(h["i"])  # phi
+        assert not is_chain_terminator(h["scaled"])
+
+    def test_depends_on_through_chain(self, sum_loop):
+        _, h = sum_loop
+        assert depends_on(h["acc_next"], h["acc"])
+        assert depends_on(h["acc_next"], h["loaded"])
+        assert not depends_on(h["i_next"], h["acc"])
+
+    def test_transitive_users(self, sum_loop):
+        _, h = sum_loop
+        users = transitive_users([h["scaled"]])
+        assert id(h["acc_next"]) in users
+        assert id(h["acc"]) in users  # via the phi
+
+
+class TestLiveness:
+    def test_loop_carried_values_live_through_header(self, sum_loop):
+        _, h = sum_loop
+        lv = compute_liveness(h["fn"])
+        assert h["acc"] in lv.live_in[h["body"]]
+        assert h["i"] in lv.live_in[h["body"]]
+        # values defined and consumed inside the body are not live-out of it
+        assert h["scaled"] not in lv.live_out[h["body"]]
+
+    def test_phi_operand_live_out_of_latch(self, sum_loop):
+        _, h = sum_loop
+        lv = compute_liveness(h["fn"])
+        assert h["acc_next"] in lv.live_out[h["body"]]
+
+    def test_max_pressure_positive(self, sum_loop):
+        _, h = sum_loop
+        lv = compute_liveness(h["fn"])
+        assert lv.max_pressure() >= 2

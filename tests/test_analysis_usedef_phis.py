@@ -1,0 +1,81 @@
+"""Producer-chain traversal through merge phis (the loop-context-aware mode)."""
+
+import pytest
+
+from repro.analysis import LoopInfo, producer_chain
+from repro.frontend import compile_source
+from repro.ir import Phi
+
+
+@pytest.fixture
+def minmax_module():
+    return compile_source("""
+    input int data[8];
+    output int out[1];
+    void main() {
+        int hi = 0;
+        for (int i = 0; i < 8; i++) {
+            if (data[i] > hi) { hi = data[i]; }
+        }
+        out[0] = hi;
+    }
+    """)
+
+
+def _header_phi(fn, fragment):
+    header = fn.block("for.cond")
+    return next(p for p in header.phis() if fragment in p.name)
+
+
+class TestChainsThroughPhis:
+    def test_without_context_phis_terminate(self, minmax_module):
+        fn = minmax_module.function("main")
+        hi_phi = _header_phi(fn, "hi")
+        update, _ = next(
+            (v, b) for v, b in hi_phi.incomings if b.name != "entry"
+        )
+        # the update is the if-merge phi; with no loop context the chain stops
+        assert isinstance(update, Phi)
+        chain = producer_chain(update)
+        assert chain == []
+
+    def test_with_context_merge_phi_is_in_chain(self, minmax_module):
+        fn = minmax_module.function("main")
+        li = LoopInfo.compute(fn)
+        headers = {id(l.header) for l in li.loops}
+        hi_phi = _header_phi(fn, "hi")
+        update, _ = next(
+            (v, b) for v, b in hi_phi.incomings if b.name != "entry"
+        )
+        chain = producer_chain(update, header_blocks=headers)
+        assert update in chain  # the merge phi itself is duplicable
+
+    def test_header_phis_still_terminate_with_context(self, minmax_module):
+        fn = minmax_module.function("main")
+        li = LoopInfo.compute(fn)
+        headers = {id(l.header) for l in li.loops}
+        i_phi = _header_phi(fn, "i")
+        # the induction update i+1 depends on the header phi; the chain must
+        # contain the add but not the header phi (it is the recurrence root)
+        update, _ = next(
+            (v, b) for v, b in i_phi.incomings if b.name != "entry"
+        )
+        chain = producer_chain(update, header_blocks=headers)
+        assert update in chain
+        assert i_phi not in chain
+
+    def test_chain_order_is_defs_before_uses(self, minmax_module):
+        fn = minmax_module.function("main")
+        li = LoopInfo.compute(fn)
+        headers = {id(l.header) for l in li.loops}
+        hi_phi = _header_phi(fn, "hi")
+        update, _ = next(
+            (v, b) for v, b in hi_phi.incomings if b.name != "entry"
+        )
+        chain = producer_chain(update, header_blocks=headers)
+        seen = set()
+        for instr in chain:
+            for op in instr.operands:
+                if any(op is c for c in chain):
+                    assert id(op) in seen, "operand appears after its user"
+            seen.add(id(instr))

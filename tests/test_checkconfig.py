@@ -1,0 +1,44 @@
+"""Validation tests for ProtectionConfig and CampaignConfig."""
+
+import pytest
+
+from repro.faultinjection import CampaignConfig
+from repro.transforms import ProtectionConfig
+
+
+class TestProtectionConfigValidation:
+    def test_defaults_are_paper_values(self):
+        cfg = ProtectionConfig()
+        assert cfg.histogram_bins == 5  # B=5 in the paper's experiments
+        assert cfg.optimization1 and cfg.optimization2
+        assert cfg.duplicate_init_chains
+
+    @pytest.mark.parametrize("kwargs", [
+        {"coverage_threshold": 0.0},
+        {"coverage_threshold": 1.5},
+        {"histogram_bins": 1},
+        {"range_pad_factor": -0.1},
+    ])
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ProtectionConfig(**kwargs)
+
+    def test_boundary_values_accepted(self):
+        ProtectionConfig(coverage_threshold=1.0)
+        ProtectionConfig(histogram_bins=2)
+        ProtectionConfig(range_pad_factor=0.0)
+
+
+class TestCampaignConfigDefaults:
+    def test_paper_parameters(self):
+        cfg = CampaignConfig()
+        assert cfg.symptom_window == 1000       # Section IV-C
+        assert cfg.timeout_factor == 10.0
+        assert not cfg.swap_train_test
+
+    def test_independent_nested_configs(self):
+        a, b = CampaignConfig(), CampaignConfig()
+        a.protection.histogram_bins = 9
+        assert b.protection.histogram_bins == 5
+        a.sim.issue_width = 8
+        assert b.sim.issue_width == 2

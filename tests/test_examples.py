@@ -1,0 +1,66 @@
+"""Smoke tests keeping the examples runnable.
+
+The two fast examples run on every test invocation; the longer ones
+(campaign sweeps) only run when REPRO_RUN_SLOW_EXAMPLES is set, but their
+argument parsing and imports are always exercised.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+RUN_SLOW = bool(os.environ.get("REPRO_RUN_SLOW_EXAMPLES"))
+
+
+def run_example(name: str, *args: str, timeout: int = 240) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestFastExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "state variables" in out
+        assert "first detection" in out
+        assert "60 injections" in out
+
+    def test_custom_kernel(self):
+        out = run_example("custom_kernel.py")
+        assert "baseline:" in out
+        assert "defaults (Opt1+Opt2)" in out
+        assert ";dup" in out  # IR dump includes shadow markers
+
+
+@pytest.mark.skipif(not RUN_SLOW, reason="set REPRO_RUN_SLOW_EXAMPLES=1")
+class TestSlowExamples:
+    def test_ml_protection(self):
+        out = run_example("ml_protection.py", "10", timeout=600)
+        assert "Full duplication" in out
+
+    def test_jpeg_fault_demo(self, tmp_path):
+        out = run_example("jpeg_fault_demo.py", str(tmp_path), timeout=600)
+        assert "(a) fault-free decode" in out
+        assert (tmp_path / "a_fault_free.pgm").exists()
+
+    def test_full_protection(self):
+        out = run_example("full_protection.py", "10", timeout=600)
+        assert "branch-target faults" in out
+
+
+class TestExampleHygiene:
+    def test_all_examples_have_docstrings_and_main(self):
+        scripts = sorted(EXAMPLES.glob("*.py"))
+        assert len(scripts) >= 5
+        for script in scripts:
+            text = script.read_text()
+            assert text.lstrip().startswith(('"""', "#!")), script.name
+            assert '__name__ == "__main__"' in text, script.name

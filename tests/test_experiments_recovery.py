@@ -1,0 +1,32 @@
+"""Unit test for the recovery-analysis experiment driver (reduced scope)."""
+
+import pytest
+
+from repro.experiments import ExperimentCache, ExperimentSettings, recovery_analysis
+
+
+@pytest.fixture(scope="module")
+def cache():
+    return ExperimentCache(ExperimentSettings(trials=10, workloads=("tiff2bw",)))
+
+
+class TestRecoveryAnalysis:
+    def test_rows_account_for_every_trial(self, cache):
+        rows = recovery_analysis.compute(cache)
+        assert len(rows) == 1
+        r = rows[0]
+        assert (
+            r.corrected + r.clean + r.acceptable + r.escaped + r.trapped
+            == r.trials
+        )
+
+    def test_correct_rate_bounds(self, cache):
+        (r,) = recovery_analysis.compute(cache)
+        assert 0.0 <= r.correct_output_rate <= 1.0
+        assert r.mean_recovery_cost >= 0.0
+
+    def test_report_renders(self, cache):
+        text = recovery_analysis.report(cache)
+        assert "checkpoint recovery" in text
+        assert "tiff2bw" in text
+        assert "fully-correct-output rate" in text

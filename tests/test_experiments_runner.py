@@ -1,0 +1,59 @@
+"""Focused tests for the experiment runner's caching behaviour."""
+
+import pytest
+
+from repro.experiments import ExperimentCache, ExperimentSettings
+from repro.experiments.runner import reset_global_cache, global_cache
+
+
+@pytest.fixture
+def cache():
+    return ExperimentCache(ExperimentSettings(trials=4, workloads=("tiff2bw",)))
+
+
+class TestCacheKeys:
+    def test_swap_variants_cached_separately(self, cache):
+        normal = cache.prepared("tiff2bw", "original", swap_train_test=False)
+        swapped = cache.prepared("tiff2bw", "original", swap_train_test=True)
+        assert normal is not swapped
+        assert normal.golden_instructions != swapped.golden_instructions
+
+    def test_schemes_cached_separately(self, cache):
+        a = cache.prepared("tiff2bw", "original")
+        b = cache.prepared("tiff2bw", "dup")
+        assert a is not b
+        assert b.scheme_stats.num_duplicated > 0
+
+    def test_campaign_reuses_prepared_module(self, cache):
+        prepared = cache.prepared("tiff2bw", "dup")
+        campaign = cache.campaign("tiff2bw", "dup")
+        assert campaign.golden_instructions == prepared.golden_instructions
+
+    def test_runtime_cycles_memoised(self, cache):
+        a = cache.runtime_cycles("tiff2bw", "original")
+        b = cache.runtime_cycles("tiff2bw", "original")
+        assert a == b > 0
+
+    def test_overhead_relative_to_original(self, cache):
+        ratio = cache.overhead("tiff2bw", "full_dup")
+        base = cache.runtime_cycles("tiff2bw", "original")
+        protected = cache.runtime_cycles("tiff2bw", "full_dup")
+        assert ratio == pytest.approx(protected / base - 1.0)
+
+
+class TestGlobalCache:
+    def test_reset_replaces_instance(self):
+        first = reset_global_cache(
+            ExperimentSettings(trials=2, workloads=("tiff2bw",))
+        )
+        assert global_cache() is first
+        second = reset_global_cache(
+            ExperimentSettings(trials=3, workloads=("tiff2bw",))
+        )
+        assert global_cache() is second
+        assert second.settings.trials == 3
+
+    def test_campaign_config_carries_settings(self):
+        settings = ExperimentSettings(trials=11, seed=42)
+        config = settings.campaign_config()
+        assert config.trials == 11 and config.seed == 42

@@ -1,0 +1,147 @@
+"""Fault-injection campaign tests: classification, statistics, determinism."""
+
+import math
+
+import pytest
+
+from repro.faultinjection import (
+    CampaignConfig,
+    CampaignResult,
+    Outcome,
+    TrialResult,
+    confidence_interval,
+    margin_of_error,
+    prepare,
+    run_campaign,
+    trials_for_margin,
+)
+from repro.workloads import get_workload
+
+
+class TestStats:
+    def test_paper_margin_at_1000_trials(self):
+        # paper Section IV-C: 3.1% margin at 95% confidence for n=1000
+        assert margin_of_error(1000) == pytest.approx(0.031, abs=0.001)
+
+    def test_margin_shrinks_with_n(self):
+        assert margin_of_error(4000) < margin_of_error(1000)
+
+    def test_zero_trials(self):
+        assert margin_of_error(0) == 1.0
+
+    def test_confidence_interval_clipped(self):
+        lo, hi = confidence_interval(0.01, 50)
+        assert lo == 0.0 and hi < 1.0
+
+    def test_trials_for_margin_inverse(self):
+        n = trials_for_margin(0.031)
+        assert 990 <= n <= 1010
+
+    def test_trials_for_margin_validates(self):
+        with pytest.raises(ValueError):
+            trials_for_margin(0)
+
+
+class TestCampaignResultAggregation:
+    def _result(self):
+        r = CampaignResult("w", "original")
+        outcomes = [
+            Outcome.MASKED, Outcome.MASKED, Outcome.HWDETECT, Outcome.SWDETECT,
+            Outcome.FAILURE, Outcome.USDC, Outcome.USDC, Outcome.MASKED,
+        ]
+        for o in outcomes:
+            r.trials.append(TrialResult(outcome=o, injection_cycle=1, bit=0))
+        # mark one masked trial as an acceptable SDC and tag USDC magnitudes
+        r.trials[0].is_sdc = True
+        r.trials[0].is_asdc = True
+        r.trials[5].is_sdc = True
+        r.trials[5].change_magnitude = 100.0
+        r.trials[6].is_sdc = True
+        r.trials[6].change_magnitude = 0.01
+        return r
+
+    def test_fractions(self):
+        r = self._result()
+        assert r.masked == pytest.approx(3 / 8)
+        assert r.hwdetect == pytest.approx(1 / 8)
+        assert r.swdetect == pytest.approx(1 / 8)
+        assert r.failure == pytest.approx(1 / 8)
+        assert r.usdc == pytest.approx(2 / 8)
+        assert r.coverage == pytest.approx(5 / 8)
+
+    def test_sdc_views(self):
+        r = self._result()
+        assert r.sdc == pytest.approx(3 / 8)
+        assert r.asdc == pytest.approx(1 / 8)
+
+    def test_usdc_change_split(self):
+        r = self._result()
+        split = r.usdc_by_change(threshold=4.0)
+        assert split["large"] == pytest.approx(1 / 8)
+        assert split["small"] == pytest.approx(1 / 8)
+
+    def test_counts(self):
+        assert self._result().counts()["Masked"] == 3
+
+    def test_empty_result(self):
+        r = CampaignResult("w", "s")
+        assert r.masked == 0.0 and r.sdc == 0.0 and r.coverage == 0.0
+
+
+class TestPrepare:
+    def test_prepare_produces_golden(self, fast_campaign_config):
+        prepared = prepare(get_workload("g721dec"), "original", fast_campaign_config)
+        assert prepared.golden_instructions > 1000
+        assert prepared.golden_outputs
+        assert prepared.scheme_stats.scheme == "original"
+
+    def test_dup_valchk_profiles_on_train(self, fast_campaign_config):
+        prepared = prepare(get_workload("g721dec"), "dup_valchk", fast_campaign_config)
+        assert prepared.scheme_stats.num_value_checks > 0
+        assert prepared.golden_guard_evaluations > 0
+
+    def test_swap_train_test(self, fast_campaign_config):
+        from dataclasses import replace
+
+        config = replace(fast_campaign_config, swap_train_test=True)
+        normal = prepare(get_workload("g721dec"), "original", fast_campaign_config)
+        swapped = prepare(get_workload("g721dec"), "original", config)
+        # the run input differs (train audio is longer than test audio)
+        assert normal.golden_instructions != swapped.golden_instructions
+
+
+class TestRunCampaign:
+    def test_every_trial_classified(self, fast_campaign_config):
+        result = run_campaign(get_workload("g721dec"), "original", fast_campaign_config)
+        assert result.num_trials == fast_campaign_config.trials
+        assert all(isinstance(t.outcome, Outcome) for t in result.trials)
+
+    def test_deterministic_across_runs(self, fast_campaign_config):
+        a = run_campaign(get_workload("g721dec"), "original", fast_campaign_config)
+        b = run_campaign(get_workload("g721dec"), "original", fast_campaign_config)
+        assert [t.outcome for t in a.trials] == [t.outcome for t in b.trials]
+        assert [t.injection_cycle for t in a.trials] == [
+            t.injection_cycle for t in b.trials
+        ]
+
+    def test_different_seeds_differ(self, fast_campaign_config):
+        from dataclasses import replace
+
+        a = run_campaign(get_workload("g721dec"), "original", fast_campaign_config)
+        b = run_campaign(
+            get_workload("g721dec"), "original",
+            replace(fast_campaign_config, seed=99),
+        )
+        assert [t.injection_cycle for t in a.trials] != [
+            t.injection_cycle for t in b.trials
+        ]
+
+    def test_protected_scheme_detects(self):
+        """With enough trials, a protected binary must show SWDetects."""
+        config = CampaignConfig(trials=30, seed=5)
+        result = run_campaign(get_workload("g721dec"), "dup", config)
+        assert result.swdetect > 0
+
+    def test_original_never_swdetects(self, fast_campaign_config):
+        result = run_campaign(get_workload("tiff2bw"), "original", fast_campaign_config)
+        assert result.swdetect == 0.0

@@ -1,0 +1,33 @@
+"""Tests for the fault-injection CLI (python -m repro.faultinjection)."""
+
+import json
+
+import pytest
+
+from repro.faultinjection.__main__ import main
+
+
+class TestFiCli:
+    def test_campaign_summary_printed(self, capsys):
+        assert main(["tiff2bw", "dup", "--trials", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "tiff2bw [dup] — 5 trials" in out
+        assert "Masked" in out and "coverage" in out
+        assert "false positives" in out
+
+    def test_json_export(self, tmp_path, capsys):
+        path = tmp_path / "c.json"
+        assert main(["tiff2bw", "original", "--trials", "4",
+                     "--json", str(path)]) == 0
+        data = json.loads(path.read_text())
+        assert data["workload"] == "tiff2bw"
+        assert len(data["records"]) == 4
+
+    def test_rejects_unknown_scheme(self):
+        with pytest.raises(SystemExit):
+            main(["tiff2bw", "tmr"])
+
+    def test_swap_inputs_flag(self, capsys):
+        assert main(["tiff2bw", "original", "--trials", "3",
+                     "--swap-inputs"]) == 0
+        assert "3 trials" in capsys.readouterr().out

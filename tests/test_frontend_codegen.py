@@ -1,0 +1,277 @@
+"""Semantic tests for SCL code generation, checked by execution."""
+
+import pytest
+
+from repro.frontend import CodegenError, compile_source
+from repro.sim import Interpreter
+
+
+def run_main(src: str, inputs=None, entry="main"):
+    module = compile_source(src)
+    interp = Interpreter(module)
+    result = interp.run(entry=entry, inputs=inputs or {})
+    return interp, result
+
+
+def eval_expr(expr: str, decls: str = "") -> object:
+    """Evaluate one int expression via a tiny main."""
+    src = f"""
+    output int out[1];
+    void main() {{ {decls} out[0] = {expr}; }}
+    """
+    interp, _ = run_main(src)
+    return interp.read_global("out")[0]
+
+
+class TestArithmetic:
+    @pytest.mark.parametrize("expr,expected", [
+        ("2 + 3 * 4", 14),
+        ("(2 + 3) * 4", 20),
+        ("7 / 2", 3),
+        ("-7 / 2", -3),          # C truncating division
+        ("7 % 3", 1),
+        ("-7 % 3", -1),          # sign of the dividend
+        ("1 << 10", 1024),
+        ("-8 >> 1", -4),         # arithmetic shift
+        ("0xF0 & 0x3C", 0x30),
+        ("0xF0 | 0x0F", 0xFF),
+        ("0xFF ^ 0x0F", 0xF0),
+        ("~0", -1),
+        ("-(3 + 4)", -7),
+    ])
+    def test_int_expressions(self, expr, expected):
+        assert eval_expr(expr) == expected
+
+    def test_i32_wraparound(self):
+        assert eval_expr("2147483647 + 1") == -2147483648
+
+    def test_float_to_int_truncation(self):
+        assert eval_expr("(int)3.9") == 3
+        assert eval_expr("(int)(0.0 - 3.9)") == -3
+
+    def test_mixed_arithmetic_promotes(self):
+        assert eval_expr("(int)(3 / 2.0 * 2.0)") == 3
+
+    def test_comparisons_yield_01(self):
+        assert eval_expr("3 < 4") == 1
+        assert eval_expr("4 < 3") == 0
+        assert eval_expr("(3 <= 3) + (3 != 3) + (3 == 3)") == 2
+
+    def test_logical_not(self):
+        assert eval_expr("!0 + !5") == 1
+
+
+class TestControlFlow:
+    def test_if_else(self):
+        assert eval_expr("x", decls="int x = 0; if (3 > 2) { x = 10; } else { x = 20; }") == 10
+
+    def test_nested_loops(self):
+        src = """
+        output int out[1];
+        void main() {
+            int s = 0;
+            for (int i = 0; i < 5; i++) {
+                for (int j = 0; j <= i; j++) { s += 1; }
+            }
+            out[0] = s;
+        }
+        """
+        interp, _ = run_main(src)
+        assert interp.read_global("out")[0] == 15
+
+    def test_while_with_break(self):
+        src = """
+        output int out[1];
+        void main() {
+            int i = 0;
+            while (1) {
+                i++;
+                if (i >= 7) { break; }
+            }
+            out[0] = i;
+        }
+        """
+        interp, _ = run_main(src)
+        assert interp.read_global("out")[0] == 7
+
+    def test_continue_skips(self):
+        src = """
+        output int out[1];
+        void main() {
+            int s = 0;
+            for (int i = 0; i < 10; i++) {
+                if (i % 2 == 0) { continue; }
+                s += i;
+            }
+            out[0] = s;
+        }
+        """
+        interp, _ = run_main(src)
+        assert interp.read_global("out")[0] == 25
+
+    def test_short_circuit_and_protects_division(self):
+        src = """
+        output int out[1];
+        void main() {
+            int d = 0;
+            if (d != 0 && 10 / d > 1) { out[0] = 1; } else { out[0] = 2; }
+        }
+        """
+        interp, _ = run_main(src)
+        assert interp.read_global("out")[0] == 2
+
+    def test_short_circuit_or_protects_division(self):
+        src = """
+        output int out[1];
+        void main() {
+            int d = 0;
+            if (d == 0 || 10 / d > 1) { out[0] = 1; } else { out[0] = 2; }
+        }
+        """
+        interp, _ = run_main(src)
+        assert interp.read_global("out")[0] == 1
+
+    def test_ternary(self):
+        assert eval_expr("5 > 3 ? 11 : 22") == 11
+        assert eval_expr("5 < 3 ? 11 : 22") == 22
+
+    def test_early_return_drops_dead_code(self):
+        src = """
+        output int out[1];
+        int f() { return 1; out[0] = 99; return 2; }
+        void main() { out[0] = f(); }
+        """
+        interp, _ = run_main(src)
+        assert interp.read_global("out")[0] == 1
+
+
+class TestFunctionsAndArrays:
+    def test_function_call_with_conversion(self):
+        src = """
+        output int out[1];
+        float half(float x) { return x / 2.0; }
+        void main() { out[0] = (int)half(9); }
+        """
+        interp, _ = run_main(src)
+        assert interp.read_global("out")[0] == 4
+
+    def test_recursion(self):
+        src = """
+        output int out[1];
+        int fib(int n) {
+            if (n < 2) { return n; }
+            return fib(n - 1) + fib(n - 2);
+        }
+        void main() { out[0] = fib(10); }
+        """
+        interp, _ = run_main(src)
+        assert interp.read_global("out")[0] == 55
+
+    def test_pointer_parameters(self):
+        src = """
+        input int data[8];
+        output int out[1];
+        int total(int* p, int n) {
+            int s = 0;
+            for (int i = 0; i < n; i++) { s += p[i]; }
+            return s;
+        }
+        void main() { out[0] = total(data, 8); }
+        """
+        interp, _ = run_main(src, inputs={"data": list(range(8))})
+        assert interp.read_global("out")[0] == 28
+
+    def test_local_arrays(self):
+        src = """
+        output int out[1];
+        void main() {
+            int buf[8];
+            for (int i = 0; i < 8; i++) { buf[i] = i * i; }
+            int s = 0;
+            for (int i = 0; i < 8; i++) { s += buf[i]; }
+            out[0] = s;
+        }
+        """
+        interp, _ = run_main(src)
+        assert interp.read_global("out")[0] == 140
+
+    def test_global_initializer_used(self):
+        src = """
+        int tab[4] = { 10, 20, 30, 40 };
+        output int out[1];
+        void main() { out[0] = tab[1] + tab[3]; }
+        """
+        interp, _ = run_main(src)
+        assert interp.read_global("out")[0] == 60
+
+    def test_const_substitution(self):
+        src = """
+        const int N = 6;
+        output int out[1];
+        void main() { out[0] = N * N; }
+        """
+        interp, _ = run_main(src)
+        assert interp.read_global("out")[0] == 36
+
+    def test_builtins(self):
+        src = """
+        output int out[4];
+        void main() {
+            out[0] = (int)sqrt(81.0);
+            out[1] = abs(-5);
+            out[2] = min(3, 7);
+            out[3] = max(3, 7);
+        }
+        """
+        interp, _ = run_main(src)
+        assert interp.read_global("out") == [9, 5, 3, 7]
+
+    def test_fall_off_end_returns_zero(self):
+        src = """
+        output int out[1];
+        int f() { int x = 1; }
+        void main() { out[0] = f() + 5; }
+        """
+        interp, _ = run_main(src)
+        assert interp.read_global("out")[0] == 5
+
+
+class TestSemanticErrors:
+    @pytest.mark.parametrize("src,match", [
+        ("void main() { x = 1; }", "undefined variable"),
+        ("void main() { int x = 1; int x = 2; }", "redefinition"),
+        ("void main() { return 3; }", "void function cannot return"),
+        ("int main() { return; }", "must return a value"),
+        ("void main() { break; }", "break outside loop"),
+        ("void main() { continue; }", "continue outside loop"),
+        ("void main() { g(); }", "undefined function"),
+        ("int f(int a) { return a; } void main() { f(1, 2); }", "argument"),
+        ("void main() { int a[4]; a = 3; }", "not an assignable scalar"),
+        ("void main() { int x = 1; x[0] = 2; }", "not indexable"),
+        ("input float d[4]; void main() { int x = d[1.5]; }", "index must be an integer"),
+        ("void main() { sqrt(1.0, 2.0); }", "expects 1 argument"),
+    ])
+    def test_errors(self, src, match):
+        with pytest.raises(CodegenError, match=match):
+            compile_source(src)
+
+    def test_block_scoping(self):
+        src = """
+        output int out[1];
+        void main() {
+            int x = 1;
+            if (1) { int y = 2; x += y; }
+            out[0] = x;
+        }
+        """
+        interp, _ = run_main(src)
+        assert interp.read_global("out")[0] == 3
+
+    def test_inner_scope_not_visible_outside(self):
+        with pytest.raises(CodegenError, match="undefined variable"):
+            compile_source("""
+            void main() {
+                if (1) { int y = 2; }
+                int z = y;
+            }
+            """)

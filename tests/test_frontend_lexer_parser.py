@@ -1,0 +1,201 @@
+"""Unit tests for the SCL lexer and parser."""
+
+import pytest
+
+from repro.frontend import LexError, ParseError, parse, tokenize
+from repro.frontend import astnodes as ast
+
+
+class TestLexer:
+    def test_basic_tokens(self):
+        toks = tokenize("int x = 42;")
+        kinds = [(t.kind, t.text) for t in toks]
+        assert kinds == [
+            ("keyword", "int"), ("ident", "x"), ("op", "="),
+            ("int_lit", "42"), ("op", ";"), ("eof", ""),
+        ]
+
+    def test_hex_literal(self):
+        tok = tokenize("0xFF")[0]
+        assert tok.kind == "int_lit" and tok.value == 255
+
+    def test_float_literals(self):
+        assert tokenize("3.25")[0].value == 3.25
+        assert tokenize("1e3")[0].value == 1000.0
+        assert tokenize("2.5e-1")[0].value == 0.25
+
+    def test_multi_char_operators(self):
+        toks = tokenize("a <<= b >>= c == d != e <= f >= g && h || i")
+        ops = [t.text for t in toks if t.kind == "op"]
+        assert ops == ["<<=", ">>=", "==", "!=", "<=", ">=", "&&", "||"]
+
+    def test_line_comment(self):
+        toks = tokenize("a // comment\nb")
+        assert [t.text for t in toks[:-1]] == ["a", "b"]
+
+    def test_block_comment(self):
+        toks = tokenize("a /* multi\nline */ b")
+        assert [t.text for t in toks[:-1]] == ["a", "b"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError, match="unterminated"):
+            tokenize("/* oops")
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexError, match="unexpected character"):
+            tokenize("a $ b")
+
+    def test_positions_tracked(self):
+        toks = tokenize("a\n  b")
+        assert (toks[0].line, toks[0].col) == (1, 1)
+        assert (toks[1].line, toks[1].col) == (2, 3)
+
+    def test_malformed_hex(self):
+        with pytest.raises(LexError, match="hex"):
+            tokenize("0x")
+
+
+class TestParserTopLevel:
+    def test_global_declarations(self):
+        prog = parse("input int a[4]; output float b[2]; int c[8];")
+        assert [g.name for g in prog.globals] == ["a", "b", "c"]
+        assert prog.globals[0].is_input
+        assert prog.globals[1].is_output
+        assert prog.globals[1].type.base == "float"
+
+    def test_global_initializer(self):
+        prog = parse("int t[3] = { 1, -2, 3 };")
+        assert prog.globals[0].initializer == [1, -2, 3]
+
+    def test_const_declaration(self):
+        prog = parse("const int N = 5; const float X = -1.5;")
+        assert prog.consts[0].value == 5
+        assert prog.consts[1].value == -1.5
+
+    def test_function_with_params(self):
+        prog = parse("int f(int a, float* p) { return a; }")
+        fn = prog.functions[0]
+        assert fn.name == "f"
+        assert fn.params[1].type.is_pointer
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse("input int a[4]")
+
+    def test_void_global_rejected(self):
+        with pytest.raises(ParseError):
+            parse("void g[4];")
+
+
+class TestParserStatements:
+    def _body(self, code: str):
+        return parse(f"void main() {{ {code} }}").functions[0].body
+
+    def test_decl_with_init(self):
+        (stmt,) = self._body("int x = 3;")
+        assert isinstance(stmt, ast.DeclStmt) and stmt.init.value == 3
+
+    def test_local_array(self):
+        (stmt,) = self._body("float buf[16];")
+        assert stmt.array_size == 16
+
+    def test_compound_assignment(self):
+        (stmt,) = self._body("x += 2;")
+        assert isinstance(stmt, ast.AssignStmt) and stmt.op == "+"
+
+    def test_increment_decrement(self):
+        inc, dec = self._body("x++; y--;")
+        assert inc.op == "+" and dec.op == "-"
+
+    def test_if_else(self):
+        (stmt,) = self._body("if (x) { y = 1; } else { y = 2; }")
+        assert isinstance(stmt, ast.IfStmt)
+        assert len(stmt.then_body) == 1 and len(stmt.else_body) == 1
+
+    def test_single_statement_bodies(self):
+        (stmt,) = self._body("if (x) y = 1;")
+        assert len(stmt.then_body) == 1
+
+    def test_for_loop_parts(self):
+        (stmt,) = self._body("for (int i = 0; i < 8; i++) { s += i; }")
+        assert isinstance(stmt.init, ast.DeclStmt)
+        assert isinstance(stmt.cond, ast.BinaryExpr)
+        assert isinstance(stmt.step, ast.AssignStmt)
+
+    def test_for_loop_empty_parts(self):
+        (stmt,) = self._body("for (;;) { break; }")
+        assert stmt.init is None and stmt.cond is None and stmt.step is None
+
+    def test_while_break_continue(self):
+        (stmt,) = self._body("while (1) { if (x) break; continue; }")
+        assert isinstance(stmt, ast.WhileStmt)
+
+    def test_return_forms(self):
+        ret_val, = self._body("return 3;")
+        assert ret_val.value.value == 3
+        ret_void, = parse("void f() { return; }").functions[0].body
+        assert ret_void.value is None
+
+
+class TestParserExpressions:
+    def _expr(self, code: str):
+        (stmt,) = parse(f"void main() {{ x = {code}; }}").functions[0].body
+        return stmt.value
+
+    def test_precedence_mul_over_add(self):
+        e = self._expr("1 + 2 * 3")
+        assert e.op == "+" and e.rhs.op == "*"
+
+    def test_precedence_shift_vs_compare(self):
+        e = self._expr("a << 2 < b")
+        assert e.op == "<" and e.lhs.op == "<<"
+
+    def test_left_associativity(self):
+        e = self._expr("a - b - c")
+        assert e.op == "-" and e.lhs.op == "-"
+
+    def test_parentheses(self):
+        e = self._expr("(1 + 2) * 3")
+        assert e.op == "*" and e.lhs.op == "+"
+
+    def test_ternary(self):
+        e = self._expr("a ? b : c")
+        assert isinstance(e, ast.TernaryExpr)
+
+    def test_cast_vs_parenthesized(self):
+        cast = self._expr("(int)y")
+        assert isinstance(cast, ast.CastExpr)
+        paren = self._expr("(y)")
+        assert isinstance(paren, ast.NameRef)
+
+    def test_unary_operators(self):
+        e = self._expr("-a + !b + ~c")
+        flat = []
+
+        def walk(n):
+            if isinstance(n, ast.UnaryExpr):
+                flat.append(n.op)
+            for attr in ("lhs", "rhs", "operand"):
+                child = getattr(n, attr, None)
+                if child is not None:
+                    walk(child)
+
+        walk(e)
+        assert set(flat) == {"-", "!", "~"}
+
+    def test_call_and_index(self):
+        e = self._expr("f(a, b[2])")
+        assert isinstance(e, ast.CallExpr)
+        assert isinstance(e.args[1], ast.IndexExpr)
+
+    def test_logical_operators(self):
+        e = self._expr("a && b || c")
+        assert e.op == "||" and e.lhs.op == "&&"
+
+    def test_bad_expression(self):
+        with pytest.raises(ParseError, match="expected expression"):
+            parse("void main() { x = ; }")
+
+    def test_assignment_to_literal_rejected(self):
+        with pytest.raises(ParseError, match="assignment target"):
+            parse("void main() { 3 = x; }")

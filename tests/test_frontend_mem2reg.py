@@ -1,0 +1,142 @@
+"""Unit tests for mem2reg (SSA construction)."""
+
+import pytest
+
+from repro.frontend.codegen import CodeGenerator
+from repro.frontend.mem2reg import promote_allocas, promote_module
+from repro.frontend.parser import parse
+from repro.ir import Alloca, Load, Phi, Store, verify_module
+from repro.sim import Interpreter
+
+
+def codegen_no_promote(src: str):
+    """Compile to alloca form without running mem2reg."""
+    return CodeGenerator(parse(src), "t").generate()
+
+
+LOOP_SRC = """
+output int out[1];
+void main() {
+    int s = 0;
+    for (int i = 0; i < 10; i++) { s += i; }
+    out[0] = s;
+}
+"""
+
+
+class TestPromotion:
+    def test_scalar_allocas_removed(self):
+        module = codegen_no_promote(LOOP_SRC)
+        fn = module.function("main")
+        before = sum(isinstance(i, Alloca) for i in fn.instructions())
+        assert before >= 2  # s and i
+        promoted = promote_allocas(fn)
+        assert promoted == before
+        assert not any(isinstance(i, Alloca) for i in fn.instructions())
+        verify_module(module)
+
+    def test_phis_created_at_loop_header(self):
+        module = codegen_no_promote(LOOP_SRC)
+        fn = module.function("main")
+        promote_allocas(fn)
+        header = fn.block("for.cond")
+        phis = list(header.phis())
+        assert len(phis) == 2  # i and s
+
+    def test_execution_identical_before_and_after(self):
+        m1 = codegen_no_promote(LOOP_SRC)
+        m2 = codegen_no_promote(LOOP_SRC)
+        promote_module(m2)
+        i1 = Interpreter(m1)
+        i2 = Interpreter(m2)
+        i1.run()
+        i2.run()
+        assert i1.read_global("out") == i2.read_global("out") == [45]
+
+    def test_local_arrays_not_promoted(self):
+        src = """
+        output int out[1];
+        void main() {
+            int buf[4];
+            buf[0] = 9;
+            out[0] = buf[0];
+        }
+        """
+        module = codegen_no_promote(src)
+        fn = module.function("main")
+        promote_allocas(fn)
+        assert any(isinstance(i, Alloca) for i in fn.instructions())
+        verify_module(module)
+
+    def test_dead_loop_variable_pruned(self):
+        """A loop-carried variable that is never read must leave no phi
+        behind (mutually-dead phi cycles are pruned)."""
+        src = """
+        output int out[1];
+        void main() {
+            int dead = 0;
+            int live = 0;
+            for (int i = 0; i < 4; i++) {
+                dead += i;
+                live += 2;
+            }
+            out[0] = live;
+        }
+        """
+        module = codegen_no_promote(src)
+        fn = module.function("main")
+        promote_allocas(fn)
+        from repro.opt import eliminate_dead_code
+
+        removed = eliminate_dead_code(fn)
+        assert removed >= 2  # the dead phi and its update add
+        verify_module(module)
+        header = fn.block("for.cond")
+        phi_names = [p.name for p in header.phis()]
+        assert not any("dead" in n for n in phi_names)
+        interp = Interpreter(module)
+        interp.run()
+        assert interp.read_global("out") == [8]
+
+    def test_undef_on_uninitialised_path(self):
+        """Reading a variable assigned on only one branch uses undef on the
+        other path (and still verifies and executes)."""
+        src = """
+        input int flag[1];
+        output int out[1];
+        void main() {
+            int x;
+            if (flag[0]) { x = 5; }
+            else { x = 0; }
+            out[0] = x;
+        }
+        """
+        module = codegen_no_promote(src)
+        promote_module(module)
+        verify_module(module)
+        interp = Interpreter(module)
+        interp.run(inputs={"flag": [1]})
+        assert interp.read_global("out") == [5]
+
+    def test_conditional_update_creates_merge_phi(self):
+        src = """
+        input int data[4];
+        output int out[1];
+        void main() {
+            int hi = 0;
+            for (int i = 0; i < 4; i++) {
+                if (data[i] > hi) { hi = data[i]; }
+            }
+            out[0] = hi;
+        }
+        """
+        module = codegen_no_promote(src)
+        fn = module.function("main")
+        promote_allocas(fn)
+        verify_module(module)
+        all_phis = [i for i in fn.instructions() if isinstance(i, Phi)]
+        header_phis = list(fn.block("for.cond").phis())
+        assert len(all_phis) > len(header_phis)  # merge phi(s) exist in body
+        interp = Interpreter(module)
+        interp.run(inputs={"data": [3, 9, 2, 7]})
+        assert interp.read_global("out") == [9]

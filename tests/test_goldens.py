@@ -1,0 +1,55 @@
+"""Golden-IR regression tests.
+
+Each workload's compiled (unprotected) IR is pinned as a snapshot under
+``tests/goldens/``.  A mismatch means the frontend, mem2reg, or DCE changed
+code generation — which silently shifts every measured number in
+EXPERIMENTS.md.  If a change is intentional, regenerate the snapshots::
+
+    python -c "
+    from pathlib import Path
+    from repro.workloads import all_workloads
+    from repro.ir import module_to_str
+    for w in all_workloads():
+        Path('tests/goldens', w.name + '.ll').write_text(
+            module_to_str(w.build_module()))
+    "
+
+…and re-run the benchmark harness so EXPERIMENTS.md stays truthful.
+"""
+
+import difflib
+from pathlib import Path
+
+import pytest
+
+from repro.ir import module_to_str, parse_module, verify_module
+from repro.workloads import all_workloads
+
+GOLDENS = Path(__file__).parent / "goldens"
+ALL = all_workloads()
+
+
+@pytest.mark.parametrize("workload", ALL, ids=[w.name for w in ALL])
+class TestGoldenIR:
+    def test_compilation_matches_snapshot(self, workload):
+        golden_path = GOLDENS / f"{workload.name}.ll"
+        assert golden_path.exists(), f"missing golden for {workload.name}"
+        current = module_to_str(workload.build_module())
+        golden = golden_path.read_text()
+        if current != golden:
+            diff = "\n".join(
+                difflib.unified_diff(
+                    golden.splitlines(), current.splitlines(),
+                    fromfile="golden", tofile="current", lineterm="", n=2,
+                )
+            )
+            pytest.fail(
+                f"{workload.name} IR changed (regenerate goldens if "
+                f"intentional; see module docstring):\n{diff[:4000]}"
+            )
+
+    def test_snapshot_is_loadable(self, workload):
+        """Goldens stay parseable: the textual IR round-trips."""
+        module = parse_module((GOLDENS / f"{workload.name}.ll").read_text())
+        verify_module(module)
+        assert module.num_instructions() > 0

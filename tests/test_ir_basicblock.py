@@ -1,0 +1,92 @@
+"""Unit tests for BasicBlock structural operations."""
+
+import pytest
+
+from repro.ir import (
+    Br,
+    Constant,
+    I32,
+    IRBuilder,
+    Module,
+    Phi,
+    Ret,
+)
+from repro.ir.instructions import BinaryOp
+
+
+def fresh_block():
+    m = Module()
+    fn = m.add_function("f", I32)
+    return fn, fn.add_block("entry")
+
+
+class TestInsertion:
+    def test_append_claims_ownership(self):
+        fn, bb = fresh_block()
+        instr = BinaryOp("add", Constant(I32, 1), Constant(I32, 2))
+        bb.append(instr)
+        assert instr.parent is bb
+        assert instr.name  # named on insertion
+
+    def test_double_insertion_rejected(self):
+        fn, bb = fresh_block()
+        instr = BinaryOp("add", Constant(I32, 1), Constant(I32, 2))
+        bb.append(instr)
+        other = fn.add_block("other")
+        with pytest.raises(ValueError, match="already belongs"):
+            other.append(instr)
+
+    def test_insert_before_after(self):
+        fn, bb = fresh_block()
+        a = bb.append(BinaryOp("add", Constant(I32, 1), Constant(I32, 1)))
+        c = bb.append(BinaryOp("add", Constant(I32, 3), Constant(I32, 3)))
+        b = BinaryOp("add", Constant(I32, 2), Constant(I32, 2))
+        bb.insert_after(a, b)
+        assert bb.instructions == [a, b, c]
+        d = BinaryOp("add", Constant(I32, 0), Constant(I32, 0))
+        bb.insert_before(a, d)
+        assert bb.instructions[0] is d
+
+    def test_remove_clears_parent(self):
+        fn, bb = fresh_block()
+        a = bb.append(BinaryOp("add", Constant(I32, 1), Constant(I32, 1)))
+        bb.remove(a)
+        assert a.parent is None and len(bb) == 0
+
+
+class TestQueries:
+    def test_terminator_detection(self):
+        fn, bb = fresh_block()
+        assert bb.terminator is None
+        bb.append(Ret(Constant(I32, 0)))
+        assert isinstance(bb.terminator, Ret)
+
+    def test_phi_region(self):
+        fn, bb = fresh_block()
+        p1 = Phi(I32, "p1")
+        p2 = Phi(I32, "p2")
+        bb.insert(0, p1)
+        bb.insert(1, p2)
+        add = bb.append(BinaryOp("add", Constant(I32, 1), Constant(I32, 1)))
+        assert list(bb.phis()) == [p1, p2]
+        assert list(bb.non_phi_instructions()) == [add]
+        assert bb.first_non_phi_index() == 2
+
+    def test_successors_and_predecessors(self):
+        m = Module()
+        fn = m.add_function("f", I32)
+        a = fn.add_block("a")
+        c = fn.add_block("c")
+        a.append(Br(c))
+        IRBuilder(c).ret(Constant(I32, 0))
+        assert a.successors == [c]
+        assert c.predecessors == [a]
+        assert a.predecessors == []
+
+    def test_iteration_and_len(self):
+        fn, bb = fresh_block()
+        bb.append(BinaryOp("add", Constant(I32, 1), Constant(I32, 1)))
+        bb.append(Ret(Constant(I32, 0)))
+        assert len(bb) == 2
+        assert len(list(iter(bb))) == 2
+        assert "entry" in repr(bb)

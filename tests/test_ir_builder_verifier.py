@@ -1,0 +1,162 @@
+"""Unit tests for IRBuilder and the IR verifier."""
+
+import pytest
+
+from repro.ir import (
+    F64,
+    I32,
+    Constant,
+    GuardEq,
+    IRBuilder,
+    Module,
+    Phi,
+    Store,
+    VerificationError,
+    function_to_str,
+    module_to_str,
+    verify_function,
+    verify_module,
+)
+from tests.conftest import build_sum_loop
+
+
+class TestBuilder:
+    def test_emit_names_values(self):
+        m = Module()
+        fn = m.add_function("f", I32)
+        b = IRBuilder(fn.add_block("entry"))
+        v = b.add(b.const(1), b.const(2))
+        assert v.name
+
+    def test_no_block_raises(self):
+        b = IRBuilder()
+        with pytest.raises(ValueError, match="no insertion block"):
+            b.add(Constant(I32, 1), Constant(I32, 1))
+
+    def test_emit_after_terminator_inserts_before_it(self):
+        m = Module()
+        fn = m.add_function("f", I32)
+        entry = fn.add_block("entry")
+        b = IRBuilder(entry)
+        b.ret(b.const(0))
+        v = b.add(b.const(1), b.const(2))
+        assert entry.instructions[-1].opcode == "ret"
+        assert entry.instructions[0] is v
+
+    def test_double_terminator_rejected(self):
+        m = Module()
+        fn = m.add_function("f", I32)
+        b = IRBuilder(fn.add_block("entry"))
+        b.ret(b.const(0))
+        with pytest.raises(ValueError, match="terminator"):
+            b.ret(b.const(1))
+
+    def test_phi_inserted_at_top(self):
+        m = Module()
+        fn = m.add_function("f", I32)
+        entry = fn.add_block("entry")
+        b = IRBuilder(entry)
+        b.add(b.const(1), b.const(2))
+        phi = b.phi(I32)
+        assert entry.instructions[0] is phi
+
+    def test_int_cast_helper(self):
+        from repro.ir import I16, I64
+
+        m = Module()
+        fn = m.add_function("f", I32, [(I32, "x")])
+        b = IRBuilder(fn.add_block("entry"))
+        x = fn.args[0]
+        assert b.int_cast(x, I32) is x  # no-op
+        widened = b.int_cast(x, I64)
+        assert widened.opcode == "sext"
+        narrowed = b.int_cast(x, I16)
+        assert narrowed.opcode == "trunc"
+
+
+class TestVerifier:
+    def test_accepts_well_formed(self, sum_loop):
+        module, _ = sum_loop
+        verify_module(module)  # should not raise
+
+    def test_missing_terminator(self):
+        m = Module()
+        fn = m.add_function("f", I32)
+        fn.add_block("entry")
+        with pytest.raises(VerificationError, match="missing terminator"):
+            verify_function(fn)
+
+    def test_phi_after_non_phi(self):
+        m = Module()
+        fn = m.add_function("f", I32)
+        entry = fn.add_block("entry")
+        b = IRBuilder(entry)
+        v = b.add(b.const(1), b.const(2))
+        b.ret(v)
+        phi = Phi(I32, "p")
+        entry.instructions.insert(1, phi)
+        phi.parent = entry
+        with pytest.raises(VerificationError, match="phi after non-phi"):
+            verify_function(fn)
+
+    def test_phi_incomings_must_match_predecessors(self, sum_loop):
+        module, h = sum_loop
+        phi = h["i"]
+        phi.remove_incoming(h["entry"])
+        with pytest.raises(VerificationError, match="do not match predecessors"):
+            verify_function(h["fn"])
+
+    def test_use_before_def_in_block(self):
+        m = Module()
+        fn = m.add_function("f", I32)
+        entry = fn.add_block("entry")
+        b = IRBuilder(entry)
+        one = b.add(b.const(1), b.const(1))
+        two = b.add(one, one)
+        b.ret(two)
+        # swap so `two` uses `one` before its definition
+        entry.instructions[0], entry.instructions[1] = (
+            entry.instructions[1],
+            entry.instructions[0],
+        )
+        with pytest.raises(VerificationError, match="used before defined"):
+            verify_function(fn)
+
+    def test_cross_block_dominance(self, sum_loop):
+        module, h = sum_loop
+        # Move the loaded value's use into a block that the definition does
+        # not dominate: store `loaded` in the exit block.
+        exit_block = h["exit"]
+        bad = Store(h["loaded"], h["ptr"])
+        exit_block.insert(0, bad)
+        with pytest.raises(VerificationError, match="not dominated"):
+            verify_function(h["fn"])
+
+    def test_foreign_value_rejected(self):
+        m = Module()
+        f1 = m.add_function("f1", I32, [(I32, "x")])
+        f2 = m.add_function("f2", I32)
+        b = IRBuilder(f2.add_block("entry"))
+        b.ret(f1.args[0])
+        with pytest.raises(VerificationError, match="argument of another function"):
+            verify_function(f2)
+
+
+class TestPrinter:
+    def test_module_printing_is_stable(self, sum_loop):
+        module, _ = sum_loop
+        text1 = module_to_str(module)
+        text2 = module_to_str(module)
+        assert text1 == text2
+        assert "@src = global i32 x 16" in text1
+        assert "define i32 @main()" in text1
+        assert "phi i32" in text1
+
+    def test_shadow_marker(self, sum_loop):
+        from repro.transforms import duplicate_state_variables
+
+        module, h = sum_loop
+        duplicate_state_variables(module)
+        text = function_to_str(h["fn"])
+        assert ";dup" in text
+        assert "guard_eq" in text

@@ -1,0 +1,91 @@
+"""Unit tests for Function and Module container behaviour."""
+
+import pytest
+
+from repro.ir import I32, IRBuilder, Module, VOID
+
+
+class TestFunction:
+    def test_block_names_deduplicated(self):
+        m = Module()
+        fn = m.add_function("f", I32)
+        a = fn.add_block("body")
+        b = fn.add_block("body")
+        assert a.name != b.name
+
+    def test_add_block_after(self):
+        m = Module()
+        fn = m.add_function("f", I32)
+        first = fn.add_block("first")
+        third = fn.add_block("third")
+        second = fn.add_block("second", after=first)
+        assert fn.blocks == [first, second, third]
+
+    def test_entry_requires_blocks(self):
+        m = Module()
+        fn = m.add_function("f", I32)
+        with pytest.raises(ValueError, match="has no blocks"):
+            fn.entry
+
+    def test_block_lookup(self):
+        m = Module()
+        fn = m.add_function("f", I32)
+        bb = fn.add_block("here")
+        assert fn.block("here") is bb
+        with pytest.raises(KeyError):
+            fn.block("gone")
+
+    def test_value_names_unique(self):
+        m = Module()
+        fn = m.add_function("f", I32)
+        b = IRBuilder(fn.add_block("entry"))
+        names = {b.add(b.const(1), b.const(2)).name for _ in range(20)}
+        assert len(names) == 20
+
+    def test_instruction_iteration_in_block_order(self):
+        m = Module()
+        fn = m.add_function("f", I32)
+        b = IRBuilder(fn.add_block("a"))
+        v1 = b.add(b.const(1), b.const(1))
+        second = fn.add_block("b")
+        b.br(second)
+        b.set_block(second)
+        v2 = b.add(v1, v1)
+        b.ret(v2)
+        instrs = list(fn.instructions())
+        assert instrs.index(v1) < instrs.index(v2)
+        assert fn.num_instructions() == 4
+
+    def test_values_iterator_skips_void(self):
+        m = Module()
+        fn = m.add_function("f", VOID)
+        b = IRBuilder(fn.add_block("entry"))
+        b.add(b.const(1), b.const(1))
+        b.ret()
+        assert all(v.has_result for v in fn.values())
+
+
+class TestModule:
+    def test_duplicate_function_rejected(self):
+        m = Module()
+        m.add_function("f", I32)
+        with pytest.raises(ValueError, match="duplicate function"):
+            m.add_function("f", I32)
+
+    def test_iteration_yields_functions(self):
+        m = Module()
+        m.add_function("a", I32)
+        m.add_function("b", I32)
+        assert [f.name for f in m] == ["a", "b"]
+
+    def test_num_instructions_sums_functions(self):
+        m = Module()
+        for name in ("a", "b"):
+            fn = m.add_function(name, I32)
+            b = IRBuilder(fn.add_block("entry"))
+            b.ret(b.const(0))
+        assert m.num_instructions() == 2
+
+    def test_repr(self):
+        m = Module("demo")
+        assert "demo" in repr(m)

@@ -1,0 +1,246 @@
+"""Unit tests for repro.ir.instructions."""
+
+import pytest
+
+from repro.ir import (
+    F64,
+    I1,
+    I32,
+    PTR,
+    VOID,
+    Alloca,
+    BasicBlock,
+    BinaryOp,
+    Br,
+    Cast,
+    CondBr,
+    Constant,
+    FCmp,
+    GetElementPtr,
+    GuardEq,
+    GuardRange,
+    GuardValues,
+    ICmp,
+    IntrinsicCall,
+    Load,
+    Phi,
+    Ret,
+    Select,
+    Store,
+)
+
+
+def c32(v):
+    return Constant(I32, v)
+
+
+class TestBinaryOp:
+    def test_result_type_matches_operands(self):
+        add = BinaryOp("add", c32(1), c32(2))
+        assert add.type is I32
+
+    def test_unknown_opcode_rejected(self):
+        with pytest.raises(ValueError):
+            BinaryOp("bogus", c32(1), c32(2))
+
+    def test_int_op_rejects_floats(self):
+        with pytest.raises(TypeError):
+            BinaryOp("add", Constant(F64, 1.0), Constant(F64, 2.0))
+
+    def test_float_op_rejects_ints(self):
+        with pytest.raises(TypeError):
+            BinaryOp("fadd", c32(1), c32(2))
+
+    def test_mixed_types_rejected(self):
+        with pytest.raises(TypeError):
+            BinaryOp("add", c32(1), Constant(I1, 1))
+
+
+class TestComparisons:
+    def test_icmp_produces_i1(self):
+        cmp = ICmp("slt", c32(1), c32(2))
+        assert cmp.type is I1
+
+    def test_icmp_bad_predicate(self):
+        with pytest.raises(ValueError):
+            ICmp("lt", c32(1), c32(2))
+
+    def test_fcmp_produces_i1(self):
+        cmp = FCmp("olt", Constant(F64, 1.0), Constant(F64, 2.0))
+        assert cmp.type is I1
+
+    def test_fcmp_bad_predicate(self):
+        with pytest.raises(ValueError):
+            FCmp("lt", Constant(F64, 1.0), Constant(F64, 2.0))
+
+
+class TestSelectAndCast:
+    def test_select_requires_bool_condition(self):
+        with pytest.raises(TypeError):
+            Select(c32(1), c32(2), c32(3))
+
+    def test_select_arm_types_must_match(self):
+        with pytest.raises(TypeError):
+            Select(Constant(I1, 1), c32(2), Constant(F64, 3.0))
+
+    def test_cast_type(self):
+        cast = Cast("sitofp", c32(1), F64)
+        assert cast.type is F64
+
+    def test_unknown_cast_rejected(self):
+        with pytest.raises(ValueError):
+            Cast("resize", c32(1), F64)
+
+
+class TestMemory:
+    def test_alloca_size(self):
+        a = Alloca(I32, 16)
+        assert a.type is PTR and a.size_bytes == 64
+
+    def test_alloca_rejects_zero(self):
+        with pytest.raises(ValueError):
+            Alloca(I32, 0)
+
+    def test_load_requires_pointer(self):
+        with pytest.raises(TypeError):
+            Load(I32, c32(0))
+
+    def test_store_is_void(self):
+        a = Alloca(I32)
+        s = Store(c32(1), a)
+        assert s.type is VOID and not s.has_result
+
+    def test_gep_types(self):
+        a = Alloca(I32, 8)
+        g = GetElementPtr(a, c32(2), I32)
+        assert g.type is PTR and g.elem_size == 4
+
+    def test_gep_rejects_non_integer_index(self):
+        a = Alloca(I32, 8)
+        with pytest.raises(TypeError):
+            GetElementPtr(a, Constant(F64, 1.0), I32)
+
+
+class TestControlFlow:
+    def test_br_successors(self):
+        bb = BasicBlock("x")
+        br = Br(bb)
+        assert br.successors == [bb] and br.is_terminator
+
+    def test_condbr_requires_i1(self):
+        a, b = BasicBlock("a"), BasicBlock("b")
+        with pytest.raises(TypeError):
+            CondBr(c32(1), a, b)
+
+    def test_condbr_replace_successor(self):
+        a, b, c = BasicBlock("a"), BasicBlock("b"), BasicBlock("c")
+        br = CondBr(Constant(I1, 1), a, b)
+        br.replace_successor(a, c)
+        assert br.successors == [c, b]
+
+    def test_ret_with_and_without_value(self):
+        assert Ret().value is None
+        assert Ret(c32(3)).value.value == 3
+        assert Ret().successors == []
+
+
+class TestPhi:
+    def test_incoming_management(self):
+        bb1, bb2 = BasicBlock("a"), BasicBlock("b")
+        phi = Phi(I32, "p")
+        phi.add_incoming(c32(1), bb1)
+        phi.add_incoming(c32(2), bb2)
+        assert phi.incoming_for(bb1).value == 1
+        assert phi.incoming_for(bb2).value == 2
+
+    def test_incoming_type_checked(self):
+        phi = Phi(I32, "p")
+        with pytest.raises(TypeError):
+            phi.add_incoming(Constant(F64, 1.0), BasicBlock("a"))
+
+    def test_missing_incoming_raises(self):
+        phi = Phi(I32, "p")
+        with pytest.raises(KeyError):
+            phi.incoming_for(BasicBlock("a"))
+
+    def test_set_incoming_value(self):
+        bb = BasicBlock("a")
+        phi = Phi(I32, "p")
+        phi.add_incoming(c32(1), bb)
+        phi.set_incoming_value(bb, c32(9))
+        assert phi.incoming_for(bb).value == 9
+
+    def test_remove_incoming_reindexes_uses(self):
+        bb1, bb2 = BasicBlock("a"), BasicBlock("b")
+        phi = Phi(I32, "p")
+        v1, v2 = c32(1), c32(2)
+        phi.add_incoming(v1, bb1)
+        phi.add_incoming(v2, bb2)
+        phi.remove_incoming(bb1)
+        assert phi.incomings == [(v2, bb2)]
+        assert (phi, 0) in v2.uses
+
+
+class TestGuards:
+    def test_guard_eq_type_check(self):
+        with pytest.raises(TypeError):
+            GuardEq(c32(1), Constant(F64, 1.0))
+
+    def test_guard_eq_properties(self):
+        g = GuardEq(c32(1), c32(2), guard_id=7)
+        assert g.guard_id == 7 and g.is_guard and not g.has_result
+        assert g.original.value == 1 and g.shadow.value == 2
+
+    def test_guard_values_arity(self):
+        with pytest.raises(ValueError):
+            GuardValues(c32(1), [])
+        with pytest.raises(ValueError):
+            GuardValues(c32(1), [c32(1), c32(2), c32(3)])
+
+    def test_guard_values_expected(self):
+        g = GuardValues(c32(1), [c32(5), c32(9)])
+        assert [c.value for c in g.expected] == [5, 9]
+
+    def test_guard_range_bounds(self):
+        g = GuardRange(c32(1), c32(0), c32(10))
+        assert g.lo.value == 0 and g.hi.value == 10
+
+    def test_guard_range_type_check(self):
+        with pytest.raises(TypeError):
+            GuardRange(c32(1), Constant(F64, 0.0), c32(10))
+
+
+class TestIntrinsics:
+    def test_result_type_follows_first_arg(self):
+        call = IntrinsicCall("sqrt", [Constant(F64, 4.0)])
+        assert call.type is F64
+
+    def test_arity_checked(self):
+        with pytest.raises(ValueError):
+            IntrinsicCall("min", [c32(1)])
+
+    def test_unknown_intrinsic(self):
+        with pytest.raises(ValueError):
+            IntrinsicCall("cbrt", [c32(1)])
+
+
+class TestEraseAndOperands:
+    def test_erase_with_uses_fails(self):
+        add = BinaryOp("add", c32(1), c32(2))
+        BinaryOp("add", add, add)
+        with pytest.raises(RuntimeError, match="still has"):
+            add.erase()
+
+    def test_set_operand_updates_uses(self):
+        x, y = c32(1), c32(2)
+        add = BinaryOp("add", x, x)
+        add.set_operand(0, y)
+        assert add.operands == (y, x)
+        assert (add, 0) in y.uses
+        assert (add, 0) not in x.uses and (add, 1) in x.uses
+
+    def test_drop_all_references(self):
+        x = c32(1)
+        add = BinaryOp("add", x, x)
+        add.drop_all_references()
+        assert x.uses == [] and add.operands == ()

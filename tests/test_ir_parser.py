@@ -1,0 +1,160 @@
+"""Round-trip tests for the textual IR parser."""
+
+import numpy as np
+import pytest
+
+from repro.frontend import compile_source
+from repro.ir import (
+    GuardEq,
+    IRParseError,
+    module_to_str,
+    parse_module,
+    verify_module,
+)
+from repro.profiling import collect_profiles
+from repro.sim import Interpreter
+from repro.transforms import apply_scheme
+from repro.workloads import get_workload
+from tests.conftest import build_sum_loop, sum_loop_reference
+
+
+def round_trip(module):
+    parsed = parse_module(module_to_str(module))
+    verify_module(parsed)
+    return parsed
+
+
+class TestRoundTrip:
+    def test_text_is_fixpoint(self, sum_loop):
+        module, _ = sum_loop
+        parsed = round_trip(module)
+        t1 = module_to_str(parsed)
+        t2 = module_to_str(parse_module(t1))
+        assert t1 == t2
+
+    def test_execution_identical(self, sum_loop):
+        module, h = sum_loop
+        parsed = round_trip(module)
+        data = [(i * 5) % 37 for i in range(16)]
+        r = Interpreter(parsed).run(inputs={"src": data})
+        assert r.return_value == sum_loop_reference(data, h["mul"])
+
+    def test_globals_preserve_flags_and_initializers(self):
+        src = """
+        int tab[3] = { 5, -6, 7 };
+        input int a[4];
+        output int b[2];
+        void main() { b[0] = tab[0] + a[0]; b[1] = tab[1]; }
+        """
+        module = compile_source(src)
+        parsed = round_trip(module)
+        assert parsed.global_var("a").is_input
+        assert parsed.global_var("b").is_output
+        assert parsed.global_var("tab").initializer == [5, -6, 7]
+
+    def test_float_module(self):
+        src = """
+        input float x[4];
+        output float y[4];
+        void main() {
+            for (int i = 0; i < 4; i++) { y[i] = sqrt(x[i]) * 2.5; }
+        }
+        """
+        module = compile_source(src)
+        parsed = round_trip(module)
+        interp = Interpreter(parsed)
+        interp.run(inputs={"x": [1.0, 4.0, 9.0, 16.0]})
+        assert interp.read_global("y") == [2.5, 5.0, 7.5, 10.0]
+
+    def test_protected_module_guard_ids_preserved(self, sum_loop):
+        module, _ = sum_loop
+        apply_scheme(module, "dup")
+        parsed = round_trip(module)
+        original_ids = sorted(
+            i.guard_id for f in module.functions.values()
+            for i in f.instructions() if isinstance(i, GuardEq)
+        )
+        parsed_ids = sorted(
+            i.guard_id for f in parsed.functions.values()
+            for i in f.instructions() if isinstance(i, GuardEq)
+        )
+        assert parsed_ids == original_ids
+
+    def test_shadow_markers_preserved(self, sum_loop):
+        module, _ = sum_loop
+        apply_scheme(module, "dup")
+        parsed = round_trip(module)
+        n_shadows = sum(
+            1 for f in parsed.functions.values()
+            for i in f.instructions() if i.is_shadow
+        )
+        assert n_shadows > 0
+
+    def test_value_checked_module(self, sum_loop):
+        module, _ = sum_loop
+        data = list(range(16))
+        profiles = collect_profiles(module, inputs={"src": data})
+        from repro.transforms import ProtectionConfig
+
+        apply_scheme(module, "dup_valchk", profiles=profiles,
+                     config=ProtectionConfig(min_profile_samples=8))
+        parsed = round_trip(module)
+        r1 = Interpreter(module, guard_mode="count").run(inputs={"src": data})
+        r2 = Interpreter(parsed, guard_mode="count").run(inputs={"src": data})
+        assert r1.return_value == r2.return_value
+        assert r1.guard_stats.evaluations == r2.guard_stats.evaluations
+
+    def test_multi_function_module_with_calls(self):
+        src = """
+        output int out[1];
+        int square(int x) { return x * x; }
+        int twice(int x) { return square(x) + square(x); }
+        void main() { out[0] = twice(6); }
+        """
+        parsed = round_trip(compile_source(src))
+        interp = Interpreter(parsed)
+        interp.run()
+        assert interp.read_global("out")[0] == 72
+
+    @pytest.mark.parametrize("name", ["g721enc", "tiff2bw", "h264dec"])
+    def test_workload_round_trips(self, name):
+        w = get_workload(name)
+        module = w.build_module()
+        parsed = round_trip(module)
+        out1, _ = w.run(module, w.test_inputs())
+        interp = Interpreter(parsed)
+        out2, _ = w.run(parsed, w.test_inputs(), interpreter=interp)
+        for k in out1:
+            assert np.array_equal(out1[k], out2[k])
+
+
+class TestParseErrors:
+    def test_undefined_value(self):
+        text = """
+define i32 @main() {
+entry:
+  ret %nope
+}
+"""
+        with pytest.raises(IRParseError, match="undefined value"):
+            parse_module(text)
+
+    def test_unknown_instruction(self):
+        text = """
+define void @main() {
+entry:
+  frobnicate i32 1
+  ret void
+}
+"""
+        with pytest.raises(IRParseError, match="unknown instruction"):
+            parse_module(text)
+
+    def test_instruction_outside_block(self):
+        text = """
+define void @main() {
+  ret void
+}
+"""
+        with pytest.raises(IRParseError, match="outside a block"):
+            parse_module(text)

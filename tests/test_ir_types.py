@@ -1,0 +1,119 @@
+"""Unit tests for repro.ir.types."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ir.types import (
+    F32,
+    F64,
+    I1,
+    I8,
+    I16,
+    I32,
+    I64,
+    PTR,
+    VOID,
+    FloatType,
+    IntType,
+    PointerType,
+    parse_type,
+)
+
+
+class TestInterning:
+    def test_int_types_are_interned(self):
+        assert IntType(32) is I32
+        assert IntType(8) is I8
+
+    def test_float_types_are_interned(self):
+        assert FloatType(64) is F64
+        assert FloatType(32) is F32
+
+    def test_pointer_type_is_interned(self):
+        assert PointerType() is PTR
+
+    def test_distinct_widths_are_distinct(self):
+        assert I32 is not I64
+        assert F32 is not F64
+
+
+class TestPredicates:
+    def test_integer_predicates(self):
+        assert I32.is_integer and not I32.is_float and not I32.is_pointer
+        assert I1.is_bool
+        assert not I8.is_bool
+
+    def test_float_predicates(self):
+        assert F64.is_float and not F64.is_integer
+
+    def test_void_and_pointer(self):
+        assert VOID.is_void
+        assert PTR.is_pointer
+
+
+class TestWrap:
+    def test_positive_in_range(self):
+        assert I32.wrap(12345) == 12345
+
+    def test_wraps_to_negative(self):
+        assert I32.wrap(0x80000000) == -(1 << 31)
+        assert I32.wrap(0xFFFFFFFF) == -1
+
+    def test_wraps_overflow(self):
+        assert I32.wrap((1 << 32) + 5) == 5
+        assert I8.wrap(255) == -1
+        assert I8.wrap(128) == -128
+
+    def test_i1_wrap(self):
+        assert I1.wrap(1) == 1
+        assert I1.wrap(2) == 0
+        assert I1.wrap(3) == 1
+
+    def test_to_unsigned(self):
+        assert I32.to_unsigned(-1) == 0xFFFFFFFF
+        assert I8.to_unsigned(-128) == 128
+
+    def test_signed_bounds(self):
+        assert I32.min_signed == -(1 << 31)
+        assert I32.max_signed == (1 << 31) - 1
+        assert I16.max_signed == 32767
+
+    @given(st.integers(min_value=-(1 << 40), max_value=1 << 40))
+    def test_wrap_is_idempotent(self, value):
+        assert I32.wrap(I32.wrap(value)) == I32.wrap(value)
+
+    @given(st.integers())
+    def test_wrap_stays_in_signed_range(self, value):
+        wrapped = I32.wrap(value)
+        assert I32.min_signed <= wrapped <= I32.max_signed
+
+    @given(st.integers(min_value=0, max_value=(1 << 32) - 1))
+    def test_wrap_round_trips_unsigned(self, raw):
+        assert I32.to_unsigned(I32.wrap(raw)) == raw
+
+
+class TestSizes:
+    def test_size_bytes(self):
+        assert I8.size_bytes == 1
+        assert I32.size_bytes == 4
+        assert I64.size_bytes == 8
+        assert F64.size_bytes == 8
+        assert F32.size_bytes == 4
+        assert PTR.size_bytes == 8
+
+    def test_i1_occupies_a_byte(self):
+        assert I1.size_bytes == 1
+
+
+class TestParseType:
+    @pytest.mark.parametrize("name,expected", [
+        ("i1", I1), ("i32", I32), ("i64", I64),
+        ("f32", F32), ("f64", F64), ("ptr", PTR), ("void", VOID),
+    ])
+    def test_round_trip(self, name, expected):
+        assert parse_type(name) is expected
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown IR type"):
+            parse_type("i33")

@@ -1,0 +1,123 @@
+"""Unit tests for repro.ir.values (constants, uses, RAUW, globals)."""
+
+import pytest
+
+from repro.ir import (
+    F64,
+    I32,
+    PTR,
+    Constant,
+    GlobalVariable,
+    IRBuilder,
+    Module,
+    UndefValue,
+    const_bool,
+    const_float,
+    const_int,
+)
+
+
+class TestConstant:
+    def test_int_constant_wraps(self):
+        c = Constant(I32, 0xFFFFFFFF)
+        assert c.value == -1
+
+    def test_float_constant_coerces(self):
+        c = Constant(F64, 3)
+        assert isinstance(c.value, float) and c.value == 3.0
+
+    def test_equality_by_type_and_value(self):
+        assert Constant(I32, 5) == Constant(I32, 5)
+        assert Constant(I32, 5) != Constant(I32, 6)
+
+    def test_hashable(self):
+        assert len({Constant(I32, 5), Constant(I32, 5), Constant(I32, 6)}) == 2
+
+    def test_helpers(self):
+        assert const_int(3).type is I32
+        assert const_float(2.5).value == 2.5
+        assert const_bool(True).value == 1
+        assert const_bool(False).value == 0
+
+
+class TestUses:
+    def test_uses_recorded_on_construction(self):
+        m = Module()
+        fn = m.add_function("f", I32, [(I32, "x")])
+        b = IRBuilder(fn.add_block("entry"))
+        x = fn.args[0]
+        add = b.add(x, x)
+        assert (add, 0) in x.uses and (add, 1) in x.uses
+        assert x.users == [add]
+
+    def test_replace_all_uses_with(self):
+        m = Module()
+        fn = m.add_function("f", I32, [(I32, "x"), (I32, "y")])
+        b = IRBuilder(fn.add_block("entry"))
+        x, y = fn.args
+        add = b.add(x, x)
+        x.replace_all_uses_with(y)
+        assert add.operands == (y, y)
+        assert x.uses == []
+        assert (add, 0) in y.uses and (add, 1) in y.uses
+
+    def test_rauw_to_self_is_noop(self):
+        m = Module()
+        fn = m.add_function("f", I32, [(I32, "x")])
+        b = IRBuilder(fn.add_block("entry"))
+        x = fn.args[0]
+        add = b.add(x, x)
+        x.replace_all_uses_with(x)
+        assert add.operands == (x, x)
+        assert len(x.uses) == 2
+
+
+class TestGlobalVariable:
+    def test_has_pointer_type(self):
+        g = GlobalVariable("g", I32, 8)
+        assert g.type is PTR
+        assert g.size_bytes == 32
+
+    def test_rejects_nonpositive_count(self):
+        with pytest.raises(ValueError):
+            GlobalVariable("g", I32, 0)
+
+    def test_rejects_oversized_initializer(self):
+        with pytest.raises(ValueError):
+            GlobalVariable("g", I32, 2, initializer=[1, 2, 3])
+
+    def test_io_flags(self):
+        g = GlobalVariable("g", I32, 4, is_input=True)
+        assert g.is_input and not g.is_output
+
+    def test_short_rendering(self):
+        assert GlobalVariable("tab", I32, 4).short() == "@tab"
+
+
+class TestUndef:
+    def test_undef_renders(self):
+        u = UndefValue(I32)
+        assert "undef" in u.short()
+
+
+class TestModuleGlobals:
+    def test_duplicate_global_rejected(self):
+        m = Module()
+        m.add_global("g", I32, 4)
+        with pytest.raises(ValueError, match="duplicate"):
+            m.add_global("g", I32, 4)
+
+    def test_io_queries(self):
+        m = Module()
+        m.add_global("a", I32, 4, is_input=True)
+        m.add_global("b", I32, 4, is_output=True)
+        m.add_global("c", I32, 4)
+        assert [g.name for g in m.input_globals()] == ["a"]
+        assert [g.name for g in m.output_globals()] == ["b"]
+
+    def test_missing_lookup_raises(self):
+        m = Module()
+        with pytest.raises(KeyError):
+            m.global_var("nope")
+        with pytest.raises(KeyError):
+            m.function("nope")

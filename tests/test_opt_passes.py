@@ -1,0 +1,211 @@
+"""Tests for the generic optimizer passes (DCE, simplifycfg, constfold)."""
+
+import numpy as np
+import pytest
+
+from repro.frontend import compile_source
+from repro.frontend.codegen import CodeGenerator
+from repro.frontend.mem2reg import promote_module
+from repro.frontend.parser import parse
+from repro.ir import (
+    Br,
+    CondBr,
+    Constant,
+    I1,
+    I32,
+    IRBuilder,
+    Module,
+    verify_module,
+)
+from repro.opt import (
+    eliminate_dead_code,
+    fold_constants,
+    fold_constants_module,
+    simplify_cfg,
+    simplify_cfg_module,
+)
+from repro.sim import Interpreter
+from repro.workloads import get_workload
+
+
+def unoptimized(src: str) -> Module:
+    module = CodeGenerator(parse(src), "t").generate()
+    promote_module(module)
+    return module
+
+
+class TestDCE:
+    def test_pure_dead_chain_removed(self):
+        m = Module()
+        fn = m.add_function("main", I32)
+        b = IRBuilder(fn.add_block("entry"))
+        dead1 = b.add(b.const(1), b.const(2))
+        dead2 = b.mul(dead1, b.const(3))
+        live = b.add(b.const(10), b.const(20))
+        b.ret(live)
+        removed = eliminate_dead_code(fn)
+        assert removed == 2
+        verify_module(m)
+        assert Interpreter(m).run().return_value == 30
+
+    def test_side_effects_kept(self):
+        src = """
+        output int out[1];
+        void main() { out[0] = 7; int unused = out[0] * 2; }
+        """
+        module = unoptimized(src)
+        eliminate_dead_code(module.function("main"))
+        verify_module(module)
+        interp = Interpreter(module)
+        interp.run()
+        assert interp.read_global("out")[0] == 7
+
+    def test_guards_survive(self):
+        from repro.transforms import apply_scheme
+        from repro.opt import eliminate_dead_code_module
+        from tests.conftest import build_sum_loop
+        from repro.ir import GuardEq
+
+        module, _ = build_sum_loop()
+        apply_scheme(module, "dup")
+        eliminate_dead_code_module(module)
+        verify_module(module)
+        guards = [
+            i for f in module.functions.values()
+            for i in f.instructions() if isinstance(i, GuardEq)
+        ]
+        assert len(guards) == 2  # guards are roots: shadow chains stay live
+
+
+class TestSimplifyCfg:
+    def test_merges_linear_chain(self):
+        m = Module()
+        fn = m.add_function("main", I32)
+        a = fn.add_block("a")
+        c = fn.add_block("c")
+        b = IRBuilder(a)
+        v = b.add(b.const(1), b.const(2))
+        b.br(c)
+        b.set_block(c)
+        w = b.add(v, b.const(10))
+        b.ret(w)
+        removed = simplify_cfg(fn)
+        assert removed == 1
+        assert len(fn.blocks) == 1
+        verify_module(m)
+        assert Interpreter(m).run().return_value == 13
+
+    def test_folds_constant_branch_and_removes_dead_block(self):
+        m = Module()
+        fn = m.add_function("main", I32)
+        entry = fn.add_block("entry")
+        then_bb = fn.add_block("then")
+        else_bb = fn.add_block("else")
+        b = IRBuilder(entry)
+        b.condbr(Constant(I1, 1), then_bb, else_bb)
+        b.set_block(then_bb)
+        b.ret(b.const(1))
+        b.set_block(else_bb)
+        b.ret(b.const(2))
+        simplify_cfg(fn)
+        verify_module(m)
+        assert len(fn.blocks) == 1
+        assert Interpreter(m).run().return_value == 1
+
+    def test_phi_rewired_through_merge(self):
+        src = """
+        input int x[1];
+        output int out[1];
+        void main() {
+            int v = 0;
+            if (x[0] > 0) { v = 10; } else { v = 20; }
+            out[0] = v + 1;
+        }
+        """
+        module = unoptimized(src)
+        fn = module.function("main")
+        simplify_cfg(fn)
+        verify_module(module)
+        for flag, expected in ((1, 11), (-1, 21)):
+            interp = Interpreter(module)
+            interp.run(inputs={"x": [flag]})
+            assert interp.read_global("out")[0] == expected
+
+    def test_workload_semantics_preserved(self):
+        w = get_workload("tiff2bw")
+        base = w.build_module()
+        base_out, base_run = w.run(base, w.test_inputs())
+
+        module = w.build_module()
+        removed = simplify_cfg_module(module)
+        assert removed > 0  # codegen's for-loops leave mergeable chains
+        verify_module(module)
+        out, run = w.run(module, w.test_inputs())
+        for k in base_out:
+            assert np.array_equal(base_out[k], out[k])
+        assert run.instructions < base_run.instructions  # fewer branches
+
+
+class TestConstFold:
+    def test_folds_arithmetic_chain(self):
+        m = Module()
+        fn = m.add_function("main", I32)
+        b = IRBuilder(fn.add_block("entry"))
+        v1 = b.add(b.const(2), b.const(3))
+        v2 = b.mul(v1, b.const(4))
+        b.ret(v2)
+        folded = fold_constants(fn)
+        assert folded == 2
+        verify_module(m)
+        assert Interpreter(m).run().return_value == 20
+
+    def test_wraps_like_runtime(self):
+        m = Module()
+        fn = m.add_function("main", I32)
+        b = IRBuilder(fn.add_block("entry"))
+        v = b.add(b.const(2**31 - 1), b.const(1))
+        b.ret(v)
+        fold_constants(fn)
+        assert Interpreter(m).run().return_value == -(2**31)
+
+    def test_trapping_division_left_alone(self):
+        from repro.sim import ArithmeticTrap
+
+        m = Module()
+        fn = m.add_function("main", I32)
+        b = IRBuilder(fn.add_block("entry"))
+        v = b.sdiv(b.const(1), b.const(0))
+        b.ret(v)
+        assert fold_constants(fn) == 0
+        with pytest.raises(ArithmeticTrap):
+            Interpreter(m).run()
+
+    def test_folds_comparisons_and_casts(self):
+        src = """
+        output int out[1];
+        void main() { out[0] = (int)(2.5 * 2.0) + (3 < 4 ? 100 : 200); }
+        """
+        module = compile_source(src)
+        folded = fold_constants_module(module)
+        assert folded > 0
+        verify_module(module)
+        interp = Interpreter(module)
+        interp.run()
+        assert interp.read_global("out")[0] == 105
+
+    def test_combined_pipeline_on_workload(self):
+        """simplifycfg + constfold + dce compose safely on a real kernel."""
+        from repro.opt import eliminate_dead_code_module
+
+        w = get_workload("kmeans")
+        base = w.build_module()
+        base_out, _ = w.run(base, w.test_inputs())
+
+        module = w.build_module()
+        fold_constants_module(module)
+        simplify_cfg_module(module)
+        eliminate_dead_code_module(module)
+        verify_module(module)
+        out, _ = w.run(module, w.test_inputs())
+        for k in base_out:
+            assert np.array_equal(base_out[k], out[k])

@@ -1,0 +1,179 @@
+"""Unit and property tests for value profiling (paper Algorithms 1 and 2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.profiling import (
+    FrequentRange,
+    InstructionProfile,
+    OnlineHistogram,
+    ProfileStore,
+    collect_profiles,
+    compact_range,
+)
+from tests.conftest import build_sum_loop
+
+
+class TestOnlineHistogram:
+    def test_point_values_stay_exact_under_budget(self):
+        h = OnlineHistogram(5)
+        for v in [1, 2, 3, 1, 2, 1]:
+            h.add(v)
+        assert h.total == 6
+        assert sorted(h.as_tuples()) == [(1, 1, 3), (2, 2, 2), (3, 3, 1)]
+
+    def test_merges_closest_bins_when_full(self):
+        h = OnlineHistogram(3)
+        for v in [0, 10, 11, 100]:
+            h.add(v)
+        # 10 and 11 are the closest pair -> merged
+        assert (10, 11, 2) in h.as_tuples()
+        assert len(h) == 3
+
+    def test_existing_bin_absorbs_in_range_value(self):
+        h = OnlineHistogram(3)
+        for v in [0, 10, 11, 100]:
+            h.add(v)
+        h.add(10.5)  # falls inside merged [10, 11]
+        assert (10, 11, 3) in h.as_tuples()
+
+    def test_min_max(self):
+        h = OnlineHistogram(4)
+        for v in [5, -3, 12]:
+            h.add(v)
+        assert h.min == -3 and h.max == 12
+
+    def test_max_bin(self):
+        h = OnlineHistogram(4)
+        for v in [1, 2, 2, 2, 3]:
+            h.add(v)
+        assert tuple(h.max_bin()) == (2, 2, 3)
+
+    def test_requires_two_bins(self):
+        with pytest.raises(ValueError):
+            OnlineHistogram(1)
+
+    @given(st.lists(st.integers(min_value=-1000, max_value=1000), min_size=1, max_size=200))
+    @settings(max_examples=50)
+    def test_invariants(self, values):
+        """Property: bin budget respected, total preserved, bins sorted and
+        disjoint, every inserted value inside some bin."""
+        h = OnlineHistogram(5)
+        for v in values:
+            h.add(v)
+        bins = h.as_tuples()
+        assert len(bins) <= 5
+        assert sum(c for _, _, c in bins) == len(values)
+        for (lb, rb, _), (lb2, rb2, _) in zip(bins, bins[1:]):
+            assert lb <= rb
+            assert rb < lb2  # sorted, non-overlapping
+        for v in values:
+            assert any(lb <= v <= rb for lb, rb, _ in bins)
+
+
+class TestCompactRange:
+    def _hist(self, pairs):
+        h = OnlineHistogram(len(pairs) + 1)
+        from repro.profiling.histogram import Bin
+
+        h.bins = [Bin(lb, rb, c) for lb, rb, c in pairs]
+        h.total = sum(c for _, _, c in pairs)
+        return h
+
+    def test_empty_histogram(self):
+        assert compact_range(OnlineHistogram(5), 10) is None
+
+    def test_seed_is_max_frequency_bin(self):
+        h = self._hist([(0, 1, 2), (10, 11, 50), (20, 21, 3)])
+        fr = compact_range(h, range_threshold=0.5)
+        assert fr.lo == 10 and fr.hi == 11 and fr.count == 50
+
+    def test_grows_toward_heavier_neighbour(self):
+        h = self._hist([(0, 1, 20), (10, 11, 50), (20, 21, 5)])
+        fr = compact_range(h, range_threshold=12)
+        assert fr.lo == 0 and fr.hi == 11
+        assert fr.count == 70
+
+    def test_respects_threshold(self):
+        h = self._hist([(0, 1, 20), (100, 101, 50), (200, 201, 30)])
+        fr = compact_range(h, range_threshold=10)
+        assert (fr.lo, fr.hi) == (100, 101)
+
+    def test_grows_other_side_when_blocked(self):
+        # left neighbour is heavier but too far; right fits
+        h = self._hist([(0, 1, 40), (100, 101, 50), (105, 106, 10)])
+        fr = compact_range(h, range_threshold=10)
+        assert (fr.lo, fr.hi) == (100, 106)
+        assert fr.count == 60
+
+    def test_coverage(self):
+        h = self._hist([(0, 1, 25), (10, 11, 75)])
+        fr = compact_range(h, range_threshold=1)
+        assert fr.coverage == pytest.approx(0.75)
+
+    @given(st.lists(st.integers(min_value=-500, max_value=500), min_size=2, max_size=100),
+           st.integers(min_value=1, max_value=1000))
+    @settings(max_examples=50)
+    def test_range_properties(self, values, threshold):
+        h = OnlineHistogram(5)
+        for v in values:
+            h.add(v)
+        fr = compact_range(h, threshold)
+        assert fr is not None
+        assert fr.lo <= fr.hi
+        assert 0 < fr.count <= len(values)
+        assert 0 < fr.coverage <= 1.0
+        # the range contains at least the heaviest bin
+        heavy = h.max_bin()
+        assert fr.lo <= heavy.lb and heavy.rb <= fr.hi
+
+
+class TestInstructionProfile:
+    def _profile(self, values, top_capacity=8):
+        class FakeInstr:
+            name = "x"
+
+        p = InstructionProfile(FakeInstr(), num_bins=5, top_capacity=top_capacity)
+        for v in values:
+            p.observe(v)
+        return p
+
+    def test_frequent_values(self):
+        p = self._profile([3, 3, 3, 7, 7, 1])
+        assert p.frequent_values(2) == [(3.0, 3), (7.0, 2)]
+
+    def test_value_coverage(self):
+        p = self._profile([3, 3, 3, 7])
+        assert p.value_coverage([3.0]) == pytest.approx(0.75)
+        assert p.value_coverage([3.0, 7.0]) == 1.0
+
+    def test_top_capacity_respected(self):
+        p = self._profile(list(range(100)), top_capacity=4)
+        assert len(p.top_values) == 4
+
+    def test_span(self):
+        p = self._profile([10, 20, 30])
+        assert p.span == 20
+
+
+class TestCollectProfiles:
+    def test_profiles_cover_value_instructions(self, sum_loop):
+        module, h = sum_loop
+        store = collect_profiles(module, inputs={"src": list(range(16))})
+        # the accumulator update is profiled with one sample per iteration
+        profile = store.get(h["acc_next"])
+        assert profile is not None and profile.count == 16
+
+    def test_pointers_and_bools_not_profiled(self, sum_loop):
+        module, h = sum_loop
+        store = collect_profiles(module, inputs={"src": list(range(16))})
+        assert store.get(h["ptr"]) is None    # gep: pointer
+        assert store.get(h["cond"]) is None   # icmp: i1
+
+    def test_store_iteration_and_summary(self, sum_loop):
+        module, _ = sum_loop
+        store = collect_profiles(module, inputs={"src": list(range(16))})
+        assert len(store) == len(list(iter(store)))
+        summary = store.summary()
+        assert all("count" in row for row in summary.values())

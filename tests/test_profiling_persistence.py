@@ -1,0 +1,78 @@
+"""Tests for profile-store persistence (save/load of offline profiles)."""
+
+import numpy as np
+import pytest
+
+from repro.profiling import ProfileStore, collect_profiles
+from repro.sim import Interpreter
+from repro.transforms import ProtectionConfig, apply_scheme
+from repro.workloads import get_workload
+
+
+class TestPersistence:
+    def test_round_trip_preserves_profiles(self, tmp_path, sum_loop):
+        module, h = sum_loop
+        store = collect_profiles(module, inputs={"src": list(range(16))})
+        path = tmp_path / "profiles.json"
+        store.save(path)
+
+        loaded = ProfileStore.load(path, module)
+        assert len(loaded) == len(store)
+        original = store.get(h["acc_next"])
+        restored = loaded.get(h["acc_next"])
+        assert restored is not None
+        assert restored.count == original.count
+        assert restored.histogram.as_tuples() == original.histogram.as_tuples()
+        assert restored.top_values == original.top_values
+
+    def test_load_onto_fresh_build(self, tmp_path):
+        """A profile saved from one build applies to a fresh, identical
+        build of the same workload (the offline-profiling workflow)."""
+        w = get_workload("g721dec")
+        m1 = w.build_module()
+        store = collect_profiles(m1, inputs=w.train_inputs())
+        path = tmp_path / "g721dec.json"
+        store.save(path)
+
+        m2 = w.build_module()
+        loaded = ProfileStore.load(path, m2)
+        assert len(loaded) == len(store)
+
+        stats = apply_scheme(m2, "dup_valchk", profiles=loaded)
+        assert stats.num_value_checks > 0
+        interp = Interpreter(m2, guard_mode="count")
+        _, result = w.run(m2, w.test_inputs(), interpreter=interp)
+        assert result.guard_stats.evaluations > 0
+        assert result.guard_stats.total_failures == 0
+
+    def test_loaded_checks_equal_fresh_checks(self, tmp_path):
+        """Protection built from a loaded profile is identical to protection
+        built from the live profile."""
+        w = get_workload("tiff2bw")
+        m1 = w.build_module()
+        store = collect_profiles(m1, inputs=w.train_inputs())
+        stats_live = apply_scheme(m1, "dup_valchk", profiles=store)
+
+        m2 = w.build_module()
+        path = tmp_path / "p.json"
+        store2 = collect_profiles(m2, inputs=w.train_inputs())
+        store2.save(path)
+        m3 = w.build_module()
+        loaded = ProfileStore.load(path, m3)
+        stats_loaded = apply_scheme(m3, "dup_valchk", profiles=loaded)
+
+        assert stats_loaded.num_value_checks == stats_live.num_value_checks
+        assert stats_loaded.checks_by_kind == stats_live.checks_by_kind
+        assert stats_loaded.num_duplicated == stats_live.num_duplicated
+
+    def test_stale_entries_skipped(self, tmp_path, sum_loop):
+        """Entries that no longer resolve (module changed) are dropped, not
+        crashed on."""
+        module, _ = sum_loop
+        store = collect_profiles(module, inputs={"src": list(range(16))})
+        data = store.to_dict()
+        data["profiles"]["main:doesnotexist"] = {
+            "count": 5, "bins": [[0, 1, 5]], "total": 5, "top": [[0.0, 5]],
+        }
+        loaded = ProfileStore.from_dict(data, module)
+        assert len(loaded) == len(store)

@@ -1,0 +1,70 @@
+"""Tests for the report-rendering helpers (tables, percentages, bar charts)."""
+
+import pytest
+
+from repro.experiments.reporting import format_table, pct, stacked_bar_chart
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["name", "v"], [("a", 1), ("longer", 22)])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        # the dash ruler reflects the widest cell of each column
+        ruler = lines[1].split("  ")
+        assert len(ruler[0]) == len("longer")
+        assert len(ruler[1]) == len("22")
+
+    def test_title(self):
+        text = format_table(["x"], [(1,)], title="T")
+        assert text.splitlines()[0] == "T"
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [(0.123456789,)])
+        assert "0.1235" in text
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text
+
+
+class TestPct:
+    def test_basic(self):
+        assert pct(0.073) == "7.3%"
+        assert pct(0.5, 0) == "50%"
+        assert pct(1.0) == "100.0%"
+
+
+class TestStackedBarChart:
+    def test_full_bar(self):
+        chart = stacked_bar_chart(
+            [("x", [0.5, 0.5])], series=["a", "b"], width=10
+        )
+        bar_line = chart.splitlines()[-1]
+        assert "█████▓▓▓▓▓" in bar_line
+        assert "100.0%" in bar_line
+
+    def test_legend_present(self):
+        chart = stacked_bar_chart([("x", [1.0])], series=["only"])
+        assert "legend: █ only" in chart
+
+    def test_total_scales_bars(self):
+        half = stacked_bar_chart([("x", [0.25])], series=["a"], width=20, total=0.5)
+        bar = half.splitlines()[-1]
+        assert bar.count("█") == 10  # 0.25 of total 0.5 = half the width
+
+    def test_never_overflows_width(self):
+        chart = stacked_bar_chart(
+            [("x", [0.7, 0.7])], series=["a", "b"], width=10
+        )
+        bar_line = chart.splitlines()[-1]
+        inner = bar_line.split("|")[1]
+        assert len(inner) == 10
+
+    def test_row_arity_checked(self):
+        with pytest.raises(ValueError, match="expected 2"):
+            stacked_bar_chart([("x", [0.5])], series=["a", "b"])
+
+    def test_series_count_limited(self):
+        with pytest.raises(ValueError):
+            stacked_bar_chart([("x", [0.1] * 7)], series=list("abcdefg"))

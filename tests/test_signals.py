@@ -1,0 +1,87 @@
+"""Tests for the synthetic input generators."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.signals import (
+    gaussian_clusters,
+    synthetic_audio,
+    synthetic_image,
+    synthetic_rgb_image,
+    synthetic_video,
+    two_class_data,
+)
+
+
+class TestImages:
+    def test_shape_and_range(self):
+        img = synthetic_image(20, 12, seed=1)
+        assert img.shape == (12, 20)
+        assert img.min() >= 0 and img.max() <= 255
+
+    def test_deterministic_per_seed(self):
+        assert np.array_equal(synthetic_image(8, 8, 5), synthetic_image(8, 8, 5))
+        assert not np.array_equal(synthetic_image(8, 8, 5), synthetic_image(8, 8, 6))
+
+    def test_structured_not_noise(self):
+        """Neighbouring pixels are correlated (it's an image, not static)."""
+        img = synthetic_image(32, 32, seed=3).astype(float)
+        horizontal = np.corrcoef(img[:, :-1].ravel(), img[:, 1:].ravel())[0, 1]
+        assert horizontal > 0.5
+
+    def test_rgb_shape(self):
+        rgb = synthetic_rgb_image(10, 6, seed=2)
+        assert rgb.shape == (6, 10, 3)
+        assert rgb.min() >= 0 and rgb.max() <= 255
+
+
+class TestAudio:
+    def test_range_and_dynamics(self):
+        audio = synthetic_audio(512, seed=7)
+        assert audio.min() >= -32768 and audio.max() <= 32767
+        assert audio.std() > 1000  # has real signal energy
+
+    def test_band_limited(self):
+        """Energy concentrates at low frequencies (tones, not white noise)."""
+        audio = synthetic_audio(1024, seed=9).astype(float)
+        spectrum = np.abs(np.fft.rfft(audio - audio.mean()))
+        low = spectrum[: len(spectrum) // 4].sum()
+        assert low / spectrum.sum() > 0.7
+
+
+class TestVideo:
+    def test_shape(self):
+        video = synthetic_video(16, 16, 4, seed=11)
+        assert video.shape == (4, 16, 16)
+
+    def test_frames_move_but_cohere(self):
+        video = synthetic_video(16, 16, 4, seed=13).astype(float)
+        diffs = [np.abs(video[f + 1] - video[f]).mean() for f in range(3)]
+        assert all(d > 0 for d in diffs)       # there is motion
+        assert all(d < 60 for d in diffs)      # but frames are related
+
+
+class TestMLData:
+    def test_gaussian_clusters_separated(self):
+        points, labels = gaussian_clusters(80, 4, 4, seed=17)
+        assert points.shape == (80, 4) and labels.shape == (80,)
+        centers = np.array([points[labels == k].mean(axis=0) for k in range(4)])
+        # per-dimension scatter within a cluster (the generator's sigma*100)
+        spread = np.array(
+            [points[labels == k].std(axis=0).mean() for k in range(4)]
+        ).mean()
+        min_center_dist = min(
+            np.linalg.norm(centers[i] - centers[j])
+            for i in range(4) for j in range(i + 1, 4)
+        )
+        assert min_center_dist > 4 * spread  # well separated
+
+    def test_two_class_data_separable(self):
+        points, labels = two_class_data(60, 6, seed=19)
+        assert set(labels) == {-1, 1}
+        mean_pos = points[labels == 1].mean(axis=0)
+        mean_neg = points[labels == -1].mean(axis=0)
+        w = mean_pos - mean_neg
+        scores = points @ w
+        predicted = np.where(scores > scores.mean(), 1, -1)
+        assert (predicted == labels).mean() > 0.9

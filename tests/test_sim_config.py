@@ -1,0 +1,57 @@
+"""Tests for the simulator configuration (paper Table II)."""
+
+import pytest
+
+from repro.sim import CacheConfig, SimConfig
+
+
+class TestTable2Defaults:
+    def test_paper_values(self):
+        cfg = SimConfig()
+        assert cfg.frequency_ghz == 2.0
+        assert cfg.issue_width == 2
+        assert cfg.rob_entries == 192
+        assert cfg.phys_int_registers == 256
+        assert cfg.l1d.size_bytes == 32 * 1024 and cfg.l1d.associativity == 2
+        assert cfg.l1i.size_bytes == 64 * 1024 and cfg.l1i.associativity == 2
+        assert cfg.dtlb_entries == 64 and cfg.itlb_entries == 64
+
+    def test_describe_renders_table2(self):
+        text = SimConfig().describe()
+        for fragment in (
+            "@ 2GHz", "256 entries", "192 entries",
+            "64KB, 2-way", "32KB, 2-way", "64 entries (each)",
+        ):
+            assert fragment in text
+
+    def test_cache_geometry(self):
+        cache = CacheConfig(32 * 1024, 2, 64)
+        assert cache.num_sets == 256
+
+    def test_latency_table_covers_expensive_ops(self):
+        lat = SimConfig().latencies
+        assert lat["sdiv"] > lat["mul"] > 1
+        assert lat["fdiv"] > lat["fmul"]
+        assert lat["load"] >= 2
+
+    def test_slot_costs_model_fused_guards(self):
+        slots = SimConfig().slot_costs
+        assert slots["guard_eq"] <= slots["guard_range"]
+        assert slots["guard_values_1"] <= slots["guard_values_2"]
+
+    def test_fault_model_defaults(self):
+        cfg = SimConfig()
+        assert cfg.symptom_window_cycles == 1000  # paper Section IV-C
+        assert cfg.register_flip_bits == 32       # ARMv7-a registers
+        assert 0.0 <= cfg.injection_live_bias <= 1.0
+
+    def test_config_is_mutable_per_experiment(self):
+        cfg = SimConfig(issue_width=4, rob_entries=64)
+        assert cfg.issue_width == 4 and cfg.rob_entries == 64
+        # defaults unaffected (no shared mutable state)
+        assert SimConfig().issue_width == 2
+
+    def test_latency_dicts_not_shared(self):
+        a, b = SimConfig(), SimConfig()
+        a.latencies["mul"] = 99
+        assert b.latencies["mul"] != 99

@@ -1,0 +1,57 @@
+"""Tests for simulator events, traps, and guard statistics."""
+
+import pytest
+
+from repro.sim import (
+    ArithmeticTrap,
+    GuardStats,
+    GuardTrap,
+    MemoryTrap,
+    SimTrap,
+    StackOverflowTrap,
+    TimeoutTrap,
+)
+
+
+class TestTrapHierarchy:
+    def test_all_traps_are_sim_traps(self):
+        for trap in (
+            MemoryTrap("null", 0, 1),
+            ArithmeticTrap("sdiv", 2),
+            TimeoutTrap(100, 101),
+            GuardTrap(3, "range", 4),
+            StackOverflowTrap(5),
+        ):
+            assert isinstance(trap, SimTrap)
+            assert trap.cycle >= 0
+
+    def test_memory_trap_carries_details(self):
+        trap = MemoryTrap("out-of-bounds", 0x1234, 99)
+        assert trap.kind == "out-of-bounds"
+        assert trap.address == 0x1234
+        assert trap.cycle == 99
+        assert "0x1234" in str(trap)
+        assert "cycle 99" in str(trap)
+
+    def test_guard_trap_carries_guard_identity(self):
+        trap = GuardTrap(7, "values", 123)
+        assert trap.guard_id == 7
+        assert trap.guard_kind == "values"
+        assert "guard 7" in str(trap)
+
+    def test_timeout_records_budget(self):
+        trap = TimeoutTrap(5000, 5001)
+        assert trap.limit == 5000
+
+
+class TestGuardStats:
+    def test_failure_accumulation(self):
+        stats = GuardStats()
+        stats.record_failure(3)
+        stats.record_failure(3)
+        stats.record_failure(9)
+        assert stats.total_failures == 3
+        assert stats.failures_by_guard == {3: 2, 9: 1}
+
+    def test_empty(self):
+        assert GuardStats().total_failures == 0

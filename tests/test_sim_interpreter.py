@@ -1,0 +1,224 @@
+"""Interpreter semantics: arithmetic, control flow, traps, and guard modes."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.frontend import compile_source
+from repro.ir import (
+    F64,
+    I32,
+    Constant,
+    GuardEq,
+    IRBuilder,
+    Module,
+)
+from repro.sim import (
+    SimTrap,
+    ArithmeticTrap,
+    GuardTrap,
+    InjectionPlan,
+    Interpreter,
+    MemoryTrap,
+    SimConfig,
+    StackOverflowTrap,
+    TimeoutTrap,
+)
+from tests.conftest import build_sum_loop, sum_loop_reference
+
+i32 = st.integers(min_value=-(1 << 31), max_value=(1 << 31) - 1)
+
+
+def run_binop(opcode: str, a, b, type_=I32):
+    m = Module()
+    fn = m.add_function("main", type_)
+    builder = IRBuilder(fn.add_block("entry"))
+    v = builder.binop(opcode, Constant(type_, a), Constant(type_, b))
+    builder.ret(v)
+    return Interpreter(m).run().return_value
+
+
+class TestIntegerSemantics:
+    @given(i32, i32)
+    def test_add_wraps_like_c(self, a, b):
+        assert run_binop("add", a, b) == I32.wrap(a + b)
+
+    @given(i32, i32)
+    def test_mul_wraps_like_c(self, a, b):
+        assert run_binop("mul", a, b) == I32.wrap(a * b)
+
+    @given(i32, i32.filter(lambda v: v != 0))
+    def test_sdiv_truncates_toward_zero(self, a, b):
+        expected = I32.wrap(int(abs(a) // abs(b)) * (1 if (a < 0) == (b < 0) else -1))
+        assert run_binop("sdiv", a, b) == expected
+
+    @given(i32, i32.filter(lambda v: v != 0))
+    def test_srem_sign_follows_dividend(self, a, b):
+        r = run_binop("srem", a, b)
+        if r != 0:
+            assert (r < 0) == (a < 0)
+        q = run_binop("sdiv", a, b)
+        assert I32.wrap(q * b + r) == a
+
+    @given(i32, st.integers(min_value=0, max_value=31))
+    def test_shifts(self, a, sh):
+        assert run_binop("shl", a, sh) == I32.wrap(a << sh)
+        assert run_binop("lshr", a, sh) == I32.wrap((a & 0xFFFFFFFF) >> sh)
+        assert run_binop("ashr", a, sh) == I32.wrap(a >> sh)
+
+    def test_shift_amount_masked(self):
+        # hardware masks the shift amount to the register width
+        assert run_binop("shl", 1, 33) == 2
+
+    def test_division_by_zero_traps(self):
+        with pytest.raises(ArithmeticTrap):
+            run_binop("sdiv", 1, 0)
+        with pytest.raises(ArithmeticTrap):
+            run_binop("srem", 1, 0)
+
+    def test_int_min_div_minus_one_wraps(self):
+        assert run_binop("sdiv", -(1 << 31), -1) == -(1 << 31)
+
+
+class TestFloatSemantics:
+    def test_float_division_by_zero_gives_inf(self):
+        assert run_binop("fdiv", 1.0, 0.0, F64) == math.inf
+        assert run_binop("fdiv", -1.0, 0.0, F64) == -math.inf
+
+    def test_zero_over_zero_gives_nan(self):
+        assert math.isnan(run_binop("fdiv", 0.0, 0.0, F64))
+
+    @given(st.floats(allow_nan=False, allow_infinity=False, width=64),
+           st.floats(allow_nan=False, allow_infinity=False, width=64))
+    def test_fadd_matches_python(self, a, b):
+        assert run_binop("fadd", a, b, F64) == a + b
+
+
+class TestExecution:
+    def test_loop_matches_reference(self, sum_loop):
+        module, h = sum_loop
+        data = [(i * 13) % 97 for i in range(h["n"])]
+        result = Interpreter(module).run(inputs={"src": data})
+        assert result.return_value == sum_loop_reference(data, h["mul"])
+
+    def test_instruction_count_is_deterministic(self, sum_loop):
+        module, _ = sum_loop
+        data = list(range(16))
+        r1 = Interpreter(module).run(inputs={"src": data})
+        r2 = Interpreter(module).run(inputs={"src": data})
+        assert r1.instructions == r2.instructions
+
+    def test_timeout_trap(self):
+        src = "void main() { while (1) { } }"
+        module = compile_source(src)
+        with pytest.raises(TimeoutTrap):
+            Interpreter(module).run(max_instructions=1000)
+
+    def test_out_of_bounds_traps(self):
+        src = """
+        input int data[4];
+        output int out[1];
+        void main() { out[0] = data[100]; }
+        """
+        module = compile_source(src)
+        with pytest.raises(MemoryTrap):
+            Interpreter(module).run()
+
+    def test_call_depth_limit(self):
+        src = "int f(int n) { return f(n + 1); } void main() { f(0); }"
+        module = compile_source(src)
+        with pytest.raises(StackOverflowTrap):
+            Interpreter(module).run()
+
+    def test_wrong_arity_rejected(self, sum_loop):
+        module, _ = sum_loop
+        with pytest.raises(ValueError, match="expects 0 args"):
+            Interpreter(module).run(args=[1])
+
+    def test_oversized_input_rejected(self, sum_loop):
+        module, _ = sum_loop
+        with pytest.raises(ValueError, match="max"):
+            Interpreter(module).run(inputs={"src": [0] * 99})
+
+
+class TestGuards:
+    def _guarded_module(self):
+        """main returns 5 but a guard comparing 1 != 2 always fires."""
+        m = Module()
+        fn = m.add_function("main", I32)
+        b = IRBuilder(fn.add_block("entry"))
+        b.guard_eq(b.const(1), b.const(2), guard_id=3)
+        b.ret(b.const(5))
+        return m
+
+    def test_detect_mode_raises(self):
+        with pytest.raises(GuardTrap) as exc:
+            Interpreter(self._guarded_module(), guard_mode="detect").run()
+        assert exc.value.guard_id == 3
+
+    def test_count_mode_continues(self):
+        interp = Interpreter(self._guarded_module(), guard_mode="count")
+        result = interp.run()
+        assert result.return_value == 5
+        assert result.guard_stats.total_failures == 1
+        assert result.guard_stats.failures_by_guard == {3: 1}
+
+    def test_disabled_guard_does_not_raise(self):
+        interp = Interpreter(
+            self._guarded_module(), guard_mode="detect", disabled_guards={3}
+        )
+        assert interp.run().return_value == 5
+
+    def test_unarmed_guard_does_not_raise_before_injection(self):
+        """With an injection planned far in the future, guards stay unarmed."""
+        interp = Interpreter(self._guarded_module(), guard_mode="detect")
+        result = interp.run(injection=InjectionPlan(cycle=10**9, bit=0))
+        assert result.return_value == 5
+        assert result.guard_stats.total_failures == 1
+
+    def test_bad_guard_mode_rejected(self):
+        with pytest.raises(ValueError):
+            Interpreter(Module(), guard_mode="maybe")
+
+
+class TestInjection:
+    def test_injection_lands_and_is_recorded(self, sum_loop):
+        module, _ = sum_loop
+        data = list(range(16))
+        interp = Interpreter(module)
+        interp.run(inputs={"src": data}, injection=InjectionPlan(cycle=50, bit=3, seed=1))
+        record = interp.injection_record
+        assert record is not None and record.landed
+
+    def test_high_bit_flip_changes_output(self, sum_loop):
+        """Some bit-31 flip on a live value must corrupt the result."""
+        module, h = sum_loop
+        data = list(range(16))
+        golden = Interpreter(module).run(inputs={"src": data}).return_value
+        corrupted = 0
+        for seed in range(20):
+            interp = Interpreter(module)
+            try:
+                r = interp.run(
+                    inputs={"src": data},
+                    injection=InjectionPlan(cycle=60, bit=31, seed=seed),
+                )
+            except SimTrap:
+                corrupted += 1  # pointer flip → symptom: also a visible fault
+                continue
+            if r.return_value != golden:
+                corrupted += 1
+        assert corrupted > 0
+
+    def test_injection_after_program_end_is_harmless(self, sum_loop):
+        module, _ = sum_loop
+        data = list(range(16))
+        golden = Interpreter(module).run(inputs={"src": data}).return_value
+        interp = Interpreter(module)
+        r = interp.run(
+            inputs={"src": data}, injection=InjectionPlan(cycle=10**9, bit=3)
+        )
+        assert r.return_value == golden
+        assert interp.injection_record is None

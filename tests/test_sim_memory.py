@@ -1,0 +1,102 @@
+"""Unit tests for the segmented memory model."""
+
+import math
+
+import pytest
+
+from repro.ir import F64, I8, I16, I32, I64, PTR
+from repro.sim import Memory, MemoryTrap
+
+
+@pytest.fixture
+def mem():
+    return Memory()
+
+
+class TestMapping:
+    def test_segments_do_not_overlap(self, mem):
+        a = mem.map_segment("a", 100)
+        b = mem.map_segment("b", 100)
+        assert a.base != b.base
+        assert abs(a.base - b.base) >= 100
+
+    def test_address_zero_never_mapped(self, mem):
+        mem.map_segment("a", 100)
+        with pytest.raises(MemoryTrap) as exc:
+            mem.load(I32, 0)
+        assert exc.value.kind == "null"
+
+    def test_negative_address_traps(self, mem):
+        with pytest.raises(MemoryTrap):
+            mem.load(I32, -8)
+
+    def test_unmapped_address_traps(self, mem):
+        seg = mem.map_segment("a", 100)
+        with pytest.raises(MemoryTrap) as exc:
+            mem.load(I32, seg.base + (1 << 30))
+        assert exc.value.kind == "unmapped"
+
+    def test_out_of_bounds_within_stride_traps(self, mem):
+        seg = mem.map_segment("a", 100)
+        with pytest.raises(MemoryTrap) as exc:
+            mem.load(I32, seg.base + 100)
+        assert exc.value.kind == "out-of-bounds"
+
+    def test_straddling_end_traps(self, mem):
+        seg = mem.map_segment("a", 10)
+        with pytest.raises(MemoryTrap):
+            mem.load(I64, seg.base + 4)  # 8 bytes from offset 4 of 10
+
+    def test_large_segment_spans_strides(self, mem):
+        seg = mem.map_segment("big", 3 << 20)
+        mem.store(I32, seg.base + (2 << 20), 77)
+        assert mem.load(I32, seg.base + (2 << 20)) == 77
+
+    def test_unmap(self, mem):
+        seg = mem.map_segment("a", 100)
+        mem.unmap_segment(seg)
+        with pytest.raises(MemoryTrap):
+            mem.load(I32, seg.base)
+
+    def test_segment_at(self, mem):
+        seg = mem.map_segment("a", 100)
+        assert mem.segment_at(seg.base + 50) is seg
+        assert mem.segment_at(seg.base + 100) is None
+
+
+class TestTypedAccess:
+    def test_int_round_trip(self, mem):
+        seg = mem.map_segment("a", 64)
+        for t, v in [(I8, -5), (I16, -1234), (I32, -123456), (I64, -(1 << 40))]:
+            mem.store(t, seg.base, v)
+            assert mem.load(t, seg.base) == v
+
+    def test_int_wraps_on_store(self, mem):
+        seg = mem.map_segment("a", 64)
+        mem.store(I8, seg.base, 0x1FF)
+        assert mem.load(I8, seg.base) == -1
+
+    def test_float_round_trip(self, mem):
+        seg = mem.map_segment("a", 64)
+        mem.store(F64, seg.base, 3.141592653589793)
+        assert mem.load(F64, seg.base) == 3.141592653589793
+
+    def test_float_nan_round_trip(self, mem):
+        seg = mem.map_segment("a", 64)
+        mem.store(F64, seg.base, math.nan)
+        assert math.isnan(mem.load(F64, seg.base))
+
+    def test_pointer_round_trip(self, mem):
+        seg = mem.map_segment("a", 64)
+        mem.store(PTR, seg.base, 0xDEADBEEF)
+        assert mem.load(PTR, seg.base) == 0xDEADBEEF
+
+    def test_little_endian_layout(self, mem):
+        seg = mem.map_segment("a", 64)
+        mem.store(I32, seg.base, 0x01020304)
+        assert seg.data[0:4] == bytes([4, 3, 2, 1])
+
+    def test_array_helpers(self, mem):
+        seg = mem.map_segment("a", 64)
+        mem.write_array(seg, I32, [1, -2, 3])
+        assert mem.read_array(seg, I32, 3) == [1, -2, 3]

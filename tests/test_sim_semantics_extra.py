@@ -1,0 +1,164 @@
+"""Extra interpreter-semantics coverage: intrinsics, casts, select, fcmp."""
+
+import math
+
+import pytest
+
+from repro.ir import (
+    F64,
+    I1,
+    I8,
+    I16,
+    I32,
+    I64,
+    Constant,
+    IRBuilder,
+    Module,
+)
+from repro.sim import Interpreter
+
+
+def run_value(build):
+    """build(b) returns the value to ret; returns the executed result."""
+    m = Module()
+    fn = m.add_function("main", I64)  # wide enough for any int result
+
+    class _Any:  # allow returning any type by fixing fn.return_type lazily
+        pass
+
+    b = IRBuilder(fn.add_block("entry"))
+    v = build(b)
+    fn.return_type = v.type
+    b.ret(v)
+    return Interpreter(m).run().return_value
+
+
+class TestIntrinsics:
+    @pytest.mark.parametrize("name,args,expected", [
+        ("sqrt", (16.0,), 4.0),
+        ("sqrt", (-1.0,), math.nan),
+        ("exp", (0.0,), 1.0),
+        ("exp", (1e9,), math.inf),
+        ("log", (1.0,), 0.0),
+        ("log", (0.0,), -math.inf),
+        ("log", (-2.0,), math.nan),
+        ("fabs", (-2.5,), 2.5),
+        ("floor", (2.9,), 2.0),
+        ("floor", (-2.1,), -3.0),
+        ("sin", (0.0,), 0.0),
+        ("cos", (0.0,), 1.0),
+        ("pow", (2.0, 10.0), 1024.0),
+        ("min", (2.0, 3.0), 2.0),
+        ("max", (2.0, 3.0), 3.0),
+    ])
+    def test_float_intrinsics(self, name, args, expected):
+        result = run_value(
+            lambda b: b.intrinsic(name, [Constant(F64, a) for a in args])
+        )
+        if isinstance(expected, float) and math.isnan(expected):
+            assert math.isnan(result)
+        else:
+            assert result == expected
+
+    @pytest.mark.parametrize("name,args,expected", [
+        ("abs", (-7,), 7),
+        ("min", (-7, 3), -7),
+        ("max", (-7, 3), 3),
+    ])
+    def test_int_intrinsics(self, name, args, expected):
+        result = run_value(
+            lambda b: b.intrinsic(name, [Constant(I32, a) for a in args])
+        )
+        assert result == expected
+
+
+class TestCasts:
+    def test_trunc_and_extend(self):
+        assert run_value(lambda b: b.cast("trunc", Constant(I32, 0x1FF), I8)) == -1
+        assert run_value(lambda b: b.cast("sext", Constant(I8, -1), I32)) == -1
+        assert run_value(lambda b: b.cast("zext", Constant(I8, -1), I32)) == 255
+
+    def test_sitofp_fptosi(self):
+        assert run_value(lambda b: b.sitofp(Constant(I32, -3))) == -3.0
+        assert run_value(lambda b: b.fptosi(Constant(F64, -3.9))) == -3
+
+    def test_fptosi_saturates(self):
+        assert run_value(lambda b: b.fptosi(Constant(F64, 1e20))) == (1 << 31) - 1
+        assert run_value(lambda b: b.fptosi(Constant(F64, -1e20))) == -(1 << 31)
+        assert run_value(lambda b: b.fptosi(Constant(F64, math.nan))) == 0
+
+    def test_i16_arithmetic_wraps(self):
+        result = run_value(
+            lambda b: b.binop("add", Constant(I16, 32767), Constant(I16, 1))
+        )
+        assert result == -32768
+
+
+class TestSelectAndFcmp:
+    def test_select_arms(self):
+        assert run_value(
+            lambda b: b.select(Constant(I1, 1), Constant(I32, 5), Constant(I32, 9))
+        ) == 5
+        assert run_value(
+            lambda b: b.select(Constant(I1, 0), Constant(I32, 5), Constant(I32, 9))
+        ) == 9
+
+    @pytest.mark.parametrize("pred,a,b_,expected", [
+        ("oeq", 1.0, 1.0, 1),
+        ("one", 1.0, 2.0, 1),
+        ("olt", 1.0, 2.0, 1),
+        ("ogt", 1.0, 2.0, 0),
+        ("ole", 2.0, 2.0, 1),
+        ("oge", 1.0, 2.0, 0),
+    ])
+    def test_fcmp_predicates(self, pred, a, b_, expected):
+        assert run_value(
+            lambda b: b.fcmp(pred, Constant(F64, a), Constant(F64, b_))
+        ) == expected
+
+    def test_fcmp_nan_is_unordered(self):
+        # ordered predicates are false when either side is NaN...
+        assert run_value(
+            lambda b: b.fcmp("olt", Constant(F64, math.nan), Constant(F64, 1.0))
+        ) == 0
+        assert run_value(
+            lambda b: b.fcmp("oeq", Constant(F64, math.nan), Constant(F64, math.nan))
+        ) == 0
+        # ...except `one`, which also requires neither side to be NaN
+        assert run_value(
+            lambda b: b.fcmp("one", Constant(F64, math.nan), Constant(F64, 1.0))
+        ) == 0
+
+
+class TestFrem:
+    def test_frem_matches_fmod(self):
+        assert run_value(
+            lambda b: b.binop("frem", Constant(F64, 7.5), Constant(F64, 2.0))
+        ) == math.fmod(7.5, 2.0)
+
+    def test_frem_by_zero_is_nan(self):
+        assert math.isnan(run_value(
+            lambda b: b.binop("frem", Constant(F64, 1.0), Constant(F64, 0.0))
+        ))
+
+
+class TestUnsignedOps:
+    def test_udiv_urem(self):
+        # -1 as unsigned i32 is 4294967295
+        assert run_value(
+            lambda b: b.binop("udiv", Constant(I32, -1), Constant(I32, 2))
+        ) == 0x7FFFFFFF
+        assert run_value(
+            lambda b: b.binop("urem", Constant(I32, -1), Constant(I32, 16))
+        ) == 15
+
+    @pytest.mark.parametrize("pred,a,b_,expected", [
+        ("ult", -1, 1, 0),   # unsigned: 0xFFFFFFFF > 1
+        ("ugt", -1, 1, 1),
+        ("ule", 1, 1, 1),
+        ("uge", 0, -1, 0),
+    ])
+    def test_unsigned_comparisons(self, pred, a, b_, expected):
+        assert run_value(
+            lambda b: b.icmp(pred, Constant(I32, a), Constant(I32, b_))
+        ) == expected

@@ -1,0 +1,85 @@
+"""Tests for the execution tracer and campaign JSON export."""
+
+import json
+
+import pytest
+
+from repro.faultinjection import CampaignConfig, run_campaign
+from repro.sim import InjectionPlan, Tracer, first_divergence, trace_run
+from repro.workloads import get_workload
+from tests.conftest import build_sum_loop
+
+
+class TestTracer:
+    def test_records_value_events(self, sum_loop):
+        module, h = sum_loop
+        tracer, trap = trace_run(module, inputs={"src": list(range(16))})
+        assert trap is None
+        assert len(tracer) > 0
+        history = tracer.history_of(h["acc"].name)
+        # one phi commit per header entry: 16 iterations + the exit check
+        assert len(history) == 17
+        # the accumulator history is the recurrence acc' = 3*acc + i
+        values = [e.value for e in history]
+        assert values[0] == 7
+        assert values[1] == 7 * 3 + 0
+
+    def test_bounded_window(self, sum_loop):
+        module, _ = sum_loop
+        tracer, _ = trace_run(module, inputs={"src": list(range(16))}, limit=50)
+        assert len(tracer) == 50
+
+    def test_tail(self, sum_loop):
+        module, _ = sum_loop
+        tracer, _ = trace_run(module, inputs={"src": list(range(16))})
+        assert len(tracer.tail(5)) == 5
+        assert str(tracer.tail(1)[0]).startswith("[")
+
+    def test_divergence_found_after_injection(self, sum_loop):
+        module, _ = sum_loop
+        inputs = {"src": list(range(16))}
+        golden, _ = trace_run(module, inputs=inputs)
+        for seed in range(20):
+            faulty, trap = trace_run(
+                module, inputs=inputs,
+                injection=InjectionPlan(cycle=60, bit=20, seed=seed),
+            )
+            div = first_divergence(golden.events, faulty.events)
+            if div is not None:
+                g, f = div
+                assert g.name == f.name  # same static instruction, new value
+                assert g.value != f.value
+                break
+        else:
+            pytest.fail("no divergence observed across the sweep")
+
+    def test_identical_runs_have_no_divergence(self, sum_loop):
+        module, _ = sum_loop
+        inputs = {"src": list(range(16))}
+        a, _ = trace_run(module, inputs=inputs)
+        b, _ = trace_run(module, inputs=inputs)
+        assert first_divergence(a.events, b.events) is None
+
+    def test_limit_validation(self):
+        with pytest.raises(ValueError):
+            Tracer(limit=0)
+
+
+class TestCampaignExport:
+    def test_json_round_trip(self, tmp_path, fast_campaign_config):
+        result = run_campaign(get_workload("tiff2bw"), "dup", fast_campaign_config)
+        path = tmp_path / "campaign.json"
+        result.save(path)
+
+        data = json.loads(path.read_text())
+        assert data["workload"] == "tiff2bw"
+        assert data["scheme"] == "dup"
+        assert data["trials"] == fast_campaign_config.trials
+        assert len(data["records"]) == fast_campaign_config.trials
+        fr = data["fractions"]
+        assert abs(
+            fr["masked"] + fr["swdetect"] + fr["hwdetect"]
+            + fr["failure"] + fr["usdc"] - 1.0
+        ) < 1e-9
+        outcomes = {r["outcome"] for r in data["records"]}
+        assert outcomes <= {"Masked", "SWDetect", "HWDetect", "Failure", "USDC"}

@@ -1,0 +1,180 @@
+"""Unit tests for the state-variable duplication transform."""
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.ir import GuardEq, Load, Phi, verify_module
+from repro.sim import Interpreter
+from repro.transforms import (
+    ProtectionConfig,
+    clone_instruction,
+    duplicate_state_variables,
+)
+from tests.conftest import build_sum_loop, sum_loop_reference
+
+
+class TestDuplication:
+    def test_shadow_phis_created(self, sum_loop):
+        module, h = sum_loop
+        result = duplicate_state_variables(module)
+        assert len(result.state_variables) == 2
+        shadow_phis = [p for p in h["header"].phis() if p.is_shadow]
+        assert len(shadow_phis) == 2
+        verify_module(module)
+
+    def test_update_chains_cloned(self, sum_loop):
+        module, h = sum_loop
+        duplicate_state_variables(module)
+        shadows = [i for i in h["body"].instructions if i.is_shadow]
+        originals = {i.shadow_of for i in shadows}
+        assert h["scaled"] in originals and h["acc_next"] in originals
+
+    def test_loads_not_duplicated(self, sum_loop):
+        module, h = sum_loop
+        duplicate_state_variables(module)
+        loads = [i for i in h["fn"].instructions() if isinstance(i, Load)]
+        assert len(loads) == 1
+        # the shadow of acc_next consumes the *original* load
+        shadow_add = next(
+            i for i in h["body"].instructions
+            if i.is_shadow and i.shadow_of is h["acc_next"]
+        )
+        assert h["loaded"] in shadow_add.operands
+
+    def test_guards_inserted_in_latch(self, sum_loop):
+        module, h = sum_loop
+        result = duplicate_state_variables(module)
+        guards = [i for i in h["body"].instructions if isinstance(i, GuardEq)]
+        assert len(guards) == 2  # one per state variable update
+        assert result.num_guards == 2
+        # guard sits before the terminator
+        assert h["body"].instructions[-1].is_terminator
+
+    def test_guard_ids_unique(self, sum_loop):
+        module, _ = sum_loop
+        result = duplicate_state_variables(module)
+        ids = [
+            i.guard_id
+            for fn in module.functions.values()
+            for i in fn.instructions()
+            if isinstance(i, GuardEq)
+        ]
+        assert len(ids) == len(set(ids))
+        assert result.next_guard_id == len(ids)
+
+    def test_semantics_preserved(self, sum_loop):
+        module, h = sum_loop
+        duplicate_state_variables(module)
+        data = [(i * 31) % 113 for i in range(h["n"])]
+        result = Interpreter(module).run(inputs={"src": data})
+        assert result.return_value == sum_loop_reference(data, h["mul"])
+        assert result.guard_stats.total_failures == 0
+
+    def test_shared_chains_cloned_once(self):
+        src = """
+        input int data[8];
+        output int out[2];
+        void main() {
+            int a = 0;
+            int b = 0;
+            for (int i = 0; i < 8; i++) {
+                int v = data[i] * 3;   // shared producer of both updates
+                a += v;
+                b ^= v;
+            }
+            out[0] = a;
+            out[1] = b;
+        }
+        """
+        module = compile_source(src)
+        duplicate_state_variables(module)
+        verify_module(module)
+        fn = module.function("main")
+        shadows = [i for i in fn.instructions() if i.is_shadow]
+        originals = [i.shadow_of for i in shadows if i.shadow_of is not None]
+        assert len(originals) == len(set(map(id, originals)))
+
+    def test_merge_phis_duplicated(self):
+        """Conditional updates (min/max pattern) must be protected through
+        their if-else merge phis."""
+        src = """
+        input int data[8];
+        output int out[1];
+        void main() {
+            int hi = -999999;
+            for (int i = 0; i < 8; i++) {
+                if (data[i] > hi) { hi = data[i]; }
+            }
+            out[0] = hi;
+        }
+        """
+        module = compile_source(src)
+        result = duplicate_state_variables(module)
+        verify_module(module)
+        fn = module.function("main")
+        shadow_merge_phis = [
+            i for i in fn.instructions()
+            if i.is_shadow and isinstance(i, Phi) and isinstance(i.shadow_of, Phi)
+        ]
+        # at least the hi-merge phi plus the header shadow phis
+        assert len(shadow_merge_phis) >= 2
+        data = [5, 3, 9, 1, 2, 9, 0, 4]
+        interp = Interpreter(module)
+        interp.run(inputs={"data": data})
+        assert interp.read_global("out")[0] == 9
+
+    def test_all_workload_transforms_verify(self):
+        from repro.workloads import all_workloads
+
+        for w in all_workloads()[:4]:
+            module = w.build_module()
+            duplicate_state_variables(module)
+            verify_module(module)
+
+
+class TestOptimization2:
+    def test_chain_terminated_at_amenable_instruction(self, sum_loop):
+        from repro.transforms.valuechecks import CheckPlan
+
+        module, h = sum_loop
+        # pretend `scaled` is check-amenable
+        plans = {id(h["scaled"]): CheckPlan(h["scaled"], "range", lo=0, hi=100)}
+        result = duplicate_state_variables(module, check_plans=plans)
+        shadows = {i.shadow_of for i in h["body"].instructions if i.is_shadow}
+        assert h["scaled"] not in shadows   # chain stopped there
+        assert h["acc_next"] in shadows
+        assert plans[id(h["scaled"])].forced
+        assert id(h["scaled"]) in result.forced_check_ids
+
+    def test_opt2_disabled_duplicates_everything(self, sum_loop):
+        from repro.transforms.valuechecks import CheckPlan
+
+        module, h = sum_loop
+        plans = {id(h["scaled"]): CheckPlan(h["scaled"], "range", lo=0, hi=100)}
+        config = ProtectionConfig(optimization2=False)
+        duplicate_state_variables(module, config=config, check_plans=plans)
+        shadows = {i.shadow_of for i in h["body"].instructions if i.is_shadow}
+        assert h["scaled"] in shadows
+        assert not plans[id(h["scaled"])].forced
+
+    def test_root_always_duplicated_even_if_amenable(self, sum_loop):
+        from repro.transforms.valuechecks import CheckPlan
+
+        module, h = sum_loop
+        plans = {id(h["acc_next"]): CheckPlan(h["acc_next"], "range", lo=0, hi=100)}
+        duplicate_state_variables(module, check_plans=plans)
+        shadows = {i.shadow_of for i in h["body"].instructions if i.is_shadow}
+        assert h["acc_next"] in shadows  # Opt 2 never stops at the chain root
+
+
+class TestCloneInstruction:
+    def test_operand_remap(self, sum_loop):
+        _, h = sum_loop
+        clone = clone_instruction(h["scaled"], {id(h["acc"]): h["i"]})
+        assert clone.operands[0] is h["i"]
+        assert clone.is_shadow and clone.shadow_of is h["scaled"]
+
+    def test_unsupported_class_rejected(self, sum_loop):
+        _, h = sum_loop
+        with pytest.raises(TypeError):
+            clone_instruction(h["loaded"], {})

@@ -1,0 +1,136 @@
+"""Unit tests for the full-duplication baseline and the scheme pipelines."""
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.ir import Call, CondBr, GuardEq, Load, Ret, Store, verify_module
+from repro.profiling import collect_profiles
+from repro.sim import Interpreter
+from repro.transforms import (
+    SCHEMES,
+    ProtectionConfig,
+    apply_scheme,
+    full_duplication,
+)
+from tests.conftest import build_sum_loop, sum_loop_reference
+
+
+class TestFullDuplication:
+    def test_everything_duplicable_is_duplicated(self, sum_loop):
+        module, h = sum_loop
+        result = full_duplication(module)
+        verify_module(module)
+        originals = [
+            i for i in h["fn"].instructions()
+            if not i.is_shadow and i.has_result and not isinstance(i, (Load, Call))
+        ]
+        shadows = [i for i in h["fn"].instructions() if i.is_shadow]
+        assert len(shadows) == len(originals)
+        assert result.num_shadow_instructions == len(shadows)
+
+    def test_loads_shared_not_duplicated(self, sum_loop):
+        module, h = sum_loop
+        full_duplication(module)
+        loads = [i for i in h["fn"].instructions() if isinstance(i, Load)]
+        assert len(loads) == 1
+
+    def test_guards_before_sync_points(self, sum_loop):
+        module, h = sum_loop
+        full_duplication(module)
+        fn = h["fn"]
+        for block in fn.blocks:
+            for idx, instr in enumerate(block.instructions):
+                if isinstance(instr, Store):
+                    # value + pointer guards directly precede the store
+                    prev = block.instructions[idx - 2 : idx]
+                    assert all(isinstance(g, GuardEq) for g in prev)
+                if isinstance(instr, CondBr):
+                    assert isinstance(block.instructions[idx - 1], GuardEq)
+
+    def test_return_value_guarded(self, sum_loop):
+        module, h = sum_loop
+        full_duplication(module)
+        exit_block = h["exit"]
+        ret_idx = next(
+            i for i, ins in enumerate(exit_block.instructions) if isinstance(ins, Ret)
+        )
+        assert isinstance(exit_block.instructions[ret_idx - 1], GuardEq)
+
+    def test_semantics_preserved(self, sum_loop):
+        module, h = sum_loop
+        full_duplication(module)
+        data = [(7 * i) % 51 for i in range(h["n"])]
+        result = Interpreter(module).run(inputs={"src": data})
+        assert result.return_value == sum_loop_reference(data, h["mul"])
+        assert result.guard_stats.total_failures == 0
+
+    def test_call_arguments_guarded(self):
+        src = """
+        output int out[1];
+        int dbl(int x) { return x * 2; }
+        void main() { out[0] = dbl(21); }
+        """
+        module = compile_source(src)
+        full_duplication(module)
+        verify_module(module)
+        interp = Interpreter(module)
+        interp.run()
+        assert interp.read_global("out")[0] == 42
+
+
+class TestApplyScheme:
+    @pytest.fixture
+    def data(self):
+        return [(3 * i) % 29 for i in range(16)]
+
+    def test_unknown_scheme_rejected(self, sum_loop):
+        module, _ = sum_loop
+        with pytest.raises(ValueError, match="unknown scheme"):
+            apply_scheme(module, "tmr")
+
+    def test_original_is_identity(self, sum_loop):
+        module, _ = sum_loop
+        before = module.num_instructions()
+        stats = apply_scheme(module, "original")
+        assert module.num_instructions() == before
+        assert stats.instructions_after == before
+
+    def test_dup_valchk_requires_profiles(self, sum_loop):
+        module, _ = sum_loop
+        with pytest.raises(ValueError, match="requires value profiles"):
+            apply_scheme(module, "dup_valchk")
+
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_all_schemes_preserve_semantics(self, scheme, data):
+        module, h = build_sum_loop()
+        profiles = None
+        if scheme == "dup_valchk":
+            profiles = collect_profiles(module, inputs={"src": data})
+        config = ProtectionConfig(min_profile_samples=8)
+        stats = apply_scheme(module, scheme, profiles=profiles, config=config)
+        assert stats.scheme == scheme
+        result = Interpreter(module, guard_mode="count").run(inputs={"src": data})
+        assert result.return_value == sum_loop_reference(data, h["mul"])
+
+    def test_stats_fractions(self, data):
+        module, _ = build_sum_loop()
+        profiles = collect_profiles(module, inputs={"src": data})
+        config = ProtectionConfig(min_profile_samples=8)
+        stats = apply_scheme(module, "dup_valchk", profiles=profiles, config=config)
+        assert stats.num_state_variables == 2
+        assert 0 < stats.frac_duplicated < 1
+        assert stats.instructions_after > stats.instructions_before
+        assert stats.frac_state_variables == pytest.approx(
+            2 / stats.instructions_before
+        )
+
+    def test_opt_toggles_change_instrumentation(self, data):
+        def build_stats(**kw):
+            module, _ = build_sum_loop()
+            profiles = collect_profiles(module, inputs={"src": data})
+            config = ProtectionConfig(min_profile_samples=8, **kw)
+            return apply_scheme(module, "dup_valchk", profiles=profiles, config=config)
+
+        with_opt1 = build_stats(optimization1=True)
+        without_opt1 = build_stats(optimization1=False)
+        assert without_opt1.num_value_checks >= with_opt1.num_value_checks

@@ -1,0 +1,194 @@
+"""Unit tests for value-check planning, Optimization 1, and check insertion."""
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.ir import GuardRange, GuardValues, verify_module
+from repro.profiling import InstructionProfile, collect_profiles
+from repro.sim import Interpreter
+from repro.transforms import (
+    ProtectionConfig,
+    apply_optimization1,
+    compute_check_plans,
+    insert_checks,
+    plan_check,
+)
+from tests.conftest import build_sum_loop
+
+
+def make_profile(instr, values):
+    p = InstructionProfile(instr, num_bins=5)
+    for v in values:
+        p.observe(v)
+    return p
+
+
+class TestPlanCheck:
+    def _config(self, **kw):
+        defaults = dict(min_profile_samples=8, min_value_check_samples=16)
+        defaults.update(kw)
+        return ProtectionConfig(**defaults)
+
+    def test_single_value_plan(self, sum_loop):
+        _, h = sum_loop
+        profile = make_profile(h["scaled"], [42] * 100)
+        plan = plan_check(h["scaled"], profile, self._config())
+        assert plan.kind == "single" and plan.values == [42.0]
+
+    def test_double_value_plan(self, sum_loop):
+        _, h = sum_loop
+        profile = make_profile(h["scaled"], [1] * 60 + [9] * 40)
+        plan = plan_check(h["scaled"], profile, self._config())
+        assert plan.kind == "double" and set(plan.values) == {1.0, 9.0}
+
+    def test_range_plan_pads_bounds(self, sum_loop):
+        _, h = sum_loop
+        profile = make_profile(h["scaled"], list(range(100, 200)))
+        plan = plan_check(h["scaled"], profile, self._config())
+        assert plan.kind == "range"
+        assert plan.lo < 100 and plan.hi > 199
+
+    def test_too_few_samples_rejected(self, sum_loop):
+        _, h = sum_loop
+        profile = make_profile(h["scaled"], [1, 2, 3])
+        assert plan_check(h["scaled"], profile, self._config()) is None
+
+    def test_two_values_cover_all_gives_double(self, sum_loop):
+        _, h = sum_loop
+        # two values cover every sample: the Fig. 6b two-value form applies
+        profile = make_profile(h["scaled"], [5] * 99 + [6])
+        plan = plan_check(h["scaled"], profile, self._config())
+        assert plan is not None and plan.kind == "double"
+
+    def test_imperfect_invariant_falls_to_range(self, sum_loop):
+        _, h = sum_loop
+        # three distinct values: neither Fig. 6a nor 6b applies -> range check
+        profile = make_profile(h["scaled"], [5] * 98 + [6, 7])
+        plan = plan_check(h["scaled"], profile, self._config())
+        assert plan is not None and plan.kind == "range"
+
+    def test_wide_ranges_rejected(self, sum_loop):
+        _, h = sum_loop
+        values = list(range(0, 10**8, 10**6))  # span far over int_range_limit
+        profile = make_profile(h["scaled"], values * 2)
+        config = self._config(coverage_threshold=0.5)
+        assert plan_check(h["scaled"], profile, config) is None
+
+    def test_load_not_checked_by_default(self, sum_loop):
+        _, h = sum_loop
+        profile = make_profile(h["loaded"], [7] * 100)
+        assert plan_check(h["loaded"], profile, self._config()) is None
+        plan = plan_check(h["loaded"], profile, self._config(check_loads=True))
+        assert plan is not None
+
+    def test_bool_never_checked(self, sum_loop):
+        _, h = sum_loop
+        profile = make_profile(h["cond"], [1] * 100)
+        assert plan_check(h["cond"], profile, self._config()) is None
+
+
+class TestOptimization1:
+    def test_upstream_amenable_dropped(self, sum_loop):
+        _, h = sum_loop
+        config = ProtectionConfig(min_profile_samples=8, min_value_check_samples=16)
+        plans = {
+            id(h["scaled"]): plan_check(
+                h["scaled"], make_profile(h["scaled"], list(range(50))), config
+            ),
+            id(h["acc_next"]): plan_check(
+                h["acc_next"], make_profile(h["acc_next"], list(range(50))), config
+            ),
+        }
+        assert all(p is not None for p in plans.values())
+        kept = apply_optimization1(plans)
+        # scaled feeds acc_next (deeper); only acc_next keeps its check
+        assert id(h["acc_next"]) in kept
+        assert id(h["scaled"]) not in kept
+
+    def test_forced_plans_survive(self, sum_loop):
+        _, h = sum_loop
+        config = ProtectionConfig(min_profile_samples=8, min_value_check_samples=16)
+        plans = {
+            id(h["scaled"]): plan_check(
+                h["scaled"], make_profile(h["scaled"], list(range(50))), config
+            ),
+            id(h["acc_next"]): plan_check(
+                h["acc_next"], make_profile(h["acc_next"], list(range(50))), config
+            ),
+        }
+        plans[id(h["scaled"])].forced = True
+        kept = apply_optimization1(plans)
+        assert id(h["scaled"]) in kept
+
+    def test_loop_carried_cycle_does_not_self_eliminate(self):
+        """Two amenable values feeding each other through a phi must not both
+        be dropped (phi edges are excluded from Opt 1 reachability)."""
+        src = """
+        input int data[64];
+        output int out[1];
+        void main() {
+            int a = 1;
+            for (int i = 0; i < 64; i++) {
+                a = (a * 3 + data[i]) % 1000;
+            }
+            out[0] = a;
+        }
+        """
+        module = compile_source(src)
+        profiles = collect_profiles(module, inputs={"data": [5] * 64})
+        config = ProtectionConfig(min_profile_samples=8)
+        plans = compute_check_plans(module, profiles, config)
+        kept = apply_optimization1(plans)
+        assert kept  # something survives
+
+
+class TestInsertChecks:
+    def test_checks_materialised_and_verified(self, sum_loop):
+        module, h = sum_loop
+        profiles = collect_profiles(module, inputs={"src": list(range(16))})
+        config = ProtectionConfig(min_profile_samples=8, min_value_check_samples=16)
+        plans = compute_check_plans(module, profiles, config)
+        assert plans
+        next_id = insert_checks(module, plans, next_guard_id=10)
+        verify_module(module)
+        guards = [
+            i for i in h["fn"].instructions()
+            if isinstance(i, (GuardRange, GuardValues))
+        ]
+        assert len(guards) == len(plans)
+        assert next_id == 10 + len(plans)
+
+    def test_checks_pass_on_profiled_input(self, sum_loop):
+        module, _ = sum_loop
+        data = list(range(16))
+        profiles = collect_profiles(module, inputs={"src": data})
+        config = ProtectionConfig(min_profile_samples=8)
+        plans = compute_check_plans(module, profiles, config)
+        insert_checks(module, plans)
+        result = Interpreter(module, guard_mode="count").run(inputs={"src": data})
+        assert result.guard_stats.total_failures == 0
+        assert result.guard_stats.evaluations > 0
+
+    def test_checks_catch_wild_values(self, sum_loop):
+        """A huge corruption of a checked value must fail its range check."""
+        from repro.sim import GuardTrap, InjectionPlan
+
+        module, _ = sum_loop
+        data = [3] * 16
+        profiles = collect_profiles(module, inputs={"src": data})
+        config = ProtectionConfig(min_profile_samples=8)
+        plans = compute_check_plans(module, profiles, config)
+        insert_checks(module, plans)
+        detections = 0
+        for seed in range(30):
+            interp = Interpreter(module, guard_mode="detect")
+            try:
+                interp.run(
+                    inputs={"src": data},
+                    injection=InjectionPlan(cycle=40, bit=30, seed=seed),
+                )
+            except GuardTrap:
+                detections += 1
+            except Exception:
+                pass
+        assert detections > 0

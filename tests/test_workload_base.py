@@ -1,0 +1,71 @@
+"""Unit tests for the Workload base-class plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.sim import Interpreter, SimConfig
+from repro.workloads import Workload, get_workload
+
+
+class TestBasePlumbing:
+    def test_build_requires_source(self):
+        class Empty(Workload):
+            name = "empty"
+
+        with pytest.raises(ValueError, match="no source"):
+            Empty().build_module()
+
+    def test_output_names_requires_outputs(self):
+        from repro.frontend import compile_source
+
+        class NoOut(Workload):
+            name = "noout"
+            source = "void main() { int x = 1; }"
+
+        w = NoOut()
+        module = w.build_module()
+        with pytest.raises(ValueError, match="no output globals"):
+            w.output_names(module)
+
+    def test_run_with_custom_config(self):
+        w = get_workload("tiff2bw")
+        module = w.build_module()
+        config = SimConfig(stack_segment_bytes=1 << 16)
+        out, result = w.run(module, w.test_inputs(), config=config)
+        assert result.instructions > 0
+        assert set(out) == {"bw"}
+
+    def test_run_kwargs_forwarded(self):
+        from repro.sim import TimeoutTrap
+
+        w = get_workload("tiff2bw")
+        module = w.build_module()
+        with pytest.raises(TimeoutTrap):
+            w.run(module, w.test_inputs(), max_instructions=100)
+
+    def test_fidelity_uses_all_outputs(self):
+        """Multi-output workloads concatenate outputs for fidelity."""
+        w = get_workload("mp3enc")  # outputs: coefq + sfdelta
+        module = w.build_module()
+        out, _ = w.run(module, w.test_inputs())
+        tweaked = {k: v.copy() for k, v in out.items()}
+        tweaked["sfdelta"] = tweaked["sfdelta"].copy()
+        tweaked["sfdelta"][0] += 1
+        fid = w.fidelity(out, tweaked)
+        assert not fid.identical  # a change in either output is visible
+
+    def test_repr(self):
+        assert "kmeans" in repr(get_workload("kmeans"))
+
+
+class TestSchemeStatsVerifyFlag:
+    def test_apply_scheme_without_verification(self):
+        from repro.transforms import apply_scheme
+
+        w = get_workload("tiff2bw")
+        module = w.build_module()
+        stats = apply_scheme(module, "dup", verify=False)
+        assert stats.num_duplicated > 0
+        # still executable
+        out, _ = w.run(module, w.test_inputs())
+        assert set(out) == {"bw"}

@@ -1,0 +1,101 @@
+"""Workload integration tests: all 13 benchmarks compile, run, and survive
+every protection scheme with unchanged golden outputs."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import find_state_variables
+from repro.ir import verify_module
+from repro.profiling import collect_profiles
+from repro.sim import Interpreter
+from repro.transforms import ProtectionConfig, apply_scheme
+from repro.workloads import (
+    BENCHMARK_NAMES,
+    all_workloads,
+    get_workload,
+    table1_rows,
+)
+
+ALL = all_workloads()
+
+
+class TestRegistry:
+    def test_thirteen_benchmarks(self):
+        assert len(BENCHMARK_NAMES) == 13
+
+    def test_five_categories_at_least_two_each(self):
+        categories = {}
+        for w in ALL:
+            categories.setdefault(w.category, []).append(w.name)
+        assert set(categories) == {"image", "audio", "video", "vision", "ml"}
+        assert all(len(v) >= 2 for v in categories.values())
+
+    def test_get_workload(self):
+        assert get_workload("kmeans").name == "kmeans"
+        with pytest.raises(KeyError):
+            get_workload("doom")
+
+    def test_table1_rows_complete(self):
+        rows = table1_rows()
+        assert len(rows) == 13
+        assert all(r["fidelity"] for r in rows)
+
+
+@pytest.mark.parametrize("workload", ALL, ids=[w.name for w in ALL])
+class TestEveryWorkload:
+    def test_compiles_and_verifies(self, workload):
+        module = workload.build_module()
+        verify_module(module)
+        assert module.output_globals()
+
+    def test_has_state_variables(self, workload):
+        module = workload.build_module()
+        total = sum(len(find_state_variables(f)) for f in module.functions.values())
+        assert total >= 2, "soft kernels must have loop-carried state"
+
+    def test_golden_run_is_deterministic(self, workload):
+        module = workload.build_module()
+        inputs = workload.test_inputs()
+        out1, r1 = workload.run(module, inputs)
+        out2, r2 = workload.run(module, inputs)
+        assert r1.instructions == r2.instructions
+        for k in out1:
+            assert np.array_equal(out1[k], out2[k])
+
+    def test_train_and_test_inputs_differ(self, workload):
+        train = workload.train_inputs()
+        test = workload.test_inputs()
+        assert any(
+            list(train.get(k, [])) != list(test.get(k, [])) for k in train
+        )
+
+    def test_self_fidelity_is_identical(self, workload):
+        module = workload.build_module()
+        out, _ = workload.run(module, workload.test_inputs())
+        fid = workload.fidelity(out, out)
+        assert fid.identical and fid.acceptable
+
+
+@pytest.mark.parametrize("workload", ALL, ids=[w.name for w in ALL])
+@pytest.mark.parametrize("scheme", ["dup", "dup_valchk", "full_dup"])
+class TestProtectionPreservesSemantics:
+    def test_golden_outputs_unchanged(self, workload, scheme):
+        base_module = workload.build_module()
+        base_out, _ = workload.run(base_module, workload.test_inputs())
+
+        module = workload.build_module()
+        profiles = None
+        if scheme == "dup_valchk":
+            profiles = collect_profiles(
+                module, inputs=workload.train_inputs(), entry=workload.entry
+            )
+        apply_scheme(module, scheme, profiles=profiles)
+        interp = Interpreter(module, guard_mode="count")
+        out, result = workload.run(module, workload.test_inputs(), interpreter=interp)
+        for k in base_out:
+            assert np.array_equal(base_out[k], out[k]), (
+                f"{workload.name}/{scheme}: protected output differs in @{k}"
+            )
+        if scheme in ("dup", "full_dup"):
+            # duplication is deterministic: zero false positives, ever
+            assert result.guard_stats.total_failures == 0

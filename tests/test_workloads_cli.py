@@ -1,0 +1,41 @@
+"""Tests for the workload CLI (python -m repro.workloads)."""
+
+import pytest
+
+from repro.workloads.__main__ import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "jpegenc" in out and "svm" in out
+
+    def test_run_reports_stats(self, capsys):
+        assert main(["run", "tiff2bw", "--scheme", "dup"]) == 0
+        out = capsys.readouterr().out
+        assert "state variables" in out
+        assert "duplicated instructions" in out
+        assert "estimated cycles" in out
+
+    def test_run_with_injection_classifies(self, capsys):
+        assert main([
+            "run", "g721dec", "--scheme", "dup",
+            "--inject", "9000", "--bit", "14",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "injection @ cycle 9000" in out
+        assert any(
+            outcome in out
+            for outcome in ("Masked", "SWDetect", "HWDetect", "Failure", "USDC")
+        )
+
+    def test_ir_dump(self, capsys):
+        assert main(["ir", "kmeans", "--scheme", "dup"]) == 0
+        out = capsys.readouterr().out
+        assert "define void @main" in out
+        assert "guard_eq" in out
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "quake3"])

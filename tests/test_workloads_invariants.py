@@ -1,0 +1,62 @@
+"""Structural invariants every workload must satisfy (harness contracts)."""
+
+import numpy as np
+import pytest
+
+from repro.ir import I32
+from repro.workloads import all_workloads
+
+ALL = all_workloads()
+
+
+@pytest.mark.parametrize("workload", ALL, ids=[w.name for w in ALL])
+class TestInputContracts:
+    def test_inputs_fit_their_buffers(self, workload):
+        module = workload.build_module()
+        for label, inputs in (("train", workload.train_inputs()),
+                              ("test", workload.test_inputs())):
+            for name, data in inputs.items():
+                gv = module.global_var(name)
+                assert len(data) <= gv.count, (
+                    f"{workload.name}/{label}: @{name} gets {len(data)} "
+                    f"elements into a {gv.count}-element buffer"
+                )
+
+    def test_inputs_bind_only_input_globals(self, workload):
+        module = workload.build_module()
+        input_names = {g.name for g in module.input_globals()}
+        for inputs in (workload.train_inputs(), workload.test_inputs()):
+            assert set(inputs) == input_names, (
+                f"{workload.name}: bound {sorted(inputs)} but module declares "
+                f"inputs {sorted(input_names)}"
+            )
+
+    def test_integer_inputs_are_i32_representable(self, workload):
+        module = workload.build_module()
+        for inputs in (workload.train_inputs(), workload.test_inputs()):
+            for name, data in inputs.items():
+                gv = module.global_var(name)
+                if gv.elem_type is not I32:
+                    continue
+                arr = np.asarray(data)
+                assert arr.min() >= -(1 << 31) and arr.max() < (1 << 31)
+
+    def test_inputs_are_deterministic(self, workload):
+        a = workload.test_inputs()
+        b = workload.test_inputs()
+        assert set(a) == set(b)
+        for k in a:
+            assert list(a[k]) == list(b[k])
+
+    def test_metadata_complete(self, workload):
+        assert workload.name and workload.suite and workload.description
+        assert workload.category in {"image", "audio", "video", "vision", "ml"}
+        assert workload.fidelity_metric in {
+            "psnr", "segsnr", "class_error", "matrix_mismatch"
+        }
+        assert workload.fidelity_threshold > 0
+        assert workload.train_label and workload.test_label
+
+    def test_source_has_no_reserved_prefix(self, workload):
+        """'cfcss.' names are reserved for the signature transform's slots."""
+        assert "cfcss" not in workload.source

@@ -1,0 +1,221 @@
+"""Algorithmic correctness of the workload kernels against NumPy references.
+
+The SCL kernels must implement the *real* algorithms, not arbitrary loops —
+these tests check the interpreted kernel output against independent Python/
+NumPy implementations (or against analytic properties of the algorithm).
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.fidelity import psnr, segmental_snr
+from repro.sim import Interpreter
+from repro.workloads import get_workload, synthetic_audio, synthetic_image
+from repro.workloads.g721 import reference_encode as g721_encode
+from repro.workloads.h264 import reference_encode as h264_encode
+from repro.workloads.jpeg import ZIGZAG, reference_encode as jpeg_encode
+from repro.workloads.mp3 import reference_encode as mp3_encode
+
+
+class TestJpeg:
+    def test_zigzag_is_a_permutation(self):
+        assert sorted(ZIGZAG) == list(range(64))
+
+    def test_kernel_encoder_matches_numpy_reference(self):
+        """The SCL encoder and the NumPy reference produce the same stream."""
+        w = get_workload("jpegenc")
+        module = w.build_module()
+        inputs = w.test_inputs()
+        out, _ = w.run(module, inputs)
+        n = int(out["stream_len"][0])
+        kernel_stream = [int(v) for v in out["stream"][:n]]
+
+        img = np.asarray(inputs["image"]).reshape(16, 16)
+        ref_stream = jpeg_encode(img)
+        assert kernel_stream == ref_stream
+
+    def test_roundtrip_psnr_is_high(self):
+        """enc -> dec recovers the image to codec-quality PSNR."""
+        dec = get_workload("jpegdec")
+        module = dec.build_module()
+        inputs = dec.test_inputs()
+        out, _ = dec.run(module, inputs)
+        original = synthetic_image(16, 16, seed=24).reshape(-1)
+        quality = psnr(original, out["image"][:256], peak=255)
+        assert quality > 28.0  # standard-quality JPEG on a textured image
+
+
+class TestG721:
+    def test_kernel_encoder_matches_reference(self):
+        w = get_workload("g721enc")
+        module = w.build_module()
+        inputs = w.test_inputs()
+        out, _ = w.run(module, inputs)
+        n = inputs["params"][0]
+        expected = g721_encode(inputs["audio"][:n])
+        assert [int(v) for v in out["codes"][:n]] == expected
+
+    def test_codes_are_4bit(self):
+        w = get_workload("g721enc")
+        out, _ = w.run(w.build_module(), w.test_inputs())
+        n = w.test_inputs()["params"][0]
+        codes = out["codes"][:n]
+        assert all(0 <= c <= 15 for c in codes)
+
+    def test_decode_tracks_the_signal(self):
+        """ADPCM at 4 bits/sample keeps a decent segmental SNR."""
+        w = get_workload("g721dec")
+        inputs = w.test_inputs()
+        out, _ = w.run(w.build_module(), inputs)
+        n = inputs["params"][0]
+        original = synthetic_audio(n, seed=68)
+        snr = segmental_snr(original, out["audio"][:n])
+        assert snr > 10.0
+
+
+class TestMp3:
+    def test_kernel_encoder_matches_reference(self):
+        w = get_workload("mp3enc")
+        module = w.build_module()
+        inputs = w.test_inputs()
+        out, _ = w.run(module, inputs)
+        nframes = inputs["params"][0]
+        coefq, sfdelta = mp3_encode(inputs["audio"], nframes)
+        assert [int(v) for v in out["coefq"][: len(coefq)]] == coefq
+        assert [int(v) for v in out["sfdelta"][:nframes]] == sfdelta
+
+    def test_scalefactor_chain_reconstructs(self):
+        """Delta-coded scalefactors must sum back to positive scales."""
+        w = get_workload("mp3enc")
+        inputs = w.test_inputs()
+        out, _ = w.run(w.build_module(), inputs)
+        nframes = inputs["params"][0]
+        sf = np.cumsum(out["sfdelta"][:nframes])
+        assert (sf > 0).all()
+
+    def test_decode_reconstructs_audio(self):
+        w = get_workload("mp3dec")
+        inputs = w.test_inputs()
+        out, _ = w.run(w.build_module(), inputs)
+        nframes = inputs["params"][0]
+        n = nframes * 12
+        original = synthetic_audio(n + 12, seed=84)[:n]
+        # transform codec with coarse quantisation: expect rough tracking
+        reconstructed = out["audio"][:n]
+        correlation = np.corrcoef(original, reconstructed)[0, 1]
+        assert correlation > 0.9
+
+
+class TestH264:
+    def test_kernel_encoder_matches_reference(self):
+        w = get_workload("h264enc")
+        module = w.build_module()
+        inputs = w.test_inputs()
+        out, _ = w.run(module, inputs)
+        video = np.asarray(inputs["video"]).reshape(3, 16, 16)
+        mvs, resq = h264_encode(video)
+        assert [int(v) for v in out["mvs"][: len(mvs)]] == mvs
+        assert [int(v) for v in out["resq"][: len(resq)]] == resq
+
+    def test_motion_vectors_bounded(self):
+        w = get_workload("h264enc")
+        inputs = w.test_inputs()
+        out, _ = w.run(w.build_module(), inputs)
+        mvs = out["mvs"][: 3 * 4 * 2]
+        assert all(-1 <= v <= 1 for v in mvs)
+
+    def test_decoder_matches_encoder_reconstruction(self):
+        """Closed-loop property: the decoder's frames equal the encoder's
+        in-loop reconstruction (no drift)."""
+        enc = get_workload("h264enc")
+        dec = get_workload("h264dec")
+        enc_inputs = enc.test_inputs()
+        video = np.asarray(enc_inputs["video"]).reshape(3, 16, 16)
+        mvs, resq = h264_encode(video)
+        out, _ = dec.run(dec.build_module(),
+                         {"mvs": mvs, "resq": resq, "params": [3]})
+        decoded = np.asarray(out["video"][: 3 * 256]).reshape(3, 16, 16)
+        quality = psnr(video.reshape(-1), decoded.reshape(-1), peak=255)
+        assert quality > 25.0  # Q=8 quantiser: high-quality reconstruction
+
+
+class TestVisionAndML:
+    def test_segm_labels_in_range_and_nontrivial(self):
+        w = get_workload("segm")
+        inputs = w.test_inputs()
+        out, _ = w.run(w.build_module(), inputs)
+        npix = inputs["params"][0] * inputs["params"][1]
+        labels = np.asarray(out["labels"][:npix])
+        assert set(np.unique(labels)) <= {0, 1, 2}
+        assert len(np.unique(labels)) >= 2  # actually segments something
+
+    def test_segm_separates_dark_from_bright(self):
+        w = get_workload("segm")
+        inputs = w.test_inputs()
+        out, _ = w.run(w.build_module(), inputs)
+        width, height = inputs["params"]
+        img = np.asarray(inputs["image"][: width * height])
+        labels = np.asarray(out["labels"][: width * height])
+        means = [img[labels == k].mean() for k in np.unique(labels)]
+        assert max(means) - min(means) > 30  # clusters differ in intensity
+
+    def test_tex_synth_output_drawn_from_sample(self):
+        w = get_workload("tex_synth")
+        inputs = w.test_inputs()
+        out, _ = w.run(w.build_module(), inputs)
+        osz = inputs["params"][0]
+        sample_values = set(inputs["sample"])
+        synthesized = out["out"][osz : osz * osz]  # beyond the seeded row
+        assert all(v in sample_values for v in synthesized)
+
+    def test_kmeans_recovers_true_clusters(self):
+        """Points drawn from separated Gaussians must be grouped consistently
+        with their generating cluster (up to label permutation)."""
+        from repro.workloads.signals import gaussian_clusters
+
+        w = get_workload("kmeans")
+        inputs = w.test_inputs()
+        out, _ = w.run(w.build_module(), inputs)
+        n = inputs["params"][0]
+        _, truth = gaussian_clusters(n, 4, 4, seed=163)
+        labels = np.asarray(out["labels"][:n])
+        # consistency: points sharing a true cluster share a kmeans label
+        agreement = 0
+        for k in range(4):
+            members = labels[truth == k]
+            agreement += (members == np.bincount(members).argmax()).mean()
+        assert agreement / 4 > 0.9
+
+    def test_svm_classifies_separable_data(self):
+        from repro.workloads.signals import two_class_data
+
+        w = get_workload("svm")
+        inputs = w.test_inputs()
+        out, _ = w.run(w.build_module(), inputs)
+        n = inputs["params"][0]
+        _, truth = two_class_data(n, 6, seed=183)
+        predicted = np.asarray(out["labels"][:n])
+        accuracy = (predicted == truth).mean()
+        assert accuracy > 0.85
+
+    def test_tiff2bw_full_contrast(self):
+        w = get_workload("tiff2bw")
+        inputs = w.test_inputs()
+        out, _ = w.run(w.build_module(), inputs)
+        npix = inputs["params"][0] * inputs["params"][1]
+        bw = np.asarray(out["bw"][:npix])
+        assert bw.min() == 0 and bw.max() == 255  # stretched to full range
+
+    def test_tiff2bw_luminance_ordering(self):
+        """Brighter RGB pixels map to brighter BW pixels."""
+        w = get_workload("tiff2bw")
+        inputs = w.test_inputs()
+        out, _ = w.run(w.build_module(), inputs)
+        width, height = inputs["params"]
+        rgb = np.asarray(inputs["rgb"][: width * height * 3]).reshape(-1, 3)
+        lum = (rgb[:, 0] * 77 + rgb[:, 1] * 151 + rgb[:, 2] * 28) >> 8
+        bw = np.asarray(out["bw"][: width * height])
+        # correlation between computed luminance and output is ~1
+        assert np.corrcoef(lum, bw)[0, 1] > 0.99
