@@ -1,0 +1,133 @@
+#!/usr/bin/env python
+"""Campaign-throughput benchmark: serial reference vs fast path vs parallel.
+
+Measures trials/sec for one (workload, scheme) campaign in three modes and
+writes ``BENCH_campaign.json`` (at the repo root by default) so the perf
+trajectory is tracked from PR to PR:
+
+* ``serial_reference`` — the seed configuration: per-instruction reference
+  interpreter loop (``REPRO_FASTPATH=0``), one process;
+* ``serial_fastpath`` — the pre-compiled interpreter fast path, one process;
+* ``parallel_fastpath`` — fast path fanned out over ``--jobs`` workers.
+
+All three modes share one prepared workload and the same pre-drawn trial
+plans, so they do identical work and produce bit-identical results (the
+harness asserts outcome tallies match).  Throughput excludes preparation
+(module build + protection + golden run), which is a one-time cost amortised
+over a campaign.
+
+Usage::
+
+    python benchmarks/bench_campaign.py                     # defaults
+    python benchmarks/bench_campaign.py --trials 24 --jobs 2 --output -
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.faultinjection.campaign import (  # noqa: E402
+    CampaignConfig, prepare, run_campaign,
+)
+from repro.workloads.registry import get_workload  # noqa: E402
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _measure(workload, scheme, prepared, config, fastpath: bool):
+    """Time one campaign over the shared prepared workload; returns
+    (tallies, seconds)."""
+    os.environ["REPRO_FASTPATH"] = "1" if fastpath else "0"
+    start = time.perf_counter()
+    result = run_campaign(workload, scheme, config, prepared=prepared)
+    elapsed = time.perf_counter() - start
+    return result.counts(), elapsed
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workload", default="g721dec")
+    parser.add_argument("--scheme", default="dup_valchk")
+    parser.add_argument("--trials", type=int, default=60)
+    parser.add_argument("--seed", type=int, default=2014)
+    parser.add_argument("--jobs", type=int, default=4)
+    parser.add_argument("--output", default=str(REPO_ROOT / "BENCH_campaign.json"),
+                        help="output JSON path, or '-' for stdout")
+    args = parser.parse_args(argv)
+
+    workload = get_workload(args.workload)
+    serial = CampaignConfig(trials=args.trials, seed=args.seed)
+    parallel = CampaignConfig(trials=args.trials, seed=args.seed, jobs=args.jobs)
+
+    os.environ["REPRO_FASTPATH"] = "1"
+    prepared = prepare(workload, args.scheme, serial)
+
+    print(f"[bench] {args.workload}/{args.scheme}, {args.trials} trials, "
+          f"{os.cpu_count()} cpu(s)", file=sys.stderr)
+    ref_counts, ref_s = _measure(workload, args.scheme, prepared, serial, False)
+    print(f"[bench] serial reference : {args.trials / ref_s:7.1f} trials/s",
+          file=sys.stderr)
+    fast_counts, fast_s = _measure(workload, args.scheme, prepared, serial, True)
+    print(f"[bench] serial fast path : {args.trials / fast_s:7.1f} trials/s",
+          file=sys.stderr)
+    par_counts, par_s = _measure(workload, args.scheme, prepared, parallel, True)
+    print(f"[bench] parallel x{args.jobs:<2d}     : {args.trials / par_s:7.1f} "
+          f"trials/s", file=sys.stderr)
+    os.environ.pop("REPRO_FASTPATH", None)
+
+    if not (ref_counts == fast_counts == par_counts):
+        print("[bench] ERROR: modes disagree on outcomes "
+              f"(ref={ref_counts} fast={fast_counts} par={par_counts})",
+              file=sys.stderr)
+        return 1
+
+    report = {
+        "benchmark": "campaign_throughput",
+        "workload": args.workload,
+        "scheme": args.scheme,
+        "trials": args.trials,
+        "seed": args.seed,
+        "cpu_count": os.cpu_count(),
+        "outcome_counts": ref_counts,
+        "serial_reference": {
+            "trials_per_sec": round(args.trials / ref_s, 2),
+            "seconds": round(ref_s, 3),
+        },
+        "serial_fastpath": {
+            "trials_per_sec": round(args.trials / fast_s, 2),
+            "seconds": round(fast_s, 3),
+        },
+        "parallel_fastpath": {
+            "jobs": args.jobs,
+            "trials_per_sec": round(args.trials / par_s, 2),
+            "seconds": round(par_s, 3),
+        },
+        "speedups": {
+            "fastpath_serial_vs_reference": round(ref_s / fast_s, 2),
+            "parallel_vs_reference": round(ref_s / par_s, 2),
+            "parallel_vs_fastpath_serial": round(fast_s / par_s, 2),
+        },
+        "notes": (
+            "Throughput excludes one-time preparation. On a single-core "
+            "runner parallel_fastpath cannot exceed serial_fastpath; the "
+            "fast-path speedup is process-count independent."
+        ),
+    }
+    payload = json.dumps(report, indent=2) + "\n"
+    if args.output == "-":
+        sys.stdout.write(payload)
+    else:
+        Path(args.output).write_text(payload)
+        print(f"[bench] wrote {args.output}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,6 +13,7 @@ paper used 1000).  Each report is printed and also written to
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
 import pytest
@@ -22,8 +23,21 @@ from repro.experiments import ExperimentCache, ExperimentSettings
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _hermetic_campaign_cache(tmp_path_factory):
+    """Benchmarks recompute their campaigns: a stale on-disk cache entry
+    must never mask a regression in the simulator or campaign engine."""
+    old = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("repro-cache"))
+    yield
+    if old is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = old
+
+
 @pytest.fixture(scope="session")
-def cache() -> ExperimentCache:
+def cache(_hermetic_campaign_cache) -> ExperimentCache:
     return ExperimentCache(ExperimentSettings())
 
 

@@ -52,12 +52,28 @@ def main(argv=None) -> int:
         "--workloads", default=None, metavar="A,B,...",
         help="comma-separated benchmark subset (default: all 13)",
     )
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes per campaign (default: REPRO_JOBS or 1; "
+             "results are bit-identical for any value)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress the live per-campaign progress lines on stderr",
+    )
     args = parser.parse_args(argv)
 
     names = _ALL_ORDER if "all" in args.experiments else args.experiments
-    if args.trials is not None or args.workloads is not None:
+    from ..faultinjection.parallel import resolve_jobs
+    from .runner import ExperimentSettings, reset_global_cache
+
+    if (
+        args.trials is not None
+        or args.workloads is not None
+        or args.jobs is not None
+        or not args.quiet
+    ):
         from ..workloads.registry import BENCHMARK_NAMES
-        from .runner import ExperimentSettings, reset_global_cache
 
         workloads = tuple(BENCHMARK_NAMES)
         if args.workloads:
@@ -68,6 +84,8 @@ def main(argv=None) -> int:
         settings = ExperimentSettings(
             trials=args.trials if args.trials is not None else default_trials(),
             workloads=workloads,
+            jobs=resolve_jobs(args.jobs),
+            progress=not args.quiet,
         )
         cache = reset_global_cache(settings)
     else:

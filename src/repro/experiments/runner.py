@@ -8,14 +8,17 @@ campaigns; Figure 10's static statistics come from the same prepared modules.
 Trial counts honour the ``REPRO_TRIALS`` environment variable (paper: 1000
 per benchmark; default here: 60, chosen so the full benchmark suite
 regenerates every figure in minutes on a laptop — the margin-of-error helper
-reports the resulting confidence).
+reports the resulting confidence).  ``REPRO_JOBS`` selects the worker count
+for parallel campaign execution, and finished campaigns are persisted to the
+on-disk cache (``REPRO_CACHE_DIR``, disable with ``REPRO_CACHE=0``) so
+repeated figure/benchmark invocations skip recomputation entirely.
 """
 
 from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..faultinjection.campaign import (
     CampaignConfig,
@@ -23,7 +26,9 @@ from ..faultinjection.campaign import (
     prepare,
     run_campaign,
 )
+from ..faultinjection.diskcache import CampaignCache, campaign_key
 from ..faultinjection.outcomes import CampaignResult
+from ..faultinjection.parallel import default_jobs
 from ..profiling.profiler import collect_profiles
 from ..sim.interpreter import Interpreter
 from ..sim.timing import TimingModel
@@ -51,16 +56,34 @@ class ExperimentSettings:
     seed: int = 2014
     workloads: Tuple[str, ...] = tuple(BENCHMARK_NAMES)
     campaign: CampaignConfig = field(default_factory=CampaignConfig)
+    #: campaign worker processes; defaults to ``REPRO_JOBS`` (or 1)
+    jobs: int = field(default_factory=default_jobs)
+    #: per-trial progress callback threaded into every campaign
+    on_trial: Optional[Callable] = None
+    #: print a rate-limited live progress line per campaign (stderr)
+    progress: bool = False
 
     def campaign_config(self) -> CampaignConfig:
-        return replace(self.campaign, trials=self.trials, seed=self.seed)
+        return replace(
+            self.campaign, trials=self.trials, seed=self.seed, jobs=self.jobs
+        )
 
 
 class ExperimentCache:
-    """Memoises prepared workloads, campaigns, and timing runs."""
+    """Memoises prepared workloads, campaigns, and timing runs.
 
-    def __init__(self, settings: Optional[ExperimentSettings] = None) -> None:
+    Campaign results are additionally persisted through the on-disk
+    :class:`CampaignCache`: before running trials the disk cache is checked
+    (the key covers the printed module IR, scheme, config, trial count, and
+    seed — see :mod:`repro.faultinjection.diskcache`), and fresh results are
+    written back, so a re-invocation with unchanged code and settings loads
+    every campaign instead of recomputing it.
+    """
+
+    def __init__(self, settings: Optional[ExperimentSettings] = None,
+                 disk_cache: Optional[CampaignCache] = None) -> None:
         self.settings = settings or ExperimentSettings()
+        self.disk_cache = disk_cache if disk_cache is not None else CampaignCache()
         self._prepared: Dict[Tuple[str, str, bool], PreparedWorkload] = {}
         self._campaigns: Dict[Tuple[str, str, bool], CampaignResult] = {}
         self._runtimes: Dict[Tuple[str, str], float] = {}
@@ -87,9 +110,22 @@ class ExperimentCache:
             config = self.settings.campaign_config()
             config = replace(config, swap_train_test=swap_train_test)
             prepared = self.prepared(name, scheme, swap_train_test)
-            self._campaigns[key] = run_campaign(
-                prepared.workload, scheme, config, prepared=prepared
-            )
+            disk_key = campaign_key(prepared.module, name, scheme, config)
+            result = self.disk_cache.get(disk_key)
+            if result is None:
+                on_trial = self.settings.on_trial
+                if on_trial is None and self.settings.progress:
+                    from ..faultinjection.progress import ProgressPrinter
+
+                    on_trial = ProgressPrinter(
+                        config.trials, label=f"{name}/{scheme}"
+                    )
+                result = run_campaign(
+                    prepared.workload, scheme, config, prepared=prepared,
+                    on_trial=on_trial,
+                )
+                self.disk_cache.put(disk_key, result)
+            self._campaigns[key] = result
         return self._campaigns[key]
 
     # -- timing runs (Figure 12) -----------------------------------------------------------

@@ -3,17 +3,25 @@
 from .campaign import (
     CampaignConfig,
     PreparedWorkload,
+    draw_plans,
     prepare,
     run_campaign,
     run_trial,
 )
+from .diskcache import CACHE_SCHEMA_VERSION, CampaignCache, campaign_key
+from .parallel import default_jobs, resolve_jobs, run_trials_parallel
+from .progress import ProgressPrinter
 from .recovery import RecoveryResult, run_with_recovery
 from .outcomes import CampaignResult, Outcome, TrialResult
 from .stats import Z_95, confidence_interval, margin_of_error, trials_for_margin
 
 __all__ = [
-    "CampaignConfig", "PreparedWorkload", "prepare", "run_campaign", "run_trial",
+    "CampaignConfig", "PreparedWorkload", "draw_plans", "prepare",
+    "run_campaign", "run_trial",
     "CampaignResult", "Outcome", "TrialResult",
+    "CACHE_SCHEMA_VERSION", "CampaignCache", "campaign_key",
+    "default_jobs", "resolve_jobs", "run_trials_parallel",
+    "ProgressPrinter",
     "RecoveryResult", "run_with_recovery",
     "Z_95", "confidence_interval", "margin_of_error", "trials_for_margin",
 ]

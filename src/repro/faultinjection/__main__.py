@@ -5,6 +5,7 @@ Usage::
     python -m repro.faultinjection jpegdec dup_valchk --trials 100
     python -m repro.faultinjection kmeans original --json kmeans.json
     python -m repro.faultinjection g721dec dup --seed 7 --swap-inputs
+    python -m repro.faultinjection g721dec dup_valchk --trials 1000 --jobs 4
 """
 
 from __future__ import annotations
@@ -15,6 +16,8 @@ import sys
 from ..transforms.pipeline import SCHEMES
 from ..workloads.registry import BENCHMARK_NAMES, get_workload
 from .campaign import CampaignConfig, run_campaign
+from .parallel import resolve_jobs
+from .progress import ProgressPrinter
 from .stats import margin_of_error
 
 
@@ -27,17 +30,31 @@ def main(argv=None) -> int:
     parser.add_argument("scheme", choices=list(SCHEMES))
     parser.add_argument("--trials", type=int, default=100)
     parser.add_argument("--seed", type=int, default=2014)
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes for trial execution "
+                             "(default: REPRO_JOBS or 1; results are "
+                             "bit-identical for any value)")
     parser.add_argument("--swap-inputs", action="store_true",
                         help="profile on the test input, inject on the train "
                              "input (the cross-validation configuration)")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress the live progress line on stderr")
     parser.add_argument("--json", metavar="PATH", default=None,
                         help="also write the full campaign record as JSON")
     args = parser.parse_args(argv)
 
     config = CampaignConfig(
-        trials=args.trials, seed=args.seed, swap_train_test=args.swap_inputs
+        trials=args.trials, seed=args.seed, swap_train_test=args.swap_inputs,
+        jobs=resolve_jobs(args.jobs),
     )
-    result = run_campaign(get_workload(args.workload), args.scheme, config)
+    on_trial = None
+    if not args.quiet:
+        on_trial = ProgressPrinter(
+            config.trials, label=f"{args.workload}/{args.scheme}"
+        )
+    result = run_campaign(
+        get_workload(args.workload), args.scheme, config, on_trial=on_trial
+    )
 
     error = margin_of_error(result.num_trials)
     print(f"{args.workload} [{args.scheme}] — {result.num_trials} trials "

@@ -17,7 +17,7 @@ from __future__ import annotations
 import hashlib
 import random
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -55,6 +55,10 @@ class CampaignConfig:
     #: use the test input for profiling instead of the train input (the
     #: paper's 2-fold cross-validation experiment swaps them)
     swap_train_test: bool = False
+    #: worker processes for trial execution; 1 = in-process serial.  Results
+    #: are bit-identical for any value (trial plans are pre-drawn serially),
+    #: so ``jobs`` is deliberately excluded from campaign cache keys.
+    jobs: int = 1
 
 
 @dataclass
@@ -195,19 +199,47 @@ def _trial_from_trap(
     return trial
 
 
+def draw_plans(
+    config: CampaignConfig, prepared: PreparedWorkload
+) -> List[InjectionPlan]:
+    """Pre-draw every trial's (cycle, bit, seed) plan, serially.
+
+    The single source of truth for campaign randomness: both the serial and
+    the parallel execution paths consume this list, which is what makes a
+    ``jobs=N`` campaign bit-identical to ``jobs=1``.  The RNG is seeded from
+    a sha256 of (seed, workload, scheme) — deterministic across processes
+    (Python's str hash is salted, so a tuple hash would make campaigns
+    irreproducible between runs) — and each trial draws cycle, bit, and
+    per-trial seed in that exact order, matching the historical interleaved
+    loop draw-for-draw.
+    """
+    key = f"{config.seed}:{prepared.workload.name}:{prepared.scheme}".encode()
+    rng = random.Random(int.from_bytes(hashlib.sha256(key).digest()[:8], "big"))
+    plans = []
+    for _ in range(config.trials):
+        cycle = rng.randrange(1, prepared.golden_instructions + 1)
+        bit = rng.randrange(config.sim.register_flip_bits)
+        seed = rng.randrange(1 << 30)
+        plans.append(InjectionPlan(cycle=cycle, bit=bit, seed=seed))
+    return plans
+
+
 def run_campaign(
     workload: Workload,
     scheme: str,
     config: Optional[CampaignConfig] = None,
     prepared: Optional[PreparedWorkload] = None,
+    on_trial: Optional[Callable[[TrialResult], None]] = None,
 ) -> CampaignResult:
-    """Run a full statistical fault-injection campaign."""
+    """Run a full statistical fault-injection campaign.
+
+    ``on_trial`` is invoked once per finished trial (in completion order,
+    which under ``config.jobs > 1`` may differ from plan order) — intended
+    for progress reporting; the returned result is always in plan order.
+    """
     config = config or CampaignConfig()
     prepared = prepared or prepare(workload, scheme, config)
-    # Deterministic across processes (Python's str hash is salted, so a
-    # tuple hash would make campaigns irreproducible between runs).
-    key = f"{config.seed}:{workload.name}:{scheme}".encode()
-    rng = random.Random(int.from_bytes(hashlib.sha256(key).digest()[:8], "big"))
+    plans = draw_plans(config, prepared)
 
     result = CampaignResult(
         workload=workload.name,
@@ -216,9 +248,16 @@ def run_campaign(
         golden_guard_failures=prepared.golden_guard_failures,
         golden_guard_evaluations=prepared.golden_guard_evaluations,
     )
-    for _ in range(config.trials):
-        cycle = rng.randrange(1, prepared.golden_instructions + 1)
-        bit = rng.randrange(config.sim.register_flip_bits)
-        seed = rng.randrange(1 << 30)
-        result.trials.append(run_trial(prepared, cycle, bit, seed, config))
+    if config.jobs > 1 and len(plans) > 1:
+        from .parallel import run_trials_parallel
+
+        result.trials.extend(
+            run_trials_parallel(prepared, plans, config, on_trial=on_trial)
+        )
+        return result
+    for plan in plans:
+        trial = run_trial(prepared, plan.cycle, plan.bit, plan.seed, config)
+        result.trials.append(trial)
+        if on_trial is not None:
+            on_trial(trial)
     return result

@@ -1,0 +1,146 @@
+"""On-disk campaign result cache.
+
+Repeated figure/benchmark invocations re-run identical fault-injection
+campaigns; since a campaign is a pure function of (module IR, scheme,
+campaign config, trial count, seed), its result can be cached on disk and
+reloaded bit-identically (see :meth:`CampaignResult.from_dict`).
+
+**Key contents.**  The cache key is the sha256 of a canonical JSON document
+containing:
+
+* ``schema`` — :data:`CACHE_SCHEMA_VERSION`, bumped whenever trial semantics
+  or the serialisation format change, so stale entries miss instead of
+  poisoning results;
+* ``ir`` — the printed IR of the *protected* module (so any change to a
+  workload builder, transform pipeline, or protection knob that alters the
+  emitted code changes the key);
+* ``scheme`` and the workload name;
+* ``config`` — every :class:`CampaignConfig` field (including the full
+  nested ``SimConfig`` and ``ProtectionConfig``) *except* ``jobs``, which
+  cannot affect results by construction;
+* ``trials`` and ``seed``.
+
+**Location.**  ``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro``.  Set
+``REPRO_CACHE=0`` to disable reads and writes; delete the directory (or any
+single ``campaign-*.json`` file) to invalidate manually.
+
+Writes are atomic (temp file + ``os.replace``), so concurrent campaigns —
+including the workers of a parallel campaign on a shared filesystem — can
+only ever observe complete entries.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+from ..ir.printer import module_to_str
+from .campaign import CampaignConfig
+from .outcomes import CampaignResult
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "CampaignCache",
+    "cache_dir",
+    "cache_enabled",
+    "campaign_key",
+]
+
+#: bump on any change to trial semantics, the campaign RNG, or the
+#: serialisation format — old entries then miss instead of being replayed
+CACHE_SCHEMA_VERSION = 1
+
+
+def cache_dir() -> Path:
+    """Cache root: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``."""
+    override = os.environ.get("REPRO_CACHE_DIR", "")
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro"
+
+
+def cache_enabled() -> bool:
+    """False when ``REPRO_CACHE`` is set to 0/off/false/no."""
+    return os.environ.get("REPRO_CACHE", "1").lower() not in (
+        "0", "off", "false", "no",
+    )
+
+
+def _config_fingerprint(config: CampaignConfig) -> dict:
+    """JSON-safe view of every result-affecting config field.
+
+    ``jobs`` is excluded: pre-drawn trial plans make parallel campaigns
+    bit-identical to serial ones, so worker count must not fragment the
+    cache.  ``trials`` and ``seed`` are kept in the fingerprint *and*
+    surfaced as top-level key fields for human inspection.
+    """
+    fields = dataclasses.asdict(config)
+    fields.pop("jobs", None)
+    return fields
+
+
+def campaign_key(module, workload: str, scheme: str,
+                 config: CampaignConfig) -> str:
+    """sha256 key of one campaign (see module docstring for contents)."""
+    payload = {
+        "schema": CACHE_SCHEMA_VERSION,
+        "ir": module_to_str(module),
+        "workload": workload,
+        "scheme": scheme,
+        "config": _config_fingerprint(config),
+        "trials": config.trials,
+        "seed": config.seed,
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+class CampaignCache:
+    """Directory of serialized :class:`CampaignResult`s keyed by sha256."""
+
+    def __init__(self, root: Optional[Path] = None,
+                 enabled: Optional[bool] = None) -> None:
+        self.root = Path(root) if root is not None else cache_dir()
+        self.enabled = cache_enabled() if enabled is None else enabled
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"campaign-{key}.json"
+
+    def get(self, key: str) -> Optional[CampaignResult]:
+        """Cached result for ``key``, or None (corrupt entries miss)."""
+        if not self.enabled:
+            return None
+        path = self._path(key)
+        try:
+            with open(path) as fh:
+                return CampaignResult.from_dict(json.load(fh))
+        except (OSError, ValueError, KeyError):
+            return None
+
+    def put(self, key: str, result: CampaignResult) -> None:
+        """Atomically persist ``result`` under ``key`` (best-effort)."""
+        if not self.enabled:
+            return
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                prefix=".campaign-", suffix=".tmp", dir=self.root
+            )
+            try:
+                with os.fdopen(fd, "w") as fh:
+                    json.dump(result.to_dict(), fh)
+                os.replace(tmp, self._path(key))
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            # A read-only or full cache directory must never fail a campaign.
+            pass

@@ -178,10 +178,45 @@ class CampaignResult:
                     "is_sdc": t.is_sdc,
                     "is_asdc": t.is_asdc,
                     "change_magnitude": t.change_magnitude,
+                    "value_name": t.value_name,
                 }
                 for t in self.trials
             ],
         }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "CampaignResult":
+        """Inverse of :meth:`to_dict` — bit-exact trial reconstruction.
+
+        Every :class:`TrialResult` field appears in the per-trial records
+        (and JSON round-trips Python floats exactly), so a campaign loaded
+        from disk compares equal, trial for trial, to the one that was
+        saved.  This is what makes the on-disk campaign cache transparent.
+        """
+        result = cls(
+            workload=data["workload"],
+            scheme=data["scheme"],
+            golden_instructions=data.get("golden_instructions", 0),
+            golden_guard_failures=data.get("golden_guard_failures", 0),
+            golden_guard_evaluations=data.get("golden_guard_evaluations", 0),
+        )
+        for rec in data.get("records", ()):
+            result.trials.append(
+                TrialResult(
+                    outcome=Outcome(rec["outcome"]),
+                    injection_cycle=rec["cycle"],
+                    bit=rec["bit"],
+                    landed=rec.get("landed", False),
+                    was_live=rec.get("was_live", False),
+                    event_cycle=rec.get("event_cycle"),
+                    fidelity_score=rec.get("fidelity"),
+                    is_sdc=rec.get("is_sdc", False),
+                    is_asdc=rec.get("is_asdc", False),
+                    change_magnitude=rec.get("change_magnitude", 0.0),
+                    value_name=rec.get("value_name", ""),
+                )
+            )
+        return result
 
     def save(self, path) -> None:
         """Write the campaign as JSON to ``path``."""
@@ -189,6 +224,14 @@ class CampaignResult:
 
         with open(path, "w") as fh:
             json.dump(self.to_dict(), fh)
+
+    @classmethod
+    def load(cls, path) -> "CampaignResult":
+        """Read a campaign previously written by :meth:`save`."""
+        import json
+
+        with open(path) as fh:
+            return cls.from_dict(json.load(fh))
 
     def __repr__(self) -> str:
         c = self.counts()

@@ -1,0 +1,157 @@
+"""Parallel trial execution for fault-injection campaigns.
+
+Design (see ``docs/PERFORMANCE.md``):
+
+* **Determinism.** All randomness is consumed *before* fan-out:
+  :func:`~repro.faultinjection.campaign.draw_plans` draws every trial's
+  (cycle, bit, seed) serially from the hash-seeded campaign RNG, and each
+  trial runs under its own private :class:`random.Random` seeded from the
+  plan.  Workers therefore share no RNG state, and a ``jobs=N`` campaign is
+  bit-identical to ``jobs=1``.
+
+* **Per-worker prepared workloads.** A :class:`PreparedWorkload` holds a live
+  IR module, memoised liveness/compiled-code caches, and numpy goldens —
+  objects whose pickled round-trip would break identity-based caches (IR
+  types are interned singletons).  Workers instead *rebuild* it from the
+  (workload name, scheme, config) key, memoised per process so the cost is
+  paid once per worker, not once per trial.  ``prepare`` is deterministic, so
+  the rebuilt workload is equivalent to the parent's.  On ``fork`` platforms
+  the parent additionally publishes its prepared workload in a module global
+  before creating the pool; inheriting children detect the matching key and
+  skip the rebuild entirely.
+
+* **Chunked dispatch.** Trials are submitted as index-tagged chunks (a few
+  dozen trials each) to amortise task-dispatch overhead; completed chunks
+  stream back for progress callbacks, and results are re-ordered by the
+  original plan index before returning.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..sim.faults import InjectionPlan
+from .campaign import CampaignConfig, PreparedWorkload, prepare, run_trial
+from .outcomes import TrialResult
+
+__all__ = ["default_jobs", "resolve_jobs", "run_trials_parallel"]
+
+
+def default_jobs() -> int:
+    """Worker count from the ``REPRO_JOBS`` environment variable (min 1)."""
+    value = os.environ.get("REPRO_JOBS", "")
+    try:
+        return max(1, int(value))
+    except ValueError:
+        return 1
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """CLI helper: explicit ``--jobs`` wins, else ``REPRO_JOBS``, else 1."""
+    if jobs is not None:
+        return max(1, jobs)
+    return default_jobs()
+
+
+def _prepared_key(name: str, scheme: str, config: CampaignConfig) -> Tuple:
+    """Memoisation key for a worker-side prepared workload.
+
+    ``repr`` of the (nested) config dataclasses is deterministic and covers
+    every field that influences preparation; ``jobs`` cannot affect the
+    prepared module, but including it is harmless for a per-process memo.
+    """
+    return (name, scheme, repr(config))
+
+
+#: (key, PreparedWorkload) published by the parent just before pool creation;
+#: inherited by fork-started workers, ignored (None) under spawn.
+_FORK_PREPARED: Optional[Tuple[Tuple, PreparedWorkload]] = None
+
+#: per-process rebuilt workloads (spawn start method, or key mismatch)
+_PREPARED_MEMO = {}
+
+
+def _worker_prepared(
+    name: str, scheme: str, config: CampaignConfig
+) -> PreparedWorkload:
+    key = _prepared_key(name, scheme, config)
+    if _FORK_PREPARED is not None and _FORK_PREPARED[0] == key:
+        return _FORK_PREPARED[1]
+    found = _PREPARED_MEMO.get(key)
+    if found is None:
+        from ..workloads.registry import get_workload
+
+        found = prepare(get_workload(name), scheme, config)
+        _PREPARED_MEMO[key] = found
+    return found
+
+
+#: (name, scheme, config) for the campaign this worker serves — shipped once
+#: per worker via the pool initializer instead of once per chunk, so chunk
+#: submissions pickle only the bare (index, cycle, bit, seed) tuples.
+_WORKER_CAMPAIGN: Optional[Tuple[str, str, CampaignConfig]] = None
+
+
+def _init_worker(name: str, scheme: str, config: CampaignConfig) -> None:
+    global _WORKER_CAMPAIGN
+    _WORKER_CAMPAIGN = (name, scheme, config)
+
+
+def _run_chunk(
+    chunk: Sequence[Tuple[int, int, int, int]],
+) -> List[Tuple[int, TrialResult]]:
+    """Worker entry: run one chunk of (index, cycle, bit, seed) trials."""
+    name, scheme, config = _WORKER_CAMPAIGN  # type: ignore[misc]
+    prepared = _worker_prepared(name, scheme, config)
+    return [
+        (index, run_trial(prepared, cycle, bit, seed, config))
+        for index, cycle, bit, seed in chunk
+    ]
+
+
+def _chunk_size(n_trials: int, jobs: int) -> int:
+    """About three chunks per worker: keeps dispatch/IPC overhead low while
+    letting faster workers steal from slower ones."""
+    return max(1, min(32, -(-n_trials // (jobs * 3))))
+
+
+def run_trials_parallel(
+    prepared: PreparedWorkload,
+    plans: Sequence[InjectionPlan],
+    config: CampaignConfig,
+    on_trial: Optional[Callable[[TrialResult], None]] = None,
+    jobs: Optional[int] = None,
+) -> List[TrialResult]:
+    """Execute pre-drawn trial plans across worker processes.
+
+    Returns results in plan order; ``on_trial`` fires in completion order.
+    """
+    global _FORK_PREPARED
+    jobs = max(1, jobs if jobs is not None else config.jobs)
+    tagged = [
+        (i, plan.cycle, plan.bit, plan.seed) for i, plan in enumerate(plans)
+    ]
+    size = _chunk_size(len(tagged), jobs)
+    chunks = [tagged[i:i + size] for i in range(0, len(tagged), size)]
+    name, scheme = prepared.workload.name, prepared.scheme
+
+    results: List[Optional[TrialResult]] = [None] * len(plans)
+    _FORK_PREPARED = (_prepared_key(name, scheme, config), prepared)
+    try:
+        with ProcessPoolExecutor(
+            max_workers=jobs,
+            initializer=_init_worker,
+            initargs=(name, scheme, config),
+        ) as pool:
+            futures = [pool.submit(_run_chunk, chunk) for chunk in chunks]
+            for future in as_completed(futures):
+                for index, trial in future.result():
+                    results[index] = trial
+                    if on_trial is not None:
+                        on_trial(trial)
+    finally:
+        _FORK_PREPARED = None
+    assert all(t is not None for t in results)
+    return results  # type: ignore[return-value]

@@ -1,0 +1,70 @@
+"""Rate-limited stderr progress for long campaigns.
+
+Plugs into ``run_campaign(..., on_trial=...)``; prints live trials/sec and
+running outcome tallies at most once per ``min_interval`` seconds so a
+million-trial sweep stays observable without drowning the terminal (or a CI
+log) in per-trial lines.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Optional, TextIO
+
+from .outcomes import Outcome, TrialResult
+
+__all__ = ["ProgressPrinter"]
+
+_SHORT = {
+    Outcome.MASKED: "masked",
+    Outcome.SWDETECT: "sw",
+    Outcome.HWDETECT: "hw",
+    Outcome.FAILURE: "fail",
+    Outcome.USDC: "usdc",
+}
+
+
+class ProgressPrinter:
+    """``on_trial`` callback printing throughput + outcome tallies."""
+
+    def __init__(
+        self,
+        total: int,
+        label: str = "",
+        stream: Optional[TextIO] = None,
+        min_interval: float = 1.0,
+    ) -> None:
+        self.total = total
+        self.label = label
+        self.stream = stream if stream is not None else sys.stderr
+        self.min_interval = min_interval
+        self.done = 0
+        self.counts = {o: 0 for o in Outcome}
+        self._start = time.perf_counter()
+        self._last_print = 0.0
+
+    def __call__(self, trial: TrialResult) -> None:
+        self.done += 1
+        self.counts[trial.outcome] += 1
+        now = time.perf_counter()
+        if (
+            now - self._last_print >= self.min_interval
+            or self.done == self.total
+        ):
+            self._last_print = now
+            self._emit(now)
+
+    def _emit(self, now: float) -> None:
+        elapsed = max(now - self._start, 1e-9)
+        rate = self.done / elapsed
+        tallies = " ".join(
+            f"{_SHORT[o]}={self.counts[o]}" for o in Outcome if self.counts[o]
+        )
+        prefix = f"{self.label}: " if self.label else ""
+        print(
+            f"  {prefix}[{self.done}/{self.total}] "
+            f"{rate:.1f} trials/s {tallies}".rstrip(),
+            file=self.stream,
+            flush=True,
+        )

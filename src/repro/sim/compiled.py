@@ -1,0 +1,1089 @@
+"""Pre-compiled fast execution path for the IR interpreter.
+
+The reference loop in :mod:`repro.sim.interpreter` re-resolves every
+instruction on every retirement: an isinstance-chain dispatch, an opcode table
+lookup, and a generic ``_fetch`` per operand.  For a fault-injection campaign
+the same module runs thousands of times, so this module performs that
+resolution **once per module** and caches the result:
+
+* every instruction becomes a specialized *step closure* ``step(I, frame,
+  vals)`` with its evaluator inlined (integer wrap is emitted as a pure
+  arithmetic expression, no calls), constant operands folded to raw Python
+  values, and SSA operands pre-bound to their ``id()`` dictionary keys;
+* every basic block becomes a :class:`CompiledBlock` with its phi moves
+  pre-staged per predecessor, so a taken edge is one dict lookup;
+* calls and returns pre-bind the callee entry block and the return-resume
+  point, so the inter-procedural transfer is a couple of attribute writes;
+* maximal straight-line runs of non-control instructions are additionally
+  fused into **superblock closures** (``CompiledBlock.fused``): one Python
+  call executes the whole run with no per-instruction driver-loop iteration.
+  The driving loop enters a superblock only when neither the pending
+  injection cycle nor the instruction budget falls inside the run, so
+  per-instruction event checks are never skipped when they could fire; trap
+  cycles stay exact because a fused body stores its intra-run progress in
+  ``I._sbk`` before every instruction that can raise a
+  :class:`~repro.sim.events.SimTrap` (integer div/rem, loads, stores,
+  guards, alloca), and the driver re-times an escaping trap from that
+  marker.
+
+Closures are produced by exec-based *makers* cached by source text, so the
+number of distinct ``exec`` calls is bounded by the number of distinct
+instruction shapes (a few dozen process-wide), while each closure carries its
+own constants in cell variables.
+
+Semantics are mirrored from the reference loop **exactly** — same evaluator
+tables (:mod:`repro.sim.ops`), same memory access rules, same trap order,
+same register-file write order — and the differential tests in
+``tests/test_sim_compiled.py`` plus the campaign golden files hold the two
+paths bit-identical.  Two deliberate differences, both invisible to existing
+clients: traps are raised from closures with ``cycle=-1`` and re-timed by the
+driving loop (:class:`~repro.sim.events.SimTrap` messages are built at
+construction), and ``Interpreter.cycle`` is only synced at injection points,
+trap exits, and run end (no in-tree value hook reads it mid-run).
+
+Compiled code is cached on the module object and keyed by an identity token
+over every function, block, instruction, operand, successor, and callee.  The
+cache *pins* those objects, so a matching token proves the structure is
+unchanged (a live ``id`` cannot be reused); any in-place transform produces a
+new token and triggers recompilation.
+"""
+
+from __future__ import annotations
+
+import re
+import struct
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..ir.basicblock import BasicBlock
+from ..ir.function import Function
+from ..ir.instructions import (
+    Alloca,
+    BinaryOp,
+    Br,
+    Call,
+    Cast,
+    CondBr,
+    FCmp,
+    GetElementPtr,
+    GuardEq,
+    GuardRange,
+    GuardValues,
+    ICmp,
+    IntrinsicCall,
+    Load,
+    Phi,
+    Ret,
+    Select,
+    Store,
+)
+from ..ir.module import Module
+from ..ir.types import F32, F64, FloatType, IntType, PointerType
+from ..ir.values import Constant, GlobalVariable, UndefValue
+from .events import ArithmeticTrap, GuardTrap, StackOverflowTrap
+from .ops import FCMP_EVAL, ICMP_EVAL, INTRINSIC_EVAL, c_div, c_rem, float_div
+
+__all__ = [
+    "STOP",
+    "UNWIND",
+    "CompiledBlock",
+    "CompiledFunction",
+    "CompiledModule",
+    "compile_module",
+    "module_token",
+]
+
+_F32_STRUCT = struct.Struct("<f")
+_F64_STRUCT = struct.Struct("<d")
+_MISSING = object()
+
+#: Step-closure return sentinels: ``None`` means fall through to the next
+#: instruction; a :class:`CompiledBlock` means jump; ``UNWIND`` means the
+#: current frame changed (call or return) — resume from ``I._resume_cb`` /
+#: ``I._resume_idx``; ``STOP`` means the entry function returned.
+UNWIND = object()
+STOP = object()
+
+
+def _missing_value(I, frame, value):
+    """Mirror of the reference ``_fetch`` fallback for unbound SSA values."""
+    if I._control_fault_fired:
+        return 0.0 if value.type.is_float else 0
+    raise RuntimeError(
+        f"value {value.short()} has no binding in frame of @{frame.function.name}"
+    )
+
+
+def _f32_round(x: float) -> float:
+    return _F32_STRUCT.unpack(_F32_STRUCT.pack(x))[0]
+
+
+class CompiledBlock:
+    """One basic block: step closures plus pre-staged phi moves."""
+
+    __slots__ = ("block", "code", "fused", "n_phis", "phi_stages",
+                 "phi_fallback")
+
+    def __init__(self, block: BasicBlock) -> None:
+        self.block = block
+        self.code: List[Optional[Callable]] = []
+        #: parallel to ``code``: at the start index of each maximal
+        #: straight-line run of >= 2 non-control instructions, the
+        #: ``(superblock closure, run length)`` executing the whole run in
+        #: one call; ``None`` elsewhere
+        self.fused: List[Optional[Tuple[Callable, int]]] = []
+        self.n_phis = 0
+        #: predecessor block → (commit closure, phi count); the closure
+        #: performs the whole parallel copy (all fetches before any commit)
+        self.phi_stages: Dict[BasicBlock, Tuple[Callable, int]] = {}
+        #: stage used for a predecessor with no phi incoming (control faults
+        #: land on arbitrary blocks; the reference loop reads the first
+        #: incoming, modelling a garbage register read); ``None`` when the
+        #: block has no phis
+        self.phi_fallback: Optional[Tuple[Callable, int]] = None
+
+
+class CompiledFunction:
+    __slots__ = ("function", "blocks", "entry_cb")
+
+    def __init__(self, function: Function) -> None:
+        self.function = function
+        self.blocks: Dict[BasicBlock, CompiledBlock] = {
+            block: CompiledBlock(block) for block in function.blocks
+        }
+        self.entry_cb = self.blocks[function.entry]
+
+
+class CompiledModule:
+    """All compiled functions of one module for one (track, hooked) variant.
+
+    ``pinned`` holds a strong reference to every object whose ``id`` appears
+    in ``token`` — that is what makes token comparison sound (see module
+    docstring).
+    """
+
+    __slots__ = ("module", "variant", "token", "functions", "pinned")
+
+    def __init__(self, module: Module, variant: Tuple[bool, bool],
+                 token: Tuple, pinned: List) -> None:
+        self.module = module
+        self.variant = variant
+        self.token = token
+        self.pinned = pinned
+        self.functions: Dict[Function, CompiledFunction] = {}
+
+
+# ---------------------------------------------------------------------------
+# Structure token
+# ---------------------------------------------------------------------------
+
+
+def _snapshot(module: Module) -> List:
+    """Every object whose identity the compiled code depends on."""
+    pinned: List = []
+    add = pinned.append
+    for fn in module.functions.values():
+        add(fn)
+        for block in fn.blocks:
+            add(block)
+            for instr in block.instructions:
+                add(instr)
+                pinned.extend(instr._operands)
+                cls = instr.__class__
+                if cls is Br:
+                    add(instr.target)
+                elif cls is CondBr:
+                    add(instr.if_true)
+                    add(instr.if_false)
+                elif cls is Phi:
+                    pinned.extend(instr.incoming_blocks)
+                elif cls is Call:
+                    add(instr.callee)
+    return pinned
+
+
+def module_token(module: Module) -> Tuple[int, ...]:
+    """Identity token over the module structure; changes on any IR mutation."""
+    return tuple(map(id, _snapshot(module)))
+
+
+# ---------------------------------------------------------------------------
+# Closure makers (exec-cached by source text)
+# ---------------------------------------------------------------------------
+
+_ENV: Dict[str, object] = {
+    "ArithmeticTrap": ArithmeticTrap,
+    "GuardTrap": GuardTrap,
+    "StackOverflowTrap": StackOverflowTrap,
+    "UNWIND": UNWIND,
+    "STOP": STOP,
+    "_mv": _missing_value,
+    "from_bytes": int.from_bytes,
+    "_ps": None,  # bound below, after _phi_slow is defined
+}
+
+_MAKER_CACHE: Dict[Tuple[Tuple[str, ...], str], Callable] = {}
+
+
+def _build_step(bindings: List[Tuple[str, object]], body: str) -> Callable:
+    """Compile ``body`` into a step closure with ``bindings`` as cells."""
+    names = tuple(name for name, _ in bindings)
+    maker = _MAKER_CACHE.get((names, body))
+    if maker is None:
+        indented = "".join(
+            "        " + line + "\n" for line in body.rstrip("\n").split("\n")
+        )
+        src = (
+            f"def _make({', '.join(names)}):\n"
+            f"    def step(I, frame, vals):\n"
+            f"{indented}"
+            f"    return step\n"
+        )
+        ns = dict(_ENV)
+        exec(compile(src, "<ir-fastpath>", "exec"), ns)
+        maker = ns["_make"]
+        _MAKER_CACHE[(names, body)] = maker
+    return maker(*(value for _, value in bindings))
+
+
+def _operand(op, i: int, bindings: List[Tuple[str, object]], dest: str) -> str:
+    """Code fragment assigning operand ``op`` to local ``dest``.
+
+    Mirrors the reference ``_fetch`` resolution order; constants fold to raw
+    values and SSA values become a pre-keyed dict lookup.
+    """
+    cls = op.__class__
+    if cls is Constant:
+        bindings.append((f"c{i}", op.value))
+        return f"{dest} = c{i}\n"
+    if cls is UndefValue:
+        return f"{dest} = 0\n"
+    if cls is GlobalVariable:
+        bindings.append((f"n{i}", op.name))
+        return f"{dest} = I._global_addr[n{i}]\n"
+    bindings.append((f"k{i}", id(op)))
+    bindings.append((f"o{i}", op))
+    return (
+        f"try:\n"
+        f"    {dest} = vals[k{i}]\n"
+        f"except KeyError:\n"
+        f"    {dest} = _mv(I, frame, o{i})\n"
+    )
+
+
+def _phi_slow(I, stage, frame, vals, track: bool, hooked: bool) -> None:
+    """Getter-based phi commit, used when a fast fetch raised ``KeyError``.
+
+    Only reachable after a control fault lands on a block whose phis name
+    values that were never computed; mirrors the reference loop's
+    ``_missing_value`` behaviour exactly (getters are pure, so re-running
+    the fetches the fast path already did is safe).
+    """
+    fetched = [g(I, frame, vals) for g, _k, _p in stage]
+    for (_g, key, phi), value in zip(stage, fetched):
+        vals[key] = value
+        if track:
+            I._rf_log.append((frame, phi))
+        if hooked:
+            I.value_hook(phi, value)
+
+
+_ENV["_ps"] = _phi_slow
+
+
+def _build_commit(incomings, phis, fallback, track: bool,
+                  hooked: bool) -> Callable:
+    """One closure committing every phi of a block for one predecessor.
+
+    Emits all fetches into locals first, then all dict writes — the
+    parallel-copy semantics of the reference loop — with constants folded
+    and tracking/hook statements baked per variant.
+    """
+    b: List[Tuple[str, object]] = []
+    fetch = ""
+    for i, op in enumerate(incomings):
+        cls = op.__class__
+        if cls is Constant:
+            b.append((f"c{i}", op.value))
+            fetch += f"    t{i} = c{i}\n"
+        elif cls is UndefValue:
+            fetch += f"    t{i} = 0\n"
+        elif cls is GlobalVariable:
+            b.append((f"n{i}", op.name))
+            fetch += f"    t{i} = I._global_addr[n{i}]\n"
+        else:
+            b.append((f"k{i}", id(op)))
+            fetch += f"    t{i} = vals[k{i}]\n"
+    b.append(("fb", fallback))
+    b.append(("trk", track))
+    b.append(("hkd", hooked))
+    code = (
+        "try:\n"
+        + fetch
+        + "except KeyError:\n"
+        "    return _ps(I, fb, frame, vals, trk, hkd)\n"
+    )
+    for i, phi in enumerate(phis):
+        b.append((f"d{i}", id(phi)))
+        code += f"vals[d{i}] = t{i}\n"
+        if track or hooked:
+            b.append((f"p{i}", phi))
+        if track:
+            code += f"I._rf_log.append((frame, p{i}))\n"
+        if hooked:
+            code += f"I.value_hook(p{i}, t{i})\n"
+    code += "return None\n"
+    return _build_step(b, code)
+
+
+def _getter(op) -> Callable:
+    """Plain-closure operand getter (used for staged phi moves)."""
+    cls = op.__class__
+    if cls is Constant:
+        v = op.value
+        return lambda I, frame, vals: v
+    if cls is UndefValue:
+        return lambda I, frame, vals: 0
+    if cls is GlobalVariable:
+        name = op.name
+        return lambda I, frame, vals: I._global_addr[name]
+    key = id(op)
+
+    def get(I, frame, vals, _key=key, _op=op):
+        v = vals.get(_key, _MISSING)
+        if v is _MISSING:
+            return _missing_value(I, frame, _op)
+        return v
+
+    return get
+
+
+def _post(instr, track: bool, hooked: bool,
+          bindings: List[Tuple[str, object]], result: str = "r",
+          hook: bool = True) -> str:
+    """Register-file / value-hook writes after a producing instruction.
+
+    ``hook=False`` for GEP and Alloca, whose results the reference loop never
+    reports to the value hook.
+    """
+    if not (track or (hooked and hook)):
+        return ""
+    bindings.append(("ins", instr))
+    code = ""
+    if track:
+        # Lazy tracking: appending (frame, producer) to a log is ~3x cheaper
+        # than a RegisterFile.write; the driving loop replays the log into the
+        # real register file at the injection instant (the only reader).
+        code += "I._rf_log.append((frame, ins))\n"
+    if hooked and hook:
+        code += f"I.value_hook(ins, {result})\n"
+    return code
+
+
+def _int_wrap_expr(expr: str) -> str:
+    """Inline two's-complement wrap: ``((expr & m) ^ s) - s``.
+
+    Equals ``IntType.wrap`` for every width (``s`` is bound to 0 for i1,
+    where wrap is a plain mask).
+    """
+    return f"((({expr}) & m) ^ s) - s"
+
+
+def _bind_int_type(t: IntType, bindings: List[Tuple[str, object]]) -> None:
+    bindings.append(("m", t.mask))
+    bindings.append(("s", t.sign_bit if t.bits > 1 else 0))
+
+
+_INT_BINOP_EXPR = {
+    "add": "a + b",
+    "sub": "a - b",
+    "mul": "a * b",
+    "and": "a & b",
+    "or": "a | b",
+    "xor": "a ^ b",
+    "shl": "a << (b & bm)",
+    "lshr": "(a & m) >> (b & bm)",
+    "ashr": "a >> (b & bm)",
+}
+
+_INT_DIV_EXPR = {
+    "sdiv": "c_div(a, b)",
+    "udiv": "(a & m) // (b & m)",
+    "srem": "c_rem(a, b)",
+    "urem": "(a & m) % (b & m)",
+}
+
+_FLOAT_BINOP_EXPR = {
+    "fadd": "a + b",
+    "fsub": "a - b",
+    "fmul": "a * b",
+    "fdiv": "fd(a, b)",
+    "frem": "fr(a, b)",
+}
+
+_ICMP_EXPR = {
+    "eq": "a == b",
+    "ne": "a != b",
+    "slt": "a < b",
+    "sle": "a <= b",
+    "sgt": "a > b",
+    "sge": "a >= b",
+    "ult": "(a & m) < (b & m)",
+    "ule": "(a & m) <= (b & m)",
+    "ugt": "(a & m) > (b & m)",
+    "uge": "(a & m) >= (b & m)",
+}
+
+_FCMP_EXPR = {
+    "oeq": "a == b",
+    # one: ordered-and-unequal; x == x is the inline not-NaN test
+    "one": "a != b and a == a and b == b",
+    "olt": "a < b",
+    "ole": "a <= b",
+    "ogt": "a > b",
+    "oge": "a >= b",
+}
+
+
+# ---------------------------------------------------------------------------
+# Per-kind compilers
+# ---------------------------------------------------------------------------
+
+
+def _compile_binop(instr, track, hooked):
+    b: List[Tuple[str, object]] = []
+    ops = instr._operands
+    code = _operand(ops[0], 0, b, "a") + _operand(ops[1], 1, b, "b")
+    opcode = instr.opcode
+    if opcode in _INT_BINOP_EXPR:
+        _bind_int_type(instr.type, b)
+        if "bm" in _INT_BINOP_EXPR[opcode]:
+            b.append(("bm", instr.type.bits - 1))
+        code += f"r = {_int_wrap_expr(_INT_BINOP_EXPR[opcode])}\n"
+    elif opcode in _INT_DIV_EXPR:
+        _bind_int_type(instr.type, b)
+        b.append(("opc", opcode))
+        if opcode == "sdiv":
+            b.append(("c_div", c_div))
+        elif opcode == "srem":
+            b.append(("c_rem", c_rem))
+        code += (
+            "if b == 0:\n"
+            "    raise ArithmeticTrap(opc, -1)\n"
+            f"r = {_int_wrap_expr(_INT_DIV_EXPR[opcode])}\n"
+        )
+    else:
+        if opcode == "fdiv":
+            b.append(("fd", float_div))
+        elif opcode == "frem":
+            from .ops import FLOAT_BINOP_EVAL
+
+            b.append(("fr", FLOAT_BINOP_EVAL["frem"]))
+        code += f"r = {_FLOAT_BINOP_EXPR[opcode]}\n"
+    b.append(("kr", id(instr)))
+    code += "vals[kr] = r\n"
+    code += _post(instr, track, hooked, b)
+    code += "return None\n"
+    return b, code
+
+
+def _compile_load(instr, track, hooked):
+    b: List[Tuple[str, object]] = []
+    code = _operand(instr._operands[0], 0, b, "p")
+    t = instr.type
+    if isinstance(t, IntType):
+        b.append(("sz", t.size_bytes))
+        _bind_int_type(t, b)
+        raw = "from_bytes(seg.data[off:off + sz], 'little')"
+        code += (
+            "seg, off = I._mem_locate(p, sz)\n"
+            f"r = {_int_wrap_expr(raw)}\n"
+        )
+    elif isinstance(t, FloatType):
+        b.append(("sz", t.size_bytes))
+        b.append(("st", _F64_STRUCT if t is F64 else _F32_STRUCT))
+        code += (
+            "seg, off = I._mem_locate(p, sz)\n"
+            "r = st.unpack_from(seg.data, off)[0]\n"
+        )
+    elif isinstance(t, PointerType):
+        code += (
+            "seg, off = I._mem_locate(p, 8)\n"
+            "r = from_bytes(seg.data[off:off + 8], 'little')\n"
+        )
+    else:  # pragma: no cover - mirrors Memory.load's TypeError
+        b.append(("t", t))
+        code += "r = I.memory.load(t, p)\n"
+    b.append(("kr", id(instr)))
+    code += "vals[kr] = r\n"
+    code += _post(instr, track, hooked, b)
+    code += "return None\n"
+    return b, code
+
+
+def _compile_store(instr, track, hooked):
+    b: List[Tuple[str, object]] = []
+    ops = instr._operands
+    code = _operand(ops[0], 0, b, "v") + _operand(ops[1], 1, b, "p")
+    t = ops[0].type
+    if isinstance(t, IntType):
+        b.append(("sz", t.size_bytes))
+        b.append(("m", t.mask))
+        code += (
+            "seg, off = I._mem_locate(p, sz)\n"
+            "seg.data[off:off + sz] = (v & m).to_bytes(sz, 'little')\n"
+        )
+    elif isinstance(t, FloatType):
+        b.append(("sz", t.size_bytes))
+        b.append(("st", _F64_STRUCT if t is F64 else _F32_STRUCT))
+        b.append(("inf", float("inf")))
+        b.append(("ninf", float("-inf")))
+        code += (
+            "seg, off = I._mem_locate(p, sz)\n"
+            "try:\n"
+            "    st.pack_into(seg.data, off, v)\n"
+            "except (OverflowError, ValueError):\n"
+            "    st.pack_into(seg.data, off, inf if v > 0 else ninf)\n"
+        )
+    elif isinstance(t, PointerType):
+        code += (
+            "seg, off = I._mem_locate(p, 8)\n"
+            "seg.data[off:off + 8] = (v & 0xFFFFFFFFFFFFFFFF)"
+            ".to_bytes(8, 'little')\n"
+        )
+    else:  # pragma: no cover - mirrors Memory.store's TypeError
+        b.append(("t", t))
+        code += "I.memory.store(t, p, v)\n"
+    code += "return None\n"
+    return b, code
+
+
+def _compile_gep(instr, track, hooked):
+    b: List[Tuple[str, object]] = []
+    ops = instr._operands
+    code = _operand(ops[0], 0, b, "a") + _operand(ops[1], 1, b, "b")
+    b.append(("esz", instr.elem_size))
+    b.append(("kr", id(instr)))
+    code += "vals[kr] = (a + b * esz) & 0xFFFFFFFFFFFFFFFF\n"
+    code += _post(instr, track, hooked, b, hook=False)
+    code += "return None\n"
+    return b, code
+
+
+def _compile_icmp(instr, track, hooked):
+    b: List[Tuple[str, object]] = []
+    ops = instr._operands
+    code = _operand(ops[0], 0, b, "a") + _operand(ops[1], 1, b, "b")
+    expr = _ICMP_EXPR[instr.predicate]
+    if instr.predicate in ("ult", "ule", "ugt", "uge"):
+        mask = getattr(ops[0].type, "mask", None)
+        if mask is None:
+            # Unsigned predicate on a maskless type: defer to the shared
+            # evaluator so the failure mode matches the reference loop.
+            b.append(("pred", ICMP_EVAL[instr.predicate]))
+            b.append(("t", ops[0].type))
+            expr = "pred(a, b, t)"
+        else:
+            b.append(("m", mask))
+    code += f"r = 1 if {expr} else 0\n"
+    b.append(("kr", id(instr)))
+    code += "vals[kr] = r\n"
+    code += _post(instr, track, hooked, b)
+    code += "return None\n"
+    return b, code
+
+
+def _compile_fcmp(instr, track, hooked):
+    b: List[Tuple[str, object]] = []
+    ops = instr._operands
+    code = _operand(ops[0], 0, b, "a") + _operand(ops[1], 1, b, "b")
+    code += f"r = 1 if {_FCMP_EXPR[instr.predicate]} else 0\n"
+    b.append(("kr", id(instr)))
+    code += "vals[kr] = r\n"
+    code += _post(instr, track, hooked, b)
+    code += "return None\n"
+    return b, code
+
+
+def _compile_cast(instr, track, hooked):
+    b: List[Tuple[str, object]] = []
+    code = _operand(instr._operands[0], 0, b, "v")
+    opcode = instr.opcode
+    t = instr.type
+    if opcode in ("trunc", "sext", "ptrtoint"):
+        _bind_int_type(t, b)
+        code += f"r = {_int_wrap_expr('v')}\n"
+    elif opcode == "zext":
+        _bind_int_type(t, b)
+        b.append(("fm", instr._operands[0].type.mask))
+        code += f"r = {_int_wrap_expr('v & fm')}\n"
+    elif opcode == "sitofp":
+        if t is F32:
+            b.append(("f32", _f32_round))
+            code += "r = f32(float(v))\n"
+        else:
+            code += "r = float(v)\n"
+    elif opcode == "fptosi":
+        b.append(("hi", t.max_signed))
+        b.append(("lo", t.min_signed))
+        code += (
+            "if v != v:\n"
+            "    r = 0\n"
+            "elif v >= hi:\n"
+            "    r = hi\n"
+            "elif v <= lo:\n"
+            "    r = lo\n"
+            "else:\n"
+            "    r = int(v)\n"
+        )
+    elif opcode == "fpext":
+        code += "r = float(v)\n"
+    elif opcode == "fptrunc":
+        b.append(("f32", _f32_round))
+        b.append(("inf", float("inf")))
+        b.append(("ninf", float("-inf")))
+        code += (
+            "try:\n"
+            "    r = f32(v)\n"
+            "except (OverflowError, ValueError):\n"
+            "    r = inf if v > 0 else ninf\n"
+        )
+    elif opcode == "inttoptr":
+        code += "r = v & 0xFFFFFFFFFFFFFFFF\n"
+    elif opcode == "bitcast":
+        code += "r = v\n"
+    else:  # pragma: no cover - mirrors the reference RuntimeError
+        b.append(("opc", opcode))
+        code += "raise RuntimeError(f'unhandled cast {opc}')\n"
+    b.append(("kr", id(instr)))
+    code += "vals[kr] = r\n"
+    code += _post(instr, track, hooked, b)
+    code += "return None\n"
+    return b, code
+
+
+def _indent(code: str) -> str:
+    return "".join(
+        "    " + line + "\n" for line in code.rstrip("\n").split("\n")
+    )
+
+
+def _compile_select(instr, track, hooked):
+    b: List[Tuple[str, object]] = []
+    ops = instr._operands
+    code = _operand(ops[0], 0, b, "c")
+    # Arms stay lazy: the reference loop only fetches the taken operand, so an
+    # unbound value on the untaken side must not raise.
+    true_frag = _operand(ops[1], 1, b, "r")
+    false_frag = _operand(ops[2], 2, b, "r")
+    code += "if c & 1:\n" + _indent(true_frag)
+    code += "else:\n" + _indent(false_frag)
+    b.append(("kr", id(instr)))
+    code += "vals[kr] = r\n"
+    code += _post(instr, track, hooked, b)
+    code += "return None\n"
+    return b, code
+
+
+def _compile_intrinsic(instr, track, hooked):
+    b: List[Tuple[str, object]] = []
+    ops = instr._operands
+    code = ""
+    argv = []
+    for i, op in enumerate(ops):
+        code += _operand(op, i, b, f"a{i}")
+        argv.append(f"a{i}")
+    impl = INTRINSIC_EVAL.get(instr.intrinsic)
+    if impl is None:  # pragma: no cover - mirrors the reference KeyError
+        b.append(("tbl", INTRINSIC_EVAL))
+        b.append(("nm", instr.intrinsic))
+        code += f"r = tbl[nm]({', '.join(argv)})\n"
+    else:
+        b.append(("fn", impl))
+        code += f"r = fn({', '.join(argv)})\n"
+    b.append(("kr", id(instr)))
+    code += "vals[kr] = r\n"
+    code += _post(instr, track, hooked, b)
+    code += "return None\n"
+    return b, code
+
+
+_GUARD_RAISE = (
+    "    if I._guard_detect and I._guard_armed and gid not in I.disabled_guards:\n"
+)
+
+
+def _compile_guard_eq(instr, track, hooked):
+    b: List[Tuple[str, object]] = []
+    ops = instr._operands
+    code = "gs = I.guard_stats\ngs.evaluations += 1\n"
+    code += _operand(ops[0], 0, b, "a") + _operand(ops[1], 1, b, "b")
+    b.append(("gid", instr.guard_id))
+    code += (
+        "if a != b:\n"
+        "    gs.record_failure(gid)\n"
+        + _GUARD_RAISE
+        + "        raise GuardTrap(gid, 'eq', -1)\n"
+        "return None\n"
+    )
+    return b, code
+
+
+def _compile_guard_range(instr, track, hooked):
+    b: List[Tuple[str, object]] = []
+    ops = instr._operands
+    code = "gs = I.guard_stats\ngs.evaluations += 1\n"
+    code += _operand(ops[0], 0, b, "v")
+    for name, op in (("lo", ops[1]), ("hi", ops[2])):
+        if op.__class__ is Constant:
+            b.append((name, op.value))
+        else:  # pragma: no cover - transforms always emit constant bounds
+            b.append((f"{name}_op", op))
+            code += f"{name} = {name}_op.value\n"
+    b.append(("gid", instr.guard_id))
+    # NaN comparisons are False, so ``not (lo <= v <= hi)`` already covers the
+    # reference loop's explicit isnan clause.
+    code += (
+        "if not (lo <= v <= hi):\n"
+        "    gs.record_failure(gid)\n"
+        + _GUARD_RAISE
+        + "        raise GuardTrap(gid, 'range', -1)\n"
+        "return None\n"
+    )
+    return b, code
+
+
+def _compile_guard_values(instr, track, hooked):
+    b: List[Tuple[str, object]] = []
+    ops = instr._operands
+    code = "gs = I.guard_stats\ngs.evaluations += 1\n"
+    code += _operand(ops[0], 0, b, "v")
+    if all(op.__class__ is Constant for op in ops[1:]):
+        terms = []
+        for i, op in enumerate(ops[1:]):
+            b.append((f"e{i}", op.value))
+            terms.append(f"v == e{i}")
+        cond = " or ".join(terms) if terms else "False"
+    else:  # pragma: no cover - transforms always emit constant expecteds
+        b.append(("cs", tuple(ops[1:])))
+        cond = "any(v == c.value for c in cs)"
+    b.append(("gid", instr.guard_id))
+    code += (
+        f"if not ({cond}):\n"
+        "    gs.record_failure(gid)\n"
+        + _GUARD_RAISE
+        + "        raise GuardTrap(gid, 'values', -1)\n"
+        "return None\n"
+    )
+    return b, code
+
+
+def _compile_br(instr, cf, track, hooked):
+    b: List[Tuple[str, object]] = [("cbt", cf.blocks[instr.target])]
+    code = (
+        "if I._pending_control_fault:\n"
+        "    return I._corrupt_cb(frame, cbt)\n"
+        "return cbt\n"
+    )
+    return b, code
+
+
+def _compile_condbr(instr, cf, track, hooked):
+    b: List[Tuple[str, object]] = []
+    code = _operand(instr._operands[0], 0, b, "c")
+    b.append(("cbt", cf.blocks[instr.if_true]))
+    b.append(("cbf", cf.blocks[instr.if_false]))
+    code += (
+        "cb = cbt if c & 1 else cbf\n"
+        "if I._pending_control_fault:\n"
+        "    return I._corrupt_cb(frame, cb)\n"
+        "return cb\n"
+    )
+    return b, code
+
+
+def _compile_call(instr, pos, own_cb, cm, track, hooked):
+    callee = instr.callee
+    callee_cf = cm.functions[callee]
+    b: List[Tuple[str, object]] = [
+        ("callee", callee),
+        ("ins", instr),
+        ("rcb", own_cb),
+        ("ridx", pos + 1),
+        ("ecb", callee_cf.entry_cb),
+        ("hr", instr.has_result),
+        ("rk", id(instr)),
+    ]
+    code = (
+        "frames = I._frames\n"
+        "if len(frames) >= I._max_depth:\n"
+        "    raise StackOverflowTrap(-1)\n"
+        "nf = Frame(callee, ins, I._stack_sp)\n"
+        "nv = nf.values\n"
+    )
+    for i, (formal, op) in enumerate(zip(callee.args, instr._operands)):
+        b.append((f"f{i}", id(formal)))
+        code += _operand(op, i, b, f"a{i}")
+        code += f"nv[f{i}] = a{i}\n"
+    code += (
+        "nf.ret_cb = rcb\n"
+        "nf.ret_idx = ridx\n"
+        "nf.ret_has_result = hr\n"
+        "nf.ret_key = rk\n"
+        "frame.index = ridx\n"
+        "frames.append(nf)\n"
+        "I._frame = nf\n"
+        "I._resume_cb = ecb\n"
+        "I._resume_idx = 0\n"
+        "return UNWIND\n"
+    )
+    return b, code
+
+
+def _compile_ret(instr, track, hooked):
+    b: List[Tuple[str, object]] = []
+    if instr._operands:
+        code = _operand(instr._operands[0], 0, b, "v")
+    else:
+        code = "v = None\n"
+    code += (
+        "frame.active = False\n"
+        "frames = I._frames\n"
+        "frames.pop()\n"
+        "I._stack_sp = frame.stack_mark\n"
+        "if not frames:\n"
+        "    I._ret_value = v\n"
+        "    return STOP\n"
+        "caller = frames[-1]\n"
+        "if frame.ret_has_result:\n"
+        "    caller.values[frame.ret_key] = v\n"
+    )
+    if track:
+        code += "    I._rf_log.append((caller, frame.call_instr))\n"
+    if hooked:
+        code += "    I.value_hook(frame.call_instr, v)\n"
+    code += (
+        "I._frame = caller\n"
+        "I._resume_cb = frame.ret_cb\n"
+        "I._resume_idx = frame.ret_idx\n"
+        "return UNWIND\n"
+    )
+    return b, code
+
+
+def _compile_alloca(instr, track, hooked):
+    b: List[Tuple[str, object]] = [("sz", instr.size_bytes), ("kr", id(instr))]
+    code = (
+        "sp = (I._stack_sp + 7) & -8\n"
+        "if sp + sz > I._stack_limit:\n"
+        "    raise StackOverflowTrap(-1)\n"
+        "vals[kr] = sp\n"
+        "I._stack_sp = sp + sz\n"
+    )
+    code += _post(instr, track, hooked, b, hook=False)
+    code += "return None\n"
+    return b, code
+
+
+def _compile_unhandled(instr):  # pragma: no cover - verifier prevents
+    b: List[Tuple[str, object]] = [("ins", instr)]
+    code = "raise RuntimeError(f'unhandled instruction {ins.format()}')\n"
+    return b, code
+
+
+_SIMPLE_COMPILERS = {
+    BinaryOp: _compile_binop,
+    Load: _compile_load,
+    Store: _compile_store,
+    GetElementPtr: _compile_gep,
+    ICmp: _compile_icmp,
+    FCmp: _compile_fcmp,
+    Cast: _compile_cast,
+    Select: _compile_select,
+    IntrinsicCall: _compile_intrinsic,
+    GuardEq: _compile_guard_eq,
+    GuardRange: _compile_guard_range,
+    GuardValues: _compile_guard_values,
+    Ret: _compile_ret,
+    Alloca: _compile_alloca,
+}
+
+#: Instruction classes whose step fragments always fall through (``return
+#: None``) — the only ones eligible for superblock fusion.  Control transfers
+#: (Br/CondBr/Call/Ret) and phis need the driving loop.
+_LINEAR_CLASSES = frozenset(_SIMPLE_COMPILERS) - {Ret}
+
+_DIV_OPCODES = frozenset({"sdiv", "udiv", "srem", "urem"})
+
+
+def _can_trap(instr) -> bool:
+    """Can this (linear) instruction raise a :class:`SimTrap`?
+
+    Integer div/rem raise :class:`ArithmeticTrap`, memory ops raise
+    :class:`MemoryTrap` via ``I._mem_locate``, guards raise
+    :class:`GuardTrap`, and alloca raises :class:`StackOverflowTrap`.
+    Everything else either cannot raise or raises non-``SimTrap`` exceptions
+    that need no cycle re-timing (identical on the reference path).
+    """
+    cls = instr.__class__
+    if cls is BinaryOp:
+        return instr.opcode in _DIV_OPCODES
+    return cls in (Load, Store, GuardEq, GuardRange, GuardValues, Alloca)
+
+
+def _rename_bindings(
+    j: int, b: List[Tuple[str, object]], code: str
+) -> Tuple[List[Tuple[str, object]], str]:
+    """Namespace fragment ``j``'s binding names as ``i{j}_name``.
+
+    Only the *bindings* (closure cells) need renaming — fragment-local
+    temporaries (``a``, ``r``, ``seg``, ...) are assigned-before-use within
+    every fragment, so they may safely shadow each other across fragments.
+    """
+    if not b:
+        return b, code
+    names = sorted((name for name, _ in b), key=len, reverse=True)
+    pattern = re.compile(r"\b(?:" + "|".join(map(re.escape, names)) + r")\b")
+    code = pattern.sub(lambda m: f"i{j}_{m.group(0)}", code)
+    return [(f"i{j}_{name}", value) for name, value in b], code
+
+
+def _build_fused(
+    parts: List[Tuple[List[Tuple[str, object]], str, bool]],
+    terminator: Optional[Tuple[List[Tuple[str, object]], str]] = None,
+):
+    """Fuse per-instruction fragments into one superblock closure.
+
+    Each part is ``(bindings, code, can_trap)`` as produced by the per-kind
+    compilers.  Before every instruction that can raise a
+    :class:`SimTrap`, the body records its 1-based position in ``I._sbk`` —
+    the driving loop re-times an escaping trap to ``run_start_cycle +
+    I._sbk``.  When the run extends to the end of its block, ``terminator``
+    is the Br/CondBr/Ret fragment (all of which cannot trap): its own
+    ``return`` statement becomes the superblock's return value, which the
+    driving loop dispatches exactly like a single-step result.
+
+    Returns ``(closure, n_instructions)``.
+    """
+    bindings: List[Tuple[str, object]] = []
+    body: List[str] = []
+    for j, (b, code, traps) in enumerate(parts):
+        b, code = _rename_bindings(j, b, code)
+        bindings.extend(b)
+        assert code.endswith("return None\n"), code
+        code = code[: -len("return None\n")]
+        if traps:
+            body.append(f"I._sbk = {j + 1}\n")
+        body.append(code)
+    if terminator is None:
+        body.append("return None\n")
+    else:
+        b, code = _rename_bindings(len(parts), terminator[0], terminator[1])
+        bindings.extend(b)
+        body.append(code)
+    n = len(parts) + (terminator is not None)
+    return _build_step(bindings, "".join(body)), n
+
+
+# ---------------------------------------------------------------------------
+# Module compilation
+# ---------------------------------------------------------------------------
+
+
+def _fill_block(cb: CompiledBlock, cf: CompiledFunction, cm: CompiledModule,
+                track: bool, hooked: bool) -> None:
+    instrs = cb.block.instructions
+    code: List[Optional[Callable]] = [None] * len(instrs)
+    fused: List[Optional[Tuple[Callable, int]]] = [None] * len(instrs)
+    phis = []
+    run_start: Optional[int] = None
+    run_parts: List[Tuple[List[Tuple[str, object]], str, bool]] = []
+
+    for pos, instr in enumerate(instrs):
+        cls = instr.__class__
+        if cls is Phi:
+            phis.append(instr)
+            continue
+        compiler = _SIMPLE_COMPILERS.get(cls)
+        if compiler is not None:
+            b, frag = compiler(instr, track, hooked)
+        elif cls is Br:
+            b, frag = _compile_br(instr, cf, track, hooked)
+        elif cls is CondBr:
+            b, frag = _compile_condbr(instr, cf, track, hooked)
+        elif cls is Call:
+            b, frag = _compile_call(instr, pos, cb, cm, track, hooked)
+        else:  # pragma: no cover - verifier prevents
+            b, frag = _compile_unhandled(instr)
+        code[pos] = _build_step(b, frag)
+        if cls in _LINEAR_CLASSES:
+            if run_start is None:
+                run_start = pos
+            run_parts.append((b, frag, _can_trap(instr)))
+            continue
+        # Run broken: Br/CondBr/Ret (which cannot trap) join the run as its
+        # returning tail; a Call cannot — its return-resume point lands
+        # *inside* the run, which a closure cannot re-enter.
+        if run_start is not None:
+            if cls in (Br, CondBr, Ret):
+                fused[run_start] = _build_fused(run_parts, (b, frag))
+            elif len(run_parts) >= 2:
+                fused[run_start] = _build_fused(run_parts)
+        run_start, run_parts = None, []
+    cb.code = code
+    cb.fused = fused
+    cb.n_phis = len(phis)
+    if not phis:
+        return
+    preds: List[BasicBlock] = []
+    for phi in phis:
+        for pred in phi.incoming_blocks:
+            if pred not in preds:
+                preds.append(pred)
+    n = len(phis)
+    for pred in preds:
+        incomings = []
+        for phi in phis:
+            try:
+                incomings.append(phi.incoming_for(pred))
+            except KeyError:
+                incomings.append(phi._operands[0])
+        fallback = tuple(
+            (_getter(op), id(phi), phi) for op, phi in zip(incomings, phis)
+        )
+        cb.phi_stages[pred] = (
+            _build_commit(incomings, phis, fallback, track, hooked), n,
+        )
+    firsts = [phi._operands[0] for phi in phis]
+    fb0 = tuple((_getter(op), id(phi), phi) for op, phi in zip(firsts, phis))
+    cb.phi_fallback = (_build_commit(firsts, phis, fb0, track, hooked), n)
+
+
+def compile_module(module: Module, track: bool, hooked: bool) -> CompiledModule:
+    """Return (building and caching as needed) the compiled form of ``module``.
+
+    ``track`` bakes in register-file bookkeeping (fault-injection runs);
+    ``hooked`` bakes in value-hook dispatch (profiling/tracing runs).  The
+    cache lives on the module object and is invalidated whenever the structure
+    token changes — i.e. after any in-place transform.
+    """
+    if "Frame" not in _ENV:
+        from .interpreter import Frame
+
+        _ENV["Frame"] = Frame
+    pinned = _snapshot(module)
+    token = tuple(map(id, pinned))
+    cache = getattr(module, "_compiled_cache", None)
+    if cache is None or cache.get("token") != token:
+        cache = {"token": token}
+        module._compiled_cache = cache
+    variant = (track, hooked)
+    cm = cache.get(variant)
+    if cm is None:
+        cm = CompiledModule(module, variant, token, pinned)
+        for fn in module.functions.values():
+            cm.functions[fn] = CompiledFunction(fn)
+        for cf in cm.functions.values():
+            for cb in cf.blocks.values():
+                _fill_block(cb, cf, cm, track, hooked)
+        cache[variant] = cm
+    return cm

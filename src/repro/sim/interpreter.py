@@ -23,6 +23,7 @@ false-positive rate, modelling the paper's recover-once-then-ignore policy).
 from __future__ import annotations
 
 import math
+import os
 import random
 import struct
 from typing import Callable, Dict, List, Optional, Sequence
@@ -53,6 +54,8 @@ from ..ir.instructions import (
 from ..ir.module import Module
 from ..ir.types import F32, FloatType, IntType, PointerType
 from ..ir.values import Argument, Constant, GlobalVariable, UndefValue, Value
+from . import ops
+from .compiled import STOP, UNWIND, CompiledBlock, compile_module
 from .config import SimConfig
 from .events import (
     ArithmeticTrap,
@@ -60,6 +63,7 @@ from .events import (
     GuardTrap,
     MemoryTrap,
     RunResult,
+    SimTrap,
     StackOverflowTrap,
     TimeoutTrap,
 )
@@ -71,163 +75,60 @@ from .timing import TimingModel
 _MISSING = object()
 _F32_STRUCT = struct.Struct("<f")
 
-
-def _c_div(a: int, b: int) -> int:
-    """C-style truncating division."""
-    q = abs(a) // abs(b)
-    return -q if (a < 0) != (b < 0) else q
-
-
-def _c_rem(a: int, b: int) -> int:
-    """C-style remainder (sign of the dividend)."""
-    return a - _c_div(a, b) * b
-
-
-def _float_div(a: float, b: float) -> float:
-    if b == 0.0:
-        if a == 0.0 or math.isnan(a):
-            return math.nan
-        return math.inf if (a > 0) == (math.copysign(1.0, b) > 0) else -math.inf
-    return a / b
+# Backwards-compatible aliases: the evaluator tables moved to
+# :mod:`repro.sim.ops` so the fast path (:mod:`repro.sim.compiled`) can share
+# them without importing this module.
+_c_div = ops.c_div
+_c_rem = ops.c_rem
+_float_div = ops.float_div
+_INT_BINOPS = ops.INT_BINOP_EVAL
+_FLOAT_BINOPS = ops.FLOAT_BINOP_EVAL
+_ICMP = ops.ICMP_EVAL
+_FCMP = ops.FCMP_EVAL
+_INTRINSICS_IMPL = ops.INTRINSIC_EVAL
+_safe_sqrt = ops.safe_sqrt
+_safe_exp = ops.safe_exp
+_safe_log = ops.safe_log
+_safe_pow = ops.safe_pow
 
 
-def _make_int_binops() -> Dict[str, Callable]:
-    """Opcode → (a, b, type) evaluators with two's-complement wrap."""
-
-    def add(a, b, t):
-        return t.wrap(a + b)
-
-    def sub(a, b, t):
-        return t.wrap(a - b)
-
-    def mul(a, b, t):
-        return t.wrap(a * b)
-
-    def sdiv(a, b, t):
-        if b == 0:
-            raise ZeroDivisionError
-        return t.wrap(_c_div(a, b))
-
-    def udiv(a, b, t):
-        if b == 0:
-            raise ZeroDivisionError
-        return t.wrap((a & t.mask) // (b & t.mask))
-
-    def srem(a, b, t):
-        if b == 0:
-            raise ZeroDivisionError
-        return t.wrap(_c_rem(a, b))
-
-    def urem(a, b, t):
-        if b == 0:
-            raise ZeroDivisionError
-        return t.wrap((a & t.mask) % (b & t.mask))
-
-    def and_(a, b, t):
-        return t.wrap(a & b)
-
-    def or_(a, b, t):
-        return t.wrap(a | b)
-
-    def xor(a, b, t):
-        return t.wrap(a ^ b)
-
-    def shl(a, b, t):
-        return t.wrap(a << (b & (t.bits - 1)))
-
-    def lshr(a, b, t):
-        return t.wrap((a & t.mask) >> (b & (t.bits - 1)))
-
-    def ashr(a, b, t):
-        return t.wrap(a >> (b & (t.bits - 1)))
-
-    return {
-        "add": add, "sub": sub, "mul": mul, "sdiv": sdiv, "udiv": udiv,
-        "srem": srem, "urem": urem, "and": and_, "or": or_, "xor": xor,
-        "shl": shl, "lshr": lshr, "ashr": ashr,
-    }
+def _default_fastpath() -> bool:
+    """Fast path on unless ``REPRO_FASTPATH`` disables it (escape hatch)."""
+    return os.environ.get("REPRO_FASTPATH", "1").strip().lower() not in (
+        "0", "off", "false", "no",
+    )
 
 
-def _make_float_binops() -> Dict[str, Callable]:
-    return {
-        "fadd": lambda a, b: a + b,
-        "fsub": lambda a, b: a - b,
-        "fmul": lambda a, b: a * b,
-        "fdiv": _float_div,
-        "frem": lambda a, b: math.fmod(a, b) if b != 0.0 else math.nan,
-    }
+def _retime_trap(trap, cycle: int):
+    """Rebuild a closure-raised trap (``cycle=-1``) with the real cycle.
 
-
-_INT_BINOPS = _make_int_binops()
-_FLOAT_BINOPS = _make_float_binops()
-
-_ICMP = {
-    "eq": lambda a, b, t: a == b,
-    "ne": lambda a, b, t: a != b,
-    "slt": lambda a, b, t: a < b,
-    "sle": lambda a, b, t: a <= b,
-    "sgt": lambda a, b, t: a > b,
-    "sge": lambda a, b, t: a >= b,
-    "ult": lambda a, b, t: (a & t.mask) < (b & t.mask),
-    "ule": lambda a, b, t: (a & t.mask) <= (b & t.mask),
-    "ugt": lambda a, b, t: (a & t.mask) > (b & t.mask),
-    "uge": lambda a, b, t: (a & t.mask) >= (b & t.mask),
-}
-
-_FCMP = {
-    "oeq": lambda a, b: a == b,
-    "one": lambda a, b: a != b and not (math.isnan(a) or math.isnan(b)),
-    "olt": lambda a, b: a < b,
-    "ole": lambda a, b: a <= b,
-    "ogt": lambda a, b: a > b,
-    "oge": lambda a, b: a >= b,
-}
-
-
-def _safe_sqrt(x: float) -> float:
-    return math.sqrt(x) if x >= 0.0 else math.nan
-
-
-def _safe_exp(x: float) -> float:
-    try:
-        return math.exp(x)
-    except OverflowError:
-        return math.inf
-
-
-def _safe_log(x: float) -> float:
-    if x > 0.0:
-        return math.log(x)
-    return -math.inf if x == 0.0 else math.nan
-
-
-def _safe_pow(a: float, b: float):
-    try:
-        return math.pow(a, b)
-    except (OverflowError, ValueError):
-        return math.nan
-
-
-_INTRINSICS_IMPL = {
-    "sqrt": _safe_sqrt,
-    "exp": _safe_exp,
-    "log": _safe_log,
-    "sin": math.sin,
-    "cos": math.cos,
-    "fabs": abs,
-    "abs": abs,
-    "min": min,
-    "max": max,
-    "floor": lambda x: float(math.floor(x)),
-    "pow": _safe_pow,
-}
+    :class:`SimTrap` formats its message at construction, so re-timing must
+    reconstruct rather than mutate.
+    """
+    cls = trap.__class__
+    if cls is MemoryTrap:
+        return MemoryTrap(trap.kind, trap.address, cycle)
+    if cls is ArithmeticTrap:
+        return ArithmeticTrap(trap.operation, cycle)
+    if cls is GuardTrap:
+        return GuardTrap(trap.guard_id, trap.guard_kind, cycle)
+    if cls is StackOverflowTrap:
+        return StackOverflowTrap(cycle)
+    trap.cycle = cycle  # pragma: no cover - no other trap carries -1
+    return trap
 
 
 class Frame:
-    """One activation record."""
+    """One activation record.
+
+    The ``ret_*`` fields are the fast path's pre-resolved return linkage
+    (where to resume in the caller's compiled code); the reference loop
+    ignores them.
+    """
 
     __slots__ = ("function", "values", "block", "prev_block", "index",
-                 "call_instr", "stack_mark", "active")
+                 "call_instr", "stack_mark", "active",
+                 "ret_cb", "ret_idx", "ret_has_result", "ret_key")
 
     def __init__(self, function: Function, call_instr: Optional[Call], stack_mark: int) -> None:
         self.function = function
@@ -238,6 +139,10 @@ class Frame:
         self.call_instr = call_instr
         self.stack_mark = stack_mark
         self.active = True
+        self.ret_cb = None
+        self.ret_idx = 0
+        self.ret_has_result = False
+        self.ret_key = None
 
 
 class Interpreter:
@@ -252,12 +157,18 @@ class Interpreter:
         value_hook: Optional[Callable[[Instruction, object], None]] = None,
         timing: Optional[TimingModel] = None,
         disabled_guards: Optional[set] = None,
+        fastpath: Optional[bool] = None,
     ) -> None:
         if guard_mode not in ("detect", "count"):
             raise ValueError("guard_mode must be 'detect' or 'count'")
         self.module = module
         self.config = config or SimConfig()
         self.guard_mode = guard_mode
+        self._guard_detect = guard_mode == "detect"
+        #: compiled-dispatch fast path (see :mod:`repro.sim.compiled`);
+        #: timing-model runs always use the reference loop, which observes
+        #: every retired instruction (the detailed-CPU analogue).
+        self.fastpath = _default_fastpath() if fastpath is None else fastpath
         #: guard ids whose failures never raise — the paper's recover-once
         #: policy: a check that also fails after recovery (i.e. in the golden
         #: run) stops triggering recoveries
@@ -274,6 +185,21 @@ class Interpreter:
         self._rng: Optional[random.Random] = None
         self._pending_control_fault = False
         self._control_fault_fired = False
+        # Fast-path execution state (see _run_compiled).
+        self._frames: List[Frame] = []
+        self._frame: Optional[Frame] = None
+        self._stack_sp = 0
+        self._stack_limit = 0
+        self._max_depth = self.config.max_call_depth
+        self._mem_locate = None
+        self._cm = None
+        self._untracked_cm = None
+        self._rf_log: List = []
+        self._resume_cb = None
+        self._resume_idx = 0
+        self._ret_value: object = None
+        #: intra-superblock progress marker (see :func:`compiled._build_fused`)
+        self._sbk = 0
 
     # -- setup ---------------------------------------------------------------------
 
@@ -399,18 +325,30 @@ class Interpreter:
         Raises a :class:`~repro.sim.events.SimTrap` subclass on any
         run-terminating event (memory trap, arithmetic trap, guard detection,
         timeout); returns a :class:`~repro.sim.events.RunResult` otherwise.
+
+        Dispatches to the compiled fast path unless a timing model is
+        attached (the detailed-CPU analogue observes every retired
+        instruction, so it keeps the reference loop) or the fast path is
+        disabled (``fastpath=False`` / ``REPRO_FASTPATH=0``).  Both paths are
+        bit-identical — same results, traps, guard statistics, and injection
+        behaviour.
         """
         fn = self.module.function(entry)
         if len(args) != len(fn.args):
             raise ValueError(
                 f"@{entry} expects {len(fn.args)} args, got {len(args)}"
             )
+        if self.fastpath and self.timing is None:
+            return self._run_compiled(fn, args, inputs, injection, max_instructions)
+        return self._run_reference(fn, args, inputs, injection, max_instructions)
 
+    def _setup_run(self, inputs, injection) -> int:
+        """Shared run prologue; returns the pending injection cycle (or -1)."""
         self.memory = Memory()
         self._bind_globals(inputs)
         stack_seg = self.memory.map_segment("__stack__", self.config.stack_segment_bytes)
-        stack_sp = stack_seg.base
-        stack_limit = stack_seg.base + stack_seg.size
+        self._stack_sp = stack_seg.base
+        self._stack_limit = stack_seg.base + stack_seg.size
 
         self.cycle = 0
         self.guard_stats = GuardStats()
@@ -430,6 +368,25 @@ class Interpreter:
         else:
             self._regfile = None
             self._rng = None
+        return inject_cycle
+
+    def _run_reference(
+        self,
+        fn: Function,
+        args: Sequence[object],
+        inputs: Optional[Dict[str, Sequence]],
+        injection: Optional[InjectionPlan],
+        max_instructions: int,
+    ) -> RunResult:
+        """The original per-instruction dispatch loop.
+
+        Retained as the semantic ground truth for the compiled fast path and
+        as the only loop that drives a :class:`TimingModel` (its observe
+        callbacks need every retired instruction).
+        """
+        inject_cycle = self._setup_run(inputs, injection)
+        stack_sp = self._stack_sp
+        stack_limit = self._stack_limit
 
         track_registers = self._regfile is not None
         regfile = self._regfile
@@ -730,7 +687,203 @@ class Interpreter:
             cycles=timing.cycles if timing is not None else None,
         )
 
+    def _run_compiled(
+        self,
+        fn: Function,
+        args: Sequence[object],
+        inputs: Optional[Dict[str, Sequence]],
+        injection: Optional[InjectionPlan],
+        max_instructions: int,
+    ) -> RunResult:
+        """Drive the pre-compiled step closures (see :mod:`repro.sim.compiled`).
+
+        Bit-identical to :meth:`_run_reference`; the loop only handles
+        sequencing (cycle count, timeout, injection timing, jumps with phi
+        moves, call/return unwinding) while each closure performs one
+        instruction.  ``self.cycle`` is synced at injection points, trap
+        exits, and run end; closures raise traps with ``cycle=-1`` and the
+        loop re-times them.
+        """
+        track = injection is not None
+        hooked = self.value_hook is not None
+        cm = compile_module(self.module, track, hooked)
+        self._cm = cm
+        # Injection fires at most once; everything the tracked variant records
+        # after that instant is dead bookkeeping, so the loop swaps in the
+        # untracked variant the moment the fault lands.
+        self._untracked_cm = (
+            compile_module(self.module, False, hooked) if track else None
+        )
+        self._rf_log = []
+
+        inject_cycle = self._setup_run(inputs, injection)
+        self._mem_locate = self.memory._locate
+        self._max_depth = self.config.max_call_depth
+
+        frame = Frame(fn, None, self._stack_sp)
+        for formal, actual in zip(fn.args, args):
+            frame.values[id(formal)] = actual
+        self._frames = [frame]
+        self._frame = frame
+        self._ret_value = None
+        self._resume_cb = None
+        self._resume_idx = 0
+
+        cb = cm.functions[fn].entry_cb
+        code = cb.code
+        fused = cb.fused
+        idx = 0
+        vals = frame.values
+        cycle = 0
+
+        try:
+            while True:
+                sb = fused[idx]
+                if sb is not None and cycle + sb[1] <= max_instructions and (
+                    inject_cycle < 0 or cycle + sb[1] < inject_cycle
+                ):
+                    # Superblock fast path: one call executes the whole
+                    # straight-line run (possibly including the block
+                    # terminator, whose return value dispatches below).
+                    # Entered only when neither the pending injection nor
+                    # the instruction budget falls inside the run —
+                    # otherwise single-step so the per-instruction event
+                    # checks fire at the exact cycle.
+                    try:
+                        ret = sb[0](self, frame, vals)
+                    except SimTrap:
+                        # Re-time from the intra-run progress marker; the
+                        # outer handler reads the corrected local.
+                        cycle += self._sbk
+                        raise
+                    cycle += sb[1]
+                    if ret is None:
+                        idx += sb[1]
+                        continue
+                else:
+                    cycle += 1
+                    if cycle > max_instructions:
+                        raise TimeoutTrap(max_instructions, cycle)
+                    if 0 <= inject_cycle <= cycle:
+                        inject_cycle = -1
+                        self.cycle = cycle
+                        frame.index = idx + 1
+                        self._materialize_regfile()
+                        self._do_injection(injection)  # type: ignore[arg-type]
+                        if track:
+                            track = False
+                            cb = self._switch_to_untracked(cb)
+                            code = cb.code
+                            fused = cb.fused
+                    step = code[idx]
+                    idx += 1
+                    ret = step(self, frame, vals)
+                    if ret is None:
+                        continue
+                if ret.__class__ is CompiledBlock:
+                    prev = frame.block
+                    frame.block = ret.block
+                    frame.prev_block = prev
+                    commit = ret.phi_stages.get(prev)
+                    if commit is None:
+                        commit = ret.phi_fallback
+                    if commit is not None:
+                        commit_fn, n = commit
+                        commit_fn(self, frame, vals)
+                        cycle += n
+                    cb = ret
+                    code = ret.code
+                    fused = ret.fused
+                    idx = ret.n_phis
+                    if 0 <= inject_cycle <= cycle:
+                        inject_cycle = -1
+                        self.cycle = cycle
+                        frame.index = idx
+                        self._materialize_regfile()
+                        self._do_injection(injection)  # type: ignore[arg-type]
+                        if track:
+                            track = False
+                            cb = self._switch_to_untracked(cb)
+                            code = cb.code
+                            fused = cb.fused
+                    continue
+                if ret is UNWIND:
+                    frame = self._frame
+                    vals = frame.values
+                    cb = self._resume_cb
+                    code = cb.code
+                    fused = cb.fused
+                    idx = self._resume_idx
+                    continue
+                break  # STOP: entry function returned
+        except SimTrap as trap:
+            self.cycle = cycle
+            if trap.cycle < 0:
+                raise _retime_trap(trap, cycle) from None
+            raise
+
+        self.cycle = cycle
+        return RunResult(
+            return_value=self._ret_value,
+            instructions=cycle,
+            guard_stats=self.guard_stats,
+            injection=self.injection_record,
+            cycles=None,
+        )
+
     # -- helpers ---------------------------------------------------------------------------
+
+    def _materialize_regfile(self) -> None:
+        """Replay the lazy write log into the real register file.
+
+        The fast path records retirements as ``(frame, producer)`` appends;
+        only the injection instant reads the register file, so the slots are
+        materialized here.  Replaying the last ``capacity`` entries with
+        ``_writes`` pre-advanced to the drop count reproduces the eager
+        path's slot assignment, tags, and cursor exactly (write ``i`` always
+        lands in slot ``i % capacity``).
+        """
+        log = self._rf_log
+        if not log:
+            return
+        regfile = self._regfile
+        assert regfile is not None
+        cap = len(regfile.slots)
+        n = len(log)
+        start = n - cap if n > cap else 0
+        regfile._writes = start
+        regfile._cursor = start % cap
+        write = regfile.write
+        for frame, obj in log[start:]:
+            write(frame, obj)
+        self._rf_log = []
+
+    def _switch_to_untracked(self, cb):
+        """Swap the run onto the untracked compiled variant after injection.
+
+        Remaps the current block and every pending return-resume block onto
+        the untracked :class:`CompiledModule` so the rest of the run skips
+        register-file logging entirely.
+        """
+        ucm = self._untracked_cm
+        if ucm is None:
+            return cb
+        frames = self._frames
+        for i in range(1, len(frames)):
+            fr = frames[i]
+            if fr.ret_cb is not None:
+                fr.ret_cb = (
+                    ucm.functions[frames[i - 1].function].blocks[fr.ret_cb.block]
+                )
+        self._cm = ucm
+        return ucm.functions[frames[-1].function].blocks[cb.block]
+
+    def _corrupt_cb(self, frame: Frame, correct_cb):
+        """Fast-path control-fault resolution: CompiledBlock-level wrapper."""
+        wrong = self._corrupt_target(frame, correct_cb.block)
+        if wrong is correct_cb.block:
+            return correct_cb
+        return self._cm.functions[frame.function].blocks[wrong]
 
     def _corrupt_target(self, frame: Frame, correct: BasicBlock) -> BasicBlock:
         """Resolve a pending control fault: jump to a random wrong block."""

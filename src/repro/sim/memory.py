@@ -24,6 +24,9 @@ SEGMENT_STRIDE = 1 << SEGMENT_SHIFT
 _F32_STRUCT = struct.Struct("<f")
 _F64_STRUCT = struct.Struct("<d")
 
+#: element size → struct format char for bulk (unsigned) integer array I/O
+_BULK_INT_FMT = {1: "B", 2: "H", 4: "I", 8: "Q"}
+
 
 class Segment:
     """One contiguous mapped region."""
@@ -137,17 +140,63 @@ class Memory:
     # -- bulk access (harness I/O) -----------------------------------------------------
 
     def write_array(self, seg: Segment, elem_type: IRType, values) -> None:
-        """Fill a segment with ``values`` starting at its base."""
-        addr = seg.base
+        """Fill a segment with ``values`` starting at its base.
+
+        Bulk-packs the whole array in one ``struct`` call when possible
+        (every trial re-binds its input globals, so this is per-trial hot
+        path); falls back to the element-wise typed path for odd element
+        sizes, overflowing f32 values (which saturate per element), or
+        arrays that do not fit the segment (which must trap at the exact
+        offending element, like the reference path).
+        """
+        if not isinstance(values, (list, tuple)):
+            values = list(values)
+        n = len(values)
         step = elem_type.size_bytes  # type: ignore[attr-defined]
+        if n and n * step <= seg.size:
+            if isinstance(elem_type, IntType):
+                fmt = _BULK_INT_FMT.get(step)
+                if fmt is not None:
+                    mask = elem_type.mask
+                    struct.pack_into(
+                        f"<{n}{fmt}", seg.data, 0, *[v & mask for v in values]
+                    )
+                    return
+            elif isinstance(elem_type, FloatType):
+                try:
+                    struct.pack_into(
+                        f"<{n}{'d' if elem_type is F64 else 'f'}",
+                        seg.data, 0, *values,
+                    )
+                    return
+                except (OverflowError, ValueError):
+                    pass  # f32 saturation handled element-wise below
+        addr = seg.base
         for v in values:
             self.store(elem_type, addr, v)
             addr += step
 
     def read_array(self, seg: Segment, elem_type: IRType, count: int) -> List:
-        """Read ``count`` elements from the start of a segment."""
-        addr = seg.base
+        """Read ``count`` elements from the start of a segment.
+
+        Bulk-unpacked counterpart of :meth:`write_array`, with the same
+        element-wise fallback; integer elements get the identical
+        two's-complement normalisation as :meth:`load`.
+        """
         step = elem_type.size_bytes  # type: ignore[attr-defined]
+        if count and count * step <= seg.size:
+            if isinstance(elem_type, IntType):
+                fmt = _BULK_INT_FMT.get(step)
+                if fmt is not None:
+                    raw = struct.unpack_from(f"<{count}{fmt}", seg.data, 0)
+                    mask = elem_type.mask
+                    sign = elem_type.sign_bit if elem_type.bits > 1 else 0
+                    return [((x & mask) ^ sign) - sign for x in raw]
+            elif isinstance(elem_type, FloatType):
+                return list(struct.unpack_from(
+                    f"<{count}{'d' if elem_type is F64 else 'f'}", seg.data, 0
+                ))
+        addr = seg.base
         out = []
         for _ in range(count):
             out.append(self.load(elem_type, addr))

@@ -1,0 +1,164 @@
+"""Pure evaluator tables for IR operations.
+
+Shared by the two interpreter execution paths: the reference loop in
+:mod:`repro.sim.interpreter` looks evaluators up per retired instruction,
+while the fast path in :mod:`repro.sim.compiled` resolves them once per
+instruction at pre-compilation time.  Keeping one table guarantees the two
+paths cannot drift apart semantically.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict
+
+
+def c_div(a: int, b: int) -> int:
+    """C-style truncating division."""
+    q = abs(a) // abs(b)
+    return -q if (a < 0) != (b < 0) else q
+
+
+def c_rem(a: int, b: int) -> int:
+    """C-style remainder (sign of the dividend)."""
+    return a - c_div(a, b) * b
+
+
+def float_div(a: float, b: float) -> float:
+    if b == 0.0:
+        if a == 0.0 or math.isnan(a):
+            return math.nan
+        return math.inf if (a > 0) == (math.copysign(1.0, b) > 0) else -math.inf
+    return a / b
+
+
+def _make_int_binops() -> Dict[str, Callable]:
+    """Opcode → (a, b, type) evaluators with two's-complement wrap."""
+
+    def add(a, b, t):
+        return t.wrap(a + b)
+
+    def sub(a, b, t):
+        return t.wrap(a - b)
+
+    def mul(a, b, t):
+        return t.wrap(a * b)
+
+    def sdiv(a, b, t):
+        if b == 0:
+            raise ZeroDivisionError
+        return t.wrap(c_div(a, b))
+
+    def udiv(a, b, t):
+        if b == 0:
+            raise ZeroDivisionError
+        return t.wrap((a & t.mask) // (b & t.mask))
+
+    def srem(a, b, t):
+        if b == 0:
+            raise ZeroDivisionError
+        return t.wrap(c_rem(a, b))
+
+    def urem(a, b, t):
+        if b == 0:
+            raise ZeroDivisionError
+        return t.wrap((a & t.mask) % (b & t.mask))
+
+    def and_(a, b, t):
+        return t.wrap(a & b)
+
+    def or_(a, b, t):
+        return t.wrap(a | b)
+
+    def xor(a, b, t):
+        return t.wrap(a ^ b)
+
+    def shl(a, b, t):
+        return t.wrap(a << (b & (t.bits - 1)))
+
+    def lshr(a, b, t):
+        return t.wrap((a & t.mask) >> (b & (t.bits - 1)))
+
+    def ashr(a, b, t):
+        return t.wrap(a >> (b & (t.bits - 1)))
+
+    return {
+        "add": add, "sub": sub, "mul": mul, "sdiv": sdiv, "udiv": udiv,
+        "srem": srem, "urem": urem, "and": and_, "or": or_, "xor": xor,
+        "shl": shl, "lshr": lshr, "ashr": ashr,
+    }
+
+
+def _make_float_binops() -> Dict[str, Callable]:
+    return {
+        "fadd": lambda a, b: a + b,
+        "fsub": lambda a, b: a - b,
+        "fmul": lambda a, b: a * b,
+        "fdiv": float_div,
+        "frem": lambda a, b: math.fmod(a, b) if b != 0.0 else math.nan,
+    }
+
+
+INT_BINOP_EVAL = _make_int_binops()
+FLOAT_BINOP_EVAL = _make_float_binops()
+
+ICMP_EVAL = {
+    "eq": lambda a, b, t: a == b,
+    "ne": lambda a, b, t: a != b,
+    "slt": lambda a, b, t: a < b,
+    "sle": lambda a, b, t: a <= b,
+    "sgt": lambda a, b, t: a > b,
+    "sge": lambda a, b, t: a >= b,
+    "ult": lambda a, b, t: (a & t.mask) < (b & t.mask),
+    "ule": lambda a, b, t: (a & t.mask) <= (b & t.mask),
+    "ugt": lambda a, b, t: (a & t.mask) > (b & t.mask),
+    "uge": lambda a, b, t: (a & t.mask) >= (b & t.mask),
+}
+
+FCMP_EVAL = {
+    "oeq": lambda a, b: a == b,
+    "one": lambda a, b: a != b and not (math.isnan(a) or math.isnan(b)),
+    "olt": lambda a, b: a < b,
+    "ole": lambda a, b: a <= b,
+    "ogt": lambda a, b: a > b,
+    "oge": lambda a, b: a >= b,
+}
+
+
+def safe_sqrt(x: float) -> float:
+    return math.sqrt(x) if x >= 0.0 else math.nan
+
+
+def safe_exp(x: float) -> float:
+    try:
+        return math.exp(x)
+    except OverflowError:
+        return math.inf
+
+
+def safe_log(x: float) -> float:
+    if x > 0.0:
+        return math.log(x)
+    return -math.inf if x == 0.0 else math.nan
+
+
+def safe_pow(a: float, b: float):
+    try:
+        return math.pow(a, b)
+    except (OverflowError, ValueError):
+        return math.nan
+
+
+INTRINSIC_EVAL = {
+    "sqrt": safe_sqrt,
+    "exp": safe_exp,
+    "log": safe_log,
+    "sin": math.sin,
+    "cos": math.cos,
+    "fabs": abs,
+    "abs": abs,
+    "min": min,
+    "max": max,
+    "floor": lambda x: float(math.floor(x)),
+    "pow": safe_pow,
+}

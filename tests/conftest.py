@@ -2,9 +2,28 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.ir import I32, IRBuilder, Module, verify_module
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _hermetic_campaign_cache(tmp_path_factory):
+    """Point the on-disk campaign cache at a per-session temp directory.
+
+    Keeps the suite independent of (and from writing into) the user's
+    ``~/.cache/repro``, and guarantees campaign-running tests actually
+    exercise the code under test instead of replaying stale cached results.
+    """
+    old = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("repro-cache"))
+    yield
+    if old is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = old
 
 
 def build_sum_loop(mul_factor: int = 3, n: int = 16):

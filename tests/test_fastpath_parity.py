@@ -1,0 +1,68 @@
+"""Differential tests: compiled fast path vs. reference interpreter.
+
+The fast path (``src/repro/sim/compiled.py``) pre-compiles each function into
+per-instruction closures and fuses straight-line runs into superblocks.  These
+tests pin down that it is a pure optimisation: every observable — outputs,
+instruction counts, guard tallies, fault outcomes, and the exact cycle of
+every trap — must be bit-identical to the instruction-at-a-time reference
+path (``REPRO_FASTPATH=0``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.faultinjection import CampaignConfig, prepare, run_campaign
+from repro.sim.interpreter import Interpreter
+from repro.workloads.registry import get_workload
+
+
+def _norm(x):
+    """Hashable, bit-exact view of (possibly nested) workload outputs."""
+    if isinstance(x, np.ndarray):
+        return ("ndarray", x.dtype.str, x.shape, x.tobytes())
+    if isinstance(x, dict):
+        return tuple(sorted((k, _norm(v)) for k, v in x.items()))
+    if isinstance(x, (list, tuple)):
+        return tuple(_norm(v) for v in x)
+    return x
+
+
+@pytest.mark.parametrize("name", ["tiff2bw", "g721dec"])
+def test_golden_run_matches_reference(name):
+    workload = get_workload(name)
+    observed = {}
+    for fastpath in (False, True):
+        module = workload.build_module()
+        interp = Interpreter(module, guard_mode="count", fastpath=fastpath)
+        outputs, result = workload.run(
+            module, workload.test_inputs(), interpreter=interp
+        )
+        observed[fastpath] = (_norm(outputs), _norm(result), interp.cycle)
+    assert observed[True] == observed[False]
+
+
+@pytest.mark.parametrize("scheme", ["dup", "dup_valchk"])
+def test_campaign_matches_reference_bit_exact(scheme, monkeypatch):
+    """Same seed, fastpath on vs. off: every TrialResult field must match.
+
+    Dataclass equality covers outcome class, detection cycle (i.e. the exact
+    re-timed trap cycle — the sharpest check on superblock trap accounting),
+    fidelity metrics, and the injection plan itself.
+    """
+    config = CampaignConfig(trials=10, seed=5)
+    workload = get_workload("tiff2bw")
+
+    monkeypatch.setenv("REPRO_FASTPATH", "0")
+    prepared_ref = prepare(workload, scheme, config)
+    reference = run_campaign(workload, scheme, config, prepared=prepared_ref)
+
+    monkeypatch.setenv("REPRO_FASTPATH", "1")
+    prepared_fast = prepare(workload, scheme, config)
+    fast = run_campaign(workload, scheme, config, prepared=prepared_fast)
+
+    assert _norm(prepared_fast.golden_outputs) == _norm(prepared_ref.golden_outputs)
+    assert fast.golden_instructions == reference.golden_instructions
+    assert fast.golden_guard_failures == reference.golden_guard_failures
+    assert fast.trials == reference.trials

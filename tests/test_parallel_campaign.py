@@ -1,0 +1,134 @@
+"""Parallel campaign engine: plan pre-drawing, worker parity, progress."""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+import pytest
+
+from repro.faultinjection import (
+    CampaignConfig,
+    default_jobs,
+    draw_plans,
+    prepare,
+    resolve_jobs,
+    run_campaign,
+)
+from repro.faultinjection.parallel import _chunk_size
+from repro.workloads.registry import get_workload
+
+
+@pytest.fixture(scope="module")
+def prepared_g721():
+    config = CampaignConfig(trials=6, seed=7)
+    return config, prepare(get_workload("g721dec"), "dup_valchk", config)
+
+
+# ---------------------------------------------------------------------------
+# draw_plans
+# ---------------------------------------------------------------------------
+
+
+def test_draw_plans_length_and_determinism(prepared_g721):
+    config, prepared = prepared_g721
+    a = draw_plans(config, prepared)
+    b = draw_plans(config, prepared)
+    assert len(a) == config.trials
+    assert [(p.cycle, p.bit, p.seed) for p in a] == [
+        (p.cycle, p.bit, p.seed) for p in b
+    ]
+
+
+def test_draw_plans_matches_campaign_rng(prepared_g721):
+    """Plans reproduce the historical interleaved draw order exactly."""
+    config, prepared = prepared_g721
+    key = f"{config.seed}:{prepared.workload.name}:{prepared.scheme}".encode()
+    rng = random.Random(int.from_bytes(hashlib.sha256(key).digest()[:8], "big"))
+    expected = []
+    for _ in range(config.trials):
+        cycle = rng.randrange(1, prepared.golden_instructions + 1)
+        bit = rng.randrange(config.sim.register_flip_bits)
+        seed = rng.randrange(1 << 30)
+        expected.append((cycle, bit, seed))
+    plans = draw_plans(config, prepared)
+    assert [(p.cycle, p.bit, p.seed) for p in plans] == expected
+
+
+def test_draw_plans_depend_on_seed_and_scheme(prepared_g721):
+    config, prepared = prepared_g721
+    base = [(p.cycle, p.bit, p.seed) for p in draw_plans(config, prepared)]
+    reseeded = CampaignConfig(trials=config.trials, seed=config.seed + 1)
+    assert [(p.cycle, p.bit, p.seed) for p in draw_plans(reseeded, prepared)] != base
+    assert all(1 <= p.cycle <= prepared.golden_instructions
+               for p in draw_plans(config, prepared))
+
+
+# ---------------------------------------------------------------------------
+# serial vs parallel parity
+# ---------------------------------------------------------------------------
+
+
+def test_parallel_bit_identical_to_serial(prepared_g721):
+    config, prepared = prepared_g721
+    workload = prepared.workload
+    serial = run_campaign(workload, "dup_valchk", config, prepared=prepared)
+    par_cfg = CampaignConfig(trials=config.trials, seed=config.seed, jobs=4)
+    parallel = run_campaign(workload, "dup_valchk", par_cfg, prepared=prepared)
+    # TrialResult is a dataclass: == compares every field of every trial.
+    assert parallel.trials == serial.trials
+    assert parallel.counts() == serial.counts()
+
+
+def test_on_trial_called_once_per_trial(prepared_g721):
+    config, prepared = prepared_g721
+    workload = prepared.workload
+
+    serial_seen = []
+    run_campaign(workload, "dup_valchk", config, prepared=prepared,
+                 on_trial=serial_seen.append)
+    assert len(serial_seen) == config.trials
+
+    par_cfg = CampaignConfig(trials=config.trials, seed=config.seed, jobs=2)
+    par_seen = []
+    result = run_campaign(workload, "dup_valchk", par_cfg, prepared=prepared,
+                          on_trial=par_seen.append)
+    assert len(par_seen) == config.trials
+    # Completion order may differ from plan order; the multiset must match.
+    assert sorted(t.injection_cycle for t in par_seen) == sorted(
+        t.injection_cycle for t in result.trials
+    )
+
+
+# ---------------------------------------------------------------------------
+# jobs resolution and chunking
+# ---------------------------------------------------------------------------
+
+
+def test_default_jobs_reads_env(monkeypatch):
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    assert default_jobs() == 1
+    monkeypatch.setenv("REPRO_JOBS", "6")
+    assert default_jobs() == 6
+    monkeypatch.setenv("REPRO_JOBS", "0")
+    assert default_jobs() == 1
+    monkeypatch.setenv("REPRO_JOBS", "not-a-number")
+    assert default_jobs() == 1
+
+
+def test_resolve_jobs_explicit_wins(monkeypatch):
+    monkeypatch.setenv("REPRO_JOBS", "6")
+    assert resolve_jobs(2) == 2
+    assert resolve_jobs(None) == 6
+    assert resolve_jobs(0) == 1
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    assert resolve_jobs(None) == 1
+
+
+def test_chunk_size_bounds():
+    assert _chunk_size(1, 4) == 1
+    assert _chunk_size(8, 4) == 1
+    assert _chunk_size(1000, 4) == 32  # capped
+    for n in (1, 7, 60, 1000):
+        for jobs in (1, 2, 4, 16):
+            assert 1 <= _chunk_size(n, jobs) <= 32
