@@ -60,6 +60,10 @@ def main(argv=None) -> int:
     parser.add_argument("--jobs", type=int, default=4)
     parser.add_argument("--output", default=str(REPO_ROOT / "BENCH_campaign.json"),
                         help="output JSON path, or '-' for stdout")
+    parser.add_argument("--obs-log", metavar="PATH", default=None,
+                        help="after the timed runs, replay the campaign once "
+                             "(untimed) with the JSONL trial event log enabled "
+                             "and assert its tallies match the timed results")
     args = parser.parse_args(argv)
 
     workload = get_workload(args.workload)
@@ -87,6 +91,44 @@ def main(argv=None) -> int:
               f"(ref={ref_counts} fast={fast_counts} par={par_counts})",
               file=sys.stderr)
         return 1
+
+    obs_verified = None
+    if args.obs_log:
+        # Extra untimed pass with the trial event log enabled: the timed
+        # numbers above stay obs-free, and the log must tally exactly to the
+        # timed outcomes.
+        from dataclasses import replace
+
+        from repro.obs.events import read_events
+
+        log_path = Path(args.obs_log)
+        if log_path.exists():
+            log_path.unlink()  # logs append; the bench wants a fresh one
+        os.environ["REPRO_FASTPATH"] = "1"
+        obs_result = run_campaign(
+            workload, args.scheme,
+            replace(parallel, obs_log=str(log_path)), prepared=prepared,
+        )
+        os.environ.pop("REPRO_FASTPATH", None)
+        events, skipped = read_events(log_path)
+        tally: dict = {}
+        for event in events:
+            if event.get("event") == "trial":
+                tally[event["outcome"]] = tally.get(event["outcome"], 0) + 1
+        logged = {k: tally.get(k, 0) for k in ref_counts}
+        if skipped or logged != ref_counts or obs_result.counts() != ref_counts:
+            print(f"[bench] ERROR: obs log disagrees with timed results "
+                  f"(logged={logged} timed={ref_counts} skipped={skipped})",
+                  file=sys.stderr)
+            return 1
+        obs_verified = {
+            "log": str(log_path),
+            "trial_events": sum(logged.values()),
+            "tallies_match": True,
+        }
+        print(f"[bench] obs log verified : {sum(logged.values())} trial "
+              f"events tally to the timed outcomes ({log_path})",
+              file=sys.stderr)
 
     report = {
         "benchmark": "campaign_throughput",
@@ -117,9 +159,13 @@ def main(argv=None) -> int:
         "notes": (
             "Throughput excludes one-time preparation. On a single-core "
             "runner parallel_fastpath cannot exceed serial_fastpath; the "
-            "fast-path speedup is process-count independent."
+            "fast-path speedup is process-count independent. Timed runs "
+            "keep observability disabled; --obs-log adds a separate "
+            "untimed verification pass."
         ),
     }
+    if obs_verified is not None:
+        report["obs_verification"] = obs_verified
     payload = json.dumps(report, indent=2) + "\n"
     if args.output == "-":
         sys.stdout.write(payload)

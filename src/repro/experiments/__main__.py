@@ -61,16 +61,28 @@ def main(argv=None) -> int:
         "--quiet", action="store_true",
         help="suppress the live per-campaign progress lines on stderr",
     )
+    parser.add_argument(
+        "--obs-log", metavar="PATH", default=None,
+        help="append a structured JSONL trial event log for every campaign "
+             "(default: REPRO_OBS or off; inspect with "
+             "'python -m repro.obs report PATH')",
+    )
     args = parser.parse_args(argv)
 
     names = _ALL_ORDER if "all" in args.experiments else args.experiments
     from ..faultinjection.parallel import resolve_jobs
+    from ..obs.config import resolve_obs_log
+    from ..obs.metrics import enable_global
     from .runner import ExperimentSettings, reset_global_cache
 
+    obs_log = resolve_obs_log(args.obs_log)
+    if obs_log:
+        enable_global()
     if (
         args.trials is not None
         or args.workloads is not None
         or args.jobs is not None
+        or obs_log is not None
         or not args.quiet
     ):
         from ..workloads.registry import BENCHMARK_NAMES
@@ -86,6 +98,7 @@ def main(argv=None) -> int:
             workloads=workloads,
             jobs=resolve_jobs(args.jobs),
             progress=not args.quiet,
+            obs_log=obs_log,
         )
         cache = reset_global_cache(settings)
     else:

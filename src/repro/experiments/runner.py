@@ -29,6 +29,9 @@ from ..faultinjection.campaign import (
 from ..faultinjection.diskcache import CampaignCache, campaign_key
 from ..faultinjection.outcomes import CampaignResult
 from ..faultinjection.parallel import default_jobs
+from ..obs import events as obs_events
+from ..obs.config import obs_log_path
+from ..obs.metrics import global_registry
 from ..profiling.profiler import collect_profiles
 from ..sim.interpreter import Interpreter
 from ..sim.timing import TimingModel
@@ -62,10 +65,14 @@ class ExperimentSettings:
     on_trial: Optional[Callable] = None
     #: print a rate-limited live progress line per campaign (stderr)
     progress: bool = False
+    #: structured JSONL trial event log appended to by every campaign
+    #: (default: the ``REPRO_OBS`` environment variable, or off)
+    obs_log: Optional[str] = field(default_factory=obs_log_path)
 
     def campaign_config(self) -> CampaignConfig:
         return replace(
-            self.campaign, trials=self.trials, seed=self.seed, jobs=self.jobs
+            self.campaign, trials=self.trials, seed=self.seed, jobs=self.jobs,
+            obs_log=self.obs_log,
         )
 
 
@@ -111,22 +118,41 @@ class ExperimentCache:
             config = replace(config, swap_train_test=swap_train_test)
             prepared = self.prepared(name, scheme, swap_train_test)
             disk_key = campaign_key(prepared.module, name, scheme, config)
-            result = self.disk_cache.get(disk_key)
-            if result is None:
+            entry = self.disk_cache.get_entry(disk_key)
+            if entry is not None:
+                result, meta = entry
+                # Observability must not go dark on a cache hit: log the
+                # provenance of the served result instead of the trials.
+                self._emit_cache_hit(name, scheme, disk_key, meta)
+            else:
                 on_trial = self.settings.on_trial
+                printer = None
                 if on_trial is None and self.settings.progress:
                     from ..faultinjection.progress import ProgressPrinter
 
-                    on_trial = ProgressPrinter(
+                    on_trial = printer = ProgressPrinter(
                         config.trials, label=f"{name}/{scheme}"
                     )
                 result = run_campaign(
                     prepared.workload, scheme, config, prepared=prepared,
                     on_trial=on_trial,
                 )
+                if printer is not None:
+                    printer.finish()
                 self.disk_cache.put(disk_key, result)
             self._campaigns[key] = result
         return self._campaigns[key]
+
+    def _emit_cache_hit(self, name: str, scheme: str, disk_key: str,
+                        meta: Dict) -> None:
+        global_registry().counter("campaign.cache_hits").inc()
+        obs_log = self.settings.obs_log
+        if not obs_log:
+            return
+        with obs_events.EventLogWriter(obs_log) as writer:
+            writer.emit(
+                obs_events.cache_hit_event(name, scheme, disk_key, meta)
+            )
 
     # -- timing runs (Figure 12) -----------------------------------------------------------
 

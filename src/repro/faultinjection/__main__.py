@@ -13,6 +13,8 @@ from __future__ import annotations
 import argparse
 import sys
 
+from ..obs.config import resolve_obs_log
+from ..obs.metrics import enable_global
 from ..transforms.pipeline import SCHEMES
 from ..workloads.registry import BENCHMARK_NAMES, get_workload
 from .campaign import CampaignConfig, run_campaign
@@ -41,12 +43,18 @@ def main(argv=None) -> int:
                         help="suppress the live progress line on stderr")
     parser.add_argument("--json", metavar="PATH", default=None,
                         help="also write the full campaign record as JSON")
+    parser.add_argument("--obs-log", metavar="PATH", default=None,
+                        help="append a structured JSONL trial event log "
+                             "(default: REPRO_OBS or off; inspect with "
+                             "'python -m repro.obs report PATH')")
     args = parser.parse_args(argv)
 
     config = CampaignConfig(
         trials=args.trials, seed=args.seed, swap_train_test=args.swap_inputs,
-        jobs=resolve_jobs(args.jobs),
+        jobs=resolve_jobs(args.jobs), obs_log=resolve_obs_log(args.obs_log),
     )
+    if config.obs_log:
+        enable_global()
     on_trial = None
     if not args.quiet:
         on_trial = ProgressPrinter(
@@ -55,6 +63,8 @@ def main(argv=None) -> int:
     result = run_campaign(
         get_workload(args.workload), args.scheme, config, on_trial=on_trial
     )
+    if on_trial is not None:
+        on_trial.finish()
 
     error = margin_of_error(result.num_trials)
     print(f"{args.workload} [{args.scheme}] — {result.num_trials} trials "
@@ -76,6 +86,9 @@ def main(argv=None) -> int:
     if args.json:
         result.save(args.json)
         print(f"  wrote {args.json}")
+    if config.obs_log:
+        print(f"  trial event log appended to {config.obs_log} "
+              f"(python -m repro.obs report {config.obs_log})")
     return 0
 
 

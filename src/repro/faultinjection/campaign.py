@@ -16,11 +16,15 @@ from __future__ import annotations
 
 import hashlib
 import random
-from dataclasses import dataclass, field
+import time
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..obs import config as obs_config
+from ..obs import events as obs_events
+from ..obs.metrics import global_registry
 from ..profiling.profiler import collect_profiles
 from ..sim.config import SimConfig
 from ..sim.events import (
@@ -59,6 +63,14 @@ class CampaignConfig:
     #: are bit-identical for any value (trial plans are pre-drawn serially),
     #: so ``jobs`` is deliberately excluded from campaign cache keys.
     jobs: int = 1
+    #: structured JSONL trial event log path (None = observability off; the
+    #: ``REPRO_OBS`` environment variable supplies a default).  Like ``jobs``,
+    #: excluded from campaign cache keys — logging cannot affect results.
+    obs_log: Optional[str] = None
+    #: record per-trial wall-clock time in trial events (``REPRO_OBS_TIMING``
+    #: supplies a default).  Off by default: wall-times are nondeterministic,
+    #: and with timing off a ``jobs=N`` log is byte-identical to serial.
+    obs_timing: bool = False
 
 
 @dataclass
@@ -148,13 +160,16 @@ def run_trial(
             max_instructions=limit,
         )
     except GuardTrap as trap:
-        return _trial_from_trap(interp, plan, Outcome.SWDETECT, trap.cycle)
+        trial = _trial_from_trap(interp, plan, Outcome.SWDETECT, trap)
+        trial.detector_guard = trap.guard_id
+        trial.detector_kind = trap.guard_kind
+        return trial
     except TimeoutTrap as trap:
-        return _trial_from_trap(interp, plan, Outcome.FAILURE, trap.cycle)
+        return _trial_from_trap(interp, plan, Outcome.FAILURE, trap)
     except (MemoryTrap, ArithmeticTrap, StackOverflowTrap) as trap:
         within = (trap.cycle - cycle) <= config.symptom_window
         outcome = Outcome.HWDETECT if within else Outcome.FAILURE
-        return _trial_from_trap(interp, plan, outcome, trap.cycle)
+        return _trial_from_trap(interp, plan, outcome, trap)
 
     trial = _base_trial(interp, plan)
     identical = all(
@@ -178,6 +193,16 @@ def run_trial(
     return trial
 
 
+#: trap class → event-log trap kind
+_TRAP_KINDS = {
+    GuardTrap: "guard",
+    MemoryTrap: "memory",
+    ArithmeticTrap: "arithmetic",
+    StackOverflowTrap: "stack_overflow",
+    TimeoutTrap: "timeout",
+}
+
+
 def _base_trial(interp: Interpreter, plan: InjectionPlan) -> TrialResult:
     record = interp.injection_record
     trial = TrialResult(outcome=Outcome.MASKED, injection_cycle=plan.cycle, bit=plan.bit)
@@ -185,17 +210,19 @@ def _base_trial(interp: Interpreter, plan: InjectionPlan) -> TrialResult:
         trial.landed = record.landed
         trial.was_live = record.was_live
         trial.value_name = record.value_name
+        trial.function = record.function
         if record.was_live:
             trial.change_magnitude = record.change_magnitude
     return trial
 
 
 def _trial_from_trap(
-    interp: Interpreter, plan: InjectionPlan, outcome: Outcome, event_cycle: int
+    interp: Interpreter, plan: InjectionPlan, outcome: Outcome, trap: SimTrap
 ) -> TrialResult:
     trial = _base_trial(interp, plan)
     trial.outcome = outcome
-    trial.event_cycle = event_cycle
+    trial.event_cycle = trap.cycle
+    trial.trap_kind = _TRAP_KINDS.get(trap.__class__, trap.__class__.__name__)
     return trial
 
 
@@ -224,6 +251,36 @@ def draw_plans(
     return plans
 
 
+def resolve_obs_config(config: CampaignConfig) -> CampaignConfig:
+    """Fold the ``REPRO_OBS``/``REPRO_OBS_TIMING`` defaults into the config.
+
+    Explicit config fields win; the environment only fills gaps.  Resolution
+    happens once, in the parent, so workers (which receive the config through
+    the pool initializer) see the exact same observability decision.
+    """
+    obs_log = config.obs_log if config.obs_log else obs_config.obs_log_path()
+    obs_timing = config.obs_timing or obs_config.obs_timing_enabled()
+    if obs_log == config.obs_log and obs_timing == config.obs_timing:
+        return config
+    return replace(config, obs_log=obs_log, obs_timing=obs_timing)
+
+
+def _record_campaign_metrics(registry, result: CampaignResult,
+                             seconds: float) -> None:
+    """Fold one finished campaign into the process-wide metrics registry."""
+    registry.counter("campaign.campaigns").inc()
+    registry.counter("campaign.trials").inc(result.num_trials)
+    registry.timer("campaign.wall").add_seconds(seconds)
+    latency_hist = registry.histogram("campaign.detection_latency_cycles")
+    for trial in result.trials:
+        registry.counter(f"campaign.outcome.{trial.outcome.value}").inc()
+        latency = trial.detection_latency
+        if latency is not None:
+            latency_hist.observe(latency)
+        if trial.detector_guard is not None:
+            registry.counter(f"campaign.check.{trial.detector_guard}").inc()
+
+
 def run_campaign(
     workload: Workload,
     scheme: str,
@@ -236,8 +293,15 @@ def run_campaign(
     ``on_trial`` is invoked once per finished trial (in completion order,
     which under ``config.jobs > 1`` may differ from plan order) — intended
     for progress reporting; the returned result is always in plan order.
+
+    When ``config.obs_log`` (or ``REPRO_OBS``) names a path, a structured
+    JSONL event log is appended there: a ``campaign_begin`` header, one
+    ``trial`` record per plan (in plan order — parallel workers write shard
+    files the parent folds back in), and a ``campaign_end`` footer whose
+    tallies match the returned result.  With per-trial timing off (default)
+    the log is byte-identical for any ``jobs`` value.
     """
-    config = config or CampaignConfig()
+    config = resolve_obs_config(config or CampaignConfig())
     prepared = prepared or prepare(workload, scheme, config)
     plans = draw_plans(config, prepared)
 
@@ -248,16 +312,45 @@ def run_campaign(
         golden_guard_failures=prepared.golden_guard_failures,
         golden_guard_evaluations=prepared.golden_guard_evaluations,
     )
-    if config.jobs > 1 and len(plans) > 1:
-        from .parallel import run_trials_parallel
+    writer = None
+    if config.obs_log:
+        writer = obs_events.EventLogWriter(config.obs_log)
+    start = time.perf_counter()
+    try:
+        if writer is not None:
+            writer.emit(obs_events.campaign_begin_event(result))
+        if config.jobs > 1 and len(plans) > 1:
+            from .parallel import run_trials_parallel
 
-        result.trials.extend(
-            run_trials_parallel(prepared, plans, config, on_trial=on_trial)
-        )
-        return result
-    for plan in plans:
-        trial = run_trial(prepared, plan.cycle, plan.bit, plan.seed, config)
-        result.trials.append(trial)
-        if on_trial is not None:
-            on_trial(trial)
+            try:
+                result.trials.extend(
+                    run_trials_parallel(prepared, plans, config, on_trial=on_trial)
+                )
+            except BaseException:
+                if config.obs_log:
+                    obs_events.discard_shards(config.obs_log)
+                raise
+            if writer is not None:
+                obs_events.merge_shards(writer)
+        else:
+            timed = config.obs_timing and writer is not None
+            for index, plan in enumerate(plans):
+                t0 = time.perf_counter() if timed else 0.0
+                trial = run_trial(prepared, plan.cycle, plan.bit, plan.seed, config)
+                wall_ms = (time.perf_counter() - t0) * 1e3 if timed else None
+                result.trials.append(trial)
+                if writer is not None:
+                    writer.emit(
+                        obs_events.trial_event(index, plan, trial, wall_ms=wall_ms)
+                    )
+                if on_trial is not None:
+                    on_trial(trial)
+        if writer is not None:
+            writer.emit(obs_events.campaign_end_event(result))
+    finally:
+        if writer is not None:
+            writer.close()
+    registry = global_registry()
+    if registry.enabled:
+        _record_campaign_metrics(registry, result, time.perf_counter() - start)
     return result

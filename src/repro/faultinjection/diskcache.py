@@ -36,10 +36,12 @@ import hashlib
 import json
 import os
 import tempfile
+import time
 from pathlib import Path
-from typing import Optional
+from typing import Dict, Optional, Tuple
 
 from ..ir.printer import module_to_str
+from ..obs.metrics import global_registry
 from .campaign import CampaignConfig
 from .outcomes import CampaignResult
 
@@ -52,8 +54,10 @@ __all__ = [
 ]
 
 #: bump on any change to trial semantics, the campaign RNG, or the
-#: serialisation format — old entries then miss instead of being replayed
-CACHE_SCHEMA_VERSION = 1
+#: serialisation format — old entries then miss instead of being replayed.
+#: v2: trial records gained detector/provenance fields (detector_guard,
+#: detector_kind, trap_kind, function) and entries carry creation metadata.
+CACHE_SCHEMA_VERSION = 2
 
 
 def cache_dir() -> Path:
@@ -76,11 +80,14 @@ def _config_fingerprint(config: CampaignConfig) -> dict:
 
     ``jobs`` is excluded: pre-drawn trial plans make parallel campaigns
     bit-identical to serial ones, so worker count must not fragment the
-    cache.  ``trials`` and ``seed`` are kept in the fingerprint *and*
+    cache.  The observability knobs (``obs_log``, ``obs_timing``) are
+    excluded for the same reason — logging observes trials, it cannot affect
+    them.  ``trials`` and ``seed`` are kept in the fingerprint *and*
     surfaced as top-level key fields for human inspection.
     """
     fields = dataclasses.asdict(config)
-    fields.pop("jobs", None)
+    for non_semantic in ("jobs", "obs_log", "obs_timing"):
+        fields.pop(non_semantic, None)
     return fields
 
 
@@ -101,7 +108,14 @@ def campaign_key(module, workload: str, scheme: str,
 
 
 class CampaignCache:
-    """Directory of serialized :class:`CampaignResult`s keyed by sha256."""
+    """Directory of serialized :class:`CampaignResult`s keyed by sha256.
+
+    Entries are stored wrapped as ``{"meta": {...}, "result": {...}}`` so a
+    cache hit retains provenance: when it was created, by which cache schema,
+    and for how many trials — surfaced as ``cache_hit`` events in the
+    observability log instead of the hit being invisible.  Bare legacy
+    entries (a plain result document) are still readable.
+    """
 
     def __init__(self, root: Optional[Path] = None,
                  enabled: Optional[bool] = None) -> None:
@@ -111,21 +125,54 @@ class CampaignCache:
     def _path(self, key: str) -> Path:
         return self.root / f"campaign-{key}.json"
 
-    def get(self, key: str) -> Optional[CampaignResult]:
-        """Cached result for ``key``, or None (corrupt entries miss)."""
+    def get_entry(self, key: str) -> Optional[Tuple[CampaignResult, Dict]]:
+        """Cached ``(result, creation meta)`` for ``key``, or None.
+
+        Corrupt entries miss.  Legacy (unwrapped) entries return empty meta.
+        """
         if not self.enabled:
             return None
+        registry = global_registry()
         path = self._path(key)
         try:
             with open(path) as fh:
-                return CampaignResult.from_dict(json.load(fh))
-        except (OSError, ValueError, KeyError):
+                data = json.load(fh)
+            if "result" in data:
+                result = CampaignResult.from_dict(data["result"])
+                meta = data.get("meta") or {}
+            else:
+                result = CampaignResult.from_dict(data)
+                meta = {}
+        except (OSError, ValueError, KeyError, TypeError):
+            registry.counter("cache.miss").inc()
             return None
+        registry.counter("cache.hit").inc()
+        return result, meta
+
+    def get(self, key: str) -> Optional[CampaignResult]:
+        """Cached result for ``key``, or None (corrupt entries miss)."""
+        entry = self.get_entry(key)
+        return entry[0] if entry is not None else None
 
     def put(self, key: str, result: CampaignResult) -> None:
         """Atomically persist ``result`` under ``key`` (best-effort)."""
         if not self.enabled:
             return
+        now = time.time()
+        document = {
+            "meta": {
+                "key": key,
+                "cache_schema": CACHE_SCHEMA_VERSION,
+                "created_unix": round(now, 3),
+                "created_iso": time.strftime(
+                    "%Y-%m-%dT%H:%M:%SZ", time.gmtime(now)
+                ),
+                "workload": result.workload,
+                "scheme": result.scheme,
+                "trials": result.num_trials,
+            },
+            "result": result.to_dict(),
+        }
         try:
             self.root.mkdir(parents=True, exist_ok=True)
             fd, tmp = tempfile.mkstemp(
@@ -133,8 +180,9 @@ class CampaignCache:
             )
             try:
                 with os.fdopen(fd, "w") as fh:
-                    json.dump(result.to_dict(), fh)
+                    json.dump(document, fh)
                 os.replace(tmp, self._path(key))
+                global_registry().counter("cache.write").inc()
             except BaseException:
                 try:
                     os.unlink(tmp)

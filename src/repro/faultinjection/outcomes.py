@@ -56,10 +56,26 @@ class TrialResult:
     change_magnitude: float = 0.0
     #: name of the corrupted IR value (diagnostics)
     value_name: str = ""
+    #: function the fault landed in (program region, observability)
+    function: str = ""
+    #: guard id of the software check that fired (SWDetect only)
+    detector_guard: Optional[int] = None
+    #: kind of that guard: 'eq', 'range', or 'values'
+    detector_kind: str = ""
+    #: class of the run-terminating event: 'guard', 'memory', 'arithmetic',
+    #: 'stack_overflow', or 'timeout' ('' for completed runs)
+    trap_kind: str = ""
 
     @property
     def detected(self) -> bool:
         return self.outcome in (Outcome.HWDETECT, Outcome.SWDETECT)
+
+    @property
+    def detection_latency(self) -> Optional[int]:
+        """Cycles from injection to detection (detected outcomes only)."""
+        if not self.detected or self.event_cycle is None:
+            return None
+        return self.event_cycle - self.injection_cycle
 
 
 @dataclass
@@ -179,6 +195,10 @@ class CampaignResult:
                     "is_asdc": t.is_asdc,
                     "change_magnitude": t.change_magnitude,
                     "value_name": t.value_name,
+                    "function": t.function,
+                    "detector_guard": t.detector_guard,
+                    "detector_kind": t.detector_kind,
+                    "trap_kind": t.trap_kind,
                 }
                 for t in self.trials
             ],
@@ -214,6 +234,10 @@ class CampaignResult:
                     is_asdc=rec.get("is_asdc", False),
                     change_magnitude=rec.get("change_magnitude", 0.0),
                     value_name=rec.get("value_name", ""),
+                    function=rec.get("function", ""),
+                    detector_guard=rec.get("detector_guard"),
+                    detector_kind=rec.get("detector_kind", ""),
+                    trap_kind=rec.get("trap_kind", ""),
                 )
             )
         return result

@@ -102,13 +102,42 @@ def _init_worker(name: str, scheme: str, config: CampaignConfig) -> None:
 def _run_chunk(
     chunk: Sequence[Tuple[int, int, int, int]],
 ) -> List[Tuple[int, TrialResult]]:
-    """Worker entry: run one chunk of (index, cycle, bit, seed) trials."""
+    """Worker entry: run one chunk of (index, cycle, bit, seed) trials.
+
+    When the campaign has an observability log configured, the worker also
+    writes this chunk's trial events to a shard file next to the log (named
+    by the chunk's first plan index); the parent concatenates shards in plan
+    order after the pool drains, making the merged log byte-identical to a
+    serial run's (see :mod:`repro.obs.events`).
+    """
     name, scheme, config = _WORKER_CAMPAIGN  # type: ignore[misc]
     prepared = _worker_prepared(name, scheme, config)
-    return [
-        (index, run_trial(prepared, cycle, bit, seed, config))
-        for index, cycle, bit, seed in chunk
-    ]
+    if not config.obs_log:
+        return [
+            (index, run_trial(prepared, cycle, bit, seed, config))
+            for index, cycle, bit, seed in chunk
+        ]
+    import time
+
+    from ..obs import events as obs_events
+
+    results = []
+    events = []
+    for index, cycle, bit, seed in chunk:
+        t0 = time.perf_counter() if config.obs_timing else 0.0
+        trial = run_trial(prepared, cycle, bit, seed, config)
+        wall_ms = (
+            (time.perf_counter() - t0) * 1e3 if config.obs_timing else None
+        )
+        results.append((index, trial))
+        events.append(
+            obs_events.trial_event(
+                index, InjectionPlan(cycle=cycle, bit=bit, seed=seed), trial,
+                wall_ms=wall_ms,
+            )
+        )
+    obs_events.write_shard(config.obs_log, chunk[0][0], events)
+    return results
 
 
 def _chunk_size(n_trials: int, jobs: int) -> int:
@@ -127,6 +156,9 @@ def run_trials_parallel(
     """Execute pre-drawn trial plans across worker processes.
 
     Returns results in plan order; ``on_trial`` fires in completion order.
+    With ``config.obs_log`` set, workers leave per-chunk event shard files
+    next to the log; :func:`~repro.faultinjection.campaign.run_campaign`
+    merges them — direct callers must merge (or discard) shards themselves.
     """
     global _FORK_PREPARED
     jobs = max(1, jobs if jobs is not None else config.jobs)

@@ -4,6 +4,15 @@ Plugs into ``run_campaign(..., on_trial=...)``; prints live trials/sec and
 running outcome tallies at most once per ``min_interval`` seconds so a
 million-trial sweep stays observable without drowning the terminal (or a CI
 log) in per-trial lines.
+
+Tallies are kept in a :class:`~repro.obs.metrics.MetricsRegistry` (a private
+one by default, or a shared registry passed by the caller), so progress
+accounting and campaign telemetry read from the same instruments.  Call
+:meth:`ProgressPrinter.finish` when the campaign completes: it flushes a
+final summary line even when the run ended inside the rate-limit interval —
+previously the last trials of a campaign could go silently unprinted (e.g.
+when the printer's ``total`` overestimated the trials actually executed, as
+happens for a partially cached sweep or an aborted run).
 """
 
 from __future__ import annotations
@@ -12,6 +21,7 @@ import sys
 import time
 from typing import Optional, TextIO
 
+from ..obs.metrics import MetricsRegistry
 from .outcomes import Outcome, TrialResult
 
 __all__ = ["ProgressPrinter"]
@@ -34,19 +44,32 @@ class ProgressPrinter:
         label: str = "",
         stream: Optional[TextIO] = None,
         min_interval: float = 1.0,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         self.total = total
         self.label = label
         self.stream = stream if stream is not None else sys.stderr
         self.min_interval = min_interval
+        # The printer always needs live counters, so a disabled (null)
+        # registry is replaced by a private enabled one.
+        if registry is None or not registry.enabled:
+            registry = MetricsRegistry()
+        self.registry = registry
+        self._done = self.registry.counter("progress.trials")
+        self._outcomes = {
+            o: self.registry.counter(f"progress.outcome.{o.value}")
+            for o in Outcome
+        }
         self.done = 0
-        self.counts = {o: 0 for o in Outcome}
         self._start = time.perf_counter()
         self._last_print = 0.0
+        #: value of ``done`` at the last emitted line (-1: nothing emitted)
+        self._emitted_done = -1
 
     def __call__(self, trial: TrialResult) -> None:
         self.done += 1
-        self.counts[trial.outcome] += 1
+        self._done.inc()
+        self._outcomes[trial.outcome].inc()
         now = time.perf_counter()
         if (
             now - self._last_print >= self.min_interval
@@ -55,16 +78,35 @@ class ProgressPrinter:
             self._last_print = now
             self._emit(now)
 
-    def _emit(self, now: float) -> None:
+    def finish(self) -> None:
+        """Flush the final summary line if the last trials went unprinted.
+
+        Safe to call unconditionally (idempotent): campaigns that already
+        printed their last state — including zero-trial cache hits — emit
+        nothing extra.
+        """
+        if self._emitted_done != self.done and self.done > 0:
+            self._emit(time.perf_counter(), final=True)
+
+    def _emit(self, now: float, final: bool = False) -> None:
         elapsed = max(now - self._start, 1e-9)
         rate = self.done / elapsed
         tallies = " ".join(
-            f"{_SHORT[o]}={self.counts[o]}" for o in Outcome if self.counts[o]
+            f"{_SHORT[o]}={counter.value}"
+            for o, counter in self._outcomes.items()
+            if counter.value
         )
         prefix = f"{self.label}: " if self.label else ""
+        suffix = " (done)" if final else ""
         print(
             f"  {prefix}[{self.done}/{self.total}] "
-            f"{rate:.1f} trials/s {tallies}".rstrip(),
+            f"{rate:.1f} trials/s {tallies}".rstrip() + suffix,
             file=self.stream,
             flush=True,
         )
+        self._emitted_done = self.done
+
+    @property
+    def counts(self):
+        """Outcome tally view (kept for callers that read the counters)."""
+        return {o: counter.value for o, counter in self._outcomes.items()}

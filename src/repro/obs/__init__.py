@@ -1,0 +1,44 @@
+"""Campaign observability: metrics registry, trial event log, reports.
+
+See ``docs/OBSERVABILITY.md``.  Everything here is off by default — a
+campaign only pays for observability when ``REPRO_OBS``/``--obs-log`` (and
+optionally ``REPRO_OBS_TIMING``) are configured.
+"""
+
+from .config import (
+    obs_enabled,
+    obs_log_path,
+    obs_timing_enabled,
+    resolve_obs_log,
+)
+from .events import (
+    SCHEMA_VERSION,
+    EventLogWriter,
+    cache_hit_event,
+    campaign_begin_event,
+    campaign_end_event,
+    encode_event,
+    merge_shards,
+    read_events,
+    trial_event,
+)
+from .metrics import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    Timer,
+    enable_global,
+    global_registry,
+    reset_global,
+)
+from .report import LogReport, percentile
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "Counter", "Histogram", "MetricsRegistry", "Timer",
+    "EventLogWriter", "LogReport",
+    "cache_hit_event", "campaign_begin_event", "campaign_end_event",
+    "encode_event", "enable_global", "global_registry", "merge_shards",
+    "obs_enabled", "obs_log_path", "obs_timing_enabled", "percentile",
+    "read_events", "reset_global", "resolve_obs_log", "trial_event",
+]

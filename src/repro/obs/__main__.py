@@ -1,0 +1,52 @@
+"""Observability CLI: ``python -m repro.obs report <log.jsonl> [...]``.
+
+Usage::
+
+    python -m repro.obs report campaign.jsonl
+    python -m repro.obs report a.jsonl b.jsonl --top 20
+    python -m repro.obs report campaign.jsonl --json report.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .report import LogReport
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Inspect campaign observability artifacts.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    report = sub.add_parser(
+        "report", help="aggregate one or more JSONL trial logs"
+    )
+    report.add_argument("logs", nargs="+", metavar="LOG",
+                        help="JSONL trial event log(s) written via --obs-log "
+                             "or REPRO_OBS")
+    report.add_argument("--top", type=int, default=10, metavar="N",
+                        help="rows per breakdown table (default 10)")
+    report.add_argument("--json", metavar="PATH", default=None,
+                        help="also write the full aggregation as JSON "
+                             "('-' for stdout)")
+    args = parser.parse_args(argv)
+
+    aggregated = LogReport.from_paths(args.logs)
+    print(aggregated.render_text(top=args.top))
+    if args.json == "-":
+        import json
+
+        json.dump(aggregated.to_json(), sys.stdout, indent=2)
+        sys.stdout.write("\n")
+    elif args.json:
+        aggregated.save_json(args.json)
+        print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

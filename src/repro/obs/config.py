@@ -1,0 +1,46 @@
+"""Observability configuration (environment + CLI resolution).
+
+Observability is **off by default**: campaigns run exactly as before unless a
+trial-log path is configured, so benchmark numbers are unaffected.
+
+* ``REPRO_OBS=/path/to/log.jsonl`` — enable observability and append trial
+  events to the given JSONL file.  CLIs expose the same knob as
+  ``--obs-log PATH`` (the explicit flag wins).
+* ``REPRO_OBS_TIMING=1`` — additionally record per-trial wall-clock time in
+  the events.  Off by default because wall-times are nondeterministic: with
+  timing off, a ``jobs=N`` campaign log is byte-identical to the serial one.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+__all__ = ["obs_enabled", "obs_log_path", "obs_timing_enabled", "resolve_obs_log"]
+
+_FALSEY = ("", "0", "off", "false", "no")
+
+
+def obs_log_path() -> Optional[str]:
+    """Trial-log path from ``REPRO_OBS``, or None when unset/disabled."""
+    value = os.environ.get("REPRO_OBS", "").strip()
+    if value.lower() in _FALSEY:
+        return None
+    return value
+
+
+def obs_enabled() -> bool:
+    """True when the environment configures an observability log."""
+    return obs_log_path() is not None
+
+
+def obs_timing_enabled() -> bool:
+    """True when ``REPRO_OBS_TIMING`` asks for wall-clock fields in events."""
+    return os.environ.get("REPRO_OBS_TIMING", "").strip().lower() not in _FALSEY
+
+
+def resolve_obs_log(explicit: Optional[str]) -> Optional[str]:
+    """CLI helper: explicit ``--obs-log`` wins, else ``REPRO_OBS``, else None."""
+    if explicit:
+        return explicit
+    return obs_log_path()

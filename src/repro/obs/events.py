@@ -1,0 +1,268 @@
+"""Structured campaign trial event log (JSONL).
+
+One line per event, canonically encoded (sorted keys, no whitespace), so the
+log of a deterministic campaign is itself deterministic: with per-trial
+timing disabled (the default), a ``jobs=N`` campaign produces a
+**byte-identical** log to the serial run — parallel workers write per-chunk
+shard files and the parent concatenates them in plan order.
+
+Event kinds (every record carries ``"v": SCHEMA_VERSION``):
+
+* ``campaign_begin`` — campaign identity and golden-run metadata;
+* ``trial`` — one injection trial: the injection site (cycle, bit, register,
+  function), whether the flip landed on a live value, the outcome, the
+  detecting check (guard id/kind or hardware trap kind), detection latency
+  in cycles, fidelity score, and (opt-in) wall-clock time;
+* ``campaign_end`` — final outcome tallies (must match the
+  :class:`~repro.faultinjection.outcomes.CampaignResult`);
+* ``cache_hit`` — the campaign was served from the on-disk cache; carries
+  the cache key and the entry's creation metadata so provenance survives
+  even when no trial is re-executed.
+
+Reading is *corrupt-line tolerant*: a truncated or garbled line (e.g. a
+campaign killed mid-write) is counted and skipped, never fatal.  Unknown
+schema versions are surfaced to the caller via the ``v`` field rather than
+rejected — the reader is forward-compatible by construction.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "EventLogWriter",
+    "cache_hit_event",
+    "campaign_begin_event",
+    "campaign_end_event",
+    "encode_event",
+    "merge_shards",
+    "read_events",
+    "shard_path",
+    "trial_event",
+]
+
+#: bump on any change to event field names or semantics
+SCHEMA_VERSION = 1
+
+
+def encode_event(event: Dict) -> str:
+    """Canonical one-line JSON encoding (byte-deterministic) + newline."""
+    return json.dumps(event, sort_keys=True, separators=(",", ":")) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# event constructors
+# ---------------------------------------------------------------------------
+
+
+def campaign_begin_event(result) -> Dict:
+    """Header record from a fresh :class:`CampaignResult` shell.
+
+    Deliberately excludes ``jobs`` and timestamps: the header must be
+    byte-identical across worker counts and runs.
+    """
+    return {
+        "event": "campaign_begin",
+        "v": SCHEMA_VERSION,
+        "workload": result.workload,
+        "scheme": result.scheme,
+        "golden_instructions": result.golden_instructions,
+        "golden_guard_failures": result.golden_guard_failures,
+        "golden_guard_evaluations": result.golden_guard_evaluations,
+    }
+
+
+def trial_event(index: int, plan, trial, wall_ms: Optional[float] = None) -> Dict:
+    """One trial record from an :class:`InjectionPlan` + :class:`TrialResult`.
+
+    ``wall_ms`` is only present when per-trial timing is enabled
+    (``REPRO_OBS_TIMING``); everything else is a pure function of the trial,
+    keeping the default log deterministic.
+    """
+    event = {
+        "event": "trial",
+        "v": SCHEMA_VERSION,
+        "i": index,
+        "cycle": plan.cycle,
+        "bit": plan.bit,
+        "seed": plan.seed,
+        "outcome": trial.outcome.value,
+        "landed": trial.landed,
+        "live": trial.was_live,
+        "register": trial.value_name,
+        "function": trial.function,
+        "event_cycle": trial.event_cycle,
+        "latency": trial.detection_latency,
+        "check": trial.detector_guard,
+        "check_kind": trial.detector_kind,
+        "trap": trial.trap_kind,
+        "fidelity": trial.fidelity_score,
+        "sdc": trial.is_sdc,
+        "asdc": trial.is_asdc,
+        "magnitude": trial.change_magnitude,
+    }
+    if wall_ms is not None:
+        event["wall_ms"] = round(wall_ms, 3)
+    return event
+
+
+def campaign_end_event(result) -> Dict:
+    """Footer record: final tallies of the completed campaign."""
+    return {
+        "event": "campaign_end",
+        "v": SCHEMA_VERSION,
+        "workload": result.workload,
+        "scheme": result.scheme,
+        "trials": result.num_trials,
+        "counts": result.counts(),
+    }
+
+
+def cache_hit_event(workload: str, scheme: str, key: str,
+                    meta: Optional[Dict] = None) -> Dict:
+    """The campaign was served from the on-disk cache.
+
+    ``meta`` is the cache entry's creation metadata (creation time, trial
+    count, cache schema), so a log retains provenance for results that were
+    never recomputed.
+    """
+    return {
+        "event": "cache_hit",
+        "v": SCHEMA_VERSION,
+        "workload": workload,
+        "scheme": scheme,
+        "key": key,
+        "meta": meta or {},
+    }
+
+
+# ---------------------------------------------------------------------------
+# writing
+# ---------------------------------------------------------------------------
+
+
+class EventLogWriter:
+    """Append-only JSONL writer (several campaigns may share one log)."""
+
+    def __init__(self, path: str, mode: str = "a") -> None:
+        self.path = path
+        parent = os.path.dirname(os.path.abspath(path))
+        os.makedirs(parent, exist_ok=True)
+        self._fh = open(path, mode, encoding="utf-8")
+
+    def emit(self, event: Dict) -> None:
+        self._fh.write(encode_event(event))
+
+    def write_raw(self, text: str) -> None:
+        """Append pre-encoded lines (shard merging)."""
+        self._fh.write(text)
+
+    def flush(self) -> None:
+        self._fh.flush()
+
+    def close(self) -> None:
+        self._fh.close()
+
+    def __enter__(self) -> "EventLogWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def shard_path(log_path: str, first_index: int) -> str:
+    """Shard file written by the worker owning the chunk at ``first_index``.
+
+    Zero-padded so lexicographic order equals plan order; chunks are
+    contiguous index ranges, so concatenating sorted shards reproduces the
+    serial log byte for byte.
+    """
+    return f"{log_path}.shard-{first_index:010d}"
+
+
+def write_shard(log_path: str, first_index: int,
+                events: Iterable[Dict]) -> None:
+    """Worker side: write one chunk's trial events to its shard file."""
+    with open(shard_path(log_path, first_index), "w", encoding="utf-8") as fh:
+        for event in events:
+            fh.write(encode_event(event))
+
+
+def merge_shards(writer: EventLogWriter) -> int:
+    """Parent side: fold all shard files into the log, in plan order.
+
+    Returns the number of shards merged; shard files are removed.  Best
+    effort on removal — a shard that cannot be deleted is still merged.
+    """
+    directory = os.path.dirname(os.path.abspath(writer.path)) or "."
+    prefix = os.path.basename(writer.path) + ".shard-"
+    try:
+        names = sorted(n for n in os.listdir(directory) if n.startswith(prefix))
+    except OSError:
+        return 0
+    for name in names:
+        full = os.path.join(directory, name)
+        with open(full, encoding="utf-8") as fh:
+            writer.write_raw(fh.read())
+        try:
+            os.unlink(full)
+        except OSError:  # pragma: no cover - best effort
+            pass
+    return len(names)
+
+
+def discard_shards(log_path: str) -> None:
+    """Remove stray shard files (cleanup after a failed parallel campaign)."""
+    directory = os.path.dirname(os.path.abspath(log_path)) or "."
+    prefix = os.path.basename(log_path) + ".shard-"
+    try:
+        names = [n for n in os.listdir(directory) if n.startswith(prefix)]
+    except OSError:  # pragma: no cover - best effort
+        return
+    for name in names:
+        try:
+            os.unlink(os.path.join(directory, name))
+        except OSError:  # pragma: no cover - best effort
+            pass
+
+
+# ---------------------------------------------------------------------------
+# reading
+# ---------------------------------------------------------------------------
+
+
+def read_events(path) -> Tuple[List[Dict], int]:
+    """Parse one JSONL log; returns ``(events, skipped_line_count)``.
+
+    Corrupt lines (truncated writes, stray text) are skipped and counted —
+    a partially written log from an interrupted campaign stays readable.
+    """
+    events: List[Dict] = []
+    skipped = 0
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                skipped += 1
+                continue
+            if not isinstance(record, dict) or "event" not in record:
+                skipped += 1
+                continue
+            events.append(record)
+    return events, skipped
+
+
+def iter_trial_events(paths: Iterable) -> Iterator[Dict]:
+    """All ``trial`` events across several logs (corrupt lines ignored)."""
+    for path in paths:
+        events, _ = read_events(path)
+        for event in events:
+            if event.get("event") == "trial":
+                yield event

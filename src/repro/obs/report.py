@@ -1,0 +1,268 @@
+"""Aggregate campaign trial logs into human/machine-readable reports.
+
+Consumes one or more JSONL event logs (see :mod:`repro.obs.events`) and
+produces:
+
+* outcome tallies, per campaign and overall;
+* outcome breakdowns by register (IR value name), bit position, and program
+  region (the function the fault landed in);
+* detection-latency percentiles (cycles from injection to detection), split
+  by software (guard) and hardware (trap) detection;
+* per-check effectiveness: how often each guard id fired, its share of all
+  software detections, and its median detection latency;
+* cache provenance: campaigns served from the on-disk cache.
+
+Exact percentiles are computed from the raw per-trial events (the metrics
+registry's bucketed histograms are for live monitoring; this module is the
+offline analysis path).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .events import read_events
+
+__all__ = ["LogReport", "percentile"]
+
+_OUTCOMES = ("Masked", "SWDetect", "HWDetect", "Failure", "USDC")
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Exact q-quantile (nearest-rank) of a non-empty sequence."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    ordered = sorted(values)
+    rank = max(1, int(q * len(ordered) + 0.999999))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+def _latency_summary(latencies: List[int]) -> Optional[Dict]:
+    if not latencies:
+        return None
+    return {
+        "count": len(latencies),
+        "min": min(latencies),
+        "p50": percentile(latencies, 0.50),
+        "p90": percentile(latencies, 0.90),
+        "p99": percentile(latencies, 0.99),
+        "max": max(latencies),
+        "mean": sum(latencies) / len(latencies),
+    }
+
+
+@dataclass
+class _Breakdown:
+    """Outcome counts keyed by some trial dimension."""
+
+    counts: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+    def add(self, key: str, outcome: str) -> None:
+        row = self.counts.get(key)
+        if row is None:
+            row = self.counts[key] = {o: 0 for o in _OUTCOMES}
+        row[outcome] = row.get(outcome, 0) + 1
+
+    def rows_by_total(self) -> List[Tuple[str, Dict[str, int], int]]:
+        rows = [
+            (key, row, sum(row.values())) for key, row in self.counts.items()
+        ]
+        rows.sort(key=lambda r: (-r[2], r[0]))
+        return rows
+
+
+@dataclass
+class LogReport:
+    """Aggregation of one or more trial event logs."""
+
+    paths: List[str] = field(default_factory=list)
+    campaigns: List[Dict] = field(default_factory=list)
+    cache_hits: List[Dict] = field(default_factory=list)
+    trials: int = 0
+    skipped_lines: int = 0
+    schema_versions: set = field(default_factory=set)
+    outcome_counts: Dict[str, int] = field(
+        default_factory=lambda: {o: 0 for o in _OUTCOMES}
+    )
+    by_register: _Breakdown = field(default_factory=_Breakdown)
+    by_bit: _Breakdown = field(default_factory=_Breakdown)
+    by_function: _Breakdown = field(default_factory=_Breakdown)
+    sw_latencies: List[int] = field(default_factory=list)
+    hw_latencies: List[int] = field(default_factory=list)
+    #: guard id -> [fire count, latencies]
+    check_fires: Dict[int, List] = field(default_factory=dict)
+    landed: int = 0
+    live: int = 0
+
+    @classmethod
+    def from_paths(cls, paths: Sequence) -> "LogReport":
+        report = cls(paths=[str(p) for p in paths])
+        for path in paths:
+            events, skipped = read_events(path)
+            report.skipped_lines += skipped
+            for event in events:
+                report._ingest(event)
+        return report
+
+    def _ingest(self, event: Dict) -> None:
+        if "v" in event:
+            self.schema_versions.add(event["v"])
+        kind = event.get("event")
+        if kind == "campaign_begin":
+            self.campaigns.append(event)
+            return
+        if kind == "cache_hit":
+            self.cache_hits.append(event)
+            return
+        if kind != "trial":
+            return
+        self.trials += 1
+        outcome = event.get("outcome", "?")
+        self.outcome_counts[outcome] = self.outcome_counts.get(outcome, 0) + 1
+        if event.get("landed"):
+            self.landed += 1
+        if event.get("live"):
+            self.live += 1
+        register = event.get("register") or "<none>"
+        function = event.get("function") or "<none>"
+        self.by_register.add(register, outcome)
+        self.by_function.add(function, outcome)
+        self.by_bit.add(f"{event.get('bit', 0):02d}", outcome)
+        latency = event.get("latency")
+        if latency is not None:
+            if outcome == "SWDetect":
+                self.sw_latencies.append(latency)
+            elif outcome == "HWDetect":
+                self.hw_latencies.append(latency)
+        check = event.get("check")
+        if check is not None:
+            entry = self.check_fires.get(check)
+            if entry is None:
+                entry = self.check_fires[check] = [0, []]
+            entry[0] += 1
+            if latency is not None:
+                entry[1].append(latency)
+
+    # -- outputs -----------------------------------------------------------------
+
+    def to_json(self) -> Dict:
+        """Machine-readable aggregation (``repro.obs report --json``)."""
+        sw_total = sum(c for c, _ in self.check_fires.values())
+        return {
+            "logs": self.paths,
+            "schema_versions": sorted(self.schema_versions),
+            "campaigns": [
+                {"workload": c.get("workload"), "scheme": c.get("scheme")}
+                for c in self.campaigns
+            ],
+            "cache_hits": self.cache_hits,
+            "trials": self.trials,
+            "skipped_lines": self.skipped_lines,
+            "landed": self.landed,
+            "live": self.live,
+            "outcomes": dict(self.outcome_counts),
+            "detection_latency": {
+                "swdetect": _latency_summary(self.sw_latencies),
+                "hwdetect": _latency_summary(self.hw_latencies),
+            },
+            "checks": {
+                str(guard_id): {
+                    "fires": fires,
+                    "share_of_swdetect": fires / sw_total if sw_total else 0.0,
+                    "latency": _latency_summary(latencies),
+                }
+                for guard_id, (fires, latencies) in sorted(self.check_fires.items())
+            },
+            "by_register": {
+                k: row for k, row, _ in self.by_register.rows_by_total()
+            },
+            "by_bit": {k: row for k, row, _ in self.by_bit.rows_by_total()},
+            "by_function": {
+                k: row for k, row, _ in self.by_function.rows_by_total()
+            },
+        }
+
+    def render_text(self, top: int = 10) -> str:
+        """Terminal report; ``top`` limits the breakdown table lengths."""
+        lines: List[str] = []
+        w = lines.append
+        w("== campaign trial log report ==")
+        w(f"logs: {len(self.paths)}  campaigns: {len(self.campaigns)}  "
+          f"cache hits: {len(self.cache_hits)}  trials: {self.trials}"
+          + (f"  corrupt lines skipped: {self.skipped_lines}"
+             if self.skipped_lines else ""))
+        for c in self.campaigns:
+            w(f"  - {c.get('workload')}/{c.get('scheme')} "
+              f"(golden {c.get('golden_instructions', '?')} instrs)")
+        for c in self.cache_hits:
+            meta = c.get("meta") or {}
+            w(f"  - {c.get('workload')}/{c.get('scheme')} served from cache "
+              f"key={str(c.get('key', ''))[:12]} "
+              f"(created {meta.get('created_iso', 'unknown')})")
+        if not self.trials:
+            w("no trial events found")
+            return "\n".join(lines)
+
+        w("")
+        w("outcomes:")
+        for outcome in _OUTCOMES:
+            n = self.outcome_counts.get(outcome, 0)
+            w(f"  {outcome:9s} {n:8d}  {n / self.trials:7.1%}")
+        w(f"  landed on an occupied register: {self.landed}/{self.trials}; "
+          f"live at flip time: {self.live}/{self.trials}")
+
+        for title, summary in (
+            ("software (guard) detection latency, cycles",
+             _latency_summary(self.sw_latencies)),
+            ("hardware (trap) detection latency, cycles",
+             _latency_summary(self.hw_latencies)),
+        ):
+            w("")
+            if summary is None:
+                w(f"{title}: no detections")
+                continue
+            w(f"{title} (n={summary['count']}):")
+            w(f"  min={summary['min']}  p50={summary['p50']}  "
+              f"p90={summary['p90']}  p99={summary['p99']}  "
+              f"max={summary['max']}  mean={summary['mean']:.1f}")
+
+        sw_total = sum(c for c, _ in self.check_fires.values())
+        w("")
+        if not self.check_fires:
+            w("per-check effectiveness: no software detections")
+        else:
+            w("per-check effectiveness:")
+            w(f"  {'check':>6s} {'fires':>6s} {'share':>7s} {'p50 latency':>12s}")
+            ranked = sorted(
+                self.check_fires.items(), key=lambda kv: (-kv[1][0], kv[0])
+            )
+            for guard_id, (fires, latencies) in ranked[:top]:
+                p50 = percentile(latencies, 0.5) if latencies else "-"
+                w(f"  {guard_id:6d} {fires:6d} {fires / sw_total:7.1%} "
+                  f"{str(p50):>12s}")
+            if len(ranked) > top:
+                w(f"  ... {len(ranked) - top} more checks")
+
+        for title, breakdown in (
+            ("by register (IR value)", self.by_register),
+            ("by bit position", self.by_bit),
+            ("by function", self.by_function),
+        ):
+            w("")
+            w(f"outcomes {title}:")
+            header = " ".join(f"{o:>8s}" for o in _OUTCOMES)
+            w(f"  {'':24s} {header} {'total':>8s}")
+            rows = breakdown.rows_by_total()
+            for key, row, total in rows[:top]:
+                cells = " ".join(f"{row.get(o, 0):8d}" for o in _OUTCOMES)
+                w(f"  {key[:24]:24s} {cells} {total:8d}")
+            if len(rows) > top:
+                w(f"  ... {len(rows) - top} more")
+        return "\n".join(lines)
+
+    def save_json(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_json(), fh, indent=2)
+            fh.write("\n")

@@ -79,6 +79,7 @@ from ..ir.instructions import (
 from ..ir.module import Module
 from ..ir.types import F32, F64, FloatType, IntType, PointerType
 from ..ir.values import Constant, GlobalVariable, UndefValue
+from ..obs.metrics import global_registry as _obs_registry
 from .events import ArithmeticTrap, GuardTrap, StackOverflowTrap
 from .ops import FCMP_EVAL, ICMP_EVAL, INTRINSIC_EVAL, c_div, c_rem, float_div
 
@@ -1078,12 +1079,22 @@ def compile_module(module: Module, track: bool, hooked: bool) -> CompiledModule:
         module._compiled_cache = cache
     variant = (track, hooked)
     cm = cache.get(variant)
+    registry = _obs_registry()
     if cm is None:
         cm = CompiledModule(module, variant, token, pinned)
         for fn in module.functions.values():
             cm.functions[fn] = CompiledFunction(fn)
+        n_blocks = n_superblocks = 0
         for cf in cm.functions.values():
             for cb in cf.blocks.values():
                 _fill_block(cb, cf, cm, track, hooked)
+                n_blocks += 1
+                n_superblocks += sum(1 for sb in cb.fused if sb is not None)
         cache[variant] = cm
+        if registry.enabled:
+            registry.counter("sim.compile.modules").inc()
+            registry.counter("sim.compile.blocks").inc(n_blocks)
+            registry.counter("sim.compile.superblocks").inc(n_superblocks)
+    elif registry.enabled:
+        registry.counter("sim.compile.cache_hits").inc()
     return cm

@@ -104,6 +104,8 @@ class InjectionRecord:
     #: name of the IR value whose register was flipped ('' if none occupied)
     value_name: str = ""
     type_name: str = ""
+    #: function whose frame owned the flipped register (program region)
+    function: str = ""
     before: object = None
     after: object = None
     #: True when the flipped register's value was still live (frame active and

@@ -54,6 +54,7 @@ from ..ir.instructions import (
 from ..ir.module import Module
 from ..ir.types import F32, FloatType, IntType, PointerType
 from ..ir.values import Argument, Constant, GlobalVariable, UndefValue, Value
+from ..obs.metrics import global_registry as _obs_registry
 from . import ops
 from .compiled import STOP, UNWIND, CompiledBlock, compile_module
 from .config import SimConfig
@@ -295,6 +296,7 @@ class Interpreter:
         frame: Frame = slot.frame  # type: ignore[assignment]
         record.value_name = getattr(value_obj, "name", "")
         record.type_name = value_obj.type.name
+        record.function = frame.function.name
         current = frame.values.get(slot.value_key, _MISSING)
         if not frame.active or current is _MISSING:
             # Stale register (frame returned): flip is architecturally dead.
@@ -338,9 +340,38 @@ class Interpreter:
             raise ValueError(
                 f"@{entry} expects {len(fn.args)} args, got {len(args)}"
             )
-        if self.fastpath and self.timing is None:
-            return self._run_compiled(fn, args, inputs, injection, max_instructions)
-        return self._run_reference(fn, args, inputs, injection, max_instructions)
+        registry = _obs_registry()
+        if not registry.enabled:
+            if self.fastpath and self.timing is None:
+                return self._run_compiled(fn, args, inputs, injection, max_instructions)
+            return self._run_reference(fn, args, inputs, injection, max_instructions)
+        # Observability: per-run accounting only (never per-instruction), so
+        # the instrumented path stays within noise of the bare one.  Both
+        # dispatch paths report through this single funnel, which keeps the
+        # fast path's events structurally identical to the reference path's.
+        path = "fastpath" if self.fastpath and self.timing is None else "reference"
+        try:
+            with registry.timer(f"sim.run.{path}").time():
+                if path == "fastpath":
+                    result = self._run_compiled(
+                        fn, args, inputs, injection, max_instructions
+                    )
+                else:
+                    result = self._run_reference(
+                        fn, args, inputs, injection, max_instructions
+                    )
+        except SimTrap as trap:
+            registry.counter(f"sim.trap.{trap.__class__.__name__}").inc()
+            self._record_run_metrics(registry, path)
+            raise
+        self._record_run_metrics(registry, path)
+        return result
+
+    def _record_run_metrics(self, registry, path: str) -> None:
+        registry.counter(f"sim.runs.{path}").inc()
+        registry.counter("sim.instructions").inc(self.cycle)
+        registry.counter("sim.guard_evaluations").inc(self.guard_stats.evaluations)
+        registry.counter("sim.guard_failures").inc(self.guard_stats.total_failures)
 
     def _setup_run(self, inputs, injection) -> int:
         """Shared run prologue; returns the pending injection cycle (or -1)."""
@@ -898,6 +929,7 @@ class Interpreter:
         if record is not None:
             record.landed = True
             record.was_live = True
+            record.function = frame.function.name
         return wrong
 
     def _enter_block(

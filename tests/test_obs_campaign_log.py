@@ -1,0 +1,298 @@
+"""Campaign observability integration: trial logs, provenance, progress.
+
+The acceptance bar: a campaign run with an obs log produces a JSONL record
+stream whose per-trial outcome tallies exactly match the returned
+:class:`CampaignResult`, with ``jobs=N`` logs byte-identical to ``jobs=1``;
+disk-cache hits emit ``cache_hit`` provenance instead of going dark; and the
+progress printer flushes its final line on completion.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from collections import Counter
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments import ExperimentCache, ExperimentSettings
+from repro.faultinjection import (
+    CampaignCache,
+    CampaignConfig,
+    Outcome,
+    ProgressPrinter,
+    TrialResult,
+    prepare,
+    run_campaign,
+)
+from repro.faultinjection.campaign import resolve_obs_config
+from repro.obs import metrics as obs_metrics
+from repro.obs.events import read_events
+from repro.obs.metrics import MetricsRegistry
+from repro.workloads.registry import get_workload
+
+
+@pytest.fixture(scope="module")
+def prepared_tiff():
+    config = CampaignConfig(trials=10, seed=5)
+    return config, prepare(get_workload("tiff2bw"), "dup_valchk", config)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_global_registry():
+    yield
+    obs_metrics.reset_global()
+
+
+# ---------------------------------------------------------------------------
+# trial log contents
+# ---------------------------------------------------------------------------
+
+
+def test_log_tallies_match_campaign_result(tmp_path, prepared_tiff):
+    config, prepared = prepared_tiff
+    log = tmp_path / "c.jsonl"
+    cfg = replace(config, obs_log=str(log))
+    result = run_campaign(prepared.workload, "dup_valchk", cfg, prepared=prepared)
+
+    events, skipped = read_events(log)
+    assert skipped == 0
+    trials = [e for e in events if e["event"] == "trial"]
+    assert len(trials) == result.num_trials
+    tally = Counter(e["outcome"] for e in trials)
+    assert {o.value: tally.get(o.value, 0) for o in Outcome} == result.counts()
+    # plan order, one record per trial, matching the result's plans
+    assert [e["i"] for e in trials] == list(range(len(trials)))
+    assert [e["cycle"] for e in trials] == [
+        t.injection_cycle for t in result.trials
+    ]
+    # header and footer bracket the trials
+    assert events[0]["event"] == "campaign_begin"
+    assert events[0]["workload"] == "tiff2bw"
+    assert events[-1]["event"] == "campaign_end"
+    assert events[-1]["counts"] == result.counts()
+
+
+def test_detected_trials_carry_check_and_latency(tmp_path, prepared_tiff):
+    config, prepared = prepared_tiff
+    log = tmp_path / "c.jsonl"
+    cfg = replace(config, trials=30, obs_log=str(log))
+    result = run_campaign(prepared.workload, "dup_valchk", cfg, prepared=prepared)
+    sw = [t for t in result.trials if t.outcome is Outcome.SWDETECT]
+    assert sw, "expected at least one SWDetect in 30 trials"
+    events, _ = read_events(log)
+    sw_events = [e for e in events
+                 if e["event"] == "trial" and e["outcome"] == "SWDetect"]
+    assert len(sw_events) == len(sw)
+    for event in sw_events:
+        assert event["check"] is not None
+        assert event["check_kind"] in ("eq", "range", "values")
+        assert event["trap"] == "guard"
+        assert event["latency"] == event["event_cycle"] - event["cycle"] >= 0
+
+
+def test_serial_and_parallel_logs_byte_identical(tmp_path, prepared_tiff):
+    config, prepared = prepared_tiff
+    serial_log = tmp_path / "serial.jsonl"
+    parallel_log = tmp_path / "parallel.jsonl"
+    serial = run_campaign(
+        prepared.workload, "dup_valchk",
+        replace(config, obs_log=str(serial_log)), prepared=prepared,
+    )
+    parallel = run_campaign(
+        prepared.workload, "dup_valchk",
+        replace(config, jobs=4, obs_log=str(parallel_log)), prepared=prepared,
+    )
+    assert parallel.trials == serial.trials
+    assert parallel_log.read_bytes() == serial_log.read_bytes()
+    assert not list(tmp_path.glob("*.shard-*"))  # all shards merged + removed
+
+
+def test_obs_env_var_enables_logging(tmp_path, monkeypatch, prepared_tiff):
+    config, prepared = prepared_tiff
+    log = tmp_path / "env.jsonl"
+    monkeypatch.setenv("REPRO_OBS", str(log))
+    run_campaign(prepared.workload, "dup_valchk", config, prepared=prepared)
+    events, _ = read_events(log)
+    assert any(e["event"] == "trial" for e in events)
+
+
+def test_no_log_without_configuration(tmp_path, monkeypatch, prepared_tiff):
+    config, prepared = prepared_tiff
+    monkeypatch.delenv("REPRO_OBS", raising=False)
+    run_campaign(prepared.workload, "dup_valchk", config, prepared=prepared)
+    assert list(tmp_path.iterdir()) == []
+
+
+def test_resolve_obs_config_explicit_wins(monkeypatch):
+    monkeypatch.setenv("REPRO_OBS", "/env/path.jsonl")
+    monkeypatch.setenv("REPRO_OBS_TIMING", "1")
+    explicit = CampaignConfig(obs_log="/explicit.jsonl")
+    resolved = resolve_obs_config(explicit)
+    assert resolved.obs_log == "/explicit.jsonl"
+    assert resolved.obs_timing  # env fills the gap
+    monkeypatch.delenv("REPRO_OBS_TIMING", raising=False)
+    monkeypatch.delenv("REPRO_OBS", raising=False)
+    plain = resolve_obs_config(CampaignConfig())
+    assert plain.obs_log is None and not plain.obs_timing
+
+
+def test_timing_opt_in_adds_wall_ms(tmp_path, prepared_tiff):
+    config, prepared = prepared_tiff
+    log = tmp_path / "timed.jsonl"
+    cfg = replace(config, trials=4, obs_log=str(log), obs_timing=True)
+    run_campaign(prepared.workload, "dup_valchk", cfg, prepared=prepared)
+    events, _ = read_events(log)
+    trials = [e for e in events if e["event"] == "trial"]
+    assert trials and all("wall_ms" in e for e in trials)
+
+
+# ---------------------------------------------------------------------------
+# campaign metrics
+# ---------------------------------------------------------------------------
+
+
+def test_campaign_records_metrics_when_enabled(tmp_path, prepared_tiff):
+    config, prepared = prepared_tiff
+    registry = obs_metrics.enable_global()
+    registry.reset()
+    result = run_campaign(
+        prepared.workload, "dup_valchk",
+        replace(config, obs_log=str(tmp_path / "m.jsonl")), prepared=prepared,
+    )
+    snap = registry.snapshot()
+    assert snap["campaign.trials"] == result.num_trials
+    assert snap["campaign.campaigns"] == 1
+    for outcome, count in result.counts().items():
+        if count:
+            assert snap[f"campaign.outcome.{outcome}"] == count
+    detected = sum(1 for t in result.trials if t.detection_latency is not None)
+    if detected:
+        assert snap["campaign.detection_latency_cycles"]["count"] == detected
+    assert snap["sim.instructions"] > 0  # interpreter-level funnel fired
+
+
+# ---------------------------------------------------------------------------
+# cache-hit provenance
+# ---------------------------------------------------------------------------
+
+
+def test_cache_hit_emits_provenance_event(tmp_path):
+    obs_log = tmp_path / "obs.jsonl"
+    disk = CampaignCache(root=tmp_path / "cache", enabled=True)
+    settings = ExperimentSettings(
+        trials=4, workloads=("tiff2bw",), obs_log=str(obs_log)
+    )
+
+    first = ExperimentCache(settings, disk_cache=disk)
+    original = first.campaign("tiff2bw", "dup")
+    events, _ = read_events(obs_log)
+    assert sum(e["event"] == "trial" for e in events) == 4
+    assert not any(e["event"] == "cache_hit" for e in events)
+
+    second = ExperimentCache(settings, disk_cache=disk)
+    restored = second.campaign("tiff2bw", "dup")
+    assert restored.counts() == original.counts()
+    events, _ = read_events(obs_log)
+    hits = [e for e in events if e["event"] == "cache_hit"]
+    assert len(hits) == 1
+    hit = hits[0]
+    assert hit["workload"] == "tiff2bw" and hit["scheme"] == "dup"
+    assert len(hit["key"]) == 64  # sha256 hex
+    assert hit["meta"]["trials"] == 4
+    assert hit["meta"]["created_unix"] > 0
+    assert "created_iso" in hit["meta"]
+    # no new trial events were appended by the cached run
+    assert sum(e["event"] == "trial" for e in events) == 4
+
+
+def test_cache_entry_meta_round_trip(tmp_path, prepared_tiff):
+    config, prepared = prepared_tiff
+    result = run_campaign(prepared.workload, "dup_valchk",
+                          replace(config, trials=3), prepared=prepared)
+    cache = CampaignCache(root=tmp_path, enabled=True)
+    cache.put("k" * 64, result)
+    entry = cache.get_entry("k" * 64)
+    assert entry is not None
+    restored, meta = entry
+    assert restored.trials == result.trials
+    assert meta["workload"] == "tiff2bw" and meta["trials"] == 3
+
+
+def test_legacy_unwrapped_cache_entry_still_readable(tmp_path, prepared_tiff):
+    config, prepared = prepared_tiff
+    result = run_campaign(prepared.workload, "dup_valchk",
+                          replace(config, trials=3), prepared=prepared)
+    cache = CampaignCache(root=tmp_path, enabled=True)
+    (tmp_path / "campaign-legacy.json").write_text(json.dumps(result.to_dict()))
+    entry = cache.get_entry("legacy")
+    assert entry is not None
+    restored, meta = entry
+    assert restored.trials == result.trials
+    assert meta == {}
+
+
+# ---------------------------------------------------------------------------
+# progress printer
+# ---------------------------------------------------------------------------
+
+
+def _trial(outcome=Outcome.MASKED):
+    return TrialResult(outcome=outcome, injection_cycle=1, bit=0)
+
+
+def test_progress_finish_flushes_unprinted_tail():
+    stream = io.StringIO()
+    # total overestimates the executed trials (partially cached sweep), and
+    # the rate limit swallows every line after the first: without finish()
+    # the last trials would go silently unprinted.
+    printer = ProgressPrinter(total=100, stream=stream, min_interval=3600.0)
+    for _ in range(5):
+        printer(_trial())
+    assert "[1/100]" in stream.getvalue()
+    assert "[5/100]" not in stream.getvalue()
+    printer.finish()
+    assert "[5/100]" in stream.getvalue()
+    assert "(done)" in stream.getvalue()
+
+
+def test_progress_finish_is_idempotent():
+    stream = io.StringIO()
+    printer = ProgressPrinter(total=2, stream=stream, min_interval=0.0)
+    printer(_trial())
+    printer(_trial())
+    before = stream.getvalue()
+    printer.finish()
+    printer.finish()
+    assert stream.getvalue() == before  # final state already printed
+
+
+def test_progress_finish_no_output_for_zero_trials():
+    stream = io.StringIO()
+    printer = ProgressPrinter(total=10, stream=stream)
+    printer.finish()
+    assert stream.getvalue() == ""
+
+
+def test_progress_routes_through_metrics_registry():
+    registry = MetricsRegistry()
+    stream = io.StringIO()
+    printer = ProgressPrinter(total=3, stream=stream, registry=registry)
+    printer(_trial(Outcome.MASKED))
+    printer(_trial(Outcome.SWDETECT))
+    printer(_trial(Outcome.SWDETECT))
+    snap = registry.snapshot()
+    assert snap["progress.trials"] == 3
+    assert snap["progress.outcome.SWDetect"] == 2
+    assert snap["progress.outcome.Masked"] == 1
+    assert printer.counts[Outcome.SWDETECT] == 2
+
+
+def test_progress_replaces_disabled_registry():
+    printer = ProgressPrinter(
+        total=1, stream=io.StringIO(),
+        registry=MetricsRegistry(enabled=False),
+    )
+    printer(_trial())
+    assert printer.counts[Outcome.MASKED] == 1

@@ -1,0 +1,121 @@
+"""Metrics registry: instruments, disabled null path, global registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import metrics
+from repro.obs.metrics import (
+    MetricsRegistry,
+    enable_global,
+    global_registry,
+    reset_global,
+)
+
+
+# ---------------------------------------------------------------------------
+# instruments
+# ---------------------------------------------------------------------------
+
+
+def test_counter_increments():
+    reg = MetricsRegistry()
+    c = reg.counter("x")
+    c.inc()
+    c.inc(4)
+    assert c.value == 5
+    assert reg.counter("x") is c  # memoised by name
+    assert reg.snapshot()["x"] == 5
+
+
+def test_timer_accumulates():
+    reg = MetricsRegistry()
+    t = reg.timer("t")
+    t.add_seconds(0.5)
+    t.add_seconds(1.5)
+    with t.time():
+        pass
+    assert t.count == 3
+    assert t.total_seconds >= 2.0
+    assert t.max_seconds == 1.5
+    snap = reg.snapshot()["t"]
+    assert snap["count"] == 3
+
+
+def test_histogram_buckets_and_quantiles():
+    reg = MetricsRegistry()
+    h = reg.histogram("lat")
+    for v in [0, 1, 2, 3, 100, 1000]:
+        h.observe(v)
+    assert h.count == 6
+    assert h.min_value == 0
+    assert h.max_value == 1000
+    assert h.mean == pytest.approx(1106 / 6)
+    # nearest-rank on power-of-two buckets: upper bound >= true percentile
+    assert h.quantile(0.5) >= 2
+    assert h.quantile(1.0) >= 1000
+    snap = h.snapshot()
+    assert snap["count"] == 6 and snap["max"] == 1000
+
+
+def test_histogram_clamps_negatives():
+    h = MetricsRegistry().histogram("h")
+    h.observe(-5)
+    assert h.min_value == 0
+
+
+# ---------------------------------------------------------------------------
+# disabled registries are null
+# ---------------------------------------------------------------------------
+
+
+def test_disabled_registry_hands_out_null_instruments():
+    reg = MetricsRegistry(enabled=False)
+    c = reg.counter("a")
+    c.inc(100)
+    h = reg.histogram("b")
+    h.observe(5)
+    t = reg.timer("c")
+    with t.time():
+        pass
+    assert reg.snapshot() == {}
+    # all three names share the one null instrument
+    assert reg.counter("a") is reg.histogram("b") is reg.timer("c")
+
+
+def test_reset_clears_instruments():
+    reg = MetricsRegistry()
+    reg.counter("a").inc()
+    reg.reset()
+    assert reg.snapshot() == {}
+
+
+# ---------------------------------------------------------------------------
+# global registry
+# ---------------------------------------------------------------------------
+
+
+def test_global_registry_follows_env(monkeypatch):
+    monkeypatch.delenv("REPRO_OBS", raising=False)
+    reset_global()
+    assert not global_registry().enabled
+    monkeypatch.setenv("REPRO_OBS", "/tmp/some.jsonl")
+    reset_global()
+    assert global_registry().enabled
+    reset_global()
+
+
+def test_enable_global_forces_on(monkeypatch):
+    monkeypatch.delenv("REPRO_OBS", raising=False)
+    reset_global()
+    reg = enable_global()
+    assert reg.enabled and global_registry() is reg
+    reg.counter("x").inc()
+    assert reg.snapshot()["x"] == 1
+    reset_global()
+
+
+@pytest.fixture(autouse=True)
+def _restore_global():
+    yield
+    metrics.reset_global()
