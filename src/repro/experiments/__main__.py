@@ -67,6 +67,18 @@ def main(argv=None) -> int:
              "(default: REPRO_OBS or off; inspect with "
              "'python -m repro.obs report PATH')",
     )
+    parser.add_argument(
+        "--checkpoint-dir", metavar="DIR", default=None,
+        help="directory of per-campaign checkpoint files so an interrupted "
+             "sweep resumes mid-campaign on re-invocation "
+             "(default: REPRO_CHECKPOINT_DIR or off)",
+    )
+    from ..faultinjection.__main__ import (
+        add_resilience_arguments,
+        resolve_resilience_args,
+    )
+
+    add_resilience_arguments(parser, checkpoint_flag=False)
     args = parser.parse_args(argv)
 
     names = _ALL_ORDER if "all" in args.experiments else args.experiments
@@ -78,11 +90,20 @@ def main(argv=None) -> int:
     obs_log = resolve_obs_log(args.obs_log)
     if obs_log:
         enable_global()
+    policy, _ = resolve_resilience_args(args)
+    resilience_flags = (
+        args.checkpoint_dir is not None
+        or args.checkpoint_every is not None
+        or args.max_retries is not None
+        or args.on_worker_failure is not None
+        or args.trial_deadline is not None
+    )
     if (
         args.trials is not None
         or args.workloads is not None
         or args.jobs is not None
         or obs_log is not None
+        or resilience_flags
         or not args.quiet
     ):
         from ..workloads.registry import BENCHMARK_NAMES
@@ -93,13 +114,17 @@ def main(argv=None) -> int:
             unknown = set(workloads) - set(BENCHMARK_NAMES)
             if unknown:
                 parser.error(f"unknown workloads: {sorted(unknown)}")
-        settings = ExperimentSettings(
+        settings_kwargs = dict(
             trials=args.trials if args.trials is not None else default_trials(),
             workloads=workloads,
             jobs=resolve_jobs(args.jobs),
             progress=not args.quiet,
             obs_log=obs_log,
+            resilience=policy,
         )
+        if args.checkpoint_dir is not None:
+            settings_kwargs["checkpoint_dir"] = args.checkpoint_dir
+        settings = ExperimentSettings(**settings_kwargs)
         cache = reset_global_cache(settings)
     else:
         cache = global_cache()

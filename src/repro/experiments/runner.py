@@ -29,6 +29,7 @@ from ..faultinjection.campaign import (
 from ..faultinjection.diskcache import CampaignCache, campaign_key
 from ..faultinjection.outcomes import CampaignResult
 from ..faultinjection.parallel import default_jobs
+from ..faultinjection.resilience import ResiliencePolicy, checkpoint_dir_env
 from ..obs import events as obs_events
 from ..obs.config import obs_log_path
 from ..obs.metrics import global_registry
@@ -68,11 +69,20 @@ class ExperimentSettings:
     #: structured JSONL trial event log appended to by every campaign
     #: (default: the ``REPRO_OBS`` environment variable, or off)
     obs_log: Optional[str] = field(default_factory=obs_log_path)
+    #: directory for per-campaign checkpoint files, so an interrupted
+    #: experiment sweep resumes mid-campaign on re-invocation (default: the
+    #: ``REPRO_CHECKPOINT_DIR`` environment variable, or off).  Each campaign
+    #: checkpoints to ``checkpoint-<disk_key[:16]>.json`` inside it — keyed
+    #: like the disk cache, so a stale checkpoint can never leak between
+    #: configurations.
+    checkpoint_dir: Optional[str] = field(default_factory=checkpoint_dir_env)
+    #: recovery policy threaded into every campaign (None = env defaults)
+    resilience: Optional[ResiliencePolicy] = None
 
     def campaign_config(self) -> CampaignConfig:
         return replace(
             self.campaign, trials=self.trials, seed=self.seed, jobs=self.jobs,
-            obs_log=self.obs_log,
+            obs_log=self.obs_log, resilience=self.resilience,
         )
 
 
@@ -125,17 +135,27 @@ class ExperimentCache:
                 # provenance of the served result instead of the trials.
                 self._emit_cache_hit(name, scheme, disk_key, meta)
             else:
+                if self.settings.checkpoint_dir:
+                    config = replace(
+                        config,
+                        checkpoint=os.path.join(
+                            self.settings.checkpoint_dir,
+                            f"checkpoint-{disk_key[:16]}.json",
+                        ),
+                    )
                 on_trial = self.settings.on_trial
                 printer = None
+                on_recovery = None
                 if on_trial is None and self.settings.progress:
                     from ..faultinjection.progress import ProgressPrinter
 
                     on_trial = printer = ProgressPrinter(
                         config.trials, label=f"{name}/{scheme}"
                     )
+                    on_recovery = printer.note
                 result = run_campaign(
                     prepared.workload, scheme, config, prepared=prepared,
-                    on_trial=on_trial,
+                    on_trial=on_trial, on_recovery=on_recovery,
                 )
                 if printer is not None:
                     printer.finish()

@@ -12,6 +12,16 @@ from .diskcache import CACHE_SCHEMA_VERSION, CampaignCache, campaign_key
 from .parallel import default_jobs, resolve_jobs, run_trials_parallel
 from .progress import ProgressPrinter
 from .recovery import RecoveryResult, run_with_recovery
+from .resilience import (
+    Checkpoint,
+    Checkpointer,
+    HarnessTimeout,
+    ResilienceLogger,
+    ResiliencePolicy,
+    default_policy,
+    load_checkpoint,
+    save_checkpoint,
+)
 from .outcomes import CampaignResult, Outcome, TrialResult
 from .stats import Z_95, confidence_interval, margin_of_error, trials_for_margin
 
@@ -23,5 +33,7 @@ __all__ = [
     "default_jobs", "resolve_jobs", "run_trials_parallel",
     "ProgressPrinter",
     "RecoveryResult", "run_with_recovery",
+    "Checkpoint", "Checkpointer", "HarnessTimeout", "ResilienceLogger",
+    "ResiliencePolicy", "default_policy", "load_checkpoint", "save_checkpoint",
     "Z_95", "confidence_interval", "margin_of_error", "trials_for_margin",
 ]

@@ -11,6 +11,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 
 from ..obs.config import resolve_obs_log
@@ -20,7 +21,62 @@ from ..workloads.registry import BENCHMARK_NAMES, get_workload
 from .campaign import CampaignConfig, run_campaign
 from .parallel import resolve_jobs
 from .progress import ProgressPrinter
+from .resilience import checkpoint_path_env, default_policy
 from .stats import margin_of_error
+
+
+def add_resilience_arguments(parser: argparse.ArgumentParser,
+                             checkpoint_flag: bool = True) -> None:
+    """Attach the shared resilience knobs (also used by repro.experiments).
+
+    ``repro.experiments`` passes ``checkpoint_flag=False``: a sweep runs many
+    campaigns, so it takes a ``--checkpoint-dir`` of per-campaign files
+    instead of one ``--checkpoint`` path.
+    """
+    group = parser.add_argument_group("resilience")
+    if checkpoint_flag:
+        group.add_argument("--checkpoint", metavar="PATH", default=None,
+                           help="periodically persist completed trials so an "
+                                "interrupted campaign resumes from here "
+                                "(default: REPRO_CHECKPOINT or off)")
+    group.add_argument("--checkpoint-every", type=int, default=None,
+                       metavar="N",
+                       help="flush the checkpoint every N completed trials "
+                            "(default: REPRO_CHECKPOINT_EVERY or 25)")
+    group.add_argument("--max-retries", type=int, default=None, metavar="N",
+                       help="worker-pool rebuild attempts before falling "
+                            "back to serial execution "
+                            "(default: REPRO_MAX_RETRIES or 2)")
+    group.add_argument("--on-worker-failure", default=None,
+                       choices=("retry", "serial", "fail"),
+                       help="policy when a worker process dies: rebuild the "
+                            "pool with backoff, fall back to in-process "
+                            "serial execution immediately, or re-raise "
+                            "(default: REPRO_RESILIENCE or retry)")
+    group.add_argument("--trial-deadline", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-trial wall-clock watchdog; a hung trial is "
+                            "requeued once, then quarantined "
+                            "(default: REPRO_TRIAL_DEADLINE or off)")
+
+
+def resolve_resilience_args(args: argparse.Namespace):
+    """``(policy, checkpoint_path)`` from CLI flags over env defaults."""
+    policy = default_policy()
+    overrides = {}
+    if args.on_worker_failure is not None:
+        overrides["on_worker_failure"] = args.on_worker_failure
+        overrides["enabled"] = True
+    if args.max_retries is not None:
+        overrides["max_retries"] = args.max_retries
+    if args.trial_deadline is not None:
+        overrides["trial_deadline_seconds"] = args.trial_deadline
+    if args.checkpoint_every is not None:
+        overrides["checkpoint_every"] = args.checkpoint_every
+    if overrides:
+        policy = dataclasses.replace(policy, **overrides)
+    checkpoint = getattr(args, "checkpoint", None) or checkpoint_path_env()
+    return policy, checkpoint
 
 
 def main(argv=None) -> int:
@@ -47,21 +103,27 @@ def main(argv=None) -> int:
                         help="append a structured JSONL trial event log "
                              "(default: REPRO_OBS or off; inspect with "
                              "'python -m repro.obs report PATH')")
+    add_resilience_arguments(parser)
     args = parser.parse_args(argv)
 
+    policy, checkpoint = resolve_resilience_args(args)
     config = CampaignConfig(
         trials=args.trials, seed=args.seed, swap_train_test=args.swap_inputs,
         jobs=resolve_jobs(args.jobs), obs_log=resolve_obs_log(args.obs_log),
+        checkpoint=checkpoint, resilience=policy,
     )
     if config.obs_log:
         enable_global()
     on_trial = None
+    on_recovery = None
     if not args.quiet:
         on_trial = ProgressPrinter(
             config.trials, label=f"{args.workload}/{args.scheme}"
         )
+        on_recovery = on_trial.note
     result = run_campaign(
-        get_workload(args.workload), args.scheme, config, on_trial=on_trial
+        get_workload(args.workload), args.scheme, config, on_trial=on_trial,
+        on_recovery=on_recovery,
     )
     if on_trial is not None:
         on_trial.finish()

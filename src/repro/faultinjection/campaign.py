@@ -40,7 +40,9 @@ from ..sim.interpreter import Interpreter
 from ..transforms.checkconfig import ProtectionConfig
 from ..transforms.pipeline import SchemeStats, apply_scheme
 from ..workloads.base import Workload
+from . import resilience as resilience_mod
 from .outcomes import CampaignResult, Outcome, TrialResult
+from .resilience import ResiliencePolicy
 
 
 @dataclass
@@ -71,6 +73,17 @@ class CampaignConfig:
     #: supplies a default).  Off by default: wall-times are nondeterministic,
     #: and with timing off a ``jobs=N`` log is byte-identical to serial.
     obs_timing: bool = False
+    #: checkpoint file for crash-resumable campaigns (None = no
+    #: checkpointing; ``REPRO_CHECKPOINT`` supplies a default).  Excluded
+    #: from cache keys — checkpointing cannot affect results.
+    checkpoint: Optional[str] = None
+    #: recovery policy (worker-failure handling, retry budget, per-trial
+    #: wall-clock watchdog, checkpoint cadence).  None = resolve from the
+    #: ``REPRO_RESILIENCE`` family of environment variables; resolution
+    #: happens once in the parent so workers inherit the same decision.
+    #: Also excluded from cache keys: recovery changes *how* trials get
+    #: executed, never what they compute.
+    resilience: Optional[ResiliencePolicy] = None
 
 
 @dataclass
@@ -265,6 +278,20 @@ def resolve_obs_config(config: CampaignConfig) -> CampaignConfig:
     return replace(config, obs_log=obs_log, obs_timing=obs_timing)
 
 
+def resolve_resilience_config(config: CampaignConfig) -> CampaignConfig:
+    """Fold the ``REPRO_RESILIENCE``/``REPRO_CHECKPOINT`` defaults in.
+
+    Like :func:`resolve_obs_config`: explicit config fields win, the
+    environment only fills gaps, and resolution happens once in the parent
+    so every worker sees the same recovery policy.
+    """
+    policy = config.resilience or resilience_mod.default_policy()
+    checkpoint = config.checkpoint or resilience_mod.checkpoint_path_env()
+    if policy is config.resilience and checkpoint == config.checkpoint:
+        return config
+    return replace(config, resilience=policy, checkpoint=checkpoint)
+
+
 def _record_campaign_metrics(registry, result: CampaignResult,
                              seconds: float) -> None:
     """Fold one finished campaign into the process-wide metrics registry."""
@@ -281,18 +308,75 @@ def _record_campaign_metrics(registry, result: CampaignResult,
             registry.counter(f"campaign.check.{trial.detector_guard}").inc()
 
 
+def _open_checkpointer(
+    prepared: PreparedWorkload,
+    config: CampaignConfig,
+    rlog: resilience_mod.ResilienceLogger,
+) -> Optional[resilience_mod.Checkpointer]:
+    """Load (or initialise) the campaign's checkpoint, keyed like the disk
+    cache so a checkpoint can never be replayed against different code,
+    config, or seed.  On a genuine resume the obs log is rolled back to the
+    byte offset recorded before the interrupted campaign started, and stale
+    worker shard files are discarded, so the resumed run rewrites a log
+    byte-identical to an uninterrupted one.
+    """
+    if not config.checkpoint or not config.resilience.enabled:
+        return None
+    from .diskcache import campaign_key
+
+    key = campaign_key(
+        prepared.module, prepared.workload.name, prepared.scheme, config
+    )
+    loaded = resilience_mod.load_checkpoint(
+        config.checkpoint, key, config.trials, logger=rlog
+    )
+    restored = loaded.completed if loaded is not None else {}
+    obs_offset = resilience_mod.obs_log_size(config.obs_log)
+    if restored:
+        if config.obs_log:
+            if loaded.obs_log == config.obs_log:
+                resilience_mod.truncate_obs_log(
+                    config.obs_log, loaded.obs_log_offset
+                )
+                obs_offset = loaded.obs_log_offset
+            obs_events.discard_shards(config.obs_log)
+        rlog.emit(
+            "checkpoint_load",
+            note=(f"resuming from checkpoint: {len(restored)}/"
+                  f"{config.trials} trials already complete"),
+            path=config.checkpoint,
+            completed=len(restored), trials=config.trials,
+        )
+    checkpoint = resilience_mod.Checkpoint(
+        key=key,
+        workload=prepared.workload.name,
+        scheme=prepared.scheme,
+        trials=config.trials,
+        completed=dict(restored),
+        obs_log=config.obs_log,
+        obs_log_offset=obs_offset,
+    )
+    return resilience_mod.Checkpointer(
+        config.checkpoint, checkpoint,
+        every=config.resilience.checkpoint_every, logger=rlog,
+    )
+
+
 def run_campaign(
     workload: Workload,
     scheme: str,
     config: Optional[CampaignConfig] = None,
     prepared: Optional[PreparedWorkload] = None,
     on_trial: Optional[Callable[[TrialResult], None]] = None,
+    on_recovery: Optional[Callable[[str], None]] = None,
 ) -> CampaignResult:
     """Run a full statistical fault-injection campaign.
 
     ``on_trial`` is invoked once per finished trial (in completion order,
     which under ``config.jobs > 1`` may differ from plan order) — intended
     for progress reporting; the returned result is always in plan order.
+    ``on_recovery`` receives a short human-readable line per recovery action
+    (checkpoint load, chunk retry, serial fallback, quarantine).
 
     When ``config.obs_log`` (or ``REPRO_OBS``) names a path, a structured
     JSONL event log is appended there: a ``campaign_begin`` header, one
@@ -300,10 +384,21 @@ def run_campaign(
     files the parent folds back in), and a ``campaign_end`` footer whose
     tallies match the returned result.  With per-trial timing off (default)
     the log is byte-identical for any ``jobs`` value.
+
+    When ``config.checkpoint`` (or ``REPRO_CHECKPOINT``) names a path,
+    completed trials are periodically persisted there and an interrupted
+    campaign resumes from the last checkpoint on the next invocation —
+    producing results and event logs byte-identical to an uninterrupted run
+    (see ``docs/RESILIENCE.md``).  Worker failures are retried and degrade
+    to in-process serial execution per ``config.resilience``.
     """
     config = resolve_obs_config(config or CampaignConfig())
+    config = resolve_resilience_config(config)
     prepared = prepared or prepare(workload, scheme, config)
     plans = draw_plans(config, prepared)
+    rlog = resilience_mod.ResilienceLogger(config.obs_log, echo=on_recovery)
+    checkpointer = _open_checkpointer(prepared, config, rlog)
+    restored = dict(checkpointer.completed) if checkpointer is not None else {}
 
     result = CampaignResult(
         workload=workload.name,
@@ -316,41 +411,122 @@ def run_campaign(
     if config.obs_log:
         writer = obs_events.EventLogWriter(config.obs_log)
     start = time.perf_counter()
+    completed_ok = False
     try:
         if writer is not None:
             writer.emit(obs_events.campaign_begin_event(result))
-        if config.jobs > 1 and len(plans) > 1:
-            from .parallel import run_trials_parallel
-
-            try:
-                result.trials.extend(
-                    run_trials_parallel(prepared, plans, config, on_trial=on_trial)
-                )
-            except BaseException:
-                if config.obs_log:
-                    obs_events.discard_shards(config.obs_log)
-                raise
-            if writer is not None:
-                obs_events.merge_shards(writer)
+        pending = [
+            (index, plan) for index, plan in enumerate(plans)
+            if index not in restored
+        ]
+        if config.jobs > 1 and len(pending) > 1:
+            _run_parallel_portion(
+                prepared, plans, pending, restored, config, result,
+                writer, checkpointer, rlog, on_trial,
+            )
         else:
-            timed = config.obs_timing and writer is not None
-            for index, plan in enumerate(plans):
-                t0 = time.perf_counter() if timed else 0.0
-                trial = run_trial(prepared, plan.cycle, plan.bit, plan.seed, config)
-                wall_ms = (time.perf_counter() - t0) * 1e3 if timed else None
-                result.trials.append(trial)
-                if writer is not None:
-                    writer.emit(
-                        obs_events.trial_event(index, plan, trial, wall_ms=wall_ms)
-                    )
-                if on_trial is not None:
-                    on_trial(trial)
+            _run_serial_portion(
+                prepared, plans, restored, config, result,
+                writer, checkpointer, rlog, on_trial,
+            )
         if writer is not None:
             writer.emit(obs_events.campaign_end_event(result))
+        completed_ok = True
+    except BaseException:
+        # Persist every trial that did finish, so the interrupted campaign
+        # (KeyboardInterrupt, lost pool, reboot) is resumable.
+        if checkpointer is not None:
+            checkpointer.flush(force=True)
+        raise
     finally:
         if writer is not None:
             writer.close()
+        # Orphaned worker shard files must never outlive a failed campaign:
+        # a later campaign sharing the log would merge them out of context.
+        if not completed_ok and config.obs_log:
+            obs_events.discard_shards(config.obs_log)
+    if checkpointer is not None:
+        checkpointer.clear()
     registry = global_registry()
     if registry.enabled:
         _record_campaign_metrics(registry, result, time.perf_counter() - start)
     return result
+
+
+def _run_serial_portion(
+    prepared, plans, restored, config, result, writer, checkpointer, rlog,
+    on_trial,
+) -> None:
+    """In-process execution, restored trials interleaved in plan order."""
+    timed = config.obs_timing and writer is not None
+    for index, plan in enumerate(plans):
+        previous = restored.get(index)
+        if previous is not None:
+            trial, wall_ms = previous, None
+        else:
+            t0 = time.perf_counter() if timed else 0.0
+            trial, anomalies = resilience_mod.run_trial_guarded(
+                prepared, index, plan.cycle, plan.bit, plan.seed, config
+            )
+            wall_ms = (time.perf_counter() - t0) * 1e3 if timed else None
+            for anomaly in anomalies:
+                kind = anomaly.pop("kind")
+                rlog.emit(kind, note=f"{kind}: trial {index}", **anomaly)
+            if checkpointer is not None:
+                checkpointer.record(index, trial)
+        result.trials.append(trial)
+        if writer is not None:
+            writer.emit(
+                obs_events.trial_event(index, plan, trial, wall_ms=wall_ms)
+            )
+        if on_trial is not None:
+            on_trial(trial)
+
+
+def _run_parallel_portion(
+    prepared, plans, pending, restored, config, result, writer, checkpointer,
+    rlog, on_trial,
+) -> None:
+    """Pool execution of the pending trials (worker recovery inside
+    :func:`~.parallel.run_trials_parallel`).
+
+    On a fresh campaign this is the streaming path of PR 1/2: workers write
+    per-chunk event shards, the parent folds them back in plan order.  On a
+    *resume*, restored trials are scattered through the plan, so shard
+    concatenation can no longer reproduce plan order; instead workers run
+    with the log disabled and the parent regenerates every trial event (a
+    pure function of plan + result) in plan order after the pool drains —
+    byte-identical to the streaming log.
+    """
+    from .parallel import run_trials_parallel
+
+    resuming = bool(restored)
+    worker_config = replace(config, obs_log=None) if resuming else config
+    trials_by_index = dict(restored)
+
+    def on_result(index: int, trial: TrialResult) -> None:
+        trials_by_index[index] = trial
+        if checkpointer is not None:
+            checkpointer.record(index, trial)
+
+    if on_trial is not None:
+        for index in sorted(restored):
+            on_trial(restored[index])
+    run_trials_parallel(
+        prepared,
+        [plan for _, plan in pending],
+        worker_config,
+        on_trial=on_trial,
+        indices=[index for index, _ in pending],
+        on_result=on_result,
+        rlog=rlog,
+    )
+    result.trials.extend(trials_by_index[i] for i in range(len(plans)))
+    if writer is not None:
+        if resuming:
+            for index, plan in enumerate(plans):
+                writer.emit(
+                    obs_events.trial_event(index, plan, trials_by_index[index])
+                )
+        else:
+            obs_events.merge_shards(writer)

@@ -27,6 +27,14 @@ single ``campaign-*.json`` file) to invalidate manually.
 Writes are atomic (temp file + ``os.replace``), so concurrent campaigns —
 including the workers of a parallel campaign on a shared filesystem — can
 only ever observe complete entries.
+
+**Integrity.**  Every entry embeds a sha256 of its canonical result payload,
+verified on load.  A corrupt entry (unparsable JSON, checksum mismatch, or
+an undecodable result) is *quarantined* — moved into a ``quarantine/``
+subdirectory of the cache, preserving the evidence — counted in the
+``cache.corrupt`` metric, and reported as a resilience event; the campaign
+is then recomputed.  Entries are never silently ignored and never trusted
+unverified (see ``docs/RESILIENCE.md``).
 """
 
 from __future__ import annotations
@@ -44,6 +52,7 @@ from ..ir.printer import module_to_str
 from ..obs.metrics import global_registry
 from .campaign import CampaignConfig
 from .outcomes import CampaignResult
+from .resilience import ResilienceLogger, quarantine_file
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
@@ -82,13 +91,29 @@ def _config_fingerprint(config: CampaignConfig) -> dict:
     bit-identical to serial ones, so worker count must not fragment the
     cache.  The observability knobs (``obs_log``, ``obs_timing``) are
     excluded for the same reason — logging observes trials, it cannot affect
-    them.  ``trials`` and ``seed`` are kept in the fingerprint *and*
-    surfaced as top-level key fields for human inspection.
+    them — as are the resilience knobs (``checkpoint``, ``resilience``):
+    recovery changes how trials get executed, never what they compute.
+    ``trials`` and ``seed`` are kept in the fingerprint *and* surfaced as
+    top-level key fields for human inspection.
     """
     fields = dataclasses.asdict(config)
-    for non_semantic in ("jobs", "obs_log", "obs_timing"):
+    for non_semantic in (
+        "jobs", "obs_log", "obs_timing", "checkpoint", "resilience",
+    ):
         fields.pop(non_semantic, None)
     return fields
+
+
+def _result_digest(result_doc: Dict) -> str:
+    """sha256 of the canonical JSON encoding of a result document.
+
+    Computed over the parsed document (not raw file bytes) so the digest is
+    stable across JSON round-trips: the value written at ``put`` time equals
+    the value recomputed from the parsed entry at ``get`` time iff the
+    payload is undamaged.
+    """
+    canonical = json.dumps(result_doc, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
 
 
 def campaign_key(module, workload: str, scheme: str,
@@ -128,26 +153,54 @@ class CampaignCache:
     def get_entry(self, key: str) -> Optional[Tuple[CampaignResult, Dict]]:
         """Cached ``(result, creation meta)`` for ``key``, or None.
 
-        Corrupt entries miss.  Legacy (unwrapped) entries return empty meta.
+        Absent entries miss.  Corrupt or unreadable entries also miss — but
+        loudly: the file is quarantined (moved to ``quarantine/`` inside the
+        cache directory), the ``cache.corrupt`` counter is incremented, and
+        a ``cache_corrupt`` resilience event is emitted, so the campaign is
+        recomputed instead of the damage being silently swallowed.  Legacy
+        (unwrapped or checksum-less) entries load with empty meta.
         """
         if not self.enabled:
             return None
         registry = global_registry()
         path = self._path(key)
+        if not path.exists():
+            registry.counter("cache.miss").inc()
+            return None
         try:
             with open(path) as fh:
                 data = json.load(fh)
+            if not isinstance(data, dict):
+                raise ValueError("cache entry is not a JSON object")
             if "result" in data:
+                integrity = data.get("integrity") or {}
+                stored = integrity.get("sha256")
+                if stored is not None and stored != _result_digest(data["result"]):
+                    raise ValueError("cache entry checksum mismatch")
                 result = CampaignResult.from_dict(data["result"])
                 meta = data.get("meta") or {}
             else:
                 result = CampaignResult.from_dict(data)
                 meta = {}
-        except (OSError, ValueError, KeyError, TypeError):
+        except (OSError, ValueError, KeyError, TypeError) as err:
+            self._quarantine(key, path, err)
             registry.counter("cache.miss").inc()
             return None
         registry.counter("cache.hit").inc()
         return result, meta
+
+    def _quarantine(self, key: str, path: Path, err: Exception) -> None:
+        """Move a corrupt entry aside and account for it."""
+        global_registry().counter("cache.corrupt").inc()
+        dest = quarantine_file(path)
+        ResilienceLogger.from_env().emit(
+            "cache_corrupt",
+            note=f"corrupt cache entry quarantined: {path.name}",
+            key=key,
+            path=str(path),
+            quarantined_to=dest,
+            reason=str(err),
+        )
 
     def get(self, key: str) -> Optional[CampaignResult]:
         """Cached result for ``key``, or None (corrupt entries miss)."""
@@ -159,6 +212,7 @@ class CampaignCache:
         if not self.enabled:
             return
         now = time.time()
+        result_doc = result.to_dict()
         document = {
             "meta": {
                 "key": key,
@@ -171,7 +225,8 @@ class CampaignCache:
                 "scheme": result.scheme,
                 "trials": result.num_trials,
             },
-            "result": result.to_dict(),
+            "result": result_doc,
+            "integrity": {"sha256": _result_digest(result_doc)},
         }
         try:
             self.root.mkdir(parents=True, exist_ok=True)

@@ -78,6 +78,54 @@ class TrialResult:
         return self.event_cycle - self.injection_cycle
 
 
+def trial_to_record(t: TrialResult) -> Dict:
+    """JSON-safe record of one trial (checkpoints, caches, exports)."""
+    return {
+        "outcome": t.outcome.value,
+        "cycle": t.injection_cycle,
+        "bit": t.bit,
+        "landed": t.landed,
+        "was_live": t.was_live,
+        "event_cycle": t.event_cycle,
+        "fidelity": t.fidelity_score,
+        "is_sdc": t.is_sdc,
+        "is_asdc": t.is_asdc,
+        "change_magnitude": t.change_magnitude,
+        "value_name": t.value_name,
+        "function": t.function,
+        "detector_guard": t.detector_guard,
+        "detector_kind": t.detector_kind,
+        "trap_kind": t.trap_kind,
+    }
+
+
+def trial_from_record(rec: Dict) -> TrialResult:
+    """Inverse of :func:`trial_to_record` — bit-exact reconstruction.
+
+    Every :class:`TrialResult` field appears in the record (and JSON
+    round-trips Python floats exactly), so a trial loaded from disk compares
+    equal, field for field, to the one that was saved.  Both the on-disk
+    campaign cache and the resilience checkpoints rely on this.
+    """
+    return TrialResult(
+        outcome=Outcome(rec["outcome"]),
+        injection_cycle=rec["cycle"],
+        bit=rec["bit"],
+        landed=rec.get("landed", False),
+        was_live=rec.get("was_live", False),
+        event_cycle=rec.get("event_cycle"),
+        fidelity_score=rec.get("fidelity"),
+        is_sdc=rec.get("is_sdc", False),
+        is_asdc=rec.get("is_asdc", False),
+        change_magnitude=rec.get("change_magnitude", 0.0),
+        value_name=rec.get("value_name", ""),
+        function=rec.get("function", ""),
+        detector_guard=rec.get("detector_guard"),
+        detector_kind=rec.get("detector_kind", ""),
+        trap_kind=rec.get("trap_kind", ""),
+    )
+
+
 @dataclass
 class CampaignResult:
     """Aggregated statistics of one (workload, scheme) campaign."""
@@ -182,37 +230,14 @@ class CampaignResult:
                 "asdc": self.asdc,
                 "coverage": self.coverage,
             },
-            "records": [
-                {
-                    "outcome": t.outcome.value,
-                    "cycle": t.injection_cycle,
-                    "bit": t.bit,
-                    "landed": t.landed,
-                    "was_live": t.was_live,
-                    "event_cycle": t.event_cycle,
-                    "fidelity": t.fidelity_score,
-                    "is_sdc": t.is_sdc,
-                    "is_asdc": t.is_asdc,
-                    "change_magnitude": t.change_magnitude,
-                    "value_name": t.value_name,
-                    "function": t.function,
-                    "detector_guard": t.detector_guard,
-                    "detector_kind": t.detector_kind,
-                    "trap_kind": t.trap_kind,
-                }
-                for t in self.trials
-            ],
+            "records": [trial_to_record(t) for t in self.trials],
         }
 
     @classmethod
     def from_dict(cls, data: Dict) -> "CampaignResult":
-        """Inverse of :meth:`to_dict` — bit-exact trial reconstruction.
-
-        Every :class:`TrialResult` field appears in the per-trial records
-        (and JSON round-trips Python floats exactly), so a campaign loaded
-        from disk compares equal, trial for trial, to the one that was
-        saved.  This is what makes the on-disk campaign cache transparent.
-        """
+        """Inverse of :meth:`to_dict` — bit-exact trial reconstruction (see
+        :func:`trial_from_record`).  This is what makes the on-disk campaign
+        cache transparent."""
         result = cls(
             workload=data["workload"],
             scheme=data["scheme"],
@@ -221,25 +246,7 @@ class CampaignResult:
             golden_guard_evaluations=data.get("golden_guard_evaluations", 0),
         )
         for rec in data.get("records", ()):
-            result.trials.append(
-                TrialResult(
-                    outcome=Outcome(rec["outcome"]),
-                    injection_cycle=rec["cycle"],
-                    bit=rec["bit"],
-                    landed=rec.get("landed", False),
-                    was_live=rec.get("was_live", False),
-                    event_cycle=rec.get("event_cycle"),
-                    fidelity_score=rec.get("fidelity"),
-                    is_sdc=rec.get("is_sdc", False),
-                    is_asdc=rec.get("is_asdc", False),
-                    change_magnitude=rec.get("change_magnitude", 0.0),
-                    value_name=rec.get("value_name", ""),
-                    function=rec.get("function", ""),
-                    detector_guard=rec.get("detector_guard"),
-                    detector_kind=rec.get("detector_kind", ""),
-                    trap_kind=rec.get("trap_kind", ""),
-                )
-            )
+            result.trials.append(trial_from_record(rec))
         return result
 
     def save(self, path) -> None:

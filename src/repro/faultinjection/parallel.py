@@ -24,27 +24,62 @@ Design (see ``docs/PERFORMANCE.md``):
   dozen trials each) to amortise task-dispatch overhead; completed chunks
   stream back for progress callbacks, and results are re-ordered by the
   original plan index before returning.
+
+* **Worker-failure recovery** (see ``docs/RESILIENCE.md``).  A SIGKILLed or
+  OOM-killed worker breaks the whole :class:`ProcessPoolExecutor`; instead
+  of aborting the campaign, the chunks that never reported back are
+  resubmitted to a fresh pool with exponential backoff, and once the retry
+  budget is exhausted (or immediately, under the ``serial`` policy) the
+  residual trials degrade to in-process serial execution.  Trial plans are
+  pre-drawn, so a retried or serially-executed chunk computes bit-identical
+  results — recovery is invisible in the campaign outcome and visible only
+  in the resilience audit log.
 """
 
 from __future__ import annotations
 
 import os
+import warnings
 from concurrent.futures import ProcessPoolExecutor, as_completed
-from typing import Callable, List, Optional, Sequence, Tuple
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..obs.metrics import global_registry
 from ..sim.faults import InjectionPlan
-from .campaign import CampaignConfig, PreparedWorkload, prepare, run_trial
+from . import resilience as resilience_mod
+from .campaign import CampaignConfig, PreparedWorkload, prepare
 from .outcomes import TrialResult
 
 __all__ = ["default_jobs", "resolve_jobs", "run_trials_parallel"]
 
+#: one-time flag for the REPRO_JOBS misparse warning
+_WARNED_JOBS_MISPARSE = False
+
 
 def default_jobs() -> int:
-    """Worker count from the ``REPRO_JOBS`` environment variable (min 1)."""
+    """Worker count from the ``REPRO_JOBS`` environment variable (min 1).
+
+    An unparsable value (``"4.0"``, ``"four"``) falls back to 1 — but not
+    silently: it raises a one-time :class:`RuntimeWarning` and increments
+    the ``config.jobs_misparse`` counter, so a campaign that was meant to
+    run on 32 cores cannot quietly run serially for hours.
+    """
+    global _WARNED_JOBS_MISPARSE
     value = os.environ.get("REPRO_JOBS", "")
+    if not value:
+        return 1
     try:
         return max(1, int(value))
     except ValueError:
+        global_registry().counter("config.jobs_misparse").inc()
+        if not _WARNED_JOBS_MISPARSE:
+            _WARNED_JOBS_MISPARSE = True
+            warnings.warn(
+                f"REPRO_JOBS={value!r} is not an integer; "
+                f"falling back to 1 worker (serial execution)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         return 1
 
 
@@ -99,24 +134,35 @@ def _init_worker(name: str, scheme: str, config: CampaignConfig) -> None:
     _WORKER_CAMPAIGN = (name, scheme, config)
 
 
-def _run_chunk(
+def _execute_chunk(
+    prepared: PreparedWorkload,
+    config: CampaignConfig,
     chunk: Sequence[Tuple[int, int, int, int]],
-) -> List[Tuple[int, TrialResult]]:
-    """Worker entry: run one chunk of (index, cycle, bit, seed) trials.
+) -> Tuple[List[Tuple[int, TrialResult]], List[Dict]]:
+    """Run one chunk of (index, cycle, bit, seed) trials.
 
-    When the campaign has an observability log configured, the worker also
-    writes this chunk's trial events to a shard file next to the log (named
-    by the chunk's first plan index); the parent concatenates shards in plan
-    order after the pool drains, making the merged log byte-identical to a
-    serial run's (see :mod:`repro.obs.events`).
+    Returns ``(results, anomalies)`` — anomalies are watchdog events (trial
+    timeout / quarantine) collected by :func:`~.resilience.run_trial_guarded`
+    for the parent to log.  When the campaign has an observability log
+    configured, the chunk's trial events are also written to a shard file
+    next to the log (named by the chunk's first plan index); the parent
+    concatenates shards in plan order after the pool drains, making the
+    merged log byte-identical to a serial run's (see :mod:`repro.obs.events`).
+
+    Shared between the worker entry point (:func:`_run_chunk`) and the
+    parent's serial-fallback path, so degraded execution behaves exactly
+    like a worker would have.
     """
-    name, scheme, config = _WORKER_CAMPAIGN  # type: ignore[misc]
-    prepared = _worker_prepared(name, scheme, config)
+    anomalies: List[Dict] = []
     if not config.obs_log:
-        return [
-            (index, run_trial(prepared, cycle, bit, seed, config))
-            for index, cycle, bit, seed in chunk
-        ]
+        results = []
+        for index, cycle, bit, seed in chunk:
+            trial, notes = resilience_mod.run_trial_guarded(
+                prepared, index, cycle, bit, seed, config
+            )
+            results.append((index, trial))
+            anomalies.extend(notes)
+        return results, anomalies
     import time
 
     from ..obs import events as obs_events
@@ -125,11 +171,14 @@ def _run_chunk(
     events = []
     for index, cycle, bit, seed in chunk:
         t0 = time.perf_counter() if config.obs_timing else 0.0
-        trial = run_trial(prepared, cycle, bit, seed, config)
+        trial, notes = resilience_mod.run_trial_guarded(
+            prepared, index, cycle, bit, seed, config
+        )
         wall_ms = (
             (time.perf_counter() - t0) * 1e3 if config.obs_timing else None
         )
         results.append((index, trial))
+        anomalies.extend(notes)
         events.append(
             obs_events.trial_event(
                 index, InjectionPlan(cycle=cycle, bit=bit, seed=seed), trial,
@@ -137,7 +186,16 @@ def _run_chunk(
             )
         )
     obs_events.write_shard(config.obs_log, chunk[0][0], events)
-    return results
+    return results, anomalies
+
+
+def _run_chunk(
+    chunk: Sequence[Tuple[int, int, int, int]],
+) -> Tuple[List[Tuple[int, TrialResult]], List[Dict]]:
+    """Worker entry: resolve the per-process prepared workload and run."""
+    name, scheme, config = _WORKER_CAMPAIGN  # type: ignore[misc]
+    prepared = _worker_prepared(name, scheme, config)
+    return _execute_chunk(prepared, config, chunk)
 
 
 def _chunk_size(n_trials: int, jobs: int) -> int:
@@ -152,38 +210,129 @@ def run_trials_parallel(
     config: CampaignConfig,
     on_trial: Optional[Callable[[TrialResult], None]] = None,
     jobs: Optional[int] = None,
+    indices: Optional[Sequence[int]] = None,
+    on_result: Optional[Callable[[int, TrialResult], None]] = None,
+    rlog: Optional[resilience_mod.ResilienceLogger] = None,
 ) -> List[TrialResult]:
     """Execute pre-drawn trial plans across worker processes.
 
-    Returns results in plan order; ``on_trial`` fires in completion order.
-    With ``config.obs_log`` set, workers leave per-chunk event shard files
-    next to the log; :func:`~repro.faultinjection.campaign.run_campaign`
-    merges them — direct callers must merge (or discard) shards themselves.
+    Returns results in plan order; ``on_trial`` fires in completion order,
+    ``on_result`` fires alongside it with the original plan index (the
+    campaign layer uses it to checkpoint completed trials).  ``indices``
+    lets a resumed campaign run a subset of its plans under their original
+    plan indices.  With ``config.obs_log`` set, workers leave per-chunk
+    event shard files next to the log;
+    :func:`~repro.faultinjection.campaign.run_campaign` merges them —
+    direct callers must merge (or discard) shards themselves.
+
+    A broken pool (killed worker) is handled per ``config.resilience``:
+    lost chunks are resubmitted to a fresh pool with exponential backoff,
+    then degrade to in-process serial execution once the retry budget is
+    spent.  With resilience disabled the :class:`BrokenProcessPool` error
+    propagates, as it did before the resilience layer existed.
     """
     global _FORK_PREPARED
     jobs = max(1, jobs if jobs is not None else config.jobs)
+    if indices is None:
+        indices = range(len(plans))
     tagged = [
-        (i, plan.cycle, plan.bit, plan.seed) for i, plan in enumerate(plans)
+        (index, plan.cycle, plan.bit, plan.seed)
+        for index, plan in zip(indices, plans)
     ]
     size = _chunk_size(len(tagged), jobs)
-    chunks = [tagged[i:i + size] for i in range(0, len(tagged), size)]
+    pending: Dict[int, List[Tuple[int, int, int, int]]] = {
+        ordinal: tagged[i:i + size]
+        for ordinal, i in enumerate(range(0, len(tagged), size))
+    }
     name, scheme = prepared.workload.name, prepared.scheme
+    policy = config.resilience or resilience_mod.ResiliencePolicy(enabled=False)
+    rlog = rlog or resilience_mod.ResilienceLogger(config.obs_log)
 
-    results: List[Optional[TrialResult]] = [None] * len(plans)
+    results: Dict[int, TrialResult] = {}
+
+    def consume(chunk_results, anomalies) -> None:
+        for anomaly in anomalies:
+            kind = anomaly.pop("kind")
+            rlog.emit(kind, note=f"{kind}: trial {anomaly.get('i')}", **anomaly)
+        for index, trial in chunk_results:
+            results[index] = trial
+            if on_result is not None:
+                on_result(index, trial)
+            if on_trial is not None:
+                on_trial(trial)
+
+    def run_serial_fallback() -> None:
+        rlog.emit(
+            "serial_fallback",
+            note=(f"worker pool lost; running "
+                  f"{sum(len(c) for c in pending.values())} residual "
+                  f"trials in-process"),
+            chunks=len(pending),
+            trials=sum(len(c) for c in pending.values()),
+        )
+        for ordinal in sorted(pending):
+            consume(*_execute_chunk(prepared, config, pending[ordinal]))
+        pending.clear()
+
+    attempt = 0
+    last_error: Optional[BaseException] = None
     _FORK_PREPARED = (_prepared_key(name, scheme, config), prepared)
     try:
-        with ProcessPoolExecutor(
-            max_workers=jobs,
-            initializer=_init_worker,
-            initargs=(name, scheme, config),
-        ) as pool:
-            futures = [pool.submit(_run_chunk, chunk) for chunk in chunks]
-            for future in as_completed(futures):
-                for index, trial in future.result():
-                    results[index] = trial
-                    if on_trial is not None:
-                        on_trial(trial)
+        while pending:
+            if attempt > 0:
+                if not policy.enabled or policy.on_worker_failure == "fail":
+                    raise last_error
+                if (
+                    policy.on_worker_failure == "serial"
+                    or attempt > policy.max_retries
+                ):
+                    run_serial_fallback()
+                    break
+                delay = resilience_mod.backoff_delay(
+                    policy.backoff_seconds, attempt
+                )
+                rlog.emit(
+                    "chunk_retry",
+                    note=(f"retrying {len(pending)} lost chunk(s), "
+                          f"attempt {attempt}/{policy.max_retries} "
+                          f"after {delay:.1f}s backoff"),
+                    attempt=attempt,
+                    chunks=len(pending),
+                    delay_seconds=delay,
+                )
+                resilience_mod.sleep(delay)
+            try:
+                with ProcessPoolExecutor(
+                    max_workers=min(jobs, len(pending)),
+                    initializer=_init_worker,
+                    initargs=(name, scheme, config),
+                ) as pool:
+                    futures = {
+                        pool.submit(_run_chunk, chunk): ordinal
+                        for ordinal, chunk in pending.items()
+                    }
+                    for future in as_completed(futures):
+                        ordinal = futures[future]
+                        try:
+                            chunk_results, anomalies = future.result()
+                        except BrokenProcessPool as err:
+                            last_error = err
+                            continue
+                        del pending[ordinal]
+                        consume(chunk_results, anomalies)
+            except BrokenProcessPool as err:
+                last_error = err
+            if pending:
+                attempt += 1
+                rlog.emit(
+                    "worker_failure",
+                    note=(f"worker pool broke with {len(pending)} chunk(s) "
+                          f"outstanding: {last_error}"),
+                    attempt=attempt,
+                    lost_chunks=len(pending),
+                    error=str(last_error),
+                )
     finally:
         _FORK_PREPARED = None
-    assert all(t is not None for t in results)
-    return results  # type: ignore[return-value]
+    ordered = [results[index] for index in indices]
+    return ordered

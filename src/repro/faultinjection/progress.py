@@ -78,6 +78,15 @@ class ProgressPrinter:
             self._last_print = now
             self._emit(now)
 
+    def note(self, message: str) -> None:
+        """Print a one-off out-of-band line (e.g. a recovery action).
+
+        Bypasses the rate limiter: recovery actions are rare and the user
+        should see them when they happen, not at the next progress tick.
+        """
+        prefix = f"{self.label}: " if self.label else ""
+        print(f"  {prefix}{message}", file=self.stream, flush=True)
+
     def finish(self) -> None:
         """Flush the final summary line if the last trials went unprinted.
 

@@ -1,0 +1,555 @@
+"""Campaign resilience layer: checkpoint/resume, recovery policy, watchdogs.
+
+The paper's evaluation rests on large statistical fault-injection campaigns
+(thousands of trials per benchmark x scheme).  At that scale the injection
+harness is itself a long-running system that must survive partial failures:
+a crashed worker, a runaway trial, or a corrupt on-disk artifact must not
+abort the whole campaign and discard every completed trial.  This module
+provides the pieces; :mod:`.campaign` and :mod:`.parallel` integrate them.
+
+* :class:`ResiliencePolicy` — the recovery knobs (worker-failure policy,
+  retry budget and backoff, per-trial wall-clock deadline, checkpoint
+  cadence), resolved once in the campaign parent from ``REPRO_RESILIENCE``
+  and friends so workers inherit the exact same decision.
+
+* **Checkpointing** (:class:`Checkpointer`, :func:`save_checkpoint`,
+  :func:`load_checkpoint`) — periodically persists completed plan-indexed
+  trial records to an atomically-replaced JSON file carrying a sha256 of its
+  payload.  An interrupted campaign (``KeyboardInterrupt``, OOM-killed
+  worker, machine reboot) resumes from the last checkpoint; because trial
+  plans are pre-drawn and trial records round-trip bit-exactly, the resumed
+  campaign produces byte-identical results and event logs.  A checkpoint
+  whose checksum does not verify is quarantined and ignored, never trusted.
+
+* **Trial watchdog** (:func:`trial_deadline`, :func:`run_trial_guarded`) —
+  a *real-time* deadline per trial, distinct from the simulated-cycle
+  ``timeout_factor``: the simulator already bounds simulated work, so a
+  trial that exceeds wall-clock expectations is a harness anomaly (e.g. a
+  pathological host, a runaway allocation), not a program outcome.  A trial
+  that overruns is retried once and then quarantined as a
+  ``harness_timeout`` failure instead of hanging the pool.  Off by default
+  (``trial_deadline_seconds=0``): wall-clock classification is inherently
+  nondeterministic, so the determinism guarantee only covers campaigns where
+  the watchdog never fires (or is disabled).
+
+* **Quarantine** (:func:`quarantine_file`) — corrupt artifacts (cache
+  entries, checkpoints) are moved into a ``quarantine/`` subdirectory next
+  to where they lived, preserving the evidence for diagnosis instead of
+  silently deleting or — worse — silently *using* it.
+
+* :class:`ResilienceLogger` — every recovery action (checkpoint write/load,
+  chunk retry, serial fallback, quarantine) emits a structured event to a
+  sidecar JSONL (``<obs_log>.resilience`` — kept out of the main trial log
+  so the byte-identity guarantee of :mod:`repro.obs.events` is untouched)
+  and a ``resilience.*`` counter in the metrics registry, so resilience
+  behaviour is auditable via ``python -m repro.obs report``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import signal
+import tempfile
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..obs import events as obs_events
+from ..obs.metrics import global_registry
+from .outcomes import Outcome, TrialResult, trial_from_record, trial_to_record
+
+__all__ = [
+    "CHECKPOINT_SCHEMA_VERSION",
+    "Checkpoint",
+    "Checkpointer",
+    "HarnessTimeout",
+    "ResiliencePolicy",
+    "ResilienceLogger",
+    "default_policy",
+    "load_checkpoint",
+    "quarantine_file",
+    "resilience_enabled",
+    "run_trial_guarded",
+    "save_checkpoint",
+    "trial_deadline",
+]
+
+#: bump on any change to the checkpoint file layout
+CHECKPOINT_SCHEMA_VERSION = 1
+
+_FALSEY = ("", "0", "off", "false", "no")
+
+#: accepted ``on_worker_failure`` policies
+WORKER_FAILURE_POLICIES = ("retry", "serial", "fail")
+
+
+# ---------------------------------------------------------------------------
+# policy
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ResiliencePolicy:
+    """Recovery behaviour of one campaign (resolved once, in the parent)."""
+
+    #: master switch; when False every failure propagates as before
+    enabled: bool = True
+    #: reaction to a lost worker/chunk: 'retry' (backoff, then serial),
+    #: 'serial' (immediate in-process fallback), or 'fail' (propagate)
+    on_worker_failure: str = "retry"
+    #: pool re-creation attempts before degrading to serial execution
+    max_retries: int = 2
+    #: base delay before the first retry; doubles per attempt
+    backoff_seconds: float = 0.5
+    #: per-trial wall-clock deadline in seconds (0 = watchdog off).  A trial
+    #: exceeding it is requeued once, then quarantined as harness_timeout.
+    trial_deadline_seconds: float = 0.0
+    #: completed trials between checkpoint writes (when checkpointing is on)
+    checkpoint_every: int = 25
+
+    def __post_init__(self) -> None:
+        if self.on_worker_failure not in WORKER_FAILURE_POLICIES:
+            raise ValueError(
+                f"on_worker_failure must be one of {WORKER_FAILURE_POLICIES},"
+                f" got {self.on_worker_failure!r}"
+            )
+
+
+def resilience_enabled() -> bool:
+    """False when ``REPRO_RESILIENCE`` is set to 0/off/false/no."""
+    return os.environ.get("REPRO_RESILIENCE", "1").strip().lower() not in _FALSEY
+
+
+def _env_int(name: str, default: int) -> int:
+    try:
+        return int(os.environ.get(name, ""))
+    except ValueError:
+        return default
+
+
+def _env_float(name: str, default: float) -> float:
+    try:
+        return float(os.environ.get(name, ""))
+    except ValueError:
+        return default
+
+
+def default_policy() -> ResiliencePolicy:
+    """Policy from the environment.
+
+    * ``REPRO_RESILIENCE`` — falsey disables recovery entirely; ``retry``,
+      ``serial`` or ``fail`` select the worker-failure policy; any other
+      truthy value means enabled with defaults.
+    * ``REPRO_MAX_RETRIES`` — pool re-creation budget (default 2).
+    * ``REPRO_TRIAL_DEADLINE`` — per-trial wall-clock deadline, seconds
+      (default 0 = off).
+    * ``REPRO_CHECKPOINT_EVERY`` — trials between checkpoint writes
+      (default 25).
+    """
+    value = os.environ.get("REPRO_RESILIENCE", "1").strip().lower()
+    policy = ResiliencePolicy(enabled=value not in _FALSEY)
+    if value in WORKER_FAILURE_POLICIES:
+        policy.on_worker_failure = value
+    policy.max_retries = max(0, _env_int("REPRO_MAX_RETRIES", policy.max_retries))
+    policy.trial_deadline_seconds = max(
+        0.0, _env_float("REPRO_TRIAL_DEADLINE", policy.trial_deadline_seconds)
+    )
+    policy.checkpoint_every = max(
+        1, _env_int("REPRO_CHECKPOINT_EVERY", policy.checkpoint_every)
+    )
+    return policy
+
+
+def checkpoint_path_env() -> Optional[str]:
+    """Checkpoint file path from ``REPRO_CHECKPOINT`` (single-campaign CLI)."""
+    value = os.environ.get("REPRO_CHECKPOINT", "").strip()
+    return value or None
+
+
+def checkpoint_dir_env() -> Optional[str]:
+    """Checkpoint directory from ``REPRO_CHECKPOINT_DIR`` (experiment sweeps:
+    one checkpoint file per campaign, keyed like the disk cache)."""
+    value = os.environ.get("REPRO_CHECKPOINT_DIR", "").strip()
+    return value or None
+
+
+# ---------------------------------------------------------------------------
+# quarantine
+# ---------------------------------------------------------------------------
+
+
+def quarantine_file(path) -> Optional[str]:
+    """Move a corrupt artifact into ``quarantine/`` next to it.
+
+    Returns the destination path, or None when the move failed (the caller
+    must still treat the artifact as unusable).  Existing quarantined files
+    with the same name are suffixed ``.1``, ``.2``, ... rather than
+    overwritten, so repeated corruption keeps all the evidence.
+    """
+    path = os.fspath(path)
+    directory = os.path.dirname(os.path.abspath(path))
+    qdir = os.path.join(directory, "quarantine")
+    name = os.path.basename(path)
+    try:
+        os.makedirs(qdir, exist_ok=True)
+        dest = os.path.join(qdir, name)
+        suffix = 0
+        while os.path.exists(dest):
+            suffix += 1
+            dest = os.path.join(qdir, f"{name}.{suffix}")
+        os.replace(path, dest)
+        return dest
+    except OSError:
+        return None
+
+
+# ---------------------------------------------------------------------------
+# resilience event log (sidecar) + metrics
+# ---------------------------------------------------------------------------
+
+
+class ResilienceLogger:
+    """Audit trail for recovery actions: sidecar JSONL + registry counters.
+
+    The sidecar (``<obs_log>.resilience``) is separate from the main trial
+    log on purpose: recovery actions only happen on failures, so folding
+    them into the trial log would break its byte-identity guarantee.  Lines
+    are appended with ``O_APPEND`` semantics, so parent and (worker) writers
+    never interleave within a line.  ``echo`` is an optional callable given
+    a short human-readable description of each action (the CLIs wire it to
+    the progress printer).
+    """
+
+    def __init__(self, obs_log: Optional[str] = None,
+                 echo: Optional[Callable[[str], None]] = None) -> None:
+        self.path = (
+            obs_events.resilience_log_path(obs_log) if obs_log else None
+        )
+        self.echo = echo
+
+    @classmethod
+    def from_env(cls) -> "ResilienceLogger":
+        """Logger bound to the ``REPRO_OBS`` sidecar (library-level callers
+        with no campaign context, e.g. the disk cache)."""
+        from ..obs.config import obs_log_path
+
+        return cls(obs_log_path())
+
+    def emit(self, kind: str, note: str = "", **fields) -> None:
+        global_registry().counter(f"resilience.{kind}").inc()
+        if self.path is not None:
+            event = obs_events.resilience_event(kind, **fields)
+            try:
+                parent = os.path.dirname(os.path.abspath(self.path))
+                os.makedirs(parent, exist_ok=True)
+                with open(self.path, "a", encoding="utf-8") as fh:
+                    fh.write(obs_events.encode_event(event))
+            except OSError:  # pragma: no cover - audit log is best effort
+                pass
+        if self.echo is not None and note:
+            self.echo(note)
+
+
+# ---------------------------------------------------------------------------
+# checkpoint files
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Checkpoint:
+    """In-memory view of a campaign checkpoint."""
+
+    key: str
+    workload: str
+    scheme: str
+    trials: int
+    completed: Dict[int, TrialResult]
+    obs_log: Optional[str] = None
+    obs_log_offset: int = 0
+
+
+def _checkpoint_document(checkpoint: Checkpoint) -> Dict:
+    payload = {
+        "v": CHECKPOINT_SCHEMA_VERSION,
+        "key": checkpoint.key,
+        "workload": checkpoint.workload,
+        "scheme": checkpoint.scheme,
+        "trials": checkpoint.trials,
+        "obs_log": checkpoint.obs_log,
+        "obs_log_offset": checkpoint.obs_log_offset,
+        "completed": {
+            str(i): trial_to_record(t)
+            for i, t in sorted(checkpoint.completed.items())
+        },
+    }
+    digest = hashlib.sha256(
+        json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
+    ).hexdigest()
+    payload["sha256"] = digest
+    return payload
+
+
+def save_checkpoint(path, checkpoint: Checkpoint) -> None:
+    """Atomically persist ``checkpoint`` (temp file + ``os.replace``).
+
+    A crash mid-write can therefore never leave a half-written checkpoint
+    under ``path`` — resume sees either the previous complete checkpoint or
+    the new one.
+    """
+    path = os.fspath(path)
+    document = _checkpoint_document(checkpoint)
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        prefix=".checkpoint-", suffix=".tmp", dir=directory
+    )
+    try:
+        with os.fdopen(fd, "w") as fh:
+            json.dump(document, fh)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def load_checkpoint(
+    path, key: str, trials: int,
+    logger: Optional[ResilienceLogger] = None,
+) -> Optional[Checkpoint]:
+    """Load and verify a checkpoint; corrupt or mismatched files quarantine.
+
+    Returns None when there is nothing usable: no file, a checksum mismatch
+    (quarantined), or a checkpoint for a *different* campaign (key or trial
+    count mismatch — left in place: it likely belongs to another run and
+    will be overwritten only by an explicit save).
+    """
+    path = os.fspath(path)
+    logger = logger or ResilienceLogger()
+    try:
+        with open(path, encoding="utf-8") as fh:
+            document = json.load(fh)
+        stored = document.pop("sha256")
+        digest = hashlib.sha256(
+            json.dumps(document, sort_keys=True, separators=(",", ":")).encode()
+        ).hexdigest()
+        if digest != stored:
+            raise ValueError("checkpoint checksum mismatch")
+        if document.get("v") != CHECKPOINT_SCHEMA_VERSION:
+            raise ValueError("unknown checkpoint schema")
+        completed = {
+            int(i): trial_from_record(rec)
+            for i, rec in document["completed"].items()
+        }
+    except FileNotFoundError:
+        return None
+    except (OSError, ValueError, KeyError, TypeError) as err:
+        dest = quarantine_file(path)
+        logger.emit(
+            "checkpoint_corrupt",
+            note=f"corrupt checkpoint quarantined: {path}",
+            path=path, quarantined_to=dest, reason=str(err),
+        )
+        return None
+    if document.get("key") != key or document.get("trials") != trials:
+        return None
+    return Checkpoint(
+        key=key,
+        workload=document.get("workload", ""),
+        scheme=document.get("scheme", ""),
+        trials=trials,
+        completed=completed,
+        obs_log=document.get("obs_log"),
+        obs_log_offset=int(document.get("obs_log_offset", 0)),
+    )
+
+
+class Checkpointer:
+    """Accumulates completed (index, trial) pairs and flushes periodically.
+
+    ``record`` is called for every finished trial (restored ones are
+    prefilled); every ``every`` *new* records — and on ``flush(force=True)``
+    from the campaign's interrupt handler — the full completed map is
+    written atomically.  ``clear`` removes the file once the campaign
+    finished and its results were returned.
+    """
+
+    def __init__(self, path, checkpoint: Checkpoint, every: int,
+                 logger: Optional[ResilienceLogger] = None) -> None:
+        self.path = os.fspath(path)
+        self.checkpoint = checkpoint
+        self.every = max(1, every)
+        self.logger = logger or ResilienceLogger()
+        self._unflushed = 0
+
+    @property
+    def completed(self) -> Dict[int, TrialResult]:
+        return self.checkpoint.completed
+
+    def record(self, index: int, trial: TrialResult) -> None:
+        if index in self.checkpoint.completed:
+            return
+        self.checkpoint.completed[index] = trial
+        self._unflushed += 1
+        if self._unflushed >= self.every:
+            self.flush()
+
+    def flush(self, force: bool = False) -> None:
+        if self._unflushed == 0 and not force:
+            return
+        try:
+            save_checkpoint(self.path, self.checkpoint)
+        except OSError:  # pragma: no cover - checkpointing is best effort
+            return
+        self._unflushed = 0
+        self.logger.emit(
+            "checkpoint_write",
+            path=self.path,
+            completed=len(self.checkpoint.completed),
+            trials=self.checkpoint.trials,
+        )
+
+    def clear(self) -> None:
+        try:
+            os.unlink(self.path)
+        except OSError:
+            return
+        self.logger.emit(
+            "checkpoint_clear", path=self.path,
+            trials=self.checkpoint.trials,
+        )
+
+
+# ---------------------------------------------------------------------------
+# per-trial wall-clock watchdog
+# ---------------------------------------------------------------------------
+
+
+class HarnessTimeout(Exception):
+    """A trial exceeded its real-time deadline (harness anomaly, not a
+    simulated outcome — the simulated-cycle budget is ``timeout_factor``)."""
+
+
+def _watchdog_available() -> bool:
+    """SIGALRM-based deadlines need a main thread on a POSIX host."""
+    return (
+        hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+
+
+@contextmanager
+def trial_deadline(seconds: float):
+    """Raise :class:`HarnessTimeout` in the body after ``seconds`` of wall
+    time.  Yields True when the watchdog is armed, False when unavailable
+    (non-POSIX host or non-main thread) or ``seconds`` <= 0."""
+    if seconds <= 0 or not _watchdog_available():
+        yield False
+        return
+
+    def _on_alarm(signum, frame):
+        raise HarnessTimeout(f"trial exceeded {seconds:g}s wall-clock deadline")
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield True
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _quarantined_trial(cycle: int, bit: int) -> TrialResult:
+    """Placeholder result for a trial the watchdog gave up on."""
+    return TrialResult(
+        outcome=Outcome.FAILURE,
+        injection_cycle=cycle,
+        bit=bit,
+        trap_kind="harness_timeout",
+    )
+
+
+def run_trial_guarded(
+    prepared, index: int, cycle: int, bit: int, seed: int, config,
+) -> Tuple[TrialResult, List[Dict]]:
+    """Run one trial under the policy's wall-clock watchdog.
+
+    Returns ``(trial, anomalies)`` where ``anomalies`` is a list of
+    resilience event dicts (kind + fields) describing what happened:
+    ``trial_timeout`` for an overrun that was requeued, ``trial_quarantined``
+    when the retry also overran and the trial was recorded as a
+    ``harness_timeout`` failure.  With the watchdog off (the default) this
+    is a zero-allocation passthrough to :func:`~.campaign.run_trial`.
+    """
+    from .campaign import run_trial
+
+    policy = getattr(config, "resilience", None)
+    deadline = policy.trial_deadline_seconds if policy is not None else 0.0
+    if not policy or not policy.enabled or deadline <= 0:
+        return run_trial(prepared, cycle, bit, seed, config), []
+
+    anomalies: List[Dict] = []
+    for attempt in (1, 2):  # a runaway trial is requeued exactly once
+        try:
+            with trial_deadline(deadline):
+                return run_trial(prepared, cycle, bit, seed, config), anomalies
+        except HarnessTimeout:
+            anomalies.append({
+                "kind": "trial_timeout",
+                "i": index, "cycle": cycle, "bit": bit,
+                "deadline_seconds": deadline, "attempt": attempt,
+            })
+    anomalies.append({
+        "kind": "trial_quarantined",
+        "i": index, "cycle": cycle, "bit": bit,
+        "deadline_seconds": deadline,
+    })
+    return _quarantined_trial(cycle, bit), anomalies
+
+
+# ---------------------------------------------------------------------------
+# obs-log resume support
+# ---------------------------------------------------------------------------
+
+
+def obs_log_size(path: Optional[str]) -> int:
+    """Current byte length of the (append-mode) obs log; 0 when absent."""
+    if not path:
+        return 0
+    try:
+        return os.path.getsize(path)
+    except OSError:
+        return 0
+
+
+def truncate_obs_log(path: str, offset: int) -> None:
+    """Drop the partial campaign a crashed run appended after ``offset``.
+
+    The resuming campaign rewrites its events from the first byte it owns,
+    which is what makes a resumed log byte-identical to an uninterrupted
+    one.  A log shorter than ``offset`` is left alone (someone rotated or
+    deleted it — the resumed campaign simply appends a complete log).
+    """
+    try:
+        if os.path.getsize(path) <= offset:
+            return
+        with open(path, "r+", encoding="utf-8") as fh:
+            fh.truncate(offset)
+    except OSError:  # pragma: no cover - resume degrades to plain append
+        pass
+
+
+def backoff_delay(base: float, attempt: int) -> float:
+    """Exponential backoff: ``base * 2**(attempt-1)`` seconds, capped at 30."""
+    return min(base * (2 ** max(0, attempt - 1)), 30.0)
+
+
+def sleep(seconds: float) -> None:  # patch point for tests
+    if seconds > 0:
+        time.sleep(seconds)

@@ -17,7 +17,14 @@ Event kinds (every record carries ``"v": SCHEMA_VERSION``):
   :class:`~repro.faultinjection.outcomes.CampaignResult`);
 * ``cache_hit`` — the campaign was served from the on-disk cache; carries
   the cache key and the entry's creation metadata so provenance survives
-  even when no trial is re-executed.
+  even when no trial is re-executed;
+* ``resilience`` — one recovery action of the campaign resilience layer
+  (checkpoint write/load, chunk retry, serial fallback, quarantine — the
+  ``kind`` field says which, see :mod:`repro.faultinjection.resilience`).
+  Written to a *sidecar* log (``<log>.resilience``, see
+  :func:`resilience_log_path`) rather than the main trial log: recovery
+  actions only occur on failures, so keeping them out of the main log is
+  what preserves its byte-identity guarantee.
 
 Reading is *corrupt-line tolerant*: a truncated or garbled line (e.g. a
 campaign killed mid-write) is counted and skipped, never fatal.  Unknown
@@ -40,6 +47,8 @@ __all__ = [
     "encode_event",
     "merge_shards",
     "read_events",
+    "resilience_event",
+    "resilience_log_path",
     "shard_path",
     "trial_event",
 ]
@@ -137,6 +146,26 @@ def cache_hit_event(workload: str, scheme: str, key: str,
         "key": key,
         "meta": meta or {},
     }
+
+
+def resilience_event(kind: str, **fields) -> Dict:
+    """One recovery action of the resilience layer.
+
+    ``kind`` is one of: ``checkpoint_write``, ``checkpoint_load``,
+    ``checkpoint_clear``, ``checkpoint_corrupt``, ``worker_failure``,
+    ``chunk_retry``, ``serial_fallback``, ``trial_timeout``,
+    ``trial_quarantined``, ``cache_corrupt``.  The remaining fields are
+    kind-specific and deliberately timestamp-free where the action itself is
+    deterministic.
+    """
+    event = {"event": "resilience", "v": SCHEMA_VERSION, "kind": kind}
+    event.update(fields)
+    return event
+
+
+def resilience_log_path(log_path: str) -> str:
+    """Sidecar JSONL collecting the resilience events next to ``log_path``."""
+    return f"{log_path}.resilience"
 
 
 # ---------------------------------------------------------------------------

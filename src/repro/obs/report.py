@@ -10,7 +10,10 @@ produces:
   by software (guard) and hardware (trap) detection;
 * per-check effectiveness: how often each guard id fired, its share of all
   software detections, and its median detection latency;
-* cache provenance: campaigns served from the on-disk cache.
+* cache provenance: campaigns served from the on-disk cache;
+* resilience audit: recovery actions (checkpoint writes/loads, chunk
+  retries, serial fallbacks, quarantines) from the ``<log>.resilience``
+  sidecar, which is read automatically when it exists next to a given log.
 
 Exact percentiles are computed from the raw per-trial events (the metrics
 registry's bucketed histograms are for live monitoring; this module is the
@@ -23,7 +26,9 @@ import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from .events import read_events
+import os
+
+from .events import read_events, resilience_log_path
 
 __all__ = ["LogReport", "percentile"]
 
@@ -80,6 +85,8 @@ class LogReport:
     paths: List[str] = field(default_factory=list)
     campaigns: List[Dict] = field(default_factory=list)
     cache_hits: List[Dict] = field(default_factory=list)
+    #: recovery actions from resilience events (main log or sidecar)
+    resilience_actions: List[Dict] = field(default_factory=list)
     trials: int = 0
     skipped_lines: int = 0
     schema_versions: set = field(default_factory=set)
@@ -98,8 +105,21 @@ class LogReport:
 
     @classmethod
     def from_paths(cls, paths: Sequence) -> "LogReport":
-        report = cls(paths=[str(p) for p in paths])
+        """Aggregate the given logs plus any ``<log>.resilience`` sidecars.
+
+        Recovery actions live in a sidecar next to the main log (to keep the
+        main log byte-deterministic); the sidecar is picked up automatically
+        unless it was already passed explicitly.
+        """
+        explicit = {str(p) for p in paths}
+        all_paths = []
         for path in paths:
+            all_paths.append(str(path))
+            sidecar = resilience_log_path(str(path))
+            if sidecar not in explicit and os.path.exists(sidecar):
+                all_paths.append(sidecar)
+        report = cls(paths=all_paths)
+        for path in all_paths:
             events, skipped = read_events(path)
             report.skipped_lines += skipped
             for event in events:
@@ -115,6 +135,9 @@ class LogReport:
             return
         if kind == "cache_hit":
             self.cache_hits.append(event)
+            return
+        if kind == "resilience":
+            self.resilience_actions.append(event)
             return
         if kind != "trial":
             return
@@ -145,6 +168,13 @@ class LogReport:
             if latency is not None:
                 entry[1].append(latency)
 
+    def _resilience_by_kind(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for event in self.resilience_actions:
+            kind = event.get("kind", "?")
+            counts[kind] = counts.get(kind, 0) + 1
+        return dict(sorted(counts.items()))
+
     # -- outputs -----------------------------------------------------------------
 
     def to_json(self) -> Dict:
@@ -158,6 +188,11 @@ class LogReport:
                 for c in self.campaigns
             ],
             "cache_hits": self.cache_hits,
+            "resilience": {
+                "actions": len(self.resilience_actions),
+                "by_kind": self._resilience_by_kind(),
+                "events": self.resilience_actions,
+            },
             "trials": self.trials,
             "skipped_lines": self.skipped_lines,
             "landed": self.landed,
@@ -201,6 +236,15 @@ class LogReport:
             w(f"  - {c.get('workload')}/{c.get('scheme')} served from cache "
               f"key={str(c.get('key', ''))[:12]} "
               f"(created {meta.get('created_iso', 'unknown')})")
+        if self.resilience_actions:
+            w("")
+            w(f"resilience actions ({len(self.resilience_actions)}):")
+            for kind, count in self._resilience_by_kind().items():
+                w(f"  {kind:20s} {count:6d}")
+            for event in self.resilience_actions:
+                note = event.get("note")
+                if note:
+                    w(f"  - [{event.get('kind', '?')}] {note}")
         if not self.trials:
             w("no trial events found")
             return "\n".join(lines)

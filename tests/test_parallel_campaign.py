@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import hashlib
 import random
+import warnings
 
 import pytest
 
@@ -112,8 +113,19 @@ def test_default_jobs_reads_env(monkeypatch):
     assert default_jobs() == 6
     monkeypatch.setenv("REPRO_JOBS", "0")
     assert default_jobs() == 1
+
+
+def test_default_jobs_misparse_warns_once(monkeypatch):
+    from repro.faultinjection import parallel
+
     monkeypatch.setenv("REPRO_JOBS", "not-a-number")
-    assert default_jobs() == 1
+    monkeypatch.setattr(parallel, "_WARNED_JOBS_MISPARSE", False)
+    with pytest.warns(RuntimeWarning, match="REPRO_JOBS"):
+        assert default_jobs() == 1
+    # Only the first misparse warns; later calls fall back silently.
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        assert default_jobs() == 1
 
 
 def test_resolve_jobs_explicit_wins(monkeypatch):
