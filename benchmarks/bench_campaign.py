@@ -1,20 +1,28 @@
 #!/usr/bin/env python
-"""Campaign-throughput benchmark: serial reference vs fast path vs parallel.
+"""Campaign-throughput benchmark: reference vs fast path vs snapshots.
 
-Measures trials/sec for one (workload, scheme) campaign in three modes and
+Measures trials/sec for one (workload, scheme) campaign in five modes and
 writes ``BENCH_campaign.json`` (at the repo root by default) so the perf
 trajectory is tracked from PR to PR:
 
 * ``serial_reference`` — the seed configuration: per-instruction reference
   interpreter loop (``REPRO_FASTPATH=0``), one process;
-* ``serial_fastpath`` — the pre-compiled interpreter fast path, one process;
-* ``parallel_fastpath`` — fast path fanned out over ``--jobs`` workers.
+* ``serial_fastpath`` — the pre-compiled interpreter fast path, one process,
+  snapshots and triage off (every trial replays from cycle 0);
+* ``snapshot_fastpath`` — fast path + golden-run snapshots: each trial
+  fast-forwards to the nearest snapshot before its injection cycle;
+* ``triage`` — snapshots + dead-flip triage: provably-dead flips
+  short-circuit to Masked without a post-injection run;
+* ``parallel_fastpath`` — fast path (snapshots off, for continuity with
+  earlier PRs) fanned out over ``--jobs`` workers.
 
-All three modes share one prepared workload and the same pre-drawn trial
-plans, so they do identical work and produce bit-identical results (the
-harness asserts outcome tallies match).  Throughput excludes preparation
-(module build + protection + golden run), which is a one-time cost amortised
-over a campaign.
+All modes share one prepared workload and the same pre-drawn trial plans, so
+they do identical logical work and must produce bit-identical results — the
+harness asserts every mode's outcome tallies match, which doubles as the
+differential verification of the snapshot/triage engine (recorded in the
+report's ``differential`` section; CI asserts it).  Throughput excludes
+preparation (module build + protection + golden + capture runs), a one-time
+cost amortised over a campaign.
 
 Usage::
 
@@ -67,30 +75,52 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     workload = get_workload(args.workload)
-    serial = CampaignConfig(trials=args.trials, seed=args.seed)
-    parallel = CampaignConfig(trials=args.trials, seed=args.seed, jobs=args.jobs)
+    # From-scratch baselines pin snapshots/triage off; the prepared workload
+    # is built with snapshot capture on (auto cadence) so the snapshot modes
+    # can restore from it — run_trial gates on the *config*, so the baseline
+    # runs never touch the stored snapshots.
+    serial = CampaignConfig(trials=args.trials, seed=args.seed,
+                            snapshot_every=0, triage=False)
+    snapshot = CampaignConfig(trials=args.trials, seed=args.seed,
+                              snapshot_every=-1, triage=False)
+    triage = CampaignConfig(trials=args.trials, seed=args.seed,
+                            snapshot_every=-1, triage=True)
+    parallel = CampaignConfig(trials=args.trials, seed=args.seed,
+                              jobs=args.jobs, snapshot_every=0, triage=False)
 
     os.environ["REPRO_FASTPATH"] = "1"
-    prepared = prepare(workload, args.scheme, serial)
+    prepared = prepare(workload, args.scheme, snapshot)
 
     print(f"[bench] {args.workload}/{args.scheme}, {args.trials} trials, "
-          f"{os.cpu_count()} cpu(s)", file=sys.stderr)
+          f"{os.cpu_count()} cpu(s), "
+          f"{len(prepared.snapshots) if prepared.snapshots else 0} snapshots",
+          file=sys.stderr)
     ref_counts, ref_s = _measure(workload, args.scheme, prepared, serial, False)
     print(f"[bench] serial reference : {args.trials / ref_s:7.1f} trials/s",
           file=sys.stderr)
     fast_counts, fast_s = _measure(workload, args.scheme, prepared, serial, True)
     print(f"[bench] serial fast path : {args.trials / fast_s:7.1f} trials/s",
           file=sys.stderr)
+    snap_counts, snap_s = _measure(workload, args.scheme, prepared, snapshot, True)
+    print(f"[bench] snapshot restore : {args.trials / snap_s:7.1f} trials/s",
+          file=sys.stderr)
+    tri_counts, tri_s = _measure(workload, args.scheme, prepared, triage, True)
+    print(f"[bench] snapshot + triage: {args.trials / tri_s:7.1f} trials/s",
+          file=sys.stderr)
     par_counts, par_s = _measure(workload, args.scheme, prepared, parallel, True)
     print(f"[bench] parallel x{args.jobs:<2d}     : {args.trials / par_s:7.1f} "
           f"trials/s", file=sys.stderr)
     os.environ.pop("REPRO_FASTPATH", None)
 
-    if not (ref_counts == fast_counts == par_counts):
+    if not (ref_counts == fast_counts == snap_counts == tri_counts
+            == par_counts):
         print("[bench] ERROR: modes disagree on outcomes "
-              f"(ref={ref_counts} fast={fast_counts} par={par_counts})",
+              f"(ref={ref_counts} fast={fast_counts} snap={snap_counts} "
+              f"triage={tri_counts} par={par_counts})",
               file=sys.stderr)
         return 1
+    print("[bench] differential ok  : snapshot and triage tallies match "
+          "the from-scratch fast path", file=sys.stderr)
 
     obs_verified = None
     if args.obs_log:
@@ -146,6 +176,15 @@ def main(argv=None) -> int:
             "trials_per_sec": round(args.trials / fast_s, 2),
             "seconds": round(fast_s, 3),
         },
+        "snapshot_fastpath": {
+            "snapshots": len(prepared.snapshots) if prepared.snapshots else 0,
+            "trials_per_sec": round(args.trials / snap_s, 2),
+            "seconds": round(snap_s, 3),
+        },
+        "triage": {
+            "trials_per_sec": round(args.trials / tri_s, 2),
+            "seconds": round(tri_s, 3),
+        },
         "parallel_fastpath": {
             "jobs": args.jobs,
             "trials_per_sec": round(args.trials / par_s, 2),
@@ -153,13 +192,22 @@ def main(argv=None) -> int:
         },
         "speedups": {
             "fastpath_serial_vs_reference": round(ref_s / fast_s, 2),
+            "snapshot_vs_fastpath_serial": round(fast_s / snap_s, 2),
+            "triage_vs_fastpath_serial": round(fast_s / tri_s, 2),
+            "triage_vs_reference": round(ref_s / tri_s, 2),
             "parallel_vs_reference": round(ref_s / par_s, 2),
             "parallel_vs_fastpath_serial": round(fast_s / par_s, 2),
+        },
+        "differential": {
+            "snapshot_vs_fastpath_tallies_match": snap_counts == fast_counts,
+            "triage_vs_fastpath_tallies_match": tri_counts == fast_counts,
         },
         "notes": (
             "Throughput excludes one-time preparation. On a single-core "
             "runner parallel_fastpath cannot exceed serial_fastpath; the "
-            "fast-path speedup is process-count independent. Timed runs "
+            "fast-path speedup is process-count independent. snapshot/triage "
+            "modes restore golden-run snapshots and must tally identically "
+            "to the from-scratch fast path (see 'differential'). Timed runs "
             "keep observability disabled; --obs-log adds a separate "
             "untimed verification pass."
         ),

@@ -54,8 +54,9 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--jobs", type=int, default=None, metavar="N",
-        help="worker processes per campaign (default: REPRO_JOBS or 1; "
-             "results are bit-identical for any value)",
+        help="worker processes per campaign; 0 means one per CPU "
+             "(default: REPRO_JOBS or 1; results are bit-identical for "
+             "any value)",
     )
     parser.add_argument(
         "--quiet", action="store_true",

@@ -89,9 +89,16 @@ def main(argv=None) -> int:
     parser.add_argument("--trials", type=int, default=100)
     parser.add_argument("--seed", type=int, default=2014)
     parser.add_argument("--jobs", type=int, default=None, metavar="N",
-                        help="worker processes for trial execution "
-                             "(default: REPRO_JOBS or 1; results are "
-                             "bit-identical for any value)")
+                        help="worker processes for trial execution; 0 means "
+                             "one per CPU (default: REPRO_JOBS or 1; results "
+                             "are bit-identical for any value)")
+    parser.add_argument("--snapshot-every", type=int, default=None,
+                        metavar="N",
+                        help="golden-run snapshot cadence in cycles for "
+                             "shared-prefix trial execution: 0 disables, "
+                             "-1 picks automatically from the golden length "
+                             "(default: REPRO_SNAPSHOT_EVERY or auto; "
+                             "results are bit-identical for any value)")
     parser.add_argument("--swap-inputs", action="store_true",
                         help="profile on the test input, inject on the train "
                              "input (the cross-validation configuration)")
@@ -111,6 +118,7 @@ def main(argv=None) -> int:
         trials=args.trials, seed=args.seed, swap_train_test=args.swap_inputs,
         jobs=resolve_jobs(args.jobs), obs_log=resolve_obs_log(args.obs_log),
         checkpoint=checkpoint, resilience=policy,
+        snapshot_every=args.snapshot_every,
     )
     if config.obs_log:
         enable_global()

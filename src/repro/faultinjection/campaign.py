@@ -15,6 +15,7 @@ One campaign = one (workload, protection scheme) pair:
 from __future__ import annotations
 
 import hashlib
+import os
 import random
 import time
 from dataclasses import dataclass, field, replace
@@ -37,6 +38,7 @@ from ..sim.events import (
 )
 from ..sim.faults import LARGE_CHANGE_THRESHOLD, InjectionPlan
 from ..sim.interpreter import Interpreter
+from ..sim import snapshot as snapshot_mod
 from ..transforms.checkconfig import ProtectionConfig
 from ..transforms.pipeline import SchemeStats, apply_scheme
 from ..workloads.base import Workload
@@ -84,6 +86,18 @@ class CampaignConfig:
     #: Also excluded from cache keys: recovery changes *how* trials get
     #: executed, never what they compute.
     resilience: Optional[ResiliencePolicy] = None
+    #: golden-run snapshot cadence for shared-prefix trial execution
+    #: (``docs/PERFORMANCE.md``): None = resolve from ``REPRO_SNAPSHOT`` /
+    #: ``REPRO_SNAPSHOT_EVERY`` (default: auto heuristic), 0 = disabled,
+    #: -1 = auto, N > 0 = snapshot every N golden cycles.  Excluded from
+    #: cache keys — restore is bit-invisible by construction (differential
+    #: tests enforce it).
+    snapshot_every: Optional[int] = None
+    #: dead-flip triage: short-circuit provably-dead register flips straight
+    #: to Masked, skipping the post-injection run and output comparison.
+    #: None = resolve from ``REPRO_TRIAGE`` (default on).  Excluded from
+    #: cache keys — a triaged trial records exactly what a full run would.
+    triage: Optional[bool] = None
 
 
 @dataclass
@@ -102,6 +116,10 @@ class PreparedWorkload:
     #: guards that fired in the fault-free run (false positives); disabled in
     #: trials, modelling the recover-once-then-ignore policy of Section III-C
     noisy_guards: frozenset = frozenset()
+    #: golden-run snapshots for fast-forward trial restore (None when
+    #: snapshotting is disabled or did not pay off).  Never pickled: workers
+    #: rebuild their PreparedWorkload (or inherit it over fork).
+    snapshots: Optional[snapshot_mod.SnapshotStore] = None
 
 
 def prepare(
@@ -143,7 +161,50 @@ def prepare(
         golden_guard_failures=golden_result.guard_stats.total_failures,
         golden_guard_evaluations=golden_result.guard_stats.evaluations,
         noisy_guards=frozenset(golden_result.guard_stats.failures_by_guard),
+        snapshots=_capture_snapshots(
+            workload, module, run_inputs, golden_result, config
+        ),
     )
+
+
+def _capture_snapshots(
+    workload: Workload,
+    module,
+    run_inputs,
+    golden_result,
+    config: CampaignConfig,
+) -> Optional[snapshot_mod.SnapshotStore]:
+    """Second, instrumented golden run that records restore snapshots.
+
+    Skipped when snapshotting is disabled (``snapshot_every=0`` /
+    ``REPRO_SNAPSHOT=0``), when the fast path is off (snapshots are a
+    fast-path feature), or when the auto heuristic deems the golden run too
+    short to pay for the extra capture run.  The capture run is verified to
+    retire exactly the golden instruction count — any mismatch (it cannot
+    happen; this is a tripwire) drops the snapshots rather than risking
+    divergent trials.
+    """
+    every = snapshot_mod.resolve_snapshot_every(config.snapshot_every)
+    if every == 0:
+        return None
+    capture_interp = Interpreter(module, config=config.sim, guard_mode="count")
+    if not capture_interp.fastpath:
+        return None
+    cadence = (
+        every if every > 0
+        else snapshot_mod.auto_cadence(golden_result.instructions)
+    )
+    if cadence is None or cadence >= golden_result.instructions:
+        return None
+    recorder = snapshot_mod.SnapshotRecorder(cadence)
+    _, capture_result = workload.run(
+        module, run_inputs, interpreter=capture_interp, capture=recorder
+    )
+    if capture_result.instructions != golden_result.instructions:
+        return None  # pragma: no cover - determinism tripwire
+    if not len(recorder.store):
+        return None
+    return recorder.store
 
 
 def run_trial(
@@ -152,8 +213,18 @@ def run_trial(
     bit: int,
     seed: int,
     config: CampaignConfig,
+    stats: Optional[Dict[str, int]] = None,
 ) -> TrialResult:
-    """Inject one fault and classify the outcome per Section IV-C."""
+    """Inject one fault and classify the outcome per Section IV-C.
+
+    When the prepared workload carries golden-run snapshots (and the config
+    does not disable them), the trial fast-forwards from the nearest snapshot
+    before its injection cycle instead of simulating the shared prefix; with
+    triage on, a flip proven dead at injection time short-circuits straight
+    to Masked.  Both are bit-invisible: the returned TrialResult is identical
+    to a from-scratch run's.  ``stats``, when given, accumulates
+    ``restores`` / ``replay_cycles_saved`` / ``triaged_masked`` counts.
+    """
     workload = prepared.workload
     plan = InjectionPlan(cycle=cycle, bit=bit, seed=seed)
     interp = Interpreter(
@@ -164,6 +235,19 @@ def run_trial(
     )
     limit = int(prepared.golden_instructions * config.timeout_factor) + 10_000
 
+    restore = None
+    if (
+        prepared.snapshots is not None
+        and interp.fastpath
+        and snapshot_mod.resolve_snapshot_every(config.snapshot_every) != 0
+    ):
+        restore = prepared.snapshots.nearest(plan.cycle)
+        if restore is not None and stats is not None:
+            stats["restores"] = stats.get("restores", 0) + 1
+            stats["replay_cycles_saved"] = (
+                stats.get("replay_cycles_saved", 0) + restore.cycle
+            )
+
     try:
         outputs, result = workload.run(
             prepared.module,
@@ -171,7 +255,17 @@ def run_trial(
             interpreter=interp,
             injection=plan,
             max_instructions=limit,
+            restore_from=restore,
+            triage=snapshot_mod.resolve_triage(config.triage),
         )
+    except snapshot_mod.TriageMasked:
+        # The flip was proven dead at injection time: execution from here is
+        # identical to the golden run, which completed with identical
+        # outputs, so the full run would have classified this trial Masked
+        # with the exact same injection record.
+        if stats is not None:
+            stats["triaged_masked"] = stats.get("triaged_masked", 0) + 1
+        return _base_trial(interp, plan)
     except GuardTrap as trap:
         trial = _trial_from_trap(interp, plan, Outcome.SWDETECT, trap)
         trial.detector_guard = trap.guard_id
@@ -292,6 +386,34 @@ def resolve_resilience_config(config: CampaignConfig) -> CampaignConfig:
     return replace(config, resilience=policy, checkpoint=checkpoint)
 
 
+def resolve_prefix_config(config: CampaignConfig) -> CampaignConfig:
+    """Fold the ``REPRO_SNAPSHOT*``/``REPRO_TRIAGE`` defaults into the config.
+
+    Same contract as :func:`resolve_obs_config`: explicit fields win, the
+    environment only fills gaps, and resolution happens once in the parent
+    so every worker makes the same snapshot/triage decision.
+    """
+    every = snapshot_mod.resolve_snapshot_every(config.snapshot_every)
+    triage = snapshot_mod.resolve_triage(config.triage)
+    if every == config.snapshot_every and triage == config.triage:
+        return config
+    return replace(config, snapshot_every=every, triage=triage)
+
+
+def resolve_jobs_config(config: CampaignConfig) -> CampaignConfig:
+    """Resolve ``jobs=0`` (auto) to the machine's CPU count.
+
+    Resolution happens once in the parent; the parallel path is skipped
+    entirely when the resolved count is 1, so single-core runners stop
+    paying pool overhead.
+    """
+    if config.jobs == 0:
+        return replace(config, jobs=os.cpu_count() or 1)
+    if config.jobs < 0:
+        return replace(config, jobs=1)
+    return config
+
+
 def _record_campaign_metrics(registry, result: CampaignResult,
                              seconds: float) -> None:
     """Fold one finished campaign into the process-wide metrics registry."""
@@ -306,6 +428,39 @@ def _record_campaign_metrics(registry, result: CampaignResult,
             latency_hist.observe(latency)
         if trial.detector_guard is not None:
             registry.counter(f"campaign.check.{trial.detector_guard}").inc()
+
+
+def _record_prefix_stats(
+    config: CampaignConfig, result: CampaignResult, stats: Dict[str, int]
+) -> None:
+    """Surface shared-prefix execution stats: registry counters plus one
+    ``prefix_sharing`` event in the ``<log>.resilience`` sidecar.
+
+    Kept out of the main obs log on purpose: trial events are byte-identical
+    with snapshots on or off, and folding per-campaign restore counts into
+    the main log would break that differential guarantee.
+    """
+    if not any(stats.values()):
+        return
+    registry = global_registry()
+    registry.counter("snapshot.restores").inc(stats.get("restores", 0))
+    registry.counter("snapshot.replay_cycles_saved").inc(
+        stats.get("replay_cycles_saved", 0)
+    )
+    registry.counter("campaign.triaged_masked").inc(
+        stats.get("triaged_masked", 0)
+    )
+    if config.obs_log:
+        obs_events.append_sidecar_event(
+            config.obs_log,
+            obs_events.prefix_sharing_event(
+                result.workload,
+                result.scheme,
+                restores=stats.get("restores", 0),
+                replay_cycles_saved=stats.get("replay_cycles_saved", 0),
+                triaged_masked=stats.get("triaged_masked", 0),
+            ),
+        )
 
 
 def _open_checkpointer(
@@ -394,6 +549,8 @@ def run_campaign(
     """
     config = resolve_obs_config(config or CampaignConfig())
     config = resolve_resilience_config(config)
+    config = resolve_prefix_config(config)
+    config = resolve_jobs_config(config)
     prepared = prepared or prepare(workload, scheme, config)
     plans = draw_plans(config, prepared)
     rlog = resilience_mod.ResilienceLogger(config.obs_log, echo=on_recovery)
@@ -419,16 +576,18 @@ def run_campaign(
             (index, plan) for index, plan in enumerate(plans)
             if index not in restored
         ]
+        stats = {"restores": 0, "replay_cycles_saved": 0, "triaged_masked": 0}
         if config.jobs > 1 and len(pending) > 1:
             _run_parallel_portion(
                 prepared, plans, pending, restored, config, result,
-                writer, checkpointer, rlog, on_trial,
+                writer, checkpointer, rlog, on_trial, stats,
             )
         else:
             _run_serial_portion(
                 prepared, plans, restored, config, result,
-                writer, checkpointer, rlog, on_trial,
+                writer, checkpointer, rlog, on_trial, stats,
             )
+        _record_prefix_stats(config, result, stats)
         if writer is not None:
             writer.emit(obs_events.campaign_end_event(result))
         completed_ok = True
@@ -455,7 +614,7 @@ def run_campaign(
 
 def _run_serial_portion(
     prepared, plans, restored, config, result, writer, checkpointer, rlog,
-    on_trial,
+    on_trial, stats=None,
 ) -> None:
     """In-process execution, restored trials interleaved in plan order."""
     timed = config.obs_timing and writer is not None
@@ -466,7 +625,8 @@ def _run_serial_portion(
         else:
             t0 = time.perf_counter() if timed else 0.0
             trial, anomalies = resilience_mod.run_trial_guarded(
-                prepared, index, plan.cycle, plan.bit, plan.seed, config
+                prepared, index, plan.cycle, plan.bit, plan.seed, config,
+                stats=stats,
             )
             wall_ms = (time.perf_counter() - t0) * 1e3 if timed else None
             for anomaly in anomalies:
@@ -485,7 +645,7 @@ def _run_serial_portion(
 
 def _run_parallel_portion(
     prepared, plans, pending, restored, config, result, writer, checkpointer,
-    rlog, on_trial,
+    rlog, on_trial, stats=None,
 ) -> None:
     """Pool execution of the pending trials (worker recovery inside
     :func:`~.parallel.run_trials_parallel`).
@@ -520,6 +680,7 @@ def _run_parallel_portion(
         indices=[index for index, _ in pending],
         on_result=on_result,
         rlog=rlog,
+        stats=stats,
     )
     result.trials.extend(trials_by_index[i] for i in range(len(plans)))
     if writer is not None:

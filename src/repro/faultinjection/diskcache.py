@@ -90,7 +90,9 @@ def _config_fingerprint(config: CampaignConfig) -> dict:
     ``jobs`` is excluded: pre-drawn trial plans make parallel campaigns
     bit-identical to serial ones, so worker count must not fragment the
     cache.  The observability knobs (``obs_log``, ``obs_timing``) are
-    excluded for the same reason — logging observes trials, it cannot affect
+    excluded, as are ``snapshot_every``/``triage`` (shared-prefix execution
+    is differentially verified byte-identical to from-scratch runs),
+    for the same reason — logging observes trials, it cannot affect
     them — as are the resilience knobs (``checkpoint``, ``resilience``):
     recovery changes how trials get executed, never what they compute.
     ``trials`` and ``seed`` are kept in the fingerprint *and* surfaced as
@@ -99,6 +101,7 @@ def _config_fingerprint(config: CampaignConfig) -> dict:
     fields = dataclasses.asdict(config)
     for non_semantic in (
         "jobs", "obs_log", "obs_timing", "checkpoint", "resilience",
+        "snapshot_every", "triage",
     ):
         fields.pop(non_semantic, None)
     return fields

@@ -59,17 +59,22 @@ _WARNED_JOBS_MISPARSE = False
 def default_jobs() -> int:
     """Worker count from the ``REPRO_JOBS`` environment variable (min 1).
 
-    An unparsable value (``"4.0"``, ``"four"``) falls back to 1 — but not
-    silently: it raises a one-time :class:`RuntimeWarning` and increments
-    the ``config.jobs_misparse`` counter, so a campaign that was meant to
-    run on 32 cores cannot quietly run serially for hours.
+    ``REPRO_JOBS=0`` means "auto": one worker per available CPU
+    (``os.cpu_count()``).  An unparsable value (``"4.0"``, ``"four"``)
+    falls back to 1 — but not silently: it raises a one-time
+    :class:`RuntimeWarning` and increments the ``config.jobs_misparse``
+    counter, so a campaign that was meant to run on 32 cores cannot
+    quietly run serially for hours.
     """
     global _WARNED_JOBS_MISPARSE
     value = os.environ.get("REPRO_JOBS", "")
     if not value:
         return 1
     try:
-        return max(1, int(value))
+        jobs = int(value)
+        if jobs == 0:
+            return os.cpu_count() or 1
+        return max(1, jobs)
     except ValueError:
         global_registry().counter("config.jobs_misparse").inc()
         if not _WARNED_JOBS_MISPARSE:
@@ -84,8 +89,13 @@ def default_jobs() -> int:
 
 
 def resolve_jobs(jobs: Optional[int]) -> int:
-    """CLI helper: explicit ``--jobs`` wins, else ``REPRO_JOBS``, else 1."""
+    """CLI helper: explicit ``--jobs`` wins, else ``REPRO_JOBS``, else 1.
+
+    ``0`` (from either source) resolves to ``os.cpu_count()``.
+    """
     if jobs is not None:
+        if jobs == 0:
+            return os.cpu_count() or 1
         return max(1, jobs)
     return default_jobs()
 
@@ -138,31 +148,35 @@ def _execute_chunk(
     prepared: PreparedWorkload,
     config: CampaignConfig,
     chunk: Sequence[Tuple[int, int, int, int]],
-) -> Tuple[List[Tuple[int, TrialResult]], List[Dict]]:
+) -> Tuple[List[Tuple[int, TrialResult]], List[Dict], Dict[str, int]]:
     """Run one chunk of (index, cycle, bit, seed) trials.
 
-    Returns ``(results, anomalies)`` — anomalies are watchdog events (trial
-    timeout / quarantine) collected by :func:`~.resilience.run_trial_guarded`
-    for the parent to log.  When the campaign has an observability log
-    configured, the chunk's trial events are also written to a shard file
-    next to the log (named by the chunk's first plan index); the parent
-    concatenates shards in plan order after the pool drains, making the
-    merged log byte-identical to a serial run's (see :mod:`repro.obs.events`).
+    Returns ``(results, anomalies, stats)`` — anomalies are watchdog events
+    (trial timeout / quarantine) collected by
+    :func:`~.resilience.run_trial_guarded` for the parent to log, and stats
+    are the chunk's shared-prefix counters (snapshot restores, replay cycles
+    saved, triaged-masked trials) for the parent to fold into the campaign
+    totals.  When the campaign has an observability log configured, the
+    chunk's trial events are also written to a shard file next to the log
+    (named by the chunk's first plan index); the parent concatenates shards
+    in plan order after the pool drains, making the merged log
+    byte-identical to a serial run's (see :mod:`repro.obs.events`).
 
     Shared between the worker entry point (:func:`_run_chunk`) and the
     parent's serial-fallback path, so degraded execution behaves exactly
     like a worker would have.
     """
     anomalies: List[Dict] = []
+    stats: Dict[str, int] = {}
     if not config.obs_log:
         results = []
         for index, cycle, bit, seed in chunk:
             trial, notes = resilience_mod.run_trial_guarded(
-                prepared, index, cycle, bit, seed, config
+                prepared, index, cycle, bit, seed, config, stats=stats
             )
             results.append((index, trial))
             anomalies.extend(notes)
-        return results, anomalies
+        return results, anomalies, stats
     import time
 
     from ..obs import events as obs_events
@@ -172,7 +186,7 @@ def _execute_chunk(
     for index, cycle, bit, seed in chunk:
         t0 = time.perf_counter() if config.obs_timing else 0.0
         trial, notes = resilience_mod.run_trial_guarded(
-            prepared, index, cycle, bit, seed, config
+            prepared, index, cycle, bit, seed, config, stats=stats
         )
         wall_ms = (
             (time.perf_counter() - t0) * 1e3 if config.obs_timing else None
@@ -186,12 +200,12 @@ def _execute_chunk(
             )
         )
     obs_events.write_shard(config.obs_log, chunk[0][0], events)
-    return results, anomalies
+    return results, anomalies, stats
 
 
 def _run_chunk(
     chunk: Sequence[Tuple[int, int, int, int]],
-) -> Tuple[List[Tuple[int, TrialResult]], List[Dict]]:
+) -> Tuple[List[Tuple[int, TrialResult]], List[Dict], Dict[str, int]]:
     """Worker entry: resolve the per-process prepared workload and run."""
     name, scheme, config = _WORKER_CAMPAIGN  # type: ignore[misc]
     prepared = _worker_prepared(name, scheme, config)
@@ -213,6 +227,7 @@ def run_trials_parallel(
     indices: Optional[Sequence[int]] = None,
     on_result: Optional[Callable[[int, TrialResult], None]] = None,
     rlog: Optional[resilience_mod.ResilienceLogger] = None,
+    stats: Optional[Dict[str, int]] = None,
 ) -> List[TrialResult]:
     """Execute pre-drawn trial plans across worker processes.
 
@@ -232,7 +247,8 @@ def run_trials_parallel(
     propagates, as it did before the resilience layer existed.
     """
     global _FORK_PREPARED
-    jobs = max(1, jobs if jobs is not None else config.jobs)
+    jobs = jobs if jobs is not None else config.jobs
+    jobs = (os.cpu_count() or 1) if jobs == 0 else max(1, jobs)
     if indices is None:
         indices = range(len(plans))
     tagged = [
@@ -250,10 +266,13 @@ def run_trials_parallel(
 
     results: Dict[int, TrialResult] = {}
 
-    def consume(chunk_results, anomalies) -> None:
+    def consume(chunk_results, anomalies, chunk_stats) -> None:
         for anomaly in anomalies:
             kind = anomaly.pop("kind")
             rlog.emit(kind, note=f"{kind}: trial {anomaly.get('i')}", **anomaly)
+        if stats is not None:
+            for key, value in chunk_stats.items():
+                stats[key] = stats.get(key, 0) + value
         for index, trial in chunk_results:
             results[index] = trial
             if on_result is not None:
@@ -314,12 +333,14 @@ def run_trials_parallel(
                     for future in as_completed(futures):
                         ordinal = futures[future]
                         try:
-                            chunk_results, anomalies = future.result()
+                            chunk_results, anomalies, chunk_stats = (
+                                future.result()
+                            )
                         except BrokenProcessPool as err:
                             last_error = err
                             continue
                         del pending[ordinal]
-                        consume(chunk_results, anomalies)
+                        consume(chunk_results, anomalies, chunk_stats)
             except BrokenProcessPool as err:
                 last_error = err
             if pending:

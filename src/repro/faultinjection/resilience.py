@@ -477,6 +477,7 @@ def _quarantined_trial(cycle: int, bit: int) -> TrialResult:
 
 def run_trial_guarded(
     prepared, index: int, cycle: int, bit: int, seed: int, config,
+    stats: Optional[Dict[str, int]] = None,
 ) -> Tuple[TrialResult, List[Dict]]:
     """Run one trial under the policy's wall-clock watchdog.
 
@@ -486,19 +487,23 @@ def run_trial_guarded(
     when the retry also overran and the trial was recorded as a
     ``harness_timeout`` failure.  With the watchdog off (the default) this
     is a zero-allocation passthrough to :func:`~.campaign.run_trial`.
+    ``stats`` is forwarded to ``run_trial`` for shared-prefix accounting.
     """
     from .campaign import run_trial
 
     policy = getattr(config, "resilience", None)
     deadline = policy.trial_deadline_seconds if policy is not None else 0.0
     if not policy or not policy.enabled or deadline <= 0:
-        return run_trial(prepared, cycle, bit, seed, config), []
+        return run_trial(prepared, cycle, bit, seed, config, stats=stats), []
 
     anomalies: List[Dict] = []
     for attempt in (1, 2):  # a runaway trial is requeued exactly once
         try:
             with trial_deadline(deadline):
-                return run_trial(prepared, cycle, bit, seed, config), anomalies
+                return (
+                    run_trial(prepared, cycle, bit, seed, config, stats=stats),
+                    anomalies,
+                )
         except HarnessTimeout:
             anomalies.append({
                 "kind": "trial_timeout",

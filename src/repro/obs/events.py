@@ -24,7 +24,11 @@ Event kinds (every record carries ``"v": SCHEMA_VERSION``):
   Written to a *sidecar* log (``<log>.resilience``, see
   :func:`resilience_log_path`) rather than the main trial log: recovery
   actions only occur on failures, so keeping them out of the main log is
-  what preserves its byte-identity guarantee.
+  what preserves its byte-identity guarantee;
+* ``prefix_sharing`` — per-campaign shared-prefix execution totals
+  (snapshot restores, replay cycles saved, triaged-masked trials, see
+  :mod:`repro.sim.snapshot`).  Also written to the sidecar log: the main
+  trial log must stay byte-identical with snapshotting on or off.
 
 Reading is *corrupt-line tolerant*: a truncated or garbled line (e.g. a
 campaign killed mid-write) is counted and skipped, never fatal.  Unknown
@@ -44,8 +48,10 @@ __all__ = [
     "cache_hit_event",
     "campaign_begin_event",
     "campaign_end_event",
+    "append_sidecar_event",
     "encode_event",
     "merge_shards",
+    "prefix_sharing_event",
     "read_events",
     "resilience_event",
     "resilience_log_path",
@@ -163,9 +169,51 @@ def resilience_event(kind: str, **fields) -> Dict:
     return event
 
 
+def prefix_sharing_event(
+    workload: str,
+    scheme: str,
+    restores: int = 0,
+    replay_cycles_saved: int = 0,
+    triaged_masked: int = 0,
+) -> Dict:
+    """Shared-prefix execution totals for one campaign.
+
+    ``restores`` counts trials that fast-forwarded from a golden-run
+    snapshot, ``replay_cycles_saved`` sums the pre-injection cycles those
+    restores skipped, and ``triaged_masked`` counts trials short-circuited
+    to ``Masked`` by the dead-flip triage pass.  Pure functions of the
+    campaign configuration + plans, hence timestamp-free.
+    """
+    return {
+        "event": "prefix_sharing",
+        "v": SCHEMA_VERSION,
+        "workload": workload,
+        "scheme": scheme,
+        "restores": restores,
+        "replay_cycles_saved": replay_cycles_saved,
+        "triaged_masked": triaged_masked,
+    }
+
+
 def resilience_log_path(log_path: str) -> str:
     """Sidecar JSONL collecting the resilience events next to ``log_path``."""
     return f"{log_path}.resilience"
+
+
+def append_sidecar_event(log_path: str, event: Dict) -> None:
+    """Append one event to the ``<log>.resilience`` sidecar (best effort).
+
+    Shared by the resilience layer and the shared-prefix stats: everything
+    that must stay out of the byte-identical main log lands here.
+    """
+    path = resilience_log_path(log_path)
+    try:
+        parent = os.path.dirname(os.path.abspath(path))
+        os.makedirs(parent, exist_ok=True)
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write(encode_event(event))
+    except OSError:  # pragma: no cover - diagnostics must not kill campaigns
+        pass
 
 
 # ---------------------------------------------------------------------------

@@ -13,7 +13,9 @@ produces:
 * cache provenance: campaigns served from the on-disk cache;
 * resilience audit: recovery actions (checkpoint writes/loads, chunk
   retries, serial fallbacks, quarantines) from the ``<log>.resilience``
-  sidecar, which is read automatically when it exists next to a given log.
+  sidecar, which is read automatically when it exists next to a given log;
+* prefix sharing: snapshot restores, replay cycles saved, and triaged-masked
+  trial counts (also from the sidecar) when shared-prefix execution ran.
 
 Exact percentiles are computed from the raw per-trial events (the metrics
 registry's bucketed histograms are for live monitoring; this module is the
@@ -87,6 +89,8 @@ class LogReport:
     cache_hits: List[Dict] = field(default_factory=list)
     #: recovery actions from resilience events (main log or sidecar)
     resilience_actions: List[Dict] = field(default_factory=list)
+    #: shared-prefix execution totals (snapshot restores / dead-flip triage)
+    prefix_sharing: List[Dict] = field(default_factory=list)
     trials: int = 0
     skipped_lines: int = 0
     schema_versions: set = field(default_factory=set)
@@ -139,6 +143,9 @@ class LogReport:
         if kind == "resilience":
             self.resilience_actions.append(event)
             return
+        if kind == "prefix_sharing":
+            self.prefix_sharing.append(event)
+            return
         if kind != "trial":
             return
         self.trials += 1
@@ -175,6 +182,13 @@ class LogReport:
             counts[kind] = counts.get(kind, 0) + 1
         return dict(sorted(counts.items()))
 
+    def _prefix_totals(self) -> Dict[str, int]:
+        totals = {"restores": 0, "replay_cycles_saved": 0, "triaged_masked": 0}
+        for event in self.prefix_sharing:
+            for key in totals:
+                totals[key] += int(event.get(key, 0) or 0)
+        return totals
+
     # -- outputs -----------------------------------------------------------------
 
     def to_json(self) -> Dict:
@@ -192,6 +206,11 @@ class LogReport:
                 "actions": len(self.resilience_actions),
                 "by_kind": self._resilience_by_kind(),
                 "events": self.resilience_actions,
+            },
+            "prefix_sharing": {
+                "campaigns": len(self.prefix_sharing),
+                **self._prefix_totals(),
+                "events": self.prefix_sharing,
             },
             "trials": self.trials,
             "skipped_lines": self.skipped_lines,
@@ -245,6 +264,18 @@ class LogReport:
                 note = event.get("note")
                 if note:
                     w(f"  - [{event.get('kind', '?')}] {note}")
+        if self.prefix_sharing:
+            totals = self._prefix_totals()
+            w("")
+            w(f"prefix sharing ({len(self.prefix_sharing)} campaign(s)):")
+            w(f"  snapshot restores:    {totals['restores']:10d}")
+            w(f"  replay cycles saved:  {totals['replay_cycles_saved']:10d}")
+            w(f"  triaged masked:       {totals['triaged_masked']:10d}")
+            for event in self.prefix_sharing:
+                w(f"  - {event.get('workload')}/{event.get('scheme')}: "
+                  f"{event.get('restores', 0)} restores, "
+                  f"{event.get('replay_cycles_saved', 0)} cycles saved, "
+                  f"{event.get('triaged_masked', 0)} triaged masked")
         if not self.trials:
             w("no trial events found")
             return "\n".join(lines)

@@ -36,10 +36,10 @@ def flip_bit(type_: IRType, value, bit: int, pointer_bits: int = 32):
         bit %= type_.bits
         return type_.wrap((value & type_.mask) ^ (1 << bit))
     if isinstance(type_, FloatType):
+        # Packing an f64 is idempotent, so one pack suffices: flip the bit
+        # directly in the IEEE-754 image of the value.
         bit %= 64
-        raw = _F64.unpack(_F64.pack(float(value)))[0]
-        bits = struct.unpack("<Q", _F64.pack(raw))[0]
-        bits ^= 1 << bit
+        bits = struct.unpack("<Q", _F64.pack(float(value)))[0] ^ (1 << bit)
         return struct.unpack("<d", struct.pack("<Q", bits))[0]
     if isinstance(type_, PointerType):
         bit %= pointer_bits

@@ -71,6 +71,7 @@ from .events import (
 from .faults import InjectionPlan, InjectionRecord, flip_bit
 from .memory import Memory, Segment
 from .regfile import RegisterFile
+from .snapshot import Snapshot, SnapshotRecorder, TriageMasked, value_dead_after
 from .timing import TimingModel
 
 _MISSING = object()
@@ -196,6 +197,11 @@ class Interpreter:
         self._cm = None
         self._untracked_cm = None
         self._rf_log: List = []
+        #: lazy-regfile writes dropped before the log's first entry (restored
+        #: runs start mid-history; see _materialize_regfile)
+        self._rf_base = 0
+        #: short-circuit provably-dead flips to TriageMasked (trial runs only)
+        self._triage = False
         self._resume_cb = None
         self._resume_idx = 0
         self._ret_value: object = None
@@ -267,12 +273,28 @@ class Interpreter:
                     continue
         return False
 
-    def _do_injection(self, plan: InjectionPlan) -> None:
+    def _do_injection(
+        self,
+        plan: InjectionPlan,
+        top_frame: Optional[Frame] = None,
+        next_index: int = -1,
+    ) -> None:
+        """Perform the planned flip at the current cycle.
+
+        ``top_frame``/``next_index`` locate the next instruction to execute
+        (the top frame's ``index`` field is only synced lazily); with triage
+        enabled they feed :func:`~repro.sim.snapshot.value_dead_after`, and a
+        flip proven unreadable raises :class:`TriageMasked` *after* filling
+        the injection record exactly as a full run would — the short-circuit
+        changes when the trial ends, never what it records.
+        """
         record = InjectionRecord(plan=plan, landed=False)
         self.injection_record = record
         self._guard_armed = True
         if plan.kind == "control":
             # Arm a branch-target corruption: the next branch jumps wrong.
+            # Never triaged: the wrong-target draw happens later, so a dead
+            # verdict here could not be proven.
             self._pending_control_fault = True
             record.value_name = "<branch-target>"
             record.type_name = "ptr"
@@ -291,6 +313,9 @@ class Interpreter:
         if slot is None:
             slot = self._regfile.pick_random(self._rng, window)
         if slot is None:
+            # No register has retired yet: nothing to corrupt, Masked.
+            if self._triage:
+                raise TriageMasked()
             return
         value_obj = slot.value_obj
         frame: Frame = slot.frame  # type: ignore[assignment]
@@ -302,6 +327,8 @@ class Interpreter:
             # Stale register (frame returned): flip is architecturally dead.
             record.landed = True
             record.was_live = False
+            if self._triage:
+                raise TriageMasked()
             return
         flipped = flip_bit(
             value_obj.type, current, plan.bit, self.config.register_flip_bits
@@ -311,6 +338,12 @@ class Interpreter:
         record.was_live = True
         record.before = current
         record.after = flipped
+        if self._triage and top_frame is not None:
+            ni = next_index if frame is top_frame else frame.index
+            if ni >= 0 and value_dead_after(
+                self._liveness_for(frame.function), frame.block, ni, value_obj
+            ):
+                raise TriageMasked()
 
     # -- execution -----------------------------------------------------------------------
 
@@ -321,6 +354,9 @@ class Interpreter:
         inputs: Optional[Dict[str, Sequence]] = None,
         injection: Optional[InjectionPlan] = None,
         max_instructions: int = 50_000_000,
+        restore_from: Optional[Snapshot] = None,
+        capture: Optional[SnapshotRecorder] = None,
+        triage: bool = False,
     ) -> RunResult:
         """Execute ``entry`` to completion.
 
@@ -334,27 +370,49 @@ class Interpreter:
         disabled (``fastpath=False`` / ``REPRO_FASTPATH=0``).  Both paths are
         bit-identical — same results, traps, guard statistics, and injection
         behaviour.
+
+        ``restore_from`` fast-forwards an injection run from a golden-run
+        :class:`~repro.sim.snapshot.Snapshot` (bit-identical by
+        construction); ``capture`` records snapshots during a fault-free run;
+        ``triage`` short-circuits provably-dead flips by raising
+        :class:`~repro.sim.snapshot.TriageMasked`.  All three are fast-path
+        features: on the reference loop (or with a value hook, whose
+        callbacks would be skipped over the restored prefix) they are
+        silently ignored, preserving from-scratch semantics.
         """
         fn = self.module.function(entry)
         if len(args) != len(fn.args):
             raise ValueError(
                 f"@{entry} expects {len(fn.args)} args, got {len(args)}"
             )
+        use_fast = self.fastpath and self.timing is None
+        if not use_fast or self.value_hook is not None:
+            restore_from = None
+            capture = None
+        if restore_from is not None and (
+            injection is None or restore_from.cycle >= injection.cycle
+        ):
+            restore_from = None
+        self._triage = bool(triage) and injection is not None
         registry = _obs_registry()
         if not registry.enabled:
-            if self.fastpath and self.timing is None:
-                return self._run_compiled(fn, args, inputs, injection, max_instructions)
+            if use_fast:
+                return self._run_compiled(
+                    fn, args, inputs, injection, max_instructions,
+                    capture, restore_from,
+                )
             return self._run_reference(fn, args, inputs, injection, max_instructions)
         # Observability: per-run accounting only (never per-instruction), so
         # the instrumented path stays within noise of the bare one.  Both
         # dispatch paths report through this single funnel, which keeps the
         # fast path's events structurally identical to the reference path's.
-        path = "fastpath" if self.fastpath and self.timing is None else "reference"
+        path = "fastpath" if use_fast else "reference"
         try:
             with registry.timer(f"sim.run.{path}").time():
                 if path == "fastpath":
                     result = self._run_compiled(
-                        fn, args, inputs, injection, max_instructions
+                        fn, args, inputs, injection, max_instructions,
+                        capture, restore_from,
                     )
                 else:
                     result = self._run_reference(
@@ -362,6 +420,10 @@ class Interpreter:
                     )
         except SimTrap as trap:
             registry.counter(f"sim.trap.{trap.__class__.__name__}").inc()
+            self._record_run_metrics(registry, path)
+            raise
+        except TriageMasked:
+            registry.counter("sim.triaged").inc()
             self._record_run_metrics(registry, path)
             raise
         self._record_run_metrics(registry, path)
@@ -449,7 +511,7 @@ class Interpreter:
                 raise TimeoutTrap(max_instructions, cycle)
             if inject_cycle >= 0 and cycle >= inject_cycle:
                 inject_cycle = -1
-                self._do_injection(injection)  # type: ignore[arg-type]
+                self._do_injection(injection, frame, idx)  # type: ignore[arg-type]
 
             cls = instr.__class__
 
@@ -541,7 +603,7 @@ class Interpreter:
                 # timeout/injection bookkeeping done inside _enter_block via cycles
                 if inject_cycle >= 0 and self.cycle >= inject_cycle:
                     inject_cycle = -1
-                    self._do_injection(injection)  # type: ignore[arg-type]
+                    self._do_injection(injection, frame, frame.index)  # type: ignore[arg-type]
                 continue
 
             if cls is Br:
@@ -553,7 +615,7 @@ class Interpreter:
                 self._enter_block(frame, target, track_registers, value_hook, timing)
                 if inject_cycle >= 0 and self.cycle >= inject_cycle:
                     inject_cycle = -1
-                    self._do_injection(injection)  # type: ignore[arg-type]
+                    self._do_injection(injection, frame, frame.index)  # type: ignore[arg-type]
                 continue
 
             if cls is Cast:
@@ -725,6 +787,8 @@ class Interpreter:
         inputs: Optional[Dict[str, Sequence]],
         injection: Optional[InjectionPlan],
         max_instructions: int,
+        capture: Optional[SnapshotRecorder] = None,
+        restore: Optional[Snapshot] = None,
     ) -> RunResult:
         """Drive the pre-compiled step closures (see :mod:`repro.sim.compiled`).
 
@@ -734,8 +798,16 @@ class Interpreter:
         instruction.  ``self.cycle`` is synced at injection points, trap
         exits, and run end; closures raise traps with ``cycle=-1`` and the
         loop re-times them.
+
+        ``capture`` snapshots the full state whenever the cycle counter
+        passes its due mark (checked at the loop top only, so a snapshot may
+        overshoot the cadence by one superblock — restore uses the stored
+        cycle, so this is harmless).  ``restore`` replaces the from-scratch
+        prologue with a deep-copied snapshot of the golden run, resuming at
+        its recorded compiled block; tracked variants are compiled either
+        way, so snapshot block references stay valid here.
         """
-        track = injection is not None
+        track = injection is not None or capture is not None
         hooked = self.value_hook is not None
         cm = compile_module(self.module, track, hooked)
         self._cm = cm
@@ -743,32 +815,42 @@ class Interpreter:
         # after that instant is dead bookkeeping, so the loop swaps in the
         # untracked variant the moment the fault lands.
         self._untracked_cm = (
-            compile_module(self.module, False, hooked) if track else None
+            compile_module(self.module, False, hooked)
+            if injection is not None else None
         )
         self._rf_log = []
-
-        inject_cycle = self._setup_run(inputs, injection)
-        self._mem_locate = self.memory._locate
+        self._rf_base = 0
         self._max_depth = self.config.max_call_depth
 
-        frame = Frame(fn, None, self._stack_sp)
-        for formal, actual in zip(fn.args, args):
-            frame.values[id(formal)] = actual
-        self._frames = [frame]
-        self._frame = frame
-        self._ret_value = None
-        self._resume_cb = None
-        self._resume_idx = 0
+        if restore is not None:
+            cb, idx, cycle = restore.install(self, injection)
+            inject_cycle = injection.cycle  # type: ignore[union-attr]
+            frame = self._frame
+        else:
+            inject_cycle = self._setup_run(inputs, injection)
+            self._mem_locate = self.memory._locate
 
-        cb = cm.functions[fn].entry_cb
+            frame = Frame(fn, None, self._stack_sp)
+            for formal, actual in zip(fn.args, args):
+                frame.values[id(formal)] = actual
+            self._frames = [frame]
+            self._frame = frame
+            self._ret_value = None
+            self._resume_cb = None
+            self._resume_idx = 0
+
+            cb = cm.functions[fn].entry_cb
+            idx = 0
+            cycle = 0
         code = cb.code
         fused = cb.fused
-        idx = 0
         vals = frame.values
-        cycle = 0
+        snap_due = capture.next_due if capture is not None else (1 << 62)
 
         try:
             while True:
+                if snap_due <= cycle:
+                    snap_due = capture.take(self, cb, idx, cycle)
                 sb = fused[idx]
                 if sb is not None and cycle + sb[1] <= max_instructions and (
                     inject_cycle < 0 or cycle + sb[1] < inject_cycle
@@ -800,7 +882,7 @@ class Interpreter:
                         self.cycle = cycle
                         frame.index = idx + 1
                         self._materialize_regfile()
-                        self._do_injection(injection)  # type: ignore[arg-type]
+                        self._do_injection(injection, frame, idx)  # type: ignore[arg-type]
                         if track:
                             track = False
                             cb = self._switch_to_untracked(cb)
@@ -831,7 +913,7 @@ class Interpreter:
                         self.cycle = cycle
                         frame.index = idx
                         self._materialize_regfile()
-                        self._do_injection(injection)  # type: ignore[arg-type]
+                        self._do_injection(injection, frame, idx)  # type: ignore[arg-type]
                         if track:
                             track = False
                             cb = self._switch_to_untracked(cb)
@@ -880,14 +962,18 @@ class Interpreter:
         regfile = self._regfile
         assert regfile is not None
         cap = len(regfile.slots)
-        n = len(log)
-        start = n - cap if n > cap else 0
-        regfile._writes = start
-        regfile._cursor = start % cap
+        # A restored run starts mid-history: _rf_base writes were already
+        # dropped from the log at capture time (only the newest `cap` can
+        # occupy a slot), so tags/cursor continue from the absolute count.
+        total = self._rf_base + len(log)
+        start = len(log) - cap if total > cap else 0
+        regfile._writes = total - cap if total > cap else 0
+        regfile._cursor = regfile._writes % cap
         write = regfile.write
         for frame, obj in log[start:]:
             write(frame, obj)
         self._rf_log = []
+        self._rf_base = 0
 
     def _switch_to_untracked(self, cb):
         """Swap the run onto the untracked compiled variant after injection.

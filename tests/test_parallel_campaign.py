@@ -107,11 +107,15 @@ def test_on_trial_called_once_per_trial(prepared_g721):
 
 
 def test_default_jobs_reads_env(monkeypatch):
+    import os
+
     monkeypatch.delenv("REPRO_JOBS", raising=False)
     assert default_jobs() == 1
     monkeypatch.setenv("REPRO_JOBS", "6")
     assert default_jobs() == 6
-    monkeypatch.setenv("REPRO_JOBS", "0")
+    monkeypatch.setenv("REPRO_JOBS", "0")  # 0 = auto: one worker per CPU
+    assert default_jobs() == (os.cpu_count() or 1)
+    monkeypatch.setenv("REPRO_JOBS", "-3")
     assert default_jobs() == 1
 
 
@@ -129,10 +133,12 @@ def test_default_jobs_misparse_warns_once(monkeypatch):
 
 
 def test_resolve_jobs_explicit_wins(monkeypatch):
+    import os
+
     monkeypatch.setenv("REPRO_JOBS", "6")
     assert resolve_jobs(2) == 2
     assert resolve_jobs(None) == 6
-    assert resolve_jobs(0) == 1
+    assert resolve_jobs(0) == (os.cpu_count() or 1)  # explicit auto
     monkeypatch.delenv("REPRO_JOBS", raising=False)
     assert resolve_jobs(None) == 1
 

@@ -187,7 +187,7 @@ def test_interrupted_campaign_resumes_byte_identical(
     assert not ckpt.exists()  # cleared after success
 
     sidecar_events, _ = read_events(resilience_log_path(str(log)))
-    kinds = {e["kind"] for e in sidecar_events}
+    kinds = {e["kind"] for e in sidecar_events if e["event"] == "resilience"}
     assert {"checkpoint_write", "checkpoint_load", "checkpoint_clear"} <= kinds
     # And crucially: nothing leaked into the main log.
     main_events, skipped = read_events(log)
@@ -256,7 +256,7 @@ def test_broken_pool_retries_and_stays_byte_identical(
     assert result.trials == reference.trials
     assert log.read_bytes() == (tmp_path / "ref.jsonl").read_bytes()
     sidecar_events, _ = read_events(resilience_log_path(str(log)))
-    kinds = [e["kind"] for e in sidecar_events]
+    kinds = [e["kind"] for e in sidecar_events if e["event"] == "resilience"]
     assert "worker_failure" in kinds and "chunk_retry" in kinds
 
 
@@ -274,7 +274,9 @@ def test_broken_pool_degrades_to_serial(tmp_path, prepared_g721, monkeypatch):
                           prepared=prepared)
     assert result.trials == reference.trials
     sidecar_events, _ = read_events(resilience_log_path(str(log)))
-    assert "serial_fallback" in [e["kind"] for e in sidecar_events]
+    assert "serial_fallback" in [
+        e["kind"] for e in sidecar_events if e["event"] == "resilience"
+    ]
 
 
 def test_broken_pool_fail_policy_propagates(prepared_g721, monkeypatch):
@@ -333,10 +335,10 @@ def test_hung_trial_is_quarantined(tmp_path, prepared_g721, monkeypatch):
     hang_cycle = plans[2].cycle
     real_run_trial = campaign_mod.run_trial
 
-    def hang_on_target(prepared_, cycle, bit, seed, cfg):
+    def hang_on_target(prepared_, cycle, bit, seed, cfg, stats=None):
         if cycle == hang_cycle:
             time.sleep(5)
-        return real_run_trial(prepared_, cycle, bit, seed, cfg)
+        return real_run_trial(prepared_, cycle, bit, seed, cfg, stats=stats)
 
     monkeypatch.setattr(campaign_mod, "run_trial", hang_on_target)
     log = tmp_path / "log.jsonl"
@@ -353,7 +355,7 @@ def test_hung_trial_is_quarantined(tmp_path, prepared_g721, monkeypatch):
     ]
     assert len(quarantined) == 1
     sidecar_events, _ = read_events(resilience_log_path(str(log)))
-    kinds = [e["kind"] for e in sidecar_events]
+    kinds = [e["kind"] for e in sidecar_events if e["event"] == "resilience"]
     assert kinds.count("trial_timeout") == 2  # original + the one requeue
     assert "trial_quarantined" in kinds
 
