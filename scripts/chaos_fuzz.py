@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""Chaos-fuzz CLI (the CI `chaos-smoke` job).
+
+Sweeps randomized corruptions across workloads × protection schemes × fault
+models (see :mod:`repro.faultinjection.chaos`) and fails loudly unless every
+trial terminates with a classified outcome, zero exceptions escape the
+campaign engine, zero workers die, and zero trials hit the wall-clock
+watchdog.
+
+Examples::
+
+    python scripts/chaos_fuzz.py --trials 300
+    python scripts/chaos_fuzz.py --trials 1000 --jobs 4 --json chaos.json
+    python scripts/chaos_fuzz.py --models burst,stuck_at --schemes dup,full_dup
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.faultinjection.chaos import DEFAULT_MODELS, run_chaos_sweep  # noqa: E402
+from repro.transforms.pipeline import SCHEMES  # noqa: E402
+from repro.workloads.registry import BENCHMARK_NAMES  # noqa: E402
+
+#: environment knobs that would make the sweep non-hermetic (stray event
+#: logs, inherited checkpoints, a forced fault model) — cleared up front
+_SCRUBBED_ENV = (
+    "REPRO_OBS", "REPRO_OBS_TIMING", "REPRO_CHECKPOINT",
+    "REPRO_CHECKPOINT_DIR", "REPRO_FAULT_MODEL", "REPRO_TRIALS",
+    "REPRO_JOBS", "REPRO_TRIAL_DEADLINE",
+)
+
+
+def log(message: str) -> None:
+    print(f"[chaos-fuzz] {message}", flush=True)
+
+
+def _csv(value: str, universe, what: str, parser) -> tuple:
+    items = tuple(item.strip() for item in value.split(",") if item.strip())
+    unknown = set(items) - set(universe)
+    if unknown:
+        parser.error(f"unknown {what}: {sorted(unknown)}")
+    return items
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--trials", type=int, default=1000, metavar="N",
+                        help="minimum injection trials per fault model, "
+                             "split across the workload x scheme grid "
+                             "(default: 1000)")
+    parser.add_argument("--workloads", default="tiff2bw,g721dec",
+                        metavar="A,B,...",
+                        help="comma-separated benchmarks to corrupt "
+                             "(default: tiff2bw,g721dec — the fastest two)")
+    parser.add_argument("--schemes", default=",".join(SCHEMES),
+                        metavar="A,B,...",
+                        help="comma-separated protection schemes "
+                             f"(default: all {len(SCHEMES)})")
+    parser.add_argument("--models", default=",".join(DEFAULT_MODELS),
+                        metavar="A,B,...",
+                        help="comma-separated fault models "
+                             "(default: every model plus 'chaos')")
+    parser.add_argument("--jobs", type=int, default=2, metavar="N",
+                        help="worker processes per campaign (default: 2, so "
+                             "the sweep also fuzzes the parallel path)")
+    parser.add_argument("--seed", type=int, default=2014)
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="also write the full report as JSON (CI "
+                             "uploads this as an artifact)")
+    args = parser.parse_args()
+
+    for name in _SCRUBBED_ENV:
+        os.environ.pop(name, None)
+    os.environ["REPRO_CACHE"] = "0"
+
+    workloads = _csv(args.workloads, BENCHMARK_NAMES, "workloads", parser)
+    schemes = _csv(args.schemes, SCHEMES, "schemes", parser)
+    models = _csv(args.models, DEFAULT_MODELS, "models", parser)
+
+    log(f"sweeping {len(workloads)} workload(s) x {len(schemes)} scheme(s) "
+        f"x {len(models)} model(s), >= {args.trials} trials per model, "
+        f"jobs={args.jobs}")
+    report = run_chaos_sweep(
+        workloads, schemes, trials_per_model=args.trials, seed=args.seed,
+        jobs=args.jobs, models=models, on_progress=log,
+    )
+
+    print()
+    print(report.render_text())
+    if args.json:
+        path = Path(args.json)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(report.to_json(), fh, indent=2)
+            fh.write("\n")
+        log(f"wrote {path}")
+    if not report.ok:
+        log(f"FAIL: {len(report.violations)} violation(s)")
+        return 1
+    log("all invariants held")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

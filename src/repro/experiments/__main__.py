@@ -68,6 +68,14 @@ def main(argv=None) -> int:
              "(default: REPRO_OBS or off; inspect with "
              "'python -m repro.obs report PATH')",
     )
+    from ..sim.faults import CHAOS_FAULT_MODEL, CONCRETE_FAULT_MODELS
+
+    parser.add_argument(
+        "--fault-model", default=None,
+        choices=list(CONCRETE_FAULT_MODELS) + [CHAOS_FAULT_MODEL],
+        help="fault model injected by every campaign (default: "
+             "REPRO_FAULT_MODEL or single_bit, the paper's model)",
+    )
     parser.add_argument(
         "--checkpoint-dir", metavar="DIR", default=None,
         help="directory of per-campaign checkpoint files so an interrupted "
@@ -103,6 +111,7 @@ def main(argv=None) -> int:
         args.trials is not None
         or args.workloads is not None
         or args.jobs is not None
+        or args.fault_model is not None
         or obs_log is not None
         or resilience_flags
         or not args.quiet
@@ -122,6 +131,7 @@ def main(argv=None) -> int:
             progress=not args.quiet,
             obs_log=obs_log,
             resilience=policy,
+            fault_model=args.fault_model,
         )
         if args.checkpoint_dir is not None:
             settings_kwargs["checkpoint_dir"] = args.checkpoint_dir

@@ -78,12 +78,18 @@ class ExperimentSettings:
     checkpoint_dir: Optional[str] = field(default_factory=checkpoint_dir_env)
     #: recovery policy threaded into every campaign (None = env defaults)
     resilience: Optional[ResiliencePolicy] = None
+    #: fault model threaded into every campaign (None = the campaign's own
+    #: default resolution: ``REPRO_FAULT_MODEL`` or single_bit)
+    fault_model: Optional[str] = None
 
     def campaign_config(self) -> CampaignConfig:
-        return replace(
+        config = replace(
             self.campaign, trials=self.trials, seed=self.seed, jobs=self.jobs,
             obs_log=self.obs_log, resilience=self.resilience,
         )
+        if self.fault_model is not None:
+            config = replace(config, fault_model=self.fault_model)
+        return config
 
 
 class ExperimentCache:

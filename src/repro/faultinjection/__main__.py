@@ -6,6 +6,8 @@ Usage::
     python -m repro.faultinjection kmeans original --json kmeans.json
     python -m repro.faultinjection g721dec dup --seed 7 --swap-inputs
     python -m repro.faultinjection g721dec dup_valchk --trials 1000 --jobs 4
+    python -m repro.faultinjection tiff2bw dup --fault-model burst
+    python -m repro.faultinjection tiff2bw full_dup --chaos --trials 500
 """
 
 from __future__ import annotations
@@ -17,6 +19,7 @@ import sys
 from ..obs.config import resolve_obs_log
 from ..obs.metrics import enable_global
 from ..transforms.pipeline import SCHEMES
+from ..sim.faults import CHAOS_FAULT_MODEL, CONCRETE_FAULT_MODELS
 from ..workloads.registry import BENCHMARK_NAMES, get_workload
 from .campaign import CampaignConfig, run_campaign
 from .parallel import resolve_jobs
@@ -99,6 +102,13 @@ def main(argv=None) -> int:
                              "-1 picks automatically from the golden length "
                              "(default: REPRO_SNAPSHOT_EVERY or auto; "
                              "results are bit-identical for any value)")
+    parser.add_argument("--fault-model", default=None,
+                        choices=list(CONCRETE_FAULT_MODELS) + [CHAOS_FAULT_MODEL],
+                        help="fault model to inject (default: "
+                             "REPRO_FAULT_MODEL or single_bit, the paper's "
+                             "model; 'chaos' mixes all models per trial)")
+    parser.add_argument("--chaos", action="store_true",
+                        help="shorthand for --fault-model chaos")
     parser.add_argument("--swap-inputs", action="store_true",
                         help="profile on the test input, inject on the train "
                              "input (the cross-validation configuration)")
@@ -119,6 +129,7 @@ def main(argv=None) -> int:
         jobs=resolve_jobs(args.jobs), obs_log=resolve_obs_log(args.obs_log),
         checkpoint=checkpoint, resilience=policy,
         snapshot_every=args.snapshot_every,
+        fault_model=args.fault_model or (CHAOS_FAULT_MODEL if args.chaos else None),
     )
     if config.obs_log:
         enable_global()

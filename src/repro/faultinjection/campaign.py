@@ -31,12 +31,19 @@ from ..sim.config import SimConfig
 from ..sim.events import (
     ArithmeticTrap,
     GuardTrap,
+    HarnessContainedTrap,
     MemoryTrap,
     SimTrap,
     StackOverflowTrap,
     TimeoutTrap,
 )
-from ..sim.faults import LARGE_CHANGE_THRESHOLD, InjectionPlan
+from ..sim.faults import (
+    CHAOS_FAULT_MODEL,
+    CONCRETE_FAULT_MODELS,
+    FAULT_MODELS,
+    LARGE_CHANGE_THRESHOLD,
+    InjectionPlan,
+)
 from ..sim.interpreter import Interpreter
 from ..sim import snapshot as snapshot_mod
 from ..transforms.checkconfig import ProtectionConfig
@@ -98,6 +105,14 @@ class CampaignConfig:
     #: None = resolve from ``REPRO_TRIAGE`` (default on).  Excluded from
     #: cache keys — a triaged trial records exactly what a full run would.
     triage: Optional[bool] = None
+    #: fault model drawn for every trial: one of
+    #: :data:`~repro.sim.faults.CONCRETE_FAULT_MODELS` or ``"chaos"`` (each
+    #: trial draws a concrete model from the campaign RNG).  None = resolve
+    #: from ``REPRO_FAULT_MODEL`` (default ``"single_bit"``, the paper's
+    #: model).  *Included* in cache/checkpoint keys — different models
+    #: produce different results — but only when it resolves to a
+    #: non-default model, so historical single-bit keys stay valid.
+    fault_model: Optional[str] = None
 
 
 @dataclass
@@ -214,6 +229,7 @@ def run_trial(
     seed: int,
     config: CampaignConfig,
     stats: Optional[Dict[str, int]] = None,
+    model: str = "single_bit",
 ) -> TrialResult:
     """Inject one fault and classify the outcome per Section IV-C.
 
@@ -224,9 +240,16 @@ def run_trial(
     to Masked.  Both are bit-invisible: the returned TrialResult is identical
     to a from-scratch run's.  ``stats``, when given, accumulates
     ``restores`` / ``replay_cycles_saved`` / ``triaged_masked`` counts.
+
+    ``model`` names the :class:`~repro.sim.faults.FaultModel` to inject
+    (always a concrete model — the campaign resolves ``chaos`` per plan).
+    Every trial terminates with a classified outcome: the interpreter
+    contains post-injection Python exceptions as
+    :class:`HarnessContainedTrap`, and a last-resort boundary here does the
+    same for harness code outside the interpreter (output comparison,
+    fidelity scoring) so corrupted outputs can never kill a worker.
     """
-    workload = prepared.workload
-    plan = InjectionPlan(cycle=cycle, bit=bit, seed=seed)
+    plan = InjectionPlan(cycle=cycle, bit=bit, seed=seed, model=model)
     interp = Interpreter(
         prepared.module,
         config=config.sim,
@@ -234,7 +257,38 @@ def run_trial(
         disabled_guards=set(prepared.noisy_guards),
     )
     limit = int(prepared.golden_instructions * config.timeout_factor) + 10_000
+    try:
+        return _classify_trial(prepared, plan, interp, limit, config, stats)
+    except Exception as err:
+        # Last-resort containment (the interpreter's own boundary converts
+        # in-simulation exceptions before they get here).  Pre-injection
+        # exceptions are harness bugs and must surface.
+        if interp.injection_record is None:
+            raise
+        trap = HarnessContainedTrap(type(err).__name__, str(err), interp.cycle)
+        return _trial_from_trap(
+            interp, plan, _symptom_outcome(trap, plan, config), trap
+        )
 
+
+def _symptom_outcome(
+    trap: SimTrap, plan: InjectionPlan, config: CampaignConfig
+) -> Outcome:
+    """HWDetect within the symptom window after injection, Failure beyond —
+    the paper's Section IV-C policy for hardware-visible symptoms."""
+    within = (trap.cycle - plan.cycle) <= config.symptom_window
+    return Outcome.HWDETECT if within else Outcome.FAILURE
+
+
+def _classify_trial(
+    prepared: PreparedWorkload,
+    plan: InjectionPlan,
+    interp: Interpreter,
+    limit: int,
+    config: CampaignConfig,
+    stats: Optional[Dict[str, int]],
+) -> TrialResult:
+    workload = prepared.workload
     restore = None
     if (
         prepared.snapshots is not None
@@ -248,6 +302,13 @@ def run_trial(
                 stats.get("replay_cycles_saved", 0) + restore.cycle
             )
 
+    # Dead-flip triage is only sound for the single-bit model: its
+    # corruption is one register binding, so next-use liveness proves
+    # deadness.  Multi-site, persistent, and memory faults keep the full run.
+    triage = (
+        snapshot_mod.resolve_triage(config.triage)
+        and plan.model == "single_bit"
+    )
     try:
         outputs, result = workload.run(
             prepared.module,
@@ -256,7 +317,7 @@ def run_trial(
             injection=plan,
             max_instructions=limit,
             restore_from=restore,
-            triage=snapshot_mod.resolve_triage(config.triage),
+            triage=triage,
         )
     except snapshot_mod.TriageMasked:
         # The flip was proven dead at injection time: execution from here is
@@ -273,9 +334,10 @@ def run_trial(
         return trial
     except TimeoutTrap as trap:
         return _trial_from_trap(interp, plan, Outcome.FAILURE, trap)
-    except (MemoryTrap, ArithmeticTrap, StackOverflowTrap) as trap:
-        within = (trap.cycle - cycle) <= config.symptom_window
-        outcome = Outcome.HWDETECT if within else Outcome.FAILURE
+    except (
+        MemoryTrap, ArithmeticTrap, StackOverflowTrap, HarnessContainedTrap
+    ) as trap:
+        outcome = _symptom_outcome(trap, plan, config)
         return _trial_from_trap(interp, plan, outcome, trap)
 
     trial = _base_trial(interp, plan)
@@ -312,7 +374,10 @@ _TRAP_KINDS = {
 
 def _base_trial(interp: Interpreter, plan: InjectionPlan) -> TrialResult:
     record = interp.injection_record
-    trial = TrialResult(outcome=Outcome.MASKED, injection_cycle=plan.cycle, bit=plan.bit)
+    trial = TrialResult(
+        outcome=Outcome.MASKED, injection_cycle=plan.cycle, bit=plan.bit,
+        fault_model=plan.model,
+    )
     if record is not None:
         trial.landed = record.landed
         trial.was_live = record.was_live
@@ -329,7 +394,11 @@ def _trial_from_trap(
     trial = _base_trial(interp, plan)
     trial.outcome = outcome
     trial.event_cycle = trap.cycle
-    trial.trap_kind = _TRAP_KINDS.get(trap.__class__, trap.__class__.__name__)
+    kind = _TRAP_KINDS.get(trap.__class__)
+    if kind is None:
+        # e.g. HarnessContainedTrap names its own kind ("contained:<Exc>").
+        kind = getattr(trap, "trap_kind", trap.__class__.__name__)
+    trial.trap_kind = kind
     return trial
 
 
@@ -346,7 +415,17 @@ def draw_plans(
     irreproducible between runs) — and each trial draws cycle, bit, and
     per-trial seed in that exact order, matching the historical interleaved
     loop draw-for-draw.
+
+    Fault models add **no** plan draws for any concrete model — extra
+    model randomness (burst width, stuck polarity, memory word, second bit)
+    comes from the trial's private seed at injection time — so single-bit
+    plans are byte-identical to the historical ones.  The ``chaos``
+    pseudo-model draws exactly one extra value per trial, *after* the seed:
+    the concrete model, uniform over
+    :data:`~repro.sim.faults.CONCRETE_FAULT_MODELS`.
     """
+    model = resolve_fault_model(config.fault_model)
+    chaos = model == CHAOS_FAULT_MODEL
     key = f"{config.seed}:{prepared.workload.name}:{prepared.scheme}".encode()
     rng = random.Random(int.from_bytes(hashlib.sha256(key).digest()[:8], "big"))
     plans = []
@@ -354,8 +433,46 @@ def draw_plans(
         cycle = rng.randrange(1, prepared.golden_instructions + 1)
         bit = rng.randrange(config.sim.register_flip_bits)
         seed = rng.randrange(1 << 30)
-        plans.append(InjectionPlan(cycle=cycle, bit=bit, seed=seed))
+        plan_model = model
+        if chaos:
+            plan_model = CONCRETE_FAULT_MODELS[
+                rng.randrange(len(CONCRETE_FAULT_MODELS))
+            ]
+        plans.append(
+            InjectionPlan(cycle=cycle, bit=bit, seed=seed, model=plan_model)
+        )
     return plans
+
+
+def resolve_fault_model(value: Optional[str]) -> str:
+    """Resolve a fault-model name: explicit value wins, then the
+    ``REPRO_FAULT_MODEL`` environment variable, then ``"single_bit"``.
+
+    Accepts every concrete model plus ``"chaos"``; anything else raises
+    ``ValueError`` (a typo must never silently fall back to the default
+    model).
+    """
+    if value is None:
+        value = os.environ.get("REPRO_FAULT_MODEL", "").strip() or None
+    if value is None:
+        return "single_bit"
+    if value != CHAOS_FAULT_MODEL and value not in FAULT_MODELS:
+        known = ", ".join(CONCRETE_FAULT_MODELS + (CHAOS_FAULT_MODEL,))
+        raise ValueError(f"unknown fault model {value!r} (known: {known})")
+    return value
+
+
+def resolve_fault_model_config(config: CampaignConfig) -> CampaignConfig:
+    """Fold the ``REPRO_FAULT_MODEL`` default into the config.
+
+    Same contract as :func:`resolve_obs_config`: explicit fields win, the
+    environment only fills gaps, and resolution happens once in the parent
+    so every worker injects under the same model.
+    """
+    model = resolve_fault_model(config.fault_model)
+    if model == config.fault_model:
+        return config
+    return replace(config, fault_model=model)
 
 
 def resolve_obs_config(config: CampaignConfig) -> CampaignConfig:
@@ -551,6 +668,7 @@ def run_campaign(
     config = resolve_resilience_config(config)
     config = resolve_prefix_config(config)
     config = resolve_jobs_config(config)
+    config = resolve_fault_model_config(config)
     prepared = prepared or prepare(workload, scheme, config)
     plans = draw_plans(config, prepared)
     rlog = resilience_mod.ResilienceLogger(config.obs_log, echo=on_recovery)
@@ -563,6 +681,7 @@ def run_campaign(
         golden_instructions=prepared.golden_instructions,
         golden_guard_failures=prepared.golden_guard_failures,
         golden_guard_evaluations=prepared.golden_guard_evaluations,
+        fault_model=config.fault_model or "single_bit",
     )
     writer = None
     if config.obs_log:
@@ -626,7 +745,7 @@ def _run_serial_portion(
             t0 = time.perf_counter() if timed else 0.0
             trial, anomalies = resilience_mod.run_trial_guarded(
                 prepared, index, plan.cycle, plan.bit, plan.seed, config,
-                stats=stats,
+                stats=stats, model=plan.model,
             )
             wall_ms = (time.perf_counter() - t0) * 1e3 if timed else None
             for anomaly in anomalies:

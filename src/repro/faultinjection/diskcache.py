@@ -97,13 +97,26 @@ def _config_fingerprint(config: CampaignConfig) -> dict:
     recovery changes how trials get executed, never what they compute.
     ``trials`` and ``seed`` are kept in the fingerprint *and* surfaced as
     top-level key fields for human inspection.
+
+    ``fault_model`` IS result-affecting, so it is resolved here (explicit
+    value, else ``REPRO_FAULT_MODEL``, else the default) and included — but
+    only when it resolves to a non-default model, so every historical
+    single-bit cache key stays valid.  Resolving inside the fingerprint
+    matters: callers (e.g. the experiments cache) compute keys *before*
+    ``run_campaign``'s own resolution pass, and the key must reflect the
+    model that will actually run.
     """
+    from .campaign import resolve_fault_model
+
     fields = dataclasses.asdict(config)
     for non_semantic in (
         "jobs", "obs_log", "obs_timing", "checkpoint", "resilience",
         "snapshot_every", "triage",
     ):
         fields.pop(non_semantic, None)
+    model = resolve_fault_model(fields.pop("fault_model", None))
+    if model != "single_bit":
+        fields["fault_model"] = model
     return fields
 
 

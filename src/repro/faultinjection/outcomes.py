@@ -63,8 +63,12 @@ class TrialResult:
     #: kind of that guard: 'eq', 'range', or 'values'
     detector_kind: str = ""
     #: class of the run-terminating event: 'guard', 'memory', 'arithmetic',
-    #: 'stack_overflow', or 'timeout' ('' for completed runs)
+    #: 'stack_overflow', 'timeout', or 'contained:<ExceptionName>' for a
+    #: contained harness exception ('' for completed runs)
     trap_kind: str = ""
+    #: fault model injected (see :mod:`repro.sim.faults`); 'single_bit' is
+    #: the paper's model and the default
+    fault_model: str = "single_bit"
 
     @property
     def detected(self) -> bool:
@@ -79,7 +83,19 @@ class TrialResult:
 
 
 def trial_to_record(t: TrialResult) -> Dict:
-    """JSON-safe record of one trial (checkpoints, caches, exports)."""
+    """JSON-safe record of one trial (checkpoints, caches, exports).
+
+    The ``fault_model`` key is only present for non-default models:
+    single-bit records must stay byte-identical to those written before the
+    fault-model hierarchy existed (cached campaigns, checkpoints, goldens).
+    """
+    rec = _trial_record_base(t)
+    if t.fault_model != "single_bit":
+        rec["fault_model"] = t.fault_model
+    return rec
+
+
+def _trial_record_base(t: TrialResult) -> Dict:
     return {
         "outcome": t.outcome.value,
         "cycle": t.injection_cycle,
@@ -123,6 +139,7 @@ def trial_from_record(rec: Dict) -> TrialResult:
         detector_guard=rec.get("detector_guard"),
         detector_kind=rec.get("detector_kind", ""),
         trap_kind=rec.get("trap_kind", ""),
+        fault_model=rec.get("fault_model", "single_bit"),
     )
 
 
@@ -137,6 +154,9 @@ class CampaignResult:
     #: false positives observed in the fault-free (golden) run
     golden_guard_failures: int = 0
     golden_guard_evaluations: int = 0
+    #: the campaign's fault model ('chaos' = per-trial mix; each trial's
+    #: concrete model is on the TrialResult)
+    fault_model: str = "single_bit"
 
     # -- fractions of total injected faults --------------------------------------
 
@@ -212,14 +232,22 @@ class CampaignResult:
 
     def to_dict(self) -> Dict:
         """JSON-serialisable summary + per-trial records (for offline
-        analysis of campaign data outside this package)."""
-        return {
+        analysis of campaign data outside this package).
+
+        Like :func:`trial_to_record`, ``fault_model`` is only emitted for
+        non-default models so cached single-bit campaign JSON stays
+        byte-identical to the pre-hierarchy format."""
+        doc = {
             "workload": self.workload,
             "scheme": self.scheme,
             "trials": self.num_trials,
             "golden_instructions": self.golden_instructions,
             "golden_guard_failures": self.golden_guard_failures,
             "golden_guard_evaluations": self.golden_guard_evaluations,
+        }
+        if self.fault_model != "single_bit":
+            doc["fault_model"] = self.fault_model
+        doc.update({
             "fractions": {
                 "masked": self.masked,
                 "swdetect": self.swdetect,
@@ -231,7 +259,8 @@ class CampaignResult:
                 "coverage": self.coverage,
             },
             "records": [trial_to_record(t) for t in self.trials],
-        }
+        })
+        return doc
 
     @classmethod
     def from_dict(cls, data: Dict) -> "CampaignResult":
@@ -244,6 +273,7 @@ class CampaignResult:
             golden_instructions=data.get("golden_instructions", 0),
             golden_guard_failures=data.get("golden_guard_failures", 0),
             golden_guard_evaluations=data.get("golden_guard_evaluations", 0),
+            fault_model=data.get("fault_model", "single_bit"),
         )
         for rec in data.get("records", ()):
             result.trials.append(trial_from_record(rec))

@@ -147,9 +147,9 @@ def _init_worker(name: str, scheme: str, config: CampaignConfig) -> None:
 def _execute_chunk(
     prepared: PreparedWorkload,
     config: CampaignConfig,
-    chunk: Sequence[Tuple[int, int, int, int]],
+    chunk: Sequence[Tuple[int, int, int, int, str]],
 ) -> Tuple[List[Tuple[int, TrialResult]], List[Dict], Dict[str, int]]:
-    """Run one chunk of (index, cycle, bit, seed) trials.
+    """Run one chunk of (index, cycle, bit, seed, model) trials.
 
     Returns ``(results, anomalies, stats)`` — anomalies are watchdog events
     (trial timeout / quarantine) collected by
@@ -170,9 +170,10 @@ def _execute_chunk(
     stats: Dict[str, int] = {}
     if not config.obs_log:
         results = []
-        for index, cycle, bit, seed in chunk:
+        for index, cycle, bit, seed, model in chunk:
             trial, notes = resilience_mod.run_trial_guarded(
-                prepared, index, cycle, bit, seed, config, stats=stats
+                prepared, index, cycle, bit, seed, config, stats=stats,
+                model=model,
             )
             results.append((index, trial))
             anomalies.extend(notes)
@@ -183,10 +184,11 @@ def _execute_chunk(
 
     results = []
     events = []
-    for index, cycle, bit, seed in chunk:
+    for index, cycle, bit, seed, model in chunk:
         t0 = time.perf_counter() if config.obs_timing else 0.0
         trial, notes = resilience_mod.run_trial_guarded(
-            prepared, index, cycle, bit, seed, config, stats=stats
+            prepared, index, cycle, bit, seed, config, stats=stats,
+            model=model,
         )
         wall_ms = (
             (time.perf_counter() - t0) * 1e3 if config.obs_timing else None
@@ -195,8 +197,9 @@ def _execute_chunk(
         anomalies.extend(notes)
         events.append(
             obs_events.trial_event(
-                index, InjectionPlan(cycle=cycle, bit=bit, seed=seed), trial,
-                wall_ms=wall_ms,
+                index,
+                InjectionPlan(cycle=cycle, bit=bit, seed=seed, model=model),
+                trial, wall_ms=wall_ms,
             )
         )
     obs_events.write_shard(config.obs_log, chunk[0][0], events)
@@ -204,7 +207,7 @@ def _execute_chunk(
 
 
 def _run_chunk(
-    chunk: Sequence[Tuple[int, int, int, int]],
+    chunk: Sequence[Tuple[int, int, int, int, str]],
 ) -> Tuple[List[Tuple[int, TrialResult]], List[Dict], Dict[str, int]]:
     """Worker entry: resolve the per-process prepared workload and run."""
     name, scheme, config = _WORKER_CAMPAIGN  # type: ignore[misc]
@@ -252,11 +255,11 @@ def run_trials_parallel(
     if indices is None:
         indices = range(len(plans))
     tagged = [
-        (index, plan.cycle, plan.bit, plan.seed)
+        (index, plan.cycle, plan.bit, plan.seed, plan.model)
         for index, plan in zip(indices, plans)
     ]
     size = _chunk_size(len(tagged), jobs)
-    pending: Dict[int, List[Tuple[int, int, int, int]]] = {
+    pending: Dict[int, List[Tuple[int, int, int, int, str]]] = {
         ordinal: tagged[i:i + size]
         for ordinal, i in enumerate(range(0, len(tagged), size))
     }

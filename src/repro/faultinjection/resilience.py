@@ -54,6 +54,7 @@ import signal
 import tempfile
 import threading
 import time
+import warnings
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
@@ -431,9 +432,15 @@ class Checkpointer:
 # ---------------------------------------------------------------------------
 
 
-class HarnessTimeout(Exception):
+class HarnessTimeout(BaseException):
     """A trial exceeded its real-time deadline (harness anomaly, not a
-    simulated outcome — the simulated-cycle budget is ``timeout_factor``)."""
+    simulated outcome — the simulated-cycle budget is ``timeout_factor``).
+
+    Deliberately a ``BaseException``: the crash-containment boundary in the
+    interpreter converts any post-injection ``Exception`` into a classified
+    trap, and the watchdog's verdict must punch through that boundary — a
+    hung trial is a harness anomaly, never a simulated fault effect.
+    """
 
 
 def _watchdog_available() -> bool:
@@ -444,12 +451,37 @@ def _watchdog_available() -> bool:
     )
 
 
+#: one-time flag for the watchdog-unavailable degradation warning
+_WARNED_WATCHDOG_UNAVAILABLE = False
+
+
 @contextmanager
 def trial_deadline(seconds: float):
     """Raise :class:`HarnessTimeout` in the body after ``seconds`` of wall
     time.  Yields True when the watchdog is armed, False when unavailable
-    (non-POSIX host or non-main thread) or ``seconds`` <= 0."""
-    if seconds <= 0 or not _watchdog_available():
+    (non-POSIX host or non-main thread) or ``seconds`` <= 0.
+
+    The unavailable case degrades gracefully rather than raising at setup
+    (``signal.setitimer`` outside the main thread is a ``ValueError``): it
+    warns once, bumps the ``resilience.watchdog_unavailable`` counter, and
+    leaves runaway-trial protection to the simulated-cycle budget
+    (``timeout_factor``), which bounds every trial regardless of host.
+    """
+    global _WARNED_WATCHDOG_UNAVAILABLE
+    if seconds <= 0:
+        yield False
+        return
+    if not _watchdog_available():
+        global_registry().counter("resilience.watchdog_unavailable").inc()
+        if not _WARNED_WATCHDOG_UNAVAILABLE:
+            _WARNED_WATCHDOG_UNAVAILABLE = True
+            warnings.warn(
+                "per-trial wall-clock watchdog needs SIGALRM on the main "
+                "thread; falling back to the simulated-cycle budget "
+                "(timeout_factor)",
+                RuntimeWarning,
+                stacklevel=3,
+            )
         yield False
         return
 
@@ -465,19 +497,22 @@ def trial_deadline(seconds: float):
         signal.signal(signal.SIGALRM, previous)
 
 
-def _quarantined_trial(cycle: int, bit: int) -> TrialResult:
+def _quarantined_trial(
+    cycle: int, bit: int, model: str = "single_bit"
+) -> TrialResult:
     """Placeholder result for a trial the watchdog gave up on."""
     return TrialResult(
         outcome=Outcome.FAILURE,
         injection_cycle=cycle,
         bit=bit,
         trap_kind="harness_timeout",
+        fault_model=model,
     )
 
 
 def run_trial_guarded(
     prepared, index: int, cycle: int, bit: int, seed: int, config,
-    stats: Optional[Dict[str, int]] = None,
+    stats: Optional[Dict[str, int]] = None, model: str = "single_bit",
 ) -> Tuple[TrialResult, List[Dict]]:
     """Run one trial under the policy's wall-clock watchdog.
 
@@ -487,21 +522,26 @@ def run_trial_guarded(
     when the retry also overran and the trial was recorded as a
     ``harness_timeout`` failure.  With the watchdog off (the default) this
     is a zero-allocation passthrough to :func:`~.campaign.run_trial`.
-    ``stats`` is forwarded to ``run_trial`` for shared-prefix accounting.
+    ``stats`` is forwarded to ``run_trial`` for shared-prefix accounting;
+    ``model`` names the trial's fault model (passed through only when
+    non-default, so historical ``run_trial`` stand-ins keep working).
     """
     from .campaign import run_trial
 
+    kwargs = {"stats": stats}
+    if model != "single_bit":
+        kwargs["model"] = model
     policy = getattr(config, "resilience", None)
     deadline = policy.trial_deadline_seconds if policy is not None else 0.0
     if not policy or not policy.enabled or deadline <= 0:
-        return run_trial(prepared, cycle, bit, seed, config, stats=stats), []
+        return run_trial(prepared, cycle, bit, seed, config, **kwargs), []
 
     anomalies: List[Dict] = []
     for attempt in (1, 2):  # a runaway trial is requeued exactly once
         try:
             with trial_deadline(deadline):
                 return (
-                    run_trial(prepared, cycle, bit, seed, config, stats=stats),
+                    run_trial(prepared, cycle, bit, seed, config, **kwargs),
                     anomalies,
                 )
         except HarnessTimeout:
@@ -515,7 +555,7 @@ def run_trial_guarded(
         "i": index, "cycle": cycle, "bit": bit,
         "deadline_seconds": deadline,
     })
-    return _quarantined_trial(cycle, bit), anomalies
+    return _quarantined_trial(cycle, bit, model), anomalies
 
 
 # ---------------------------------------------------------------------------

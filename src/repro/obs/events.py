@@ -77,9 +77,11 @@ def campaign_begin_event(result) -> Dict:
     """Header record from a fresh :class:`CampaignResult` shell.
 
     Deliberately excludes ``jobs`` and timestamps: the header must be
-    byte-identical across worker counts and runs.
+    byte-identical across worker counts and runs.  ``fault_model`` is only
+    present for non-default models, so single-bit logs are byte-identical
+    to those written before the fault-model hierarchy existed.
     """
-    return {
+    event = {
         "event": "campaign_begin",
         "v": SCHEMA_VERSION,
         "workload": result.workload,
@@ -88,6 +90,10 @@ def campaign_begin_event(result) -> Dict:
         "golden_guard_failures": result.golden_guard_failures,
         "golden_guard_evaluations": result.golden_guard_evaluations,
     }
+    model = getattr(result, "fault_model", "single_bit")
+    if model != "single_bit":
+        event["fault_model"] = model
+    return event
 
 
 def trial_event(index: int, plan, trial, wall_ms: Optional[float] = None) -> Dict:
@@ -95,7 +101,8 @@ def trial_event(index: int, plan, trial, wall_ms: Optional[float] = None) -> Dic
 
     ``wall_ms`` is only present when per-trial timing is enabled
     (``REPRO_OBS_TIMING``); everything else is a pure function of the trial,
-    keeping the default log deterministic.
+    keeping the default log deterministic.  ``fault_model`` is only present
+    for non-default models (see :func:`campaign_begin_event`).
     """
     event = {
         "event": "trial",
@@ -119,6 +126,9 @@ def trial_event(index: int, plan, trial, wall_ms: Optional[float] = None) -> Dic
         "asdc": trial.is_asdc,
         "magnitude": trial.change_magnitude,
     }
+    model = getattr(plan, "model", "single_bit")
+    if model != "single_bit":
+        event["fault_model"] = model
     if wall_ms is not None:
         event["wall_ms"] = round(wall_ms, 3)
     return event

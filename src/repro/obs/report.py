@@ -4,8 +4,9 @@ Consumes one or more JSONL event logs (see :mod:`repro.obs.events`) and
 produces:
 
 * outcome tallies, per campaign and overall;
-* outcome breakdowns by register (IR value name), bit position, and program
-  region (the function the fault landed in);
+* outcome breakdowns by register (IR value name), bit position, program
+  region (the function the fault landed in), and fault model (rendered only
+  when a non-default model ran; the JSON output always carries it);
 * detection-latency percentiles (cycles from injection to detection), split
   by software (guard) and hardware (trap) detection;
 * per-check effectiveness: how often each guard id fired, its share of all
@@ -100,6 +101,7 @@ class LogReport:
     by_register: _Breakdown = field(default_factory=_Breakdown)
     by_bit: _Breakdown = field(default_factory=_Breakdown)
     by_function: _Breakdown = field(default_factory=_Breakdown)
+    by_fault_model: _Breakdown = field(default_factory=_Breakdown)
     sw_latencies: List[int] = field(default_factory=list)
     hw_latencies: List[int] = field(default_factory=list)
     #: guard id -> [fire count, latencies]
@@ -160,6 +162,7 @@ class LogReport:
         self.by_register.add(register, outcome)
         self.by_function.add(function, outcome)
         self.by_bit.add(f"{event.get('bit', 0):02d}", outcome)
+        self.by_fault_model.add(event.get("fault_model") or "single_bit", outcome)
         latency = event.get("latency")
         if latency is not None:
             if outcome == "SWDetect":
@@ -235,6 +238,9 @@ class LogReport:
             "by_bit": {k: row for k, row, _ in self.by_bit.rows_by_total()},
             "by_function": {
                 k: row for k, row, _ in self.by_function.rows_by_total()
+            },
+            "by_fault_model": {
+                k: row for k, row, _ in self.by_fault_model.rows_by_total()
             },
         }
 
@@ -320,11 +326,16 @@ class LogReport:
             if len(ranked) > top:
                 w(f"  ... {len(ranked) - top} more checks")
 
-        for title, breakdown in (
+        sections = [
             ("by register (IR value)", self.by_register),
             ("by bit position", self.by_bit),
             ("by function", self.by_function),
-        ):
+        ]
+        # Only worth a table when something other than the default single-bit
+        # model ran (also keeps pre-hierarchy reports rendering unchanged).
+        if any(k != "single_bit" for k in self.by_fault_model.counts):
+            sections.append(("by fault model", self.by_fault_model))
+        for title, breakdown in sections:
             w("")
             w(f"outcomes {title}:")
             header = " ".join(f"{o:>8s}" for o in _OUTCOMES)

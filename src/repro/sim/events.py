@@ -65,6 +65,34 @@ class StackOverflowTrap(SimTrap):
         super().__init__("stack overflow", cycle)
 
 
+class HarnessContainedTrap(SimTrap):
+    """A non-trap Python exception provoked by injected corruption.
+
+    The simulator is itself software: a corrupted value can drive evaluator
+    code down paths the real hardware would survive but Python does not —
+    ``RecursionError`` from a corrupted call target, ``struct.error`` or
+    ``OverflowError`` from a value outside a packable range, and so on.  The
+    containment boundary converts any such post-injection exception into this
+    trap so every trial still terminates with a classified outcome (counted
+    like a hardware symptom: HWDetect inside the symptom window, Failure
+    beyond it) instead of escaping as a worker crash.
+
+    Pre-injection exceptions are *not* contained — before the fault lands the
+    run is golden, so an exception there is a harness bug that must surface.
+    """
+
+    def __init__(self, exc_name: str, detail: str, cycle: int) -> None:
+        super().__init__(
+            f"contained harness exception {exc_name}: {detail}", cycle
+        )
+        self.exc_name = exc_name
+        self.detail = detail
+
+    @property
+    def trap_kind(self) -> str:
+        return f"contained:{self.exc_name}"
+
+
 @dataclass
 class GuardStats:
     """Per-run accounting of guard evaluations and failures.

@@ -1,9 +1,37 @@
-"""Transient-fault models (paper Section IV-C).
+"""Transient-fault models (paper Section IV-C and beyond).
 
-The fault model is the traditional single bit flip, randomized in time (a
-uniformly random dynamic cycle within the golden run length) and space (a
-uniformly random occupied physical register, then a uniformly random bit of
-that register).  :func:`flip_bit` implements the per-type bit-flip semantics;
+The paper's fault model is the traditional single bit flip, randomized in
+time (a uniformly random dynamic cycle within the golden run length) and
+space (a uniformly random occupied physical register, then a uniformly
+random bit of that register).  That model remains the default — and stays
+bit-identical to the historical implementation — but detector-coverage
+conclusions are sensitive to the fault model (DETOx; Azambuja et al.), so
+this module generalises it into a pluggable :class:`FaultModel` hierarchy:
+
+* ``single_bit`` — the paper's model (default);
+* ``double_bit`` — two independent bit flips, in the same or distinct
+  occupied registers (a double-event upset);
+* ``burst`` — a contiguous window of 2–:data:`BURST_MAX_BITS` flipped bits
+  within one register (a multi-cell upset along a physical row);
+* ``stuck_at`` — one register bit forced to 0 or 1, re-applied on a cadence
+  for :data:`STUCK_WINDOW_CYCLES` cycles (an intermittent/stuck fault);
+* ``memory_word`` — a single bit flip in a uniformly random mapped 32-bit
+  word of simulated :class:`~repro.sim.memory.Memory` (an unprotected-SRAM
+  upset, bypassing the register file entirely).
+
+``chaos`` is a *plan-level* pseudo-model: each trial draws one of the
+concrete models above from the campaign RNG.  It never reaches the
+interpreter — plans always carry a concrete model name.
+
+**Determinism.**  A model may need more randomness than the pre-drawn
+(cycle, bit, seed) triple; every extra draw comes from the trial's private
+:class:`random.Random` (seeded from the plan's ``seed``) *at injection
+time*, never from shared state, so ``jobs=N`` campaigns stay byte-identical
+to serial ones for every model.  ``single_bit`` performs exactly the
+historical RNG call sequence — its plans, trials, and cache keys are
+bit-identical to the pre-hierarchy implementation.
+
+:func:`flip_bit` implements the per-type single-bit-flip semantics;
 :class:`InjectionPlan` describes one planned injection; :class:`InjectionRecord`
 captures what actually happened, including the before/after values used by the
 Figure 2 large-vs-small value-change analysis.
@@ -20,6 +48,25 @@ from ..ir.types import FloatType, IntType, IRType, PointerType
 
 _F64 = struct.Struct("<d")
 _F32 = struct.Struct("<f")
+_MISSING = object()
+
+#: burst-model window width is drawn uniformly from [BURST_MIN_BITS,
+#: BURST_MAX_BITS] — module constants rather than :class:`SimConfig` fields
+#: on purpose: SimConfig is part of every campaign cache key, and the burst
+#: parameters must only fragment keys for campaigns that actually use them
+#: (the fault-model name in the key covers that).
+BURST_MIN_BITS = 2
+BURST_MAX_BITS = 8
+
+#: stuck-at faults persist for this many cycles after injection ...
+STUCK_WINDOW_CYCLES = 256
+#: ... re-forcing the bit every this many cycles (the profiled window).
+STUCK_REAPPLY_EVERY = 16
+
+#: memory-word faults rejection-sample up to this many candidate words
+#: looking for an occupied (non-zero) one, so flips hit live data instead of
+#: the untouched expanse of the stack segment.
+MEMORY_WORD_PROBES = 64
 
 
 def flip_bit(type_: IRType, value, bit: int, pointer_bits: int = 32):
@@ -47,6 +94,61 @@ def flip_bit(type_: IRType, value, bit: int, pointer_bits: int = 32):
     raise TypeError(f"cannot flip a bit of type {type_}")
 
 
+def _window_mask(bits: int, start: int, width: int) -> int:
+    """XOR mask of ``width`` contiguous bits from ``start``, wrapping at
+    ``bits`` (a burst crossing the top bit wraps to bit 0, like a physical
+    row of cells adjacent modulo the register width)."""
+    mask = 0
+    for i in range(width):
+        mask |= 1 << ((start + i) % bits)
+    return mask
+
+
+def flip_bits_window(
+    type_: IRType, value, start_bit: int, width: int, pointer_bits: int = 32
+):
+    """Return ``value`` with a contiguous ``width``-bit window flipped.
+
+    The window starts at ``start_bit`` (taken modulo the type's encoded
+    width, like :func:`flip_bit`) and wraps around the top bit.
+    """
+    if isinstance(type_, IntType):
+        mask = _window_mask(type_.bits, start_bit % type_.bits, width)
+        return type_.wrap((value & type_.mask) ^ mask)
+    if isinstance(type_, FloatType):
+        mask = _window_mask(64, start_bit % 64, width)
+        bits = struct.unpack("<Q", _F64.pack(float(value)))[0] ^ mask
+        return struct.unpack("<d", struct.pack("<Q", bits))[0]
+    if isinstance(type_, PointerType):
+        mask = _window_mask(pointer_bits, start_bit % pointer_bits, width)
+        return (int(value) ^ mask) & ((1 << 64) - 1)
+    raise TypeError(f"cannot flip bits of type {type_}")
+
+
+def force_bit(type_: IRType, value, bit: int, stuck: int, pointer_bits: int = 32):
+    """Return ``value`` with ``bit`` forced to ``stuck`` (0 or 1).
+
+    The stuck-at analogue of :func:`flip_bit`: idempotent, so re-applying it
+    over the stuck window models a cell that cannot change state.
+    """
+    if isinstance(type_, IntType):
+        bit %= type_.bits
+        raw = value & type_.mask
+        raw = raw | (1 << bit) if stuck else raw & ~(1 << bit)
+        return type_.wrap(raw)
+    if isinstance(type_, FloatType):
+        bit %= 64
+        bits = struct.unpack("<Q", _F64.pack(float(value)))[0]
+        bits = bits | (1 << bit) if stuck else bits & ~(1 << bit)
+        return struct.unpack("<d", struct.pack("<Q", bits))[0]
+    if isinstance(type_, PointerType):
+        bit %= pointer_bits
+        raw = int(value)
+        raw = raw | (1 << bit) if stuck else raw & ~(1 << bit)
+        return raw & ((1 << 64) - 1)
+    raise TypeError(f"cannot force a bit of type {type_}")
+
+
 def value_change_magnitude(type_: IRType, before, after) -> float:
     """Relative magnitude of a value corruption, for the ASDC/USDC large-vs-
     small split of Figure 2.
@@ -69,22 +171,26 @@ def value_change_magnitude(type_: IRType, before, after) -> float:
 class InjectionPlan:
     """A fault to inject at dynamic cycle ``cycle``.
 
-    ``kind`` selects the fault model:
+    ``kind`` selects the fault *site* class:
 
-    * ``"register"`` (default, the paper's model): flip bit ``bit`` of a
-      randomly chosen occupied physical register (the register is drawn at
-      injection time so the population is the live one);
+    * ``"register"`` (default, the paper's model): corrupt state picked at
+      injection time per the plan's fault ``model`` (register flips for most
+      models, a memory word for ``memory_word``);
     * ``"control"``: corrupt the target of the next branch — the jump lands
       on a uniformly random wrong block of the executing function.  This is
       the branch-target fault class the paper explicitly excludes from its
       own coverage and defers to signature-based schemes (Section IV-C);
       the :mod:`repro.transforms.cfcss` transform protects against it.
+
+    ``model`` names a concrete :class:`FaultModel` (``"chaos"`` is resolved
+    to a concrete model at plan-drawing time and never appears here).
     """
 
     cycle: int
     bit: int
     seed: int = 0
     kind: str = "register"
+    model: str = "single_bit"
 
     def __post_init__(self) -> None:
         if self.cycle < 0:
@@ -93,6 +199,8 @@ class InjectionPlan:
             raise ValueError("injection bit must be non-negative")
         if self.kind not in ("register", "control"):
             raise ValueError(f"unknown injection kind {self.kind!r}")
+        if self.model not in FAULT_MODELS:
+            raise ValueError(f"unknown fault model {self.model!r}")
 
 
 @dataclass
@@ -101,7 +209,9 @@ class InjectionRecord:
 
     plan: InjectionPlan
     landed: bool
-    #: name of the IR value whose register was flipped ('' if none occupied)
+    #: name of the IR value whose register was corrupted ('' if none
+    #: occupied; ``a+b`` when a double-bit fault hit two registers;
+    #: ``<mem:seg+off>`` for memory-word faults)
     value_name: str = ""
     type_name: str = ""
     #: function whose frame owned the flipped register (program region)
@@ -125,3 +235,299 @@ class InjectionRecord:
 #: Threshold on :func:`value_change_magnitude` above which a corruption counts
 #: as a "large value change" in the Figure 2 analysis.
 LARGE_CHANGE_THRESHOLD = 4.0
+
+
+# ---------------------------------------------------------------------------
+# fault-model hierarchy
+# ---------------------------------------------------------------------------
+
+
+def _corrupt_slot(interp, record: InjectionRecord, slot, mutate) -> bool:
+    """Apply ``mutate(type_, current)`` to one register slot's value.
+
+    Fills ``record`` exactly like the historical single-bit path: a stale
+    slot (owning frame returned, or value overwritten) records a landed but
+    dead flip and is left untouched.  Returns True when the value was live
+    and actually mutated.
+    """
+    value_obj = slot.value_obj
+    frame = slot.frame
+    record.value_name = getattr(value_obj, "name", "")
+    record.type_name = value_obj.type.name
+    record.function = frame.function.name
+    current = frame.values.get(slot.value_key, _MISSING)
+    if not frame.active or current is _MISSING:
+        # Stale register (frame returned): flip is architecturally dead.
+        record.landed = True
+        record.was_live = False
+        return False
+    mutated = mutate(value_obj.type, current)
+    frame.values[slot.value_key] = mutated
+    record.landed = True
+    record.was_live = True
+    record.before = current
+    record.after = mutated
+    return True
+
+
+class FaultModel:
+    """One way of corrupting simulator state at the injection instant.
+
+    ``inject`` receives the interpreter (whose private per-trial RNG supplies
+    any extra randomness the model needs), the plan, a fresh
+    :class:`InjectionRecord` to fill, and the location of the next
+    instruction (for the single-bit model's dead-flip triage).  It returns
+    the cycle at which the model wants to fire again (stuck-at
+    re-application) or -1 for one-shot faults.  ``reapply`` handles those
+    re-fires and returns the next one (or -1).
+    """
+
+    name = ""
+
+    def inject(self, interp, plan, record, top_frame, next_index) -> int:
+        raise NotImplementedError
+
+    def reapply(self, interp, plan) -> int:  # pragma: no cover - one-shot default
+        return -1
+
+
+class SingleBitFault(FaultModel):
+    """The paper's model: one bit of one occupied physical register.
+
+    Performs the exact historical RNG call sequence (live-biased slot pick,
+    then :func:`flip_bit`), so single-bit campaigns are bit-identical to the
+    pre-hierarchy implementation — the default model must never perturb
+    existing plans, results, or cache keys.  The only model eligible for
+    dead-flip triage: its corruption is a single register binding, so
+    next-use liveness proves deadness.
+    """
+
+    name = "single_bit"
+
+    def inject(self, interp, plan, record, top_frame, next_index) -> int:
+        slot = interp._pick_injection_slot()
+        if slot is None:
+            # No register has retired yet: nothing to corrupt, Masked.
+            interp._triage_short_circuit()
+            return -1
+        live = _corrupt_slot(
+            interp, record, slot,
+            lambda t, v: flip_bit(t, v, plan.bit, interp.config.register_flip_bits),
+        )
+        if not live:
+            interp._triage_short_circuit()
+            return -1
+        interp._triage_flip(slot, top_frame, next_index)
+        return -1
+
+
+class DoubleBitFault(FaultModel):
+    """Two independent bit flips (a double-event upset).
+
+    The first flip is the plan's ``bit`` in a slot picked exactly like
+    ``single_bit``; the second draws a fresh bit from the trial RNG and
+    picks again — the same slot may be chosen twice (two flips in one
+    register) or two registers may each take one.  The record keeps the
+    first landed flip's before/after (for the Figure 2 magnitude analysis)
+    and joins both register names with ``+``.
+    """
+
+    name = "double_bit"
+
+    def inject(self, interp, plan, record, top_frame, next_index) -> int:
+        width = interp.config.register_flip_bits
+        slot = interp._pick_injection_slot()
+        if slot is not None:
+            _corrupt_slot(
+                interp, record, slot,
+                lambda t, v: flip_bit(t, v, plan.bit, width),
+            )
+        second_bit = interp._rng.randrange(width)
+        slot2 = interp._pick_injection_slot()
+        if slot2 is None:
+            return -1
+        second = InjectionRecord(plan=plan, landed=False)
+        _corrupt_slot(
+            interp, second, slot2,
+            lambda t, v: flip_bit(t, v, second_bit, width),
+        )
+        if second.value_name and second.value_name != record.value_name:
+            record.value_name = (
+                f"{record.value_name}+{second.value_name}"
+                if record.value_name else second.value_name
+            )
+        if not record.function:
+            record.function = second.function
+        if record.before is None and second.before is not None:
+            record.type_name = second.type_name
+            record.before = second.before
+            record.after = second.after
+        record.landed = record.landed or second.landed
+        record.was_live = record.was_live or second.was_live
+        return -1
+
+
+class BurstFault(FaultModel):
+    """A contiguous window of flipped bits within one register.
+
+    The window width is drawn uniformly from [:data:`BURST_MIN_BITS`,
+    :data:`BURST_MAX_BITS`] out of the trial RNG; the window starts at the
+    plan's ``bit`` and wraps around the register width (see
+    :func:`flip_bits_window`).
+    """
+
+    name = "burst"
+
+    def inject(self, interp, plan, record, top_frame, next_index) -> int:
+        width = BURST_MIN_BITS + interp._rng.randrange(
+            BURST_MAX_BITS - BURST_MIN_BITS + 1
+        )
+        slot = interp._pick_injection_slot()
+        if slot is None:
+            return -1
+        _corrupt_slot(
+            interp, record, slot,
+            lambda t, v: flip_bits_window(
+                t, v, plan.bit, width, interp.config.register_flip_bits
+            ),
+        )
+        return -1
+
+
+class StuckAtFault(FaultModel):
+    """One register bit forced to 0 or 1 for a window of cycles.
+
+    The stuck polarity is drawn from the trial RNG; the bit is forced at
+    injection and re-forced every :data:`STUCK_REAPPLY_EVERY` cycles for
+    :data:`STUCK_WINDOW_CYCLES` cycles, so a program that rewrites the
+    register keeps losing that bit — an intermittent fault rather than a
+    transient one.  Re-application stops early when the owning frame
+    returns or the binding is overwritten out of the frame.
+    """
+
+    name = "stuck_at"
+
+    def inject(self, interp, plan, record, top_frame, next_index) -> int:
+        stuck = interp._rng.randrange(2)
+        slot = interp._pick_injection_slot()
+        if slot is None:
+            return -1
+        live = _corrupt_slot(
+            interp, record, slot,
+            lambda t, v: force_bit(
+                t, v, plan.bit, stuck, interp.config.register_flip_bits
+            ),
+        )
+        if not live:
+            return -1
+        interp._stuck_fault = (
+            slot.frame, slot.value_key, slot.value_obj, plan.bit, stuck,
+            interp.cycle + STUCK_WINDOW_CYCLES,
+        )
+        return interp.cycle + STUCK_REAPPLY_EVERY
+
+    def reapply(self, interp, plan) -> int:
+        binding = interp._stuck_fault
+        if binding is None:
+            return -1
+        frame, value_key, value_obj, bit, stuck, deadline = binding
+        if interp.cycle > deadline or not frame.active:
+            interp._stuck_fault = None
+            return -1
+        current = frame.values.get(value_key, _MISSING)
+        if current is not _MISSING:
+            frame.values[value_key] = force_bit(
+                value_obj.type, current, bit, stuck,
+                interp.config.register_flip_bits,
+            )
+        next_cycle = interp.cycle + STUCK_REAPPLY_EVERY
+        if next_cycle > deadline:
+            interp._stuck_fault = None
+            return -1
+        return next_cycle
+
+
+class MemoryWordFault(FaultModel):
+    """A single bit flip in a random *live* mapped 32-bit memory word.
+
+    Bypasses the register file: candidate words are drawn over every mapped
+    segment (globals and the stack) in deterministic segment order,
+    modelling an upset in unprotected SRAM rather than the core.  Because
+    the stack segment is overwhelmingly untouched zeros, a uniform draw
+    would almost always hit dead space and mask; instead up to
+    :data:`MEMORY_WORD_PROBES` candidates are rejection-sampled until one
+    holds non-zero data (falling back to the first draw if none does) — a
+    flip in an occupied word, which is the interesting case.  The plan's
+    ``bit`` selects the bit within the word (modulo 32).
+    """
+
+    name = "memory_word"
+
+    def inject(self, interp, plan, record, top_frame, next_index) -> int:
+        memory = interp.memory
+        segments = memory.unique_segments()
+        total_words = sum(seg.size // 4 for seg in segments)
+        if total_words == 0:  # pragma: no cover - the stack is always mapped
+            return -1
+
+        def locate(word: int):
+            for seg in segments:  # pragma: no branch - word < total_words
+                words = seg.size // 4
+                if word < words:
+                    return seg, word * 4
+                word -= words
+
+        first = None
+        seg = offset = None
+        for _ in range(MEMORY_WORD_PROBES):
+            candidate = interp._rng.randrange(total_words)
+            if first is None:
+                first = candidate
+            seg, offset = locate(candidate)
+            if seg.data[offset:offset + 4] != b"\x00\x00\x00\x00":
+                break
+        else:
+            seg, offset = locate(first)
+        before, after = memory.flip_word_bit(seg, offset, plan.bit)
+        record.landed = True
+        record.was_live = True
+        record.value_name = f"<mem:{seg.name}+{offset:#x}>"
+        record.type_name = "i32"
+        record.before = before
+        record.after = after
+        frame = top_frame if top_frame is not None else interp._frame
+        if frame is not None:
+            record.function = frame.function.name
+        return -1
+
+
+#: name -> concrete model instance (insertion order is the canonical listing
+#: order used by the chaos mix and the CLIs)
+FAULT_MODELS = {
+    model.name: model
+    for model in (
+        SingleBitFault(),
+        DoubleBitFault(),
+        BurstFault(),
+        StuckAtFault(),
+        MemoryWordFault(),
+    )
+}
+
+#: the concrete model names, in canonical order
+CONCRETE_FAULT_MODELS = tuple(FAULT_MODELS)
+
+#: plan-level pseudo-model: each trial draws a concrete model from the
+#: campaign RNG (see :func:`repro.faultinjection.campaign.draw_plans`)
+CHAOS_FAULT_MODEL = "chaos"
+
+
+def get_fault_model(name: str) -> FaultModel:
+    """The concrete :class:`FaultModel` registered under ``name``."""
+    try:
+        return FAULT_MODELS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown fault model {name!r} (known: "
+            f"{', '.join(CONCRETE_FAULT_MODELS)})"
+        ) from None

@@ -62,13 +62,14 @@ from .events import (
     ArithmeticTrap,
     GuardStats,
     GuardTrap,
+    HarnessContainedTrap,
     MemoryTrap,
     RunResult,
     SimTrap,
     StackOverflowTrap,
     TimeoutTrap,
 )
-from .faults import InjectionPlan, InjectionRecord, flip_bit
+from .faults import InjectionPlan, InjectionRecord, flip_bit, get_fault_model
 from .memory import Memory, Segment
 from .regfile import RegisterFile
 from .snapshot import Snapshot, SnapshotRecorder, TriageMasked, value_dead_after
@@ -187,6 +188,9 @@ class Interpreter:
         self._rng: Optional[random.Random] = None
         self._pending_control_fault = False
         self._control_fault_fired = False
+        #: live stuck-at fault binding: (frame, value_key, value_obj, bit,
+        #: stuck, deadline_cycle); see StuckAtFault
+        self._stuck_fault = None
         # Fast-path execution state (see _run_compiled).
         self._frames: List[Frame] = []
         self._frame: Optional[Frame] = None
@@ -273,21 +277,61 @@ class Interpreter:
                     continue
         return False
 
+    def _pick_injection_slot(self):
+        """Live-biased random occupied register slot (None before any retire).
+
+        The RNG call sequence lives in :meth:`RegisterFile.pick_biased`; the
+        fault models call this at injection time so every model shares the
+        paper's site-selection distribution.
+        """
+        assert self._regfile is not None and self._rng is not None
+        return self._regfile.pick_biased(
+            self._rng,
+            self.config.injection_recent_window,
+            self.config.injection_live_bias,
+            self._slot_is_live,
+        )
+
+    def _triage_short_circuit(self) -> None:
+        """End the trial as Masked now (flip landed dead or nowhere)."""
+        if self._triage:
+            raise TriageMasked()
+
+    def _triage_flip(self, slot, top_frame, next_index: int) -> None:
+        """Short-circuit a live flip whose value is provably never read.
+
+        ``top_frame``/``next_index`` locate the next instruction to execute
+        (the top frame's ``index`` field is only synced lazily); they feed
+        :func:`~repro.sim.snapshot.value_dead_after`, and a flip proven
+        unreadable raises :class:`TriageMasked` *after* the injection record
+        was filled exactly as a full run would — the short-circuit changes
+        when the trial ends, never what it records.
+        """
+        if not self._triage or top_frame is None:
+            return
+        frame: Frame = slot.frame
+        ni = next_index if frame is top_frame else frame.index
+        if ni >= 0 and value_dead_after(
+            self._liveness_for(frame.function), frame.block, ni, slot.value_obj
+        ):
+            raise TriageMasked()
+
     def _do_injection(
         self,
         plan: InjectionPlan,
         top_frame: Optional[Frame] = None,
         next_index: int = -1,
-    ) -> None:
-        """Perform the planned flip at the current cycle.
+    ) -> int:
+        """Perform (or re-apply) the planned fault at the current cycle.
 
-        ``top_frame``/``next_index`` locate the next instruction to execute
-        (the top frame's ``index`` field is only synced lazily); with triage
-        enabled they feed :func:`~repro.sim.snapshot.value_dead_after`, and a
-        flip proven unreadable raises :class:`TriageMasked` *after* filling
-        the injection record exactly as a full run would — the short-circuit
-        changes when the trial ends, never what it records.
+        Dispatches to the plan's :class:`~repro.sim.faults.FaultModel`.
+        Returns the cycle at which the fault should fire again (stuck-at
+        faults re-force their bit on a cadence) or -1 for one-shot faults —
+        the run loops feed this back into their pending-injection check.
         """
+        if self.injection_record is not None:
+            # Already injected: this is a re-fire (stuck-at cadence).
+            return get_fault_model(plan.model).reapply(self, plan)
         record = InjectionRecord(plan=plan, landed=False)
         self.injection_record = record
         self._guard_armed = True
@@ -298,52 +342,11 @@ class Interpreter:
             self._pending_control_fault = True
             record.value_name = "<branch-target>"
             record.type_name = "ptr"
-            return
+            return -1
         assert self._regfile is not None and self._rng is not None
-        window = self.config.injection_recent_window
-        slot = None
-        if self._rng.random() < self.config.injection_live_bias:
-            candidates = [
-                s for s in self._regfile.occupied_slots()
-                if (window <= 0 or s.tag >= self._regfile._writes - window)
-                and self._slot_is_live(s)
-            ]
-            if candidates:
-                slot = candidates[self._rng.randrange(len(candidates))]
-        if slot is None:
-            slot = self._regfile.pick_random(self._rng, window)
-        if slot is None:
-            # No register has retired yet: nothing to corrupt, Masked.
-            if self._triage:
-                raise TriageMasked()
-            return
-        value_obj = slot.value_obj
-        frame: Frame = slot.frame  # type: ignore[assignment]
-        record.value_name = getattr(value_obj, "name", "")
-        record.type_name = value_obj.type.name
-        record.function = frame.function.name
-        current = frame.values.get(slot.value_key, _MISSING)
-        if not frame.active or current is _MISSING:
-            # Stale register (frame returned): flip is architecturally dead.
-            record.landed = True
-            record.was_live = False
-            if self._triage:
-                raise TriageMasked()
-            return
-        flipped = flip_bit(
-            value_obj.type, current, plan.bit, self.config.register_flip_bits
+        return get_fault_model(plan.model).inject(
+            self, plan, record, top_frame, next_index
         )
-        frame.values[slot.value_key] = flipped
-        record.landed = True
-        record.was_live = True
-        record.before = current
-        record.after = flipped
-        if self._triage and top_frame is not None:
-            ni = next_index if frame is top_frame else frame.index
-            if ni >= 0 and value_dead_after(
-                self._liveness_for(frame.function), frame.block, ni, value_obj
-            ):
-                raise TriageMasked()
 
     # -- execution -----------------------------------------------------------------------
 
@@ -396,12 +399,10 @@ class Interpreter:
         self._triage = bool(triage) and injection is not None
         registry = _obs_registry()
         if not registry.enabled:
-            if use_fast:
-                return self._run_compiled(
-                    fn, args, inputs, injection, max_instructions,
-                    capture, restore_from,
-                )
-            return self._run_reference(fn, args, inputs, injection, max_instructions)
+            return self._dispatch_contained(
+                use_fast, fn, args, inputs, injection, max_instructions,
+                capture, restore_from,
+            )
         # Observability: per-run accounting only (never per-instruction), so
         # the instrumented path stays within noise of the bare one.  Both
         # dispatch paths report through this single funnel, which keeps the
@@ -409,15 +410,10 @@ class Interpreter:
         path = "fastpath" if use_fast else "reference"
         try:
             with registry.timer(f"sim.run.{path}").time():
-                if path == "fastpath":
-                    result = self._run_compiled(
-                        fn, args, inputs, injection, max_instructions,
-                        capture, restore_from,
-                    )
-                else:
-                    result = self._run_reference(
-                        fn, args, inputs, injection, max_instructions
-                    )
+                result = self._dispatch_contained(
+                    use_fast, fn, args, inputs, injection, max_instructions,
+                    capture, restore_from,
+                )
         except SimTrap as trap:
             registry.counter(f"sim.trap.{trap.__class__.__name__}").inc()
             self._record_run_metrics(registry, path)
@@ -428,6 +424,45 @@ class Interpreter:
             raise
         self._record_run_metrics(registry, path)
         return result
+
+    def _dispatch_contained(
+        self,
+        use_fast: bool,
+        fn: Function,
+        args: Sequence[object],
+        inputs: Optional[Dict[str, Sequence]],
+        injection: Optional[InjectionPlan],
+        max_instructions: int,
+        capture: Optional[SnapshotRecorder],
+        restore_from: Optional[Snapshot],
+    ) -> RunResult:
+        """Dispatch to a run loop inside the crash-containment boundary.
+
+        Injected corruption can drive evaluator code into arbitrary Python
+        exceptions (``RecursionError`` from a corrupted call target,
+        ``struct.error``/``OverflowError`` from out-of-range packs, ...).
+        Once a fault has landed, any non-trap exception becomes a classified
+        :class:`HarnessContainedTrap` instead of escaping the trial; before
+        injection the run is golden, so exceptions there re-raise unchanged —
+        they are harness bugs, not fault effects.
+        """
+        try:
+            if use_fast:
+                return self._run_compiled(
+                    fn, args, inputs, injection, max_instructions,
+                    capture, restore_from,
+                )
+            return self._run_reference(
+                fn, args, inputs, injection, max_instructions
+            )
+        except (SimTrap, TriageMasked):
+            raise
+        except Exception as err:
+            if injection is None or self.injection_record is None:
+                raise
+            raise HarnessContainedTrap(
+                type(err).__name__, str(err), self.cycle
+            ) from err
 
     def _record_run_metrics(self, registry, path: str) -> None:
         registry.counter(f"sim.runs.{path}").inc()
@@ -453,6 +488,7 @@ class Interpreter:
         self._guard_armed = injection is None
         self._pending_control_fault = False
         self._control_fault_fired = False
+        self._stuck_fault = None
         inject_cycle = -1
         if injection is not None:
             self._regfile = RegisterFile(self.config.phys_int_registers)
@@ -510,8 +546,7 @@ class Interpreter:
             if cycle > max_instructions:
                 raise TimeoutTrap(max_instructions, cycle)
             if inject_cycle >= 0 and cycle >= inject_cycle:
-                inject_cycle = -1
-                self._do_injection(injection, frame, idx)  # type: ignore[arg-type]
+                inject_cycle = self._do_injection(injection, frame, idx)  # type: ignore[arg-type]
 
             cls = instr.__class__
 
@@ -602,8 +637,7 @@ class Interpreter:
                 self._enter_block(frame, target, track_registers, value_hook, timing)
                 # timeout/injection bookkeeping done inside _enter_block via cycles
                 if inject_cycle >= 0 and self.cycle >= inject_cycle:
-                    inject_cycle = -1
-                    self._do_injection(injection, frame, frame.index)  # type: ignore[arg-type]
+                    inject_cycle = self._do_injection(injection, frame, frame.index)  # type: ignore[arg-type]
                 continue
 
             if cls is Br:
@@ -614,8 +648,7 @@ class Interpreter:
                     timing.observe_jump(instr)
                 self._enter_block(frame, target, track_registers, value_hook, timing)
                 if inject_cycle >= 0 and self.cycle >= inject_cycle:
-                    inject_cycle = -1
-                    self._do_injection(injection, frame, frame.index)  # type: ignore[arg-type]
+                    inject_cycle = self._do_injection(injection, frame, frame.index)  # type: ignore[arg-type]
                 continue
 
             if cls is Cast:
@@ -821,6 +854,7 @@ class Interpreter:
         self._rf_log = []
         self._rf_base = 0
         self._max_depth = self.config.max_call_depth
+        self._stuck_fault = None
 
         if restore is not None:
             cb, idx, cycle = restore.install(self, injection)
@@ -864,9 +898,10 @@ class Interpreter:
                     # checks fire at the exact cycle.
                     try:
                         ret = sb[0](self, frame, vals)
-                    except SimTrap:
+                    except Exception:
                         # Re-time from the intra-run progress marker; the
-                        # outer handler reads the corrected local.
+                        # outer handler reads the corrected local (for traps
+                        # and contained harness exceptions alike).
                         cycle += self._sbk
                         raise
                     cycle += sb[1]
@@ -878,11 +913,10 @@ class Interpreter:
                     if cycle > max_instructions:
                         raise TimeoutTrap(max_instructions, cycle)
                     if 0 <= inject_cycle <= cycle:
-                        inject_cycle = -1
                         self.cycle = cycle
                         frame.index = idx + 1
                         self._materialize_regfile()
-                        self._do_injection(injection, frame, idx)  # type: ignore[arg-type]
+                        inject_cycle = self._do_injection(injection, frame, idx)  # type: ignore[arg-type]
                         if track:
                             track = False
                             cb = self._switch_to_untracked(cb)
@@ -909,11 +943,10 @@ class Interpreter:
                     fused = ret.fused
                     idx = ret.n_phis
                     if 0 <= inject_cycle <= cycle:
-                        inject_cycle = -1
                         self.cycle = cycle
                         frame.index = idx
                         self._materialize_regfile()
-                        self._do_injection(injection, frame, idx)  # type: ignore[arg-type]
+                        inject_cycle = self._do_injection(injection, frame, idx)  # type: ignore[arg-type]
                         if track:
                             track = False
                             cb = self._switch_to_untracked(cb)
@@ -933,6 +966,11 @@ class Interpreter:
             self.cycle = cycle
             if trap.cycle < 0:
                 raise _retime_trap(trap, cycle) from None
+            raise
+        except Exception:
+            # Sync the cycle so the containment boundary stamps any
+            # HarnessContainedTrap with the true progress point.
+            self.cycle = cycle
             raise
 
         self.cycle = cycle

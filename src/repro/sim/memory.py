@@ -75,6 +75,33 @@ class Memory:
         for i in range(start, start + span):
             self._segments.pop(i, None)
 
+    def unique_segments(self) -> List[Segment]:
+        """Every mapped segment once, in deterministic index order.
+
+        Spanning segments occupy several index entries; the fault models that
+        draw a random memory word must see each exactly once, in an order
+        that is stable for a given mapping history.
+        """
+        out: List[Segment] = []
+        seen = set()
+        for index in sorted(self._segments):
+            seg = self._segments[index]
+            if id(seg) not in seen:
+                seen.add(id(seg))
+                out.append(seg)
+        return out
+
+    def flip_word_bit(self, seg: Segment, offset: int, bit: int) -> Tuple[int, int]:
+        """Flip one bit of the 32-bit word at ``offset`` inside ``seg``.
+
+        Returns ``(before, after)`` as raw unsigned words.  Used by the
+        ``memory_word`` fault model; ``bit`` is taken modulo 32.
+        """
+        before = int.from_bytes(seg.data[offset : offset + 4], "little")
+        after = before ^ (1 << (bit % 32))
+        seg.data[offset : offset + 4] = after.to_bytes(4, "little")
+        return before, after
+
     def segment_at(self, address: int) -> Optional[Segment]:
         seg = self._segments.get(address >> SEGMENT_SHIFT)
         if seg is None:

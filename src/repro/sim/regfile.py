@@ -59,6 +59,31 @@ class RegisterFile:
     def occupied_slots(self) -> List[RegisterSlot]:
         return [s for s in self.slots if s.occupied]
 
+    def pick_biased(
+        self, rng, recent_window: int, live_bias: float, is_live
+    ) -> Optional[RegisterSlot]:
+        """Slot pick with a probability-``live_bias`` preference for slots
+        whose value ``is_live`` judges still readable.
+
+        Performs the exact RNG call sequence of the historical in-interpreter
+        implementation (one ``random()`` draw, then at most one ``randrange``
+        over the live candidates, then :meth:`pick_random` when that misses)
+        — injection plans and trial outcomes depend on this sequence being
+        stable.
+        """
+        slot = None
+        if rng.random() < live_bias:
+            candidates = [
+                s for s in self.occupied_slots()
+                if (recent_window <= 0 or s.tag >= self._writes - recent_window)
+                and is_live(s)
+            ]
+            if candidates:
+                slot = candidates[rng.randrange(len(candidates))]
+        if slot is None:
+            slot = self.pick_random(rng, recent_window)
+        return slot
+
     def pick_random(self, rng, recent_window: int = 0) -> Optional[RegisterSlot]:
         """Random occupied slot (None when nothing has retired yet).
 
