@@ -89,11 +89,23 @@ def main(argv=None) -> int:
                               jobs=args.jobs, snapshot_every=0, triage=False)
 
     os.environ["REPRO_FASTPATH"] = "1"
+    # One-time preparation cost per mode: a plain prepare (module build +
+    # protection + golden run) vs the snapshot modes' prepare, which adds
+    # the instrumented capture run.  The snapshot-capturing workload is the
+    # one every timed mode shares.
+    t0 = time.perf_counter()
+    prepare(workload, args.scheme, serial)
+    prepare_plain_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
     prepared = prepare(workload, args.scheme, snapshot)
+    prepare_capture_s = time.perf_counter() - t0
 
     print(f"[bench] {args.workload}/{args.scheme}, {args.trials} trials, "
           f"{os.cpu_count()} cpu(s), "
           f"{len(prepared.snapshots) if prepared.snapshots else 0} snapshots",
+          file=sys.stderr)
+    print(f"[bench] prepare          : {prepare_plain_s:7.2f}s plain, "
+          f"{prepare_capture_s:7.2f}s with snapshot capture",
           file=sys.stderr)
     ref_counts, ref_s = _measure(workload, args.scheme, prepared, serial, False)
     print(f"[bench] serial reference : {args.trials / ref_s:7.1f} trials/s",
@@ -110,17 +122,35 @@ def main(argv=None) -> int:
     par_counts, par_s = _measure(workload, args.scheme, prepared, parallel, True)
     print(f"[bench] parallel x{args.jobs:<2d}     : {args.trials / par_s:7.1f} "
           f"trials/s", file=sys.stderr)
+
+    # Trace overhead: rerun the serial fast path with span tracing on.  The
+    # house invariant says tracing must not change results (asserted below)
+    # and should cost a few percent of wall time at most; the measured
+    # overhead is recorded so the trajectory is tracked PR to PR, but not
+    # asserted — single-digit percentages drown in machine noise on CI.
+    import tempfile
+    from dataclasses import replace as _replace
+
+    with tempfile.TemporaryDirectory() as trace_dir:
+        trace_path = os.path.join(trace_dir, "bench-trace.json")
+        traced_counts, traced_s = _measure(
+            workload, args.scheme, prepared,
+            _replace(serial, trace=trace_path), True,
+        )
+    trace_overhead_pct = 100.0 * (traced_s - fast_s) / fast_s
+    print(f"[bench] traced fast path : {args.trials / traced_s:7.1f} trials/s "
+          f"({trace_overhead_pct:+.1f}% vs untraced)", file=sys.stderr)
     os.environ.pop("REPRO_FASTPATH", None)
 
     if not (ref_counts == fast_counts == snap_counts == tri_counts
-            == par_counts):
+            == par_counts == traced_counts):
         print("[bench] ERROR: modes disagree on outcomes "
               f"(ref={ref_counts} fast={fast_counts} snap={snap_counts} "
-              f"triage={tri_counts} par={par_counts})",
+              f"triage={tri_counts} par={par_counts} traced={traced_counts})",
               file=sys.stderr)
         return 1
-    print("[bench] differential ok  : snapshot and triage tallies match "
-          "the from-scratch fast path", file=sys.stderr)
+    print("[bench] differential ok  : snapshot, triage, and traced tallies "
+          "match the from-scratch fast path", file=sys.stderr)
 
     obs_verified = None
     if args.obs_log:
@@ -168,6 +198,13 @@ def main(argv=None) -> int:
         "seed": args.seed,
         "cpu_count": os.cpu_count(),
         "outcome_counts": ref_counts,
+        "preparation": {
+            "plain_seconds": round(prepare_plain_s, 3),
+            "with_snapshot_capture_seconds": round(prepare_capture_s, 3),
+            "snapshot_capture_overhead_seconds": round(
+                prepare_capture_s - prepare_plain_s, 3
+            ),
+        },
         "serial_reference": {
             "trials_per_sec": round(args.trials / ref_s, 2),
             "seconds": round(ref_s, 3),
@@ -198,9 +235,15 @@ def main(argv=None) -> int:
             "parallel_vs_reference": round(ref_s / par_s, 2),
             "parallel_vs_fastpath_serial": round(fast_s / par_s, 2),
         },
+        "trace_overhead": {
+            "trials_per_sec": round(args.trials / traced_s, 2),
+            "seconds": round(traced_s, 3),
+            "overhead_pct": round(trace_overhead_pct, 1),
+        },
         "differential": {
             "snapshot_vs_fastpath_tallies_match": snap_counts == fast_counts,
             "triage_vs_fastpath_tallies_match": tri_counts == fast_counts,
+            "trace_vs_fastpath_tallies_match": traced_counts == fast_counts,
         },
         "notes": (
             "Throughput excludes one-time preparation. On a single-core "

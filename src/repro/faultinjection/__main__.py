@@ -120,6 +120,17 @@ def main(argv=None) -> int:
                         help="append a structured JSONL trial event log "
                              "(default: REPRO_OBS or off; inspect with "
                              "'python -m repro.obs report PATH')")
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="export hierarchical wall-clock spans as Chrome "
+                             "trace-event JSON — load at ui.perfetto.dev or "
+                             "summarize with 'python -m repro.obs report "
+                             "--trace PATH' (default: REPRO_TRACE or off; "
+                             "results are byte-identical either way)")
+    parser.add_argument("--heartbeat", metavar="PATH", default=None,
+                        help="maintain a live status JSON file while the "
+                             "campaign runs — watch with 'python -m "
+                             "repro.obs top PATH' (default: REPRO_HEARTBEAT "
+                             "or off)")
     add_resilience_arguments(parser)
     args = parser.parse_args(argv)
 
@@ -130,6 +141,7 @@ def main(argv=None) -> int:
         checkpoint=checkpoint, resilience=policy,
         snapshot_every=args.snapshot_every,
         fault_model=args.fault_model or (CHAOS_FAULT_MODEL if args.chaos else None),
+        trace=args.trace, heartbeat=args.heartbeat,
     )
     if config.obs_log:
         enable_global()
@@ -170,6 +182,10 @@ def main(argv=None) -> int:
     if config.obs_log:
         print(f"  trial event log appended to {config.obs_log} "
               f"(python -m repro.obs report {config.obs_log})")
+    if args.trace:
+        print(f"  span trace exported to {args.trace} "
+              f"(python -m repro.obs report --trace {args.trace}, "
+              f"or load at ui.perfetto.dev)")
     return 0
 
 

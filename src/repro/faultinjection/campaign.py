@@ -25,6 +25,8 @@ import numpy as np
 
 from ..obs import config as obs_config
 from ..obs import events as obs_events
+from ..obs import heartbeat as heartbeat_mod
+from ..obs import trace as trace_mod
 from ..obs.metrics import global_registry
 from ..profiling.profiler import collect_profiles
 from ..sim.config import SimConfig
@@ -113,6 +115,17 @@ class CampaignConfig:
     #: produce different results — but only when it resolves to a
     #: non-default model, so historical single-bit keys stay valid.
     fault_model: Optional[str] = None
+    #: Chrome trace-event JSON output path for hierarchical wall-clock spans
+    #: (None = tracing off; ``REPRO_TRACE`` supplies a default).  Excluded
+    #: from cache keys: spans are wall-clock data and live in the trace file
+    #: only — results, obs logs, and checkpoints are byte-identical with
+    #: tracing on or off.
+    trace: Optional[str] = None
+    #: live status/heartbeat JSON path, atomically replaced at a rate-limited
+    #: cadence while the campaign runs (None = off; ``REPRO_HEARTBEAT``
+    #: supplies a default).  Watch it with ``python -m repro.obs top``.
+    #: Excluded from cache keys for the same reason as ``trace``.
+    heartbeat: Optional[str] = None
 
 
 @dataclass
@@ -142,29 +155,44 @@ def prepare(
 ) -> PreparedWorkload:
     """Compile, protect, and golden-run a workload under one scheme."""
     config = config or CampaignConfig()
-    module = workload.build_module()
+    tracer = trace_mod.activate(trace_mod.resolve_trace(config.trace))
+    with tracer.span(
+        "prepare", cat="prepare", workload=workload.name, scheme=scheme
+    ):
+        with tracer.span("build_module", cat="prepare"):
+            module = workload.build_module()
 
-    profile_inputs = workload.train_inputs()
-    run_inputs = workload.test_inputs()
-    if config.swap_train_test:
-        profile_inputs, run_inputs = run_inputs, profile_inputs
+        profile_inputs = workload.train_inputs()
+        run_inputs = workload.test_inputs()
+        if config.swap_train_test:
+            profile_inputs, run_inputs = run_inputs, profile_inputs
 
-    profiles = None
-    if scheme == "dup_valchk":
-        profiles = collect_profiles(
-            module,
-            inputs=profile_inputs,
-            entry=workload.entry,
-            num_bins=config.protection.histogram_bins,
-            top_capacity=config.protection.top_value_capacity,
-            config=config.sim,
+        profiles = None
+        if scheme == "dup_valchk":
+            with tracer.span("profile", cat="prepare"):
+                profiles = collect_profiles(
+                    module,
+                    inputs=profile_inputs,
+                    entry=workload.entry,
+                    num_bins=config.protection.histogram_bins,
+                    top_capacity=config.protection.top_value_capacity,
+                    config=config.sim,
+                )
+        with tracer.span("apply_scheme", cat="prepare"):
+            stats = apply_scheme(
+                module, scheme, profiles=profiles, config=config.protection
+            )
+
+        with tracer.span("golden_run", cat="prepare"):
+            golden_interp = Interpreter(
+                module, config=config.sim, guard_mode="count"
+            )
+            golden_outputs, golden_result = workload.run(
+                module, run_inputs, interpreter=golden_interp
+            )
+        snapshots = _capture_snapshots(
+            workload, module, run_inputs, golden_result, config
         )
-    stats = apply_scheme(module, scheme, profiles=profiles, config=config.protection)
-
-    golden_interp = Interpreter(module, config=config.sim, guard_mode="count")
-    golden_outputs, golden_result = workload.run(
-        module, run_inputs, interpreter=golden_interp
-    )
     return PreparedWorkload(
         workload=workload,
         scheme=scheme,
@@ -176,9 +204,7 @@ def prepare(
         golden_guard_failures=golden_result.guard_stats.total_failures,
         golden_guard_evaluations=golden_result.guard_stats.evaluations,
         noisy_guards=frozenset(golden_result.guard_stats.failures_by_guard),
-        snapshots=_capture_snapshots(
-            workload, module, run_inputs, golden_result, config
-        ),
+        snapshots=snapshots,
     )
 
 
@@ -212,9 +238,12 @@ def _capture_snapshots(
     if cadence is None or cadence >= golden_result.instructions:
         return None
     recorder = snapshot_mod.SnapshotRecorder(cadence)
-    _, capture_result = workload.run(
-        module, run_inputs, interpreter=capture_interp, capture=recorder
-    )
+    with trace_mod.current().span(
+        "snapshot_capture", cat="prepare", cadence=cadence
+    ):
+        _, capture_result = workload.run(
+            module, run_inputs, interpreter=capture_interp, capture=recorder
+        )
     if capture_result.instructions != golden_result.instructions:
         return None  # pragma: no cover - determinism tripwire
     if not len(recorder.store):
@@ -257,18 +286,25 @@ def run_trial(
         disabled_guards=set(prepared.noisy_guards),
     )
     limit = int(prepared.golden_instructions * config.timeout_factor) + 10_000
-    try:
-        return _classify_trial(prepared, plan, interp, limit, config, stats)
-    except Exception as err:
-        # Last-resort containment (the interpreter's own boundary converts
-        # in-simulation exceptions before they get here).  Pre-injection
-        # exceptions are harness bugs and must surface.
-        if interp.injection_record is None:
-            raise
-        trap = HarnessContainedTrap(type(err).__name__, str(err), interp.cycle)
-        return _trial_from_trap(
-            interp, plan, _symptom_outcome(trap, plan, config), trap
-        )
+    with trace_mod.current().span(
+        "trial", cat="trial", cycle=cycle, bit=bit, model=model
+    ):
+        try:
+            return _classify_trial(
+                prepared, plan, interp, limit, config, stats
+            )
+        except Exception as err:
+            # Last-resort containment (the interpreter's own boundary
+            # converts in-simulation exceptions before they get here).
+            # Pre-injection exceptions are harness bugs and must surface.
+            if interp.injection_record is None:
+                raise
+            trap = HarnessContainedTrap(
+                type(err).__name__, str(err), interp.cycle
+            )
+            return _trial_from_trap(
+                interp, plan, _symptom_outcome(trap, plan, config), trap
+            )
 
 
 def _symptom_outcome(
@@ -309,16 +345,31 @@ def _classify_trial(
         snapshot_mod.resolve_triage(config.triage)
         and plan.model == "single_bit"
     )
+    tracer = trace_mod.current()
     try:
-        outputs, result = workload.run(
-            prepared.module,
-            prepared.inputs,
-            interpreter=interp,
-            injection=plan,
-            max_instructions=limit,
-            restore_from=restore,
-            triage=triage,
-        )
+        run_start = time.perf_counter_ns() if tracer.enabled else 0
+        try:
+            outputs, result = workload.run(
+                prepared.module,
+                prepared.inputs,
+                interpreter=interp,
+                injection=plan,
+                max_instructions=limit,
+                restore_from=restore,
+                triage=triage,
+            )
+        finally:
+            if tracer.enabled:
+                # Split the run at the injection instant: "replay" is the
+                # golden prefix up to the flip, "detect" is post-injection
+                # execution until the verdict (trap, timeout, or clean end).
+                run_end = time.perf_counter_ns()
+                inject_ns = getattr(interp, "trace_inject_ns", None)
+                if inject_ns is not None and run_start <= inject_ns <= run_end:
+                    tracer.add_complete("replay", "trial", run_start, inject_ns)
+                    tracer.add_complete("detect", "trial", inject_ns, run_end)
+                else:
+                    tracer.add_complete("replay", "trial", run_start, run_end)
     except snapshot_mod.TriageMasked:
         # The flip was proven dead at injection time: execution from here is
         # identical to the golden run, which completed with identical
@@ -340,26 +391,27 @@ def _classify_trial(
         outcome = _symptom_outcome(trap, plan, config)
         return _trial_from_trap(interp, plan, outcome, trap)
 
-    trial = _base_trial(interp, plan)
-    identical = all(
-        np.array_equal(prepared.golden_outputs[k], outputs[k])
-        for k in prepared.golden_outputs
-    )
-    if identical:
-        trial.outcome = Outcome.MASKED
-        return trial
+    with tracer.span("classify", cat="trial"):
+        trial = _base_trial(interp, plan)
+        identical = all(
+            np.array_equal(prepared.golden_outputs[k], outputs[k])
+            for k in prepared.golden_outputs
+        )
+        if identical:
+            trial.outcome = Outcome.MASKED
+            return trial
 
-    fid = workload.fidelity(prepared.golden_outputs, outputs)
-    trial.is_sdc = True
-    trial.fidelity_score = fid.score
-    if fid.acceptable:
-        # Acceptable corruption: ASDC — the paper counts these as Masked in
-        # the coverage view and separates them in the SDC view.
-        trial.outcome = Outcome.MASKED
-        trial.is_asdc = True
-    else:
-        trial.outcome = Outcome.USDC
-    return trial
+        fid = workload.fidelity(prepared.golden_outputs, outputs)
+        trial.is_sdc = True
+        trial.fidelity_score = fid.score
+        if fid.acceptable:
+            # Acceptable corruption: ASDC — the paper counts these as Masked
+            # in the coverage view and separates them in the SDC view.
+            trial.outcome = Outcome.MASKED
+            trial.is_asdc = True
+        else:
+            trial.outcome = Outcome.USDC
+        return trial
 
 
 #: trap class → event-log trap kind
@@ -473,6 +525,37 @@ def resolve_fault_model_config(config: CampaignConfig) -> CampaignConfig:
     if model == config.fault_model:
         return config
     return replace(config, fault_model=model)
+
+
+def resolve_telemetry_config(config: CampaignConfig) -> CampaignConfig:
+    """Fold the ``REPRO_TRACE``/``REPRO_HEARTBEAT`` defaults into the config.
+
+    Same contract as :func:`resolve_obs_config`: explicit fields win, the
+    environment only fills gaps, and resolution happens once in the parent
+    so workers (which receive the config through the pool initializer) make
+    the same tracing decision.
+    """
+    trace = trace_mod.resolve_trace(config.trace)
+    heartbeat = heartbeat_mod.resolve_heartbeat(config.heartbeat)
+    if trace == config.trace and heartbeat == config.heartbeat:
+        return config
+    return replace(config, trace=trace, heartbeat=heartbeat)
+
+
+def _chain_heartbeat(heart, on_trial, on_recovery):
+    """Wrap the user callbacks so the heartbeat counts trials/incidents."""
+
+    def heartbeat_trial(trial: TrialResult) -> None:
+        heart.trial(trial.outcome.value)
+        if on_trial is not None:
+            on_trial(trial)
+
+    def heartbeat_recovery(line: str) -> None:
+        heart.incident()
+        if on_recovery is not None:
+            on_recovery(line)
+
+    return heartbeat_trial, heartbeat_recovery
 
 
 def resolve_obs_config(config: CampaignConfig) -> CampaignConfig:
@@ -663,71 +746,108 @@ def run_campaign(
     producing results and event logs byte-identical to an uninterrupted run
     (see ``docs/RESILIENCE.md``).  Worker failures are retried and degrade
     to in-process serial execution per ``config.resilience``.
+
+    When ``config.trace`` (or ``REPRO_TRACE``) names a path, hierarchical
+    wall-clock spans are exported there as Chrome trace-event JSON at
+    campaign end; ``config.heartbeat`` (or ``REPRO_HEARTBEAT``) maintains a
+    live status file for ``python -m repro.obs top``.  Both are pure
+    sidecars: results, the main obs log, cache keys, and checkpoints are
+    byte-identical with them on or off (see ``docs/OBSERVABILITY.md``).
     """
     config = resolve_obs_config(config or CampaignConfig())
     config = resolve_resilience_config(config)
     config = resolve_prefix_config(config)
     config = resolve_jobs_config(config)
     config = resolve_fault_model_config(config)
-    prepared = prepared or prepare(workload, scheme, config)
-    plans = draw_plans(config, prepared)
-    rlog = resilience_mod.ResilienceLogger(config.obs_log, echo=on_recovery)
-    checkpointer = _open_checkpointer(prepared, config, rlog)
-    restored = dict(checkpointer.completed) if checkpointer is not None else {}
-
-    result = CampaignResult(
-        workload=workload.name,
-        scheme=scheme,
-        golden_instructions=prepared.golden_instructions,
-        golden_guard_failures=prepared.golden_guard_failures,
-        golden_guard_evaluations=prepared.golden_guard_evaluations,
-        fault_model=config.fault_model or "single_bit",
+    config = resolve_telemetry_config(config)
+    tracer = trace_mod.activate(config.trace)
+    heart = None
+    if config.heartbeat:
+        heart = heartbeat_mod.HeartbeatWriter(
+            config.heartbeat, workload=workload.name, scheme=scheme,
+            total=config.trials,
+        )
+        on_trial, on_recovery = _chain_heartbeat(heart, on_trial, on_recovery)
+        heart.begin()
+    campaign_span = tracer.span(
+        "campaign", cat="campaign", workload=workload.name, scheme=scheme,
+        trials=config.trials, jobs=config.jobs,
     )
-    writer = None
-    if config.obs_log:
-        writer = obs_events.EventLogWriter(config.obs_log)
-    start = time.perf_counter()
-    completed_ok = False
+    campaign_span.__enter__()
+    campaign_ok = False
     try:
-        if writer is not None:
-            writer.emit(obs_events.campaign_begin_event(result))
-        pending = [
-            (index, plan) for index, plan in enumerate(plans)
-            if index not in restored
-        ]
-        stats = {"restores": 0, "replay_cycles_saved": 0, "triaged_masked": 0}
-        if config.jobs > 1 and len(pending) > 1:
-            _run_parallel_portion(
-                prepared, plans, pending, restored, config, result,
-                writer, checkpointer, rlog, on_trial, stats,
-            )
-        else:
-            _run_serial_portion(
-                prepared, plans, restored, config, result,
-                writer, checkpointer, rlog, on_trial, stats,
-            )
-        _record_prefix_stats(config, result, stats)
-        if writer is not None:
-            writer.emit(obs_events.campaign_end_event(result))
-        completed_ok = True
-    except BaseException:
-        # Persist every trial that did finish, so the interrupted campaign
-        # (KeyboardInterrupt, lost pool, reboot) is resumable.
+        prepared = prepared or prepare(workload, scheme, config)
+        plans = draw_plans(config, prepared)
+        rlog = resilience_mod.ResilienceLogger(config.obs_log, echo=on_recovery)
+        checkpointer = _open_checkpointer(prepared, config, rlog)
+        restored = (
+            dict(checkpointer.completed) if checkpointer is not None else {}
+        )
+
+        result = CampaignResult(
+            workload=workload.name,
+            scheme=scheme,
+            golden_instructions=prepared.golden_instructions,
+            golden_guard_failures=prepared.golden_guard_failures,
+            golden_guard_evaluations=prepared.golden_guard_evaluations,
+            fault_model=config.fault_model or "single_bit",
+        )
+        writer = None
+        if config.obs_log:
+            writer = obs_events.EventLogWriter(config.obs_log)
+        start = time.perf_counter()
+        completed_ok = False
+        try:
+            if writer is not None:
+                writer.emit(obs_events.campaign_begin_event(result))
+            pending = [
+                (index, plan) for index, plan in enumerate(plans)
+                if index not in restored
+            ]
+            stats = {
+                "restores": 0, "replay_cycles_saved": 0, "triaged_masked": 0,
+            }
+            if config.jobs > 1 and len(pending) > 1:
+                _run_parallel_portion(
+                    prepared, plans, pending, restored, config, result,
+                    writer, checkpointer, rlog, on_trial, stats,
+                )
+            else:
+                _run_serial_portion(
+                    prepared, plans, restored, config, result,
+                    writer, checkpointer, rlog, on_trial, stats,
+                )
+            _record_prefix_stats(config, result, stats)
+            if writer is not None:
+                writer.emit(obs_events.campaign_end_event(result))
+            completed_ok = True
+        except BaseException:
+            # Persist every trial that did finish, so the interrupted
+            # campaign (KeyboardInterrupt, lost pool, reboot) is resumable.
+            if checkpointer is not None:
+                checkpointer.flush(force=True)
+            raise
+        finally:
+            if writer is not None:
+                writer.close()
+            # Orphaned worker shard files must never outlive a failed
+            # campaign: a later campaign sharing the log would merge them
+            # out of context.
+            if not completed_ok and config.obs_log:
+                obs_events.discard_shards(config.obs_log)
         if checkpointer is not None:
-            checkpointer.flush(force=True)
-        raise
+            checkpointer.clear()
+        registry = global_registry()
+        if registry.enabled:
+            _record_campaign_metrics(
+                registry, result, time.perf_counter() - start
+            )
+        campaign_ok = True
     finally:
-        if writer is not None:
-            writer.close()
-        # Orphaned worker shard files must never outlive a failed campaign:
-        # a later campaign sharing the log would merge them out of context.
-        if not completed_ok and config.obs_log:
-            obs_events.discard_shards(config.obs_log)
-    if checkpointer is not None:
-        checkpointer.clear()
-    registry = global_registry()
-    if registry.enabled:
-        _record_campaign_metrics(registry, result, time.perf_counter() - start)
+        campaign_span.__exit__(None, None, None)
+        tracer.export()
+        if heart is not None:
+            heart.finish("done" if campaign_ok else "failed")
     return result
 
 

@@ -49,6 +49,7 @@ from pathlib import Path
 from typing import Dict, Optional, Tuple
 
 from ..ir.printer import module_to_str
+from ..obs import trace as trace_mod
 from ..obs.metrics import global_registry
 from .campaign import CampaignConfig
 from .outcomes import CampaignResult
@@ -95,6 +96,9 @@ def _config_fingerprint(config: CampaignConfig) -> dict:
     for the same reason — logging observes trials, it cannot affect
     them — as are the resilience knobs (``checkpoint``, ``resilience``):
     recovery changes how trials get executed, never what they compute.
+    The telemetry sidecar paths (``trace``, ``heartbeat``) are excluded on
+    the same grounds: wall-clock spans and status files observe a campaign
+    without touching its results.
     ``trials`` and ``seed`` are kept in the fingerprint *and* surfaced as
     top-level key fields for human inspection.
 
@@ -111,7 +115,7 @@ def _config_fingerprint(config: CampaignConfig) -> dict:
     fields = dataclasses.asdict(config)
     for non_semantic in (
         "jobs", "obs_log", "obs_timing", "checkpoint", "resilience",
-        "snapshot_every", "triage",
+        "snapshot_every", "triage", "trace", "heartbeat",
     ):
         fields.pop(non_semantic, None)
     model = resolve_fault_model(fields.pop("fault_model", None))
@@ -183,27 +187,30 @@ class CampaignCache:
         if not path.exists():
             registry.counter("cache.miss").inc()
             return None
-        try:
-            with open(path) as fh:
-                data = json.load(fh)
-            if not isinstance(data, dict):
-                raise ValueError("cache entry is not a JSON object")
-            if "result" in data:
-                integrity = data.get("integrity") or {}
-                stored = integrity.get("sha256")
-                if stored is not None and stored != _result_digest(data["result"]):
-                    raise ValueError("cache entry checksum mismatch")
-                result = CampaignResult.from_dict(data["result"])
-                meta = data.get("meta") or {}
-            else:
-                result = CampaignResult.from_dict(data)
-                meta = {}
-        except (OSError, ValueError, KeyError, TypeError) as err:
-            self._quarantine(key, path, err)
-            registry.counter("cache.miss").inc()
-            return None
-        registry.counter("cache.hit").inc()
-        return result, meta
+        with trace_mod.current().span("cache.get", cat="cache", key=key[:16]):
+            try:
+                with open(path) as fh:
+                    data = json.load(fh)
+                if not isinstance(data, dict):
+                    raise ValueError("cache entry is not a JSON object")
+                if "result" in data:
+                    integrity = data.get("integrity") or {}
+                    stored = integrity.get("sha256")
+                    if stored is not None and stored != _result_digest(
+                        data["result"]
+                    ):
+                        raise ValueError("cache entry checksum mismatch")
+                    result = CampaignResult.from_dict(data["result"])
+                    meta = data.get("meta") or {}
+                else:
+                    result = CampaignResult.from_dict(data)
+                    meta = {}
+            except (OSError, ValueError, KeyError, TypeError) as err:
+                self._quarantine(key, path, err)
+                registry.counter("cache.miss").inc()
+                return None
+            registry.counter("cache.hit").inc()
+            return result, meta
 
     def _quarantine(self, key: str, path: Path, err: Exception) -> None:
         """Move a corrupt entry aside and account for it."""
@@ -244,22 +251,24 @@ class CampaignCache:
             "result": result_doc,
             "integrity": {"sha256": _result_digest(result_doc)},
         }
-        try:
-            self.root.mkdir(parents=True, exist_ok=True)
-            fd, tmp = tempfile.mkstemp(
-                prefix=".campaign-", suffix=".tmp", dir=self.root
-            )
+        with trace_mod.current().span("cache.put", cat="cache", key=key[:16]):
             try:
-                with os.fdopen(fd, "w") as fh:
-                    json.dump(document, fh)
-                os.replace(tmp, self._path(key))
-                global_registry().counter("cache.write").inc()
-            except BaseException:
+                self.root.mkdir(parents=True, exist_ok=True)
+                fd, tmp = tempfile.mkstemp(
+                    prefix=".campaign-", suffix=".tmp", dir=self.root
+                )
                 try:
-                    os.unlink(tmp)
-                except OSError:
-                    pass
-                raise
-        except OSError:
-            # A read-only or full cache directory must never fail a campaign.
-            pass
+                    with os.fdopen(fd, "w") as fh:
+                        json.dump(document, fh)
+                    os.replace(tmp, self._path(key))
+                    global_registry().counter("cache.write").inc()
+                except BaseException:
+                    try:
+                        os.unlink(tmp)
+                    except OSError:
+                        pass
+                    raise
+            except OSError:
+                # A read-only or full cache directory must never fail a
+                # campaign.
+                pass

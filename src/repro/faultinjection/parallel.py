@@ -44,6 +44,7 @@ from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..obs import trace as trace_mod
 from ..obs.metrics import global_registry
 from ..sim.faults import InjectionPlan
 from . import resilience as resilience_mod
@@ -165,7 +166,27 @@ def _execute_chunk(
     Shared between the worker entry point (:func:`_run_chunk`) and the
     parent's serial-fallback path, so degraded execution behaves exactly
     like a worker would have.
+
+    When the campaign is traced, the chunk runs under a ``chunk`` span and
+    its buffered spans are flushed to this process's ``<trace>.spans-<pid>``
+    sidecar afterwards — the parent folds every sidecar into the exported
+    trace, so Perfetto shows one track per worker process.
     """
+    tracer = trace_mod.activate(config.trace)
+    try:
+        with tracer.span(
+            "chunk", cat="chunk", first=chunk[0][0], size=len(chunk)
+        ):
+            return _execute_chunk_trials(prepared, config, chunk)
+    finally:
+        tracer.flush_sidecar()
+
+
+def _execute_chunk_trials(
+    prepared: PreparedWorkload,
+    config: CampaignConfig,
+    chunk: Sequence[Tuple[int, int, int, int, str]],
+) -> Tuple[List[Tuple[int, TrialResult]], List[Dict], Dict[str, int]]:
     anomalies: List[Dict] = []
     stats: Dict[str, int] = {}
     if not config.obs_log:
@@ -284,6 +305,9 @@ def run_trials_parallel(
                 on_trial(trial)
 
     def run_serial_fallback() -> None:
+        trace_mod.current().instant(
+            "serial_fallback", cat="resilience", chunks=len(pending)
+        )
         rlog.emit(
             "serial_fallback",
             note=(f"worker pool lost; running "
@@ -312,6 +336,9 @@ def run_trials_parallel(
                     break
                 delay = resilience_mod.backoff_delay(
                     policy.backoff_seconds, attempt
+                )
+                trace_mod.current().instant(
+                    "chunk_retry", cat="resilience", attempt=attempt
                 )
                 rlog.emit(
                     "chunk_retry",
@@ -348,6 +375,10 @@ def run_trials_parallel(
                 last_error = err
             if pending:
                 attempt += 1
+                trace_mod.current().instant(
+                    "worker_failure", cat="resilience",
+                    lost_chunks=len(pending),
+                )
                 rlog.emit(
                     "worker_failure",
                     note=(f"worker pool broke with {len(pending)} chunk(s) "

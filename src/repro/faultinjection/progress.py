@@ -1,9 +1,9 @@
 """Rate-limited stderr progress for long campaigns.
 
-Plugs into ``run_campaign(..., on_trial=...)``; prints live trials/sec and
-running outcome tallies at most once per ``min_interval`` seconds so a
-million-trial sweep stays observable without drowning the terminal (or a CI
-log) in per-trial lines.
+Plugs into ``run_campaign(..., on_trial=...)``; prints live trials/sec
+(overall plus a rolling EMA), an ETA, and running outcome tallies at most
+once per ``min_interval`` seconds so a million-trial sweep stays observable
+without drowning the terminal (or a CI log) in per-trial lines.
 
 Tallies are kept in a :class:`~repro.obs.metrics.MetricsRegistry` (a private
 one by default, or a shared registry passed by the caller), so progress
@@ -25,6 +25,9 @@ from ..obs.metrics import MetricsRegistry
 from .outcomes import Outcome, TrialResult
 
 __all__ = ["ProgressPrinter"]
+
+#: EMA smoothing for the rolling trials/sec column (matches the heartbeat's)
+_EMA_ALPHA = 0.3
 
 _SHORT = {
     Outcome.MASKED: "masked",
@@ -65,6 +68,11 @@ class ProgressPrinter:
         self._last_print = 0.0
         #: value of ``done`` at the last emitted line (-1: nothing emitted)
         self._emitted_done = -1
+        #: rolling trials/sec (EMA over inter-emit windows; None until the
+        #: second window exists)
+        self.rate_ema: Optional[float] = None
+        self._ema_t = self._start
+        self._ema_done = 0
 
     def __call__(self, trial: TrialResult) -> None:
         self.done += 1
@@ -97,9 +105,50 @@ class ProgressPrinter:
         if self._emitted_done != self.done and self.done > 0:
             self._emit(time.perf_counter(), final=True)
 
+    def _update_ema(self, now: float) -> None:
+        """Fold the window since the last emit into the rolling rate.
+
+        Fed from the registry's ``progress.trials`` counter (the shared
+        source of truth for completed-trial accounting, which under a shared
+        registry may advance from several printers).
+        """
+        done = self._done.value
+        dt = now - self._ema_t
+        if dt <= 0 or done <= self._ema_done:
+            return
+        instantaneous = (done - self._ema_done) / dt
+        self.rate_ema = (
+            instantaneous if self.rate_ema is None
+            else _EMA_ALPHA * instantaneous + (1 - _EMA_ALPHA) * self.rate_ema
+        )
+        self._ema_t = now
+        self._ema_done = done
+
+    def _eta_seconds(self) -> Optional[float]:
+        rate = self.rate_ema
+        if rate is None or rate <= 0:
+            return None
+        remaining = self.total - self.done
+        if remaining <= 0:
+            return None
+        return remaining / rate
+
+    @staticmethod
+    def _fmt_eta(seconds: Optional[float]) -> str:
+        if seconds is None:
+            return ""
+        seconds = int(seconds)
+        if seconds >= 3600:
+            return (f" eta {seconds // 3600}:"
+                    f"{seconds % 3600 // 60:02d}:{seconds % 60:02d}")
+        return f" eta {seconds // 60:02d}:{seconds % 60:02d}"
+
     def _emit(self, now: float, final: bool = False) -> None:
         elapsed = max(now - self._start, 1e-9)
         rate = self.done / elapsed
+        self._update_ema(now)
+        ema = f" ({self.rate_ema:.1f} ema)" if self.rate_ema is not None else ""
+        eta = "" if final else self._fmt_eta(self._eta_seconds())
         tallies = " ".join(
             f"{_SHORT[o]}={counter.value}"
             for o, counter in self._outcomes.items()
@@ -109,7 +158,7 @@ class ProgressPrinter:
         suffix = " (done)" if final else ""
         print(
             f"  {prefix}[{self.done}/{self.total}] "
-            f"{rate:.1f} trials/s {tallies}".rstrip() + suffix,
+            f"{rate:.1f} trials/s{ema}{eta} {tallies}".rstrip() + suffix,
             file=self.stream,
             flush=True,
         )

@@ -60,6 +60,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..obs import events as obs_events
+from ..obs import trace as trace_mod
 from ..obs.metrics import global_registry
 from .outcomes import Outcome, TrialResult, trial_from_record, trial_to_record
 
@@ -302,22 +303,26 @@ def save_checkpoint(path, checkpoint: Checkpoint) -> None:
     the new one.
     """
     path = os.fspath(path)
-    document = _checkpoint_document(checkpoint)
-    directory = os.path.dirname(os.path.abspath(path))
-    os.makedirs(directory, exist_ok=True)
-    fd, tmp = tempfile.mkstemp(
-        prefix=".checkpoint-", suffix=".tmp", dir=directory
-    )
-    try:
-        with os.fdopen(fd, "w") as fh:
-            json.dump(document, fh)
-        os.replace(tmp, path)
-    except BaseException:
+    with trace_mod.current().span(
+        "checkpoint.save", cat="resilience",
+        completed=len(checkpoint.completed),
+    ):
+        document = _checkpoint_document(checkpoint)
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            prefix=".checkpoint-", suffix=".tmp", dir=directory
+        )
         try:
-            os.unlink(tmp)
-        except OSError:
-            pass
-        raise
+            with os.fdopen(fd, "w") as fh:
+                json.dump(document, fh)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
 
 
 def load_checkpoint(
@@ -333,8 +338,9 @@ def load_checkpoint(
     """
     path = os.fspath(path)
     logger = logger or ResilienceLogger()
+    load_span = trace_mod.current().span("checkpoint.load", cat="resilience")
     try:
-        with open(path, encoding="utf-8") as fh:
+        with load_span, open(path, encoding="utf-8") as fh:
             document = json.load(fh)
         stored = document.pop("sha256")
         digest = hashlib.sha256(
@@ -545,11 +551,17 @@ def run_trial_guarded(
                     anomalies,
                 )
         except HarnessTimeout:
+            trace_mod.current().instant(
+                "trial_timeout", cat="resilience", i=index, attempt=attempt
+            )
             anomalies.append({
                 "kind": "trial_timeout",
                 "i": index, "cycle": cycle, "bit": bit,
                 "deadline_seconds": deadline, "attempt": attempt,
             })
+    trace_mod.current().instant(
+        "trial_quarantined", cat="resilience", i=index
+    )
     anomalies.append({
         "kind": "trial_quarantined",
         "i": index, "cycle": cycle, "bit": bit,

@@ -1,8 +1,11 @@
-"""Campaign observability: metrics registry, trial event log, reports.
+"""Campaign observability: metrics, event logs, reports, traces, telemetry.
 
 See ``docs/OBSERVABILITY.md``.  Everything here is off by default — a
-campaign only pays for observability when ``REPRO_OBS``/``--obs-log`` (and
-optionally ``REPRO_OBS_TIMING``) are configured.
+campaign only pays for observability when the corresponding knob is
+configured: ``REPRO_OBS``/``--obs-log`` (trial event log, optionally with
+``REPRO_OBS_TIMING``), ``REPRO_TRACE``/``--trace`` (hierarchical wall-clock
+span traces, Chrome trace-event JSON), and ``REPRO_HEARTBEAT``/
+``--heartbeat`` (live status file for ``python -m repro.obs top``).
 """
 
 from .config import (
@@ -20,7 +23,15 @@ from .events import (
     encode_event,
     merge_shards,
     read_events,
+    read_events_detailed,
     trial_event,
+)
+from .heartbeat import (
+    HEARTBEAT_SCHEMA_VERSION,
+    HeartbeatWriter,
+    heartbeat_path,
+    read_heartbeat,
+    resolve_heartbeat,
 )
 from .metrics import (
     Counter,
@@ -32,13 +43,32 @@ from .metrics import (
     reset_global,
 )
 from .report import LogReport, percentile
+from .top import render_heartbeat, watch
+from .trace import (
+    TRACE_SCHEMA_VERSION,
+    Tracer,
+    TraceSummary,
+    activate,
+    current,
+    load_trace,
+    render_summary,
+    resolve_trace,
+    summarize_trace,
+    trace_path,
+    validate_trace,
+)
 
 __all__ = [
-    "SCHEMA_VERSION",
+    "HEARTBEAT_SCHEMA_VERSION", "SCHEMA_VERSION", "TRACE_SCHEMA_VERSION",
     "Counter", "Histogram", "MetricsRegistry", "Timer",
-    "EventLogWriter", "LogReport",
-    "cache_hit_event", "campaign_begin_event", "campaign_end_event",
-    "encode_event", "enable_global", "global_registry", "merge_shards",
+    "EventLogWriter", "HeartbeatWriter", "LogReport", "TraceSummary",
+    "Tracer",
+    "activate", "cache_hit_event", "campaign_begin_event",
+    "campaign_end_event", "current", "encode_event", "enable_global",
+    "global_registry", "heartbeat_path", "load_trace", "merge_shards",
     "obs_enabled", "obs_log_path", "obs_timing_enabled", "percentile",
-    "read_events", "reset_global", "resolve_obs_log", "trial_event",
+    "read_events", "read_events_detailed", "read_heartbeat",
+    "render_heartbeat", "render_summary", "reset_global", "resolve_heartbeat",
+    "resolve_obs_log", "resolve_trace", "summarize_trace", "trace_path",
+    "trial_event", "validate_trace", "watch",
 ]

@@ -34,10 +34,20 @@ Reading is *corrupt-line tolerant*: a truncated or garbled line (e.g. a
 campaign killed mid-write) is counted and skipped, never fatal.  Unknown
 schema versions are surfaced to the caller via the ``v`` field rather than
 rejected — the reader is forward-compatible by construction.
+
+Logs may be **gzip-compressed**: a path ending in ``.gz`` is read (and
+written) through :mod:`gzip` transparently — 40k-trial chaos runs produce
+unwieldy plain JSONL.  Writing stamps ``mtime=0`` into the gzip header so a
+compressed log stays byte-deterministic like the plain one.  A truncated
+compressed stream (campaign killed mid-write) is handled like a corrupt
+plain line: the readable prefix is returned and the torn tail is counted
+(see :func:`read_events_detailed`).
 """
 
 from __future__ import annotations
 
+import gzip
+import io
 import json
 import os
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
@@ -53,6 +63,7 @@ __all__ = [
     "merge_shards",
     "prefix_sharing_event",
     "read_events",
+    "read_events_detailed",
     "resilience_event",
     "resilience_log_path",
     "shard_path",
@@ -231,14 +242,33 @@ def append_sidecar_event(log_path: str, event: Dict) -> None:
 # ---------------------------------------------------------------------------
 
 
+def _is_gzip_path(path) -> bool:
+    return str(path).endswith(".gz")
+
+
 class EventLogWriter:
-    """Append-only JSONL writer (several campaigns may share one log)."""
+    """Append-only JSONL writer (several campaigns may share one log).
+
+    A ``.gz`` path writes a gzip member per open — appending another later
+    produces a multi-member file, which the reader handles transparently.
+    The gzip header is stamped with ``mtime=0`` and an empty name so the
+    compressed bytes are a pure function of the logged events, preserving
+    the byte-identity guarantee for compressed logs.
+    """
 
     def __init__(self, path: str, mode: str = "a") -> None:
         self.path = path
         parent = os.path.dirname(os.path.abspath(path))
         os.makedirs(parent, exist_ok=True)
-        self._fh = open(path, mode, encoding="utf-8")
+        if _is_gzip_path(path):
+            self._raw = open(path, mode + "b")
+            self._gz = gzip.GzipFile(
+                filename="", mode="wb", fileobj=self._raw, mtime=0
+            )
+            self._fh = io.TextIOWrapper(self._gz, encoding="utf-8")
+        else:
+            self._raw = self._gz = None
+            self._fh = open(path, mode, encoding="utf-8")
 
     def emit(self, event: Dict) -> None:
         self._fh.write(encode_event(event))
@@ -252,6 +282,8 @@ class EventLogWriter:
 
     def close(self) -> None:
         self._fh.close()
+        if self._raw is not None:
+            self._raw.close()
 
     def __enter__(self) -> "EventLogWriter":
         return self
@@ -326,11 +358,40 @@ def read_events(path) -> Tuple[List[Dict], int]:
 
     Corrupt lines (truncated writes, stray text) are skipped and counted —
     a partially written log from an interrupted campaign stays readable.
+    ``.gz`` paths are decompressed transparently; a truncated compressed
+    tail counts as one skipped line (see :func:`read_events_detailed`).
+    """
+    events, skipped, truncated = read_events_detailed(path)
+    return events, skipped + truncated
+
+
+def read_events_detailed(path) -> Tuple[List[Dict], int, int]:
+    """Like :func:`read_events` but returns ``(events, skipped, truncated)``.
+
+    ``truncated`` is 1 when the file's tail could not be decoded at the
+    stream level — a gzip member cut off mid-write by a killed campaign —
+    as opposed to ``skipped``, which counts individually garbled lines.
+    Everything decodable before the tear is still returned.
     """
     events: List[Dict] = []
     skipped = 0
-    with open(path, encoding="utf-8") as fh:
-        for line in fh:
+    truncated = 0
+    if _is_gzip_path(path):
+        fh = io.TextIOWrapper(
+            gzip.open(path, "rb"), encoding="utf-8", errors="replace"
+        )
+    else:
+        fh = open(path, encoding="utf-8", errors="replace")
+    with fh:
+        while True:
+            try:
+                line = fh.readline()
+            except (EOFError, OSError, ValueError):
+                # Torn gzip tail (or undecodable stream): keep the prefix.
+                truncated = 1
+                break
+            if not line:
+                break
             line = line.strip()
             if not line:
                 continue
@@ -343,7 +404,7 @@ def read_events(path) -> Tuple[List[Dict], int]:
                 skipped += 1
                 continue
             events.append(record)
-    return events, skipped
+    return events, skipped, truncated
 
 
 def iter_trial_events(paths: Iterable) -> Iterator[Dict]:

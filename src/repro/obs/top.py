@@ -1,0 +1,114 @@
+"""``python -m repro.obs top`` — live terminal view of a running campaign.
+
+Tails the heartbeat file written by a campaign started with ``--heartbeat``
+(or ``REPRO_HEARTBEAT``) and re-renders a compact dashboard at an interval:
+progress bar, trials/sec (overall + EMA), ETA, per-outcome tallies, and the
+resilience incident count.  Purely a *reader* — it never writes anything and
+can watch a campaign owned by any process, which is the point: it is the
+terminal precursor of the ``repro.serve`` status API.
+
+``--once`` renders a single snapshot and exits (CI smoke uses it);
+``--until-done`` exits when the heartbeat reports a terminal status.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Dict, Optional, TextIO
+
+from .heartbeat import read_heartbeat
+
+__all__ = ["render_heartbeat", "watch"]
+
+#: heartbeat older than this many seconds is flagged as stale
+_STALE_AFTER = 10.0
+
+_BAR_WIDTH = 30
+
+
+def _fmt_eta(seconds: Optional[float]) -> str:
+    if seconds is None:
+        return "--:--"
+    seconds = int(seconds)
+    if seconds >= 3600:
+        return f"{seconds // 3600}:{seconds % 3600 // 60:02d}:{seconds % 60:02d}"
+    return f"{seconds // 60:02d}:{seconds % 60:02d}"
+
+
+def render_heartbeat(doc: Dict, now_unix: Optional[float] = None) -> str:
+    """One dashboard frame from a heartbeat document."""
+    now_unix = time.time() if now_unix is None else now_unix
+    done = int(doc.get("trials_done", 0) or 0)
+    total = int(doc.get("trials_total", 0) or 0)
+    frac = done / total if total else 0.0
+    filled = int(frac * _BAR_WIDTH)
+    bar = "#" * filled + "-" * (_BAR_WIDTH - filled)
+    status = doc.get("status", "?")
+    age = now_unix - float(doc.get("updated_unix", now_unix) or now_unix)
+    stale = " (STALE)" if status == "running" and age > _STALE_AFTER else ""
+
+    lines = [
+        f"{doc.get('workload', '?')}/{doc.get('scheme', '?')}  "
+        f"status={status}{stale}  pid={doc.get('pid', '?')}  "
+        f"updated {age:.1f}s ago",
+        f"[{bar}] {done}/{total} ({frac:7.1%})",
+        f"rate: {doc.get('trials_per_sec', 0)} trials/s overall"
+        + (f", {doc['trials_per_sec_ema']} ema"
+           if doc.get("trials_per_sec_ema") is not None else "")
+        + f"  eta {_fmt_eta(doc.get('eta_seconds'))}"
+        + f"  elapsed {doc.get('elapsed_seconds', 0)}s",
+    ]
+    outcomes = doc.get("outcomes") or {}
+    if outcomes:
+        lines.append("outcomes: " + "  ".join(
+            f"{name}={count}" for name, count in outcomes.items()
+        ))
+    incidents = doc.get("resilience_incidents", 0)
+    if incidents:
+        lines.append(f"resilience incidents: {incidents}")
+    return "\n".join(lines)
+
+
+def watch(
+    path: str,
+    interval: float = 1.0,
+    once: bool = False,
+    until_done: bool = False,
+    stream: Optional[TextIO] = None,
+    max_frames: Optional[int] = None,
+) -> int:
+    """Render the heartbeat at ``interval`` until interrupted.
+
+    Returns an exit code: 0 on a clean exit (``--once`` with a readable
+    file, terminal status under ``--until-done``, or Ctrl-C), 1 when
+    ``--once`` found no readable heartbeat.  ``max_frames`` bounds the loop
+    for tests.
+    """
+    stream = stream if stream is not None else sys.stdout
+    frames = 0
+    try:
+        while True:
+            doc = read_heartbeat(path)
+            if doc is None:
+                print(f"[repro.obs top] no heartbeat at {path} (yet?)",
+                      file=stream, flush=True)
+                if once:
+                    return 1
+            else:
+                if not once and stream.isatty():  # pragma: no cover - terminal
+                    stream.write("\x1b[2J\x1b[H")
+                print(render_heartbeat(doc), file=stream, flush=True)
+                if once:
+                    return 0
+                if until_done and doc.get("status") in ("done", "failed"):
+                    return 0
+            frames += 1
+            if max_frames is not None and frames >= max_frames:
+                return 0
+            time.sleep(interval)
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        return 0
+    except BrokenPipeError:
+        # Downstream pipe reader (head, grep -q) closed early: clean exit.
+        return 0

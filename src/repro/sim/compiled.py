@@ -1081,16 +1081,23 @@ def compile_module(module: Module, track: bool, hooked: bool) -> CompiledModule:
     cm = cache.get(variant)
     registry = _obs_registry()
     if cm is None:
-        cm = CompiledModule(module, variant, token, pinned)
-        for fn in module.functions.values():
-            cm.functions[fn] = CompiledFunction(fn)
-        n_blocks = n_superblocks = 0
-        for cf in cm.functions.values():
-            for cb in cf.blocks.values():
-                _fill_block(cb, cf, cm, track, hooked)
-                n_blocks += 1
-                n_superblocks += sum(1 for sb in cb.fused if sb is not None)
-        cache[variant] = cm
+        from ..obs import trace as _trace_mod
+
+        with _trace_mod.current().span(
+            "compile_module", cat="compile", track=track, hooked=hooked
+        ):
+            cm = CompiledModule(module, variant, token, pinned)
+            for fn in module.functions.values():
+                cm.functions[fn] = CompiledFunction(fn)
+            n_blocks = n_superblocks = 0
+            for cf in cm.functions.values():
+                for cb in cf.blocks.values():
+                    _fill_block(cb, cf, cm, track, hooked)
+                    n_blocks += 1
+                    n_superblocks += sum(
+                        1 for sb in cb.fused if sb is not None
+                    )
+            cache[variant] = cm
         if registry.enabled:
             registry.counter("sim.compile.modules").inc()
             registry.counter("sim.compile.blocks").inc(n_blocks)

@@ -26,6 +26,7 @@ import math
 import os
 import random
 import struct
+import time
 from typing import Callable, Dict, List, Optional, Sequence
 
 from ..ir.basicblock import BasicBlock
@@ -332,6 +333,9 @@ class Interpreter:
         if self.injection_record is not None:
             # Already injected: this is a re-fire (stuck-at cadence).
             return get_fault_model(plan.model).reapply(self, plan)
+        # Wall-clock stamp of the first injection, read only by the tracing
+        # sidecar (replay/detect phase split) — never by trial classification.
+        self.trace_inject_ns = time.perf_counter_ns()
         record = InjectionRecord(plan=plan, landed=False)
         self.injection_record = record
         self._guard_armed = True
@@ -481,6 +485,7 @@ class Interpreter:
         self.cycle = 0
         self.guard_stats = GuardStats()
         self.injection_record = None
+        self.trace_inject_ns = None
         # Guards only *raise* (in detect mode) once the fault has been
         # injected: a check that fails before any fault exists is a false
         # positive, which the paper's recover-once policy absorbs instead of

@@ -42,6 +42,7 @@ from ..analysis.liveness import LivenessInfo
 from ..ir.basicblock import BasicBlock
 from ..ir.instructions import Phi
 from ..ir.values import Value
+from ..obs import trace as trace_mod
 from .events import GuardStats
 from .memory import SEGMENT_SHIFT, SEGMENT_STRIDE, Memory, Segment
 from .regfile import RegisterFile
@@ -282,6 +283,12 @@ class Snapshot:
         frames, and the write log), so a snapshot can seed any number of
         trials, concurrently across processes and serially within one.
         """
+        with trace_mod.current().span(
+            "restore", cat="trial", cycles=self.cycle
+        ):
+            return self._install(interp, injection)
+
+    def _install(self, interp, injection) -> Tuple[object, int, int]:
         frames = [
             _clone_frame(t, dict(v))
             for t, v in zip(self.frames, self.frame_values)
@@ -376,6 +383,12 @@ class SnapshotRecorder:
 
     def take(self, interp, cb, idx: int, cycle: int) -> int:
         """Capture now; returns the next due cycle (huge when full)."""
+        with trace_mod.current().span(
+            "snapshot.take", cat="prepare", cycle=cycle
+        ):
+            return self._take(interp, cb, idx, cycle)
+
+    def _take(self, interp, cb, idx: int, cycle: int) -> int:
         log = interp._rf_log
         cap = interp.config.phys_int_registers
         if len(log) > cap:
