@@ -7,6 +7,7 @@ Usage::
     python -m repro.faultinjection g721dec dup --seed 7 --swap-inputs
     python -m repro.faultinjection g721dec dup_valchk --trials 1000 --jobs 4
     python -m repro.faultinjection tiff2bw dup --fault-model burst
+    python -m repro.faultinjection kmeans dup --fault-model mem_transient
     python -m repro.faultinjection tiff2bw full_dup --chaos --trials 500
 """
 
@@ -106,7 +107,9 @@ def main(argv=None) -> int:
                         choices=list(CONCRETE_FAULT_MODELS) + [CHAOS_FAULT_MODEL],
                         help="fault model to inject (default: "
                              "REPRO_FAULT_MODEL or single_bit, the paper's "
-                             "model; 'chaos' mixes all models per trial)")
+                             "model; mem_*/cache_line/stack_frame target "
+                             "the memory hierarchy via golden-run occupancy "
+                             "maps; 'chaos' mixes all models per trial)")
     parser.add_argument("--chaos", action="store_true",
                         help="shorthand for --fault-model chaos")
     parser.add_argument("--swap-inputs", action="store_true",

@@ -44,9 +44,11 @@ from ..sim.faults import (
     CONCRETE_FAULT_MODELS,
     FAULT_MODELS,
     LARGE_CHANGE_THRESHOLD,
+    TRIAGEABLE_FAULT_MODELS,
     InjectionPlan,
 )
 from ..sim.interpreter import Interpreter
+from ..sim import memfaults as memfaults_mod
 from ..sim import snapshot as snapshot_mod
 from ..transforms.checkconfig import ProtectionConfig
 from ..transforms.pipeline import SchemeStats, apply_scheme
@@ -148,6 +150,10 @@ class PreparedWorkload:
     #: snapshotting is disabled or did not pay off).  Never pickled: workers
     #: rebuild their PreparedWorkload (or inherit it over fork).
     snapshots: Optional[snapshot_mod.SnapshotStore] = None
+    #: golden-run occupancy map for the memory-hierarchy fault models (None
+    #: unless the campaign's model consumes it).  Like ``snapshots``, never
+    #: pickled: workers recompute it deterministically.
+    occupancy: Optional[memfaults_mod.OccupancyMap] = None
 
 
 def prepare(
@@ -190,7 +196,7 @@ def prepare(
             golden_outputs, golden_result = workload.run(
                 module, run_inputs, interpreter=golden_interp
             )
-        snapshots = _capture_snapshots(
+        snapshots, occupancy = _capture_golden_state(
             workload, module, run_inputs, golden_result, config
         )
     return PreparedWorkload(
@@ -205,50 +211,150 @@ def prepare(
         golden_guard_evaluations=golden_result.guard_stats.evaluations,
         noisy_guards=frozenset(golden_result.guard_stats.failures_by_guard),
         snapshots=snapshots,
+        occupancy=occupancy,
     )
 
 
-def _capture_snapshots(
+def _capture_golden_state(
     workload: Workload,
     module,
     run_inputs,
     golden_result,
     config: CampaignConfig,
-) -> Optional[snapshot_mod.SnapshotStore]:
-    """Second, instrumented golden run that records restore snapshots.
+):
+    """Second, instrumented golden run: restore snapshots and/or occupancy.
 
-    Skipped when snapshotting is disabled (``snapshot_every=0`` /
-    ``REPRO_SNAPSHOT=0``), when the fast path is off (snapshots are a
-    fast-path feature), or when the auto heuristic deems the golden run too
-    short to pay for the extra capture run.  The capture run is verified to
-    retire exactly the golden instruction count — any mismatch (it cannot
-    happen; this is a tripwire) drops the snapshots rather than risking
-    divergent trials.
+    Returns ``(snapshots, occupancy)``.  Snapshot capture is skipped when
+    snapshotting is disabled (``snapshot_every=0`` / ``REPRO_SNAPSHOT=0``)
+    or the auto heuristic deems the golden run too short to pay for the
+    extra capture run; occupancy capture is skipped unless the campaign's
+    resolved fault model consumes occupancy data (or ``REPRO_OCCUPANCY=1``
+    forces it).  When both are wanted they share ONE instrumented pass via
+    :class:`~repro.sim.memfaults.FusedCapture`, so a memory-model prepare
+    pays only the load/store wrapper overhead on top of the snapshot run —
+    not a whole extra execution.  Both are fast-path features.  The capture
+    run is verified to retire exactly the golden instruction count — any
+    mismatch (it cannot happen; this is a tripwire) drops the captured
+    state rather than risking divergent trials.
     """
+    snap_recorder = None
     every = snapshot_mod.resolve_snapshot_every(config.snapshot_every)
-    if every == 0:
+    if every != 0:
+        cadence = (
+            every if every > 0
+            else snapshot_mod.auto_cadence(golden_result.instructions)
+        )
+        if cadence is not None and cadence < golden_result.instructions:
+            snap_recorder = snapshot_mod.SnapshotRecorder(cadence)
+
+    occ_recorder = None
+    model = resolve_fault_model(config.fault_model)
+    if memfaults_mod.occupancy_enabled(model):
+        occ_recorder = memfaults_mod.OccupancyRecorder(
+            memfaults_mod.boundary_cadence(golden_result.instructions),
+            config.sim.l1d,
+        )
+
+    if snap_recorder is None and occ_recorder is None:
+        return None, None
+    capture_interp = Interpreter(module, config=config.sim, guard_mode="count")
+    if not capture_interp.fastpath:
+        return None, None
+    if snap_recorder is not None and occ_recorder is not None:
+        capture = memfaults_mod.FusedCapture(snap_recorder, occ_recorder)
+        span = "golden_capture"
+    elif snap_recorder is not None:
+        capture = snap_recorder
+        span = "snapshot_capture"
+    else:
+        capture = occ_recorder
+        span = "occupancy_capture"
+    with trace_mod.current().span(span, cat="prepare"):
+        _, capture_result = workload.run(
+            module, run_inputs, interpreter=capture_interp, capture=capture
+        )
+    if capture_result.instructions != golden_result.instructions:
+        return None, None  # pragma: no cover - determinism tripwire
+    snapshots = None
+    if snap_recorder is not None and len(snap_recorder.store):
+        snapshots = snap_recorder.store
+    occupancy = None
+    if occ_recorder is not None:
+        occupancy = occ_recorder.finalize(
+            workload.output_names(module), golden_result.instructions
+        )
+    return snapshots, occupancy
+
+
+def _capture_occupancy(
+    workload: Workload,
+    module,
+    run_inputs,
+    golden_result,
+    config: CampaignConfig,
+) -> Optional[memfaults_mod.OccupancyMap]:
+    """Dedicated occupancy-only golden pass (the ``_ensure_occupancy`` path).
+
+    ``prepare()`` itself fuses occupancy capture into the snapshot run (see
+    :func:`_capture_golden_state`); this standalone pass serves callers that
+    attach a map to an already-prepared workload.  Runs only when the
+    campaign's resolved fault model consumes occupancy data (or
+    ``REPRO_OCCUPANCY=1`` forces it) and the fast path is on — the wrappers
+    hook the compiled load/store address translation.  The boundary cadence
+    is a pure function of the golden instruction count (never of snapshot
+    or other config knobs), so the map — and every memory-model verdict
+    derived from it — is bit-identical across processes, config variations,
+    and the fused-vs-dedicated capture paths.
+    """
+    model = resolve_fault_model(config.fault_model)
+    if not memfaults_mod.occupancy_enabled(model):
         return None
     capture_interp = Interpreter(module, config=config.sim, guard_mode="count")
     if not capture_interp.fastpath:
         return None
-    cadence = (
-        every if every > 0
-        else snapshot_mod.auto_cadence(golden_result.instructions)
-    )
-    if cadence is None or cadence >= golden_result.instructions:
-        return None
-    recorder = snapshot_mod.SnapshotRecorder(cadence)
+    cadence = memfaults_mod.boundary_cadence(golden_result.instructions)
+    recorder = memfaults_mod.OccupancyRecorder(cadence, config.sim.l1d)
     with trace_mod.current().span(
-        "snapshot_capture", cat="prepare", cadence=cadence
+        "occupancy_capture", cat="prepare", cadence=cadence
     ):
         _, capture_result = workload.run(
             module, run_inputs, interpreter=capture_interp, capture=recorder
         )
     if capture_result.instructions != golden_result.instructions:
         return None  # pragma: no cover - determinism tripwire
-    if not len(recorder.store):
-        return None
-    return recorder.store
+    return recorder.finalize(
+        workload.output_names(module), golden_result.instructions
+    )
+
+
+def _ensure_occupancy(
+    prepared: PreparedWorkload, config: CampaignConfig
+) -> None:
+    """Attach an occupancy map to an already-prepared workload on demand.
+
+    Covers callers that prepared once and reuse the workload across models
+    (the chaos harness, shared test fixtures): when the resolved model needs
+    the map but ``prepare()`` ran without it, recompute it here — before any
+    worker pool is created, so forked workers inherit the exact same map.
+    """
+    if prepared.occupancy is not None:
+        return
+    model = resolve_fault_model(config.fault_model)
+    if not memfaults_mod.occupancy_enabled(model):
+        return
+    golden = _GoldenShim(prepared.golden_instructions)
+    prepared.occupancy = _capture_occupancy(
+        prepared.workload, prepared.module, prepared.inputs, golden, config
+    )
+
+
+class _GoldenShim:
+    """Minimal golden-result stand-in for :func:`_capture_occupancy`."""
+
+    __slots__ = ("instructions",)
+
+    def __init__(self, instructions: int) -> None:
+        self.instructions = instructions
 
 
 def run_trial(
@@ -268,7 +374,8 @@ def run_trial(
     triage on, a flip proven dead at injection time short-circuits straight
     to Masked.  Both are bit-invisible: the returned TrialResult is identical
     to a from-scratch run's.  ``stats``, when given, accumulates
-    ``restores`` / ``replay_cycles_saved`` / ``triaged_masked`` counts.
+    ``restores`` / ``replay_cycles_saved`` / ``triaged_masked`` /
+    ``triaged_dead_memory`` counts.
 
     ``model`` names the :class:`~repro.sim.faults.FaultModel` to inject
     (always a concrete model — the campaign resolves ``chaos`` per plan).
@@ -285,6 +392,9 @@ def run_trial(
         guard_mode="detect",
         disabled_guards=set(prepared.noisy_guards),
     )
+    # Memory-hierarchy models draw their targets from the golden-run
+    # occupancy map when one was captured (None degrades to probing).
+    interp._occupancy = prepared.occupancy
     limit = int(prepared.golden_instructions * config.timeout_factor) + 10_000
     with trace_mod.current().span(
         "trial", cat="trial", cycle=cycle, bit=bit, model=model
@@ -338,12 +448,13 @@ def _classify_trial(
                 stats.get("replay_cycles_saved", 0) + restore.cycle
             )
 
-    # Dead-flip triage is only sound for the single-bit model: its
-    # corruption is one register binding, so next-use liveness proves
-    # deadness.  Multi-site, persistent, and memory faults keep the full run.
+    # Dead-flip triage is sound for single-site models with a deadness
+    # proof: register liveness for ``single_bit``, the occupancy map for the
+    # memory-hierarchy models.  Multi-site and register-persistent models
+    # (double_bit, burst, stuck_at) keep the full run.
     triage = (
         snapshot_mod.resolve_triage(config.triage)
-        and plan.model == "single_bit"
+        and plan.model in TRIAGEABLE_FAULT_MODELS
     )
     tracer = trace_mod.current()
     try:
@@ -370,13 +481,18 @@ def _classify_trial(
                     tracer.add_complete("detect", "trial", inject_ns, run_end)
                 else:
                     tracer.add_complete("replay", "trial", run_start, run_end)
-    except snapshot_mod.TriageMasked:
+    except snapshot_mod.TriageMasked as masked:
         # The flip was proven dead at injection time: execution from here is
         # identical to the golden run, which completed with identical
         # outputs, so the full run would have classified this trial Masked
         # with the exact same injection record.
         if stats is not None:
-            stats["triaged_masked"] = stats.get("triaged_masked", 0) + 1
+            key = (
+                "triaged_dead_memory"
+                if getattr(masked, "reason", "") == "dead_memory"
+                else "triaged_masked"
+            )
+            stats[key] = stats.get(key, 0) + 1
         return _base_trial(interp, plan)
     except GuardTrap as trap:
         trial = _trial_from_trap(interp, plan, Outcome.SWDETECT, trap)
@@ -650,6 +766,9 @@ def _record_prefix_stats(
     registry.counter("campaign.triaged_masked").inc(
         stats.get("triaged_masked", 0)
     )
+    registry.counter("campaign.triaged_dead_memory").inc(
+        stats.get("triaged_dead_memory", 0)
+    )
     if config.obs_log:
         obs_events.append_sidecar_event(
             config.obs_log,
@@ -659,8 +778,30 @@ def _record_prefix_stats(
                 restores=stats.get("restores", 0),
                 replay_cycles_saved=stats.get("replay_cycles_saved", 0),
                 triaged_masked=stats.get("triaged_masked", 0),
+                triaged_dead_memory=stats.get("triaged_dead_memory", 0),
             ),
         )
+
+
+def _record_occupancy_event(
+    config: CampaignConfig,
+    result: CampaignResult,
+    prepared: PreparedWorkload,
+) -> None:
+    """Emit the campaign's per-structure residency rows as one ``occupancy``
+    event in the ``<log>.resilience`` sidecar — the AVF report joins these
+    against the trial outcomes.  Sidecar-only for the same reason as
+    ``prefix_sharing``: the main obs log must stay byte-identical whether
+    the occupancy pass ran or not.
+    """
+    if not config.obs_log or prepared.occupancy is None:
+        return
+    obs_events.append_sidecar_event(
+        config.obs_log,
+        obs_events.occupancy_event(
+            result.workload, result.scheme, prepared.occupancy.residency()
+        ),
+    )
 
 
 def _open_checkpointer(
@@ -777,6 +918,7 @@ def run_campaign(
     campaign_ok = False
     try:
         prepared = prepared or prepare(workload, scheme, config)
+        _ensure_occupancy(prepared, config)
         plans = draw_plans(config, prepared)
         rlog = resilience_mod.ResilienceLogger(config.obs_log, echo=on_recovery)
         checkpointer = _open_checkpointer(prepared, config, rlog)
@@ -806,6 +948,7 @@ def run_campaign(
             ]
             stats = {
                 "restores": 0, "replay_cycles_saved": 0, "triaged_masked": 0,
+                "triaged_dead_memory": 0,
             }
             if config.jobs > 1 and len(pending) > 1:
                 _run_parallel_portion(
@@ -818,6 +961,7 @@ def run_campaign(
                     writer, checkpointer, rlog, on_trial, stats,
                 )
             _record_prefix_stats(config, result, stats)
+            _record_occupancy_event(config, result, prepared)
             if writer is not None:
                 writer.emit(obs_events.campaign_end_event(result))
             completed_ok = True

@@ -121,6 +121,12 @@ def _config_fingerprint(config: CampaignConfig) -> dict:
     model = resolve_fault_model(fields.pop("fault_model", None))
     if model != "single_bit":
         fields["fault_model"] = model
+    if model in ("memory_word", "chaos"):
+        # The occupancy-map rework changed what these two models compute
+        # (occupied-word draws replace blind probing; chaos additionally
+        # gained the memory-hierarchy models in its draw set), so their old
+        # cached results are stale.  Single-bit keys are untouched.
+        fields["memfaults"] = 1
     return fields
 
 

@@ -5,6 +5,7 @@ Usage::
     python -m repro.obs report campaign.jsonl
     python -m repro.obs report a.jsonl b.jsonl.gz --top 20
     python -m repro.obs report campaign.jsonl --json report.json
+    python -m repro.obs report campaign.jsonl --avf      # vulnerability view
     python -m repro.obs report --trace trace.json        # phase breakdown
     python -m repro.obs top status.json                  # live dashboard
     python -m repro.obs top status.json --once           # one snapshot
@@ -27,7 +28,10 @@ def _cmd_report(args) -> int:
         return 2
     if args.logs:
         aggregated = LogReport.from_paths(args.logs)
-        print(aggregated.render_text(top=args.top))
+        if args.avf:
+            print(aggregated.render_avf())
+        else:
+            print(aggregated.render_text(top=args.top))
         if args.json == "-":
             import json
 
@@ -84,6 +88,11 @@ def main(argv=None) -> int:
     report.add_argument("--json", metavar="PATH", default=None,
                         help="also write the full aggregation as JSON "
                              "('-' for stdout)")
+    report.add_argument("--avf", action="store_true",
+                        help="render the AVF-style per-structure "
+                             "vulnerability table (trial outcomes weighted "
+                             "by golden-run occupancy residency) instead of "
+                             "the standard report")
     report.add_argument("--trace", metavar="TRACE", default=None,
                         help="also validate + summarize a Chrome trace-event "
                              "JSON written via --trace/REPRO_TRACE: "

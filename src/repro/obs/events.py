@@ -196,14 +196,16 @@ def prefix_sharing_event(
     restores: int = 0,
     replay_cycles_saved: int = 0,
     triaged_masked: int = 0,
+    triaged_dead_memory: int = 0,
 ) -> Dict:
     """Shared-prefix execution totals for one campaign.
 
     ``restores`` counts trials that fast-forwarded from a golden-run
     snapshot, ``replay_cycles_saved`` sums the pre-injection cycles those
-    restores skipped, and ``triaged_masked`` counts trials short-circuited
-    to ``Masked`` by the dead-flip triage pass.  Pure functions of the
-    campaign configuration + plans, hence timestamp-free.
+    restores skipped, ``triaged_masked`` counts trials short-circuited to
+    ``Masked`` by the dead-flip triage pass, and ``triaged_dead_memory``
+    counts memory-model trials proven dead by the occupancy map.  Pure
+    functions of the campaign configuration + plans, hence timestamp-free.
     """
     return {
         "event": "prefix_sharing",
@@ -213,6 +215,27 @@ def prefix_sharing_event(
         "restores": restores,
         "replay_cycles_saved": replay_cycles_saved,
         "triaged_masked": triaged_masked,
+        "triaged_dead_memory": triaged_dead_memory,
+    }
+
+
+def occupancy_event(
+    workload: str, scheme: str, structures: List[Dict]
+) -> Dict:
+    """Per-structure occupancy residency rows of one campaign's golden run.
+
+    ``structures`` comes from ``OccupancyMap.residency()``: one row per
+    memory structure (``segment:<name>``, ``stack``, ``cache``,
+    ``regfile``) with its occupied/total counts and residency fraction —
+    the denominator side of the AVF report.  Lives in the sidecar, not the
+    main log, so trial logs stay byte-identical with the pass on or off.
+    """
+    return {
+        "event": "occupancy",
+        "v": SCHEMA_VERSION,
+        "workload": workload,
+        "scheme": scheme,
+        "structures": structures,
     }
 
 

@@ -16,7 +16,12 @@ Consumes one or more JSONL event logs — plain or gzip-compressed
   retries, serial fallbacks, quarantines) from the ``<log>.resilience``
   sidecar, which is read automatically when it exists next to a given log;
 * prefix sharing: snapshot restores, replay cycles saved, and triaged-masked
-  trial counts (also from the sidecar) when shared-prefix execution ran.
+  trial counts (also from the sidecar) when shared-prefix execution ran;
+* AVF view (``--avf``): per-structure vulnerability tables joining trial
+  outcomes against the golden-run occupancy residency recorded by
+  ``occupancy`` sidecar events — the memory-hierarchy analogue of the
+  architectural vulnerability factor (vulnerable-outcome rate weighted by
+  occupied-bit residency).
 
 Exact percentiles are computed from the raw per-trial events (the metrics
 registry's bucketed histograms are for live monitoring; this module is the
@@ -36,6 +41,27 @@ from .events import read_events_detailed, resilience_log_path
 __all__ = ["LogReport", "percentile"]
 
 _OUTCOMES = ("Masked", "SWDetect", "HWDetect", "Failure", "USDC")
+
+#: trial outcomes that count as vulnerable in the AVF view: the fault
+#: escaped every detector and corrupted the run or its output.
+_VULNERABLE = ("Failure", "USDC")
+
+
+def _structure_of(value_name: str) -> str:
+    """Map a trial's corrupted-value name to its hardware structure.
+
+    Memory-model injection records name their target
+    ``<mem:SEG+0x..>`` / ``<cache:SEG+..>`` / ``<cache:tag:SEG+..>`` /
+    ``<stack:SEG+..>``; anything else is a register-file (or control) hit.
+    """
+    if value_name.startswith("<cache:"):
+        return "cache"
+    if value_name.startswith("<stack:"):
+        return "stack"
+    if value_name.startswith("<mem:"):
+        seg = value_name[5:].split("+", 1)[0]
+        return "stack" if seg == "__stack__" else f"segment:{seg}"
+    return "regfile"
 
 
 def percentile(values: Sequence[float], q: float) -> float:
@@ -92,6 +118,8 @@ class LogReport:
     resilience_actions: List[Dict] = field(default_factory=list)
     #: shared-prefix execution totals (snapshot restores / dead-flip triage)
     prefix_sharing: List[Dict] = field(default_factory=list)
+    #: per-campaign golden-run occupancy residency rows (sidecar events)
+    occupancy: List[Dict] = field(default_factory=list)
     trials: int = 0
     skipped_lines: int = 0
     #: logs whose tail was torn at the stream level (truncated gzip member)
@@ -104,6 +132,7 @@ class LogReport:
     by_bit: _Breakdown = field(default_factory=_Breakdown)
     by_function: _Breakdown = field(default_factory=_Breakdown)
     by_fault_model: _Breakdown = field(default_factory=_Breakdown)
+    by_structure: _Breakdown = field(default_factory=_Breakdown)
     sw_latencies: List[int] = field(default_factory=list)
     hw_latencies: List[int] = field(default_factory=list)
     #: guard id -> [fire count, latencies]
@@ -151,6 +180,9 @@ class LogReport:
         if kind == "prefix_sharing":
             self.prefix_sharing.append(event)
             return
+        if kind == "occupancy":
+            self.occupancy.append(event)
+            return
         if kind != "trial":
             return
         self.trials += 1
@@ -166,6 +198,7 @@ class LogReport:
         self.by_function.add(function, outcome)
         self.by_bit.add(f"{event.get('bit', 0):02d}", outcome)
         self.by_fault_model.add(event.get("fault_model") or "single_bit", outcome)
+        self.by_structure.add(_structure_of(register), outcome)
         latency = event.get("latency")
         if latency is not None:
             if outcome == "SWDetect":
@@ -189,11 +222,69 @@ class LogReport:
         return dict(sorted(counts.items()))
 
     def _prefix_totals(self) -> Dict[str, int]:
-        totals = {"restores": 0, "replay_cycles_saved": 0, "triaged_masked": 0}
+        totals = {
+            "restores": 0, "replay_cycles_saved": 0, "triaged_masked": 0,
+            "triaged_dead_memory": 0,
+        }
         for event in self.prefix_sharing:
             for key in totals:
                 totals[key] += int(event.get(key, 0) or 0)
         return totals
+
+    def _residency_by_structure(self) -> Dict[str, Dict]:
+        """Fold occupancy events into one residency row per structure.
+
+        Several campaigns may report the same structure (e.g. ``cache``);
+        residency fractions are averaged over the reporting campaigns so
+        the AVF weight stays a fraction.
+        """
+        acc: Dict[str, List[Dict]] = {}
+        for event in self.occupancy:
+            for row in event.get("structures", []) or []:
+                name = row.get("structure")
+                if name:
+                    acc.setdefault(name, []).append(row)
+        folded: Dict[str, Dict] = {}
+        for name, rows in acc.items():
+            folded[name] = {
+                "residency": sum(
+                    float(r.get("residency", 0) or 0) for r in rows
+                ) / len(rows),
+                "occupied_words": rows[-1].get("occupied_words"),
+                "total_words": rows[-1].get("total_words"),
+            }
+        return folded
+
+    def avf_rows(self) -> List[Dict]:
+        """Per-structure AVF table rows, most vulnerable first.
+
+        ``raw_vulnerable`` is the fraction of the structure's trials that
+        ended Failure or USDC; ``avf`` weights it by the structure's
+        occupied-bit residency (a fault in an unoccupied bit cannot matter,
+        and the trial sampler only targets occupied state).  Structures
+        with no recorded residency — register hits, or logs without
+        occupancy events — use weight 1.0 and report ``residency: None``.
+        """
+        residency = self._residency_by_structure()
+        rows: List[Dict] = []
+        for name, counts, total in self.by_structure.rows_by_total():
+            vulnerable = sum(counts.get(o, 0) for o in _VULNERABLE)
+            raw = vulnerable / total if total else 0.0
+            res = residency.get(name)
+            weight = res["residency"] if res is not None else None
+            rows.append({
+                "structure": name,
+                "trials": total,
+                "vulnerable": vulnerable,
+                "detected": counts.get("SWDetect", 0)
+                + counts.get("HWDetect", 0),
+                "masked": counts.get("Masked", 0),
+                "raw_vulnerable": round(raw, 6),
+                "residency": round(weight, 6) if weight is not None else None,
+                "avf": round(raw * (weight if weight is not None else 1.0), 6),
+            })
+        rows.sort(key=lambda r: (-r["avf"], r["structure"]))
+        return rows
 
     # -- outputs -----------------------------------------------------------------
 
@@ -246,6 +337,13 @@ class LogReport:
             "by_fault_model": {
                 k: row for k, row, _ in self.by_fault_model.rows_by_total()
             },
+            "by_structure": {
+                k: row for k, row, _ in self.by_structure.rows_by_total()
+            },
+            "avf": {
+                "campaigns_with_occupancy": len(self.occupancy),
+                "rows": self.avf_rows(),
+            },
         }
 
     def render_text(self, top: int = 10) -> str:
@@ -283,6 +381,9 @@ class LogReport:
             w(f"  snapshot restores:    {totals['restores']:10d}")
             w(f"  replay cycles saved:  {totals['replay_cycles_saved']:10d}")
             w(f"  triaged masked:       {totals['triaged_masked']:10d}")
+            if totals["triaged_dead_memory"]:
+                w(f"  triaged dead memory:  "
+                  f"{totals['triaged_dead_memory']:10d}")
             for event in self.prefix_sharing:
                 w(f"  - {event.get('workload')}/{event.get('scheme')}: "
                   f"{event.get('restores', 0)} restores, "
@@ -352,6 +453,48 @@ class LogReport:
                 w(f"  {key[:24]:24s} {cells} {total:8d}")
             if len(rows) > top:
                 w(f"  ... {len(rows) - top} more")
+        return "\n".join(lines)
+
+    def render_avf(self) -> str:
+        """AVF-style vulnerability report (``repro.obs report --avf``).
+
+        One row per hardware structure a trial landed in, weighted by the
+        golden-run occupied-bit residency from the campaign's ``occupancy``
+        sidecar event.  Renders even without occupancy events (weights fall
+        back to 1.0) so register-only logs still get the outcome view.
+        """
+        lines: List[str] = []
+        w = lines.append
+        w("== AVF-style vulnerability report ==")
+        w(f"logs: {len(self.paths)}  trials: {self.trials}  "
+          f"campaigns with occupancy data: {len(self.occupancy)}")
+        rows = self.avf_rows()
+        if not rows:
+            w("no trial events found")
+            return "\n".join(lines)
+        w("")
+        w(f"  {'structure':28s} {'trials':>7s} {'vuln':>6s} {'det':>6s} "
+          f"{'masked':>7s} {'raw':>8s} {'resid':>8s} {'AVF':>8s}")
+        for r in rows:
+            resid = f"{r['residency']:8.4f}" if r["residency"] is not None \
+                else f"{'-':>8s}"
+            w(f"  {r['structure'][:28]:28s} {r['trials']:7d} "
+              f"{r['vulnerable']:6d} {r['detected']:6d} {r['masked']:7d} "
+              f"{r['raw_vulnerable']:8.4f} {resid} {r['avf']:8.4f}")
+        res_rows = self._residency_by_structure()
+        if res_rows:
+            w("")
+            w("golden-run occupancy (residency denominators):")
+            w(f"  {'structure':28s} {'occupied':>10s} {'total':>10s} "
+              f"{'residency':>10s}")
+            for name in sorted(res_rows):
+                row = res_rows[name]
+                occ = row["occupied_words"]
+                tot = row["total_words"]
+                w(f"  {name[:28]:28s} "
+                  f"{str(occ if occ is not None else '-'):>10s} "
+                  f"{str(tot if tot is not None else '-'):>10s} "
+                  f"{row['residency']:10.4f}")
         return "\n".join(lines)
 
     def save_json(self, path) -> None:

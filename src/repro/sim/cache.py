@@ -55,6 +55,41 @@ class SetAssociativeCache:
         self.misses = 0
 
 
+class ResidencyTracker:
+    """Which-lines-are-resident model of one cache array.
+
+    A stripped-down companion to :class:`SetAssociativeCache` for the
+    golden-run occupancy pass: same geometry and LRU policy, but it tracks
+    *residency* (the set of cached lines) instead of hit/miss counts, using
+    one insertion-ordered dict per set so the per-access cost stays small
+    enough for the load/store hot path of the instrumented capture run.
+    """
+
+    __slots__ = ("num_sets", "line_shift", "ways", "total_lines", "_sets")
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.num_sets = config.num_sets
+        self.line_shift = config.line_bytes.bit_length() - 1
+        self.ways = config.associativity
+        self.total_lines = self.num_sets * self.ways
+        # dict per set, insertion order = LRU order (oldest first)
+        self._sets: List[Dict[int, bool]] = [
+            {} for _ in range(self.num_sets)
+        ]
+
+    def touch(self, address: int) -> None:
+        line = address >> self.line_shift
+        s = self._sets[line % self.num_sets]
+        s.pop(line, None)
+        s[line] = True
+        if len(s) > self.ways:
+            del s[next(iter(s))]
+
+    def resident_lines(self) -> tuple:
+        """Every resident line, in deterministic set-then-age order."""
+        return tuple(line for s in self._sets for line in s)
+
+
 class BranchPredictor:
     """Per-branch 2-bit saturating counters; ``predict_and_update`` returns
     True when the prediction was correct."""

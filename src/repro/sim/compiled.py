@@ -530,7 +530,7 @@ def _compile_store(instr, track, hooked):
         b.append(("sz", t.size_bytes))
         b.append(("m", t.mask))
         code += (
-            "seg, off = I._mem_locate(p, sz)\n"
+            "seg, off = I._mem_store_locate(p, sz)\n"
             "seg.data[off:off + sz] = (v & m).to_bytes(sz, 'little')\n"
         )
     elif isinstance(t, FloatType):
@@ -539,7 +539,7 @@ def _compile_store(instr, track, hooked):
         b.append(("inf", float("inf")))
         b.append(("ninf", float("-inf")))
         code += (
-            "seg, off = I._mem_locate(p, sz)\n"
+            "seg, off = I._mem_store_locate(p, sz)\n"
             "try:\n"
             "    st.pack_into(seg.data, off, v)\n"
             "except (OverflowError, ValueError):\n"
@@ -547,7 +547,7 @@ def _compile_store(instr, track, hooked):
         )
     elif isinstance(t, PointerType):
         code += (
-            "seg, off = I._mem_locate(p, 8)\n"
+            "seg, off = I._mem_store_locate(p, 8)\n"
             "seg.data[off:off + 8] = (v & 0xFFFFFFFFFFFFFFFF)"
             ".to_bytes(8, 'little')\n"
         )

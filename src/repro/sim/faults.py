@@ -15,9 +15,17 @@ this module generalises it into a pluggable :class:`FaultModel` hierarchy:
   within one register (a multi-cell upset along a physical row);
 * ``stuck_at`` — one register bit forced to 0 or 1, re-applied on a cadence
   for :data:`STUCK_WINDOW_CYCLES` cycles (an intermittent/stuck fault);
-* ``memory_word`` — a single bit flip in a uniformly random mapped 32-bit
-  word of simulated :class:`~repro.sim.memory.Memory` (an unprotected-SRAM
-  upset, bypassing the register file entirely).
+* ``memory_word`` — a single bit flip in a mapped 32-bit word of simulated
+  :class:`~repro.sim.memory.Memory` (an unprotected-SRAM upset, bypassing
+  the register file entirely); drawn over *occupied* words when the
+  golden-run occupancy map is available, rejection-sampled over the raw
+  address space otherwise;
+* ``mem_transient`` / ``mem_stuck_at`` / ``cache_line`` / ``stack_frame`` —
+  the memory-hierarchy suite: occupied-word transient, forced memory bit
+  with reapply-on-write semantics, resident-L1D-line data/tag corruption,
+  and active-stack-frame spill flips.  All draw from the golden-run
+  occupancy maps built by :mod:`repro.sim.memfaults`, and provably-dead
+  hits short-circuit to Masked through the triage path.
 
 ``chaos`` is a *plan-level* pseudo-model: each trial draws one of the
 concrete models above from the campaign RNG.  It never reaches the
@@ -45,6 +53,12 @@ from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from ..ir.types import FloatType, IntType, IRType, PointerType
+from .memfaults import (
+    draw_occupied_word,
+    fill_memory_record,
+    probe_any_word,
+    triage_dead_memory,
+)
 
 _F64 = struct.Struct("<d")
 _F32 = struct.Struct("<f")
@@ -465,6 +479,28 @@ class MemoryWordFault(FaultModel):
 
     def inject(self, interp, plan, record, top_frame, next_index) -> int:
         memory = interp.memory
+        if interp._occupancy is not None:
+            # Occupancy map available: draw uniformly over occupied words —
+            # no wasted probes, and a provably-dead hit triages to Masked.
+            drawn = draw_occupied_word(interp, plan)
+            if drawn is None:  # pragma: no cover - outputs are always live
+                interp._triage_short_circuit()
+                return -1
+            seg, offset, dead = drawn
+            before, after = memory.flip_word_bit(seg, offset, plan.bit)
+            record.landed = True
+            record.was_live = not dead
+            record.value_name = f"<mem:{seg.name}+{offset:#x}>"
+            record.type_name = "i32"
+            record.before = before
+            record.after = after
+            frame = top_frame if top_frame is not None else interp._frame
+            if frame is not None:
+                record.function = frame.function.name
+            if dead:
+                triage_dead_memory(interp)
+            return -1
+
         segments = memory.unique_segments()
         total_words = sum(seg.size // 4 for seg in segments)
         if total_words == 0:  # pragma: no cover - the stack is always mapped
@@ -479,6 +515,7 @@ class MemoryWordFault(FaultModel):
 
         first = None
         seg = offset = None
+        skips = 0
         for _ in range(MEMORY_WORD_PROBES):
             candidate = interp._rng.randrange(total_words)
             if first is None:
@@ -486,8 +523,15 @@ class MemoryWordFault(FaultModel):
             seg, offset = locate(candidate)
             if seg.data[offset:offset + 4] != b"\x00\x00\x00\x00":
                 break
+            skips += 1
         else:
             seg, offset = locate(first)
+        if skips:
+            # Wasted dead-region probes, visible when observability is on
+            # (null instrument otherwise — results cannot depend on it).
+            from ..obs.metrics import global_registry
+
+            global_registry().counter("memfault.dead_region_skips").inc(skips)
         before, after = memory.flip_word_bit(seg, offset, plan.bit)
         record.landed = True
         record.was_live = True
@@ -501,8 +545,249 @@ class MemoryWordFault(FaultModel):
         return -1
 
 
+class MemTransientFault(FaultModel):
+    """``mem_transient``: one bit flip in an *occupied* memory word.
+
+    The particle-strike analogue of ``single_bit`` for the memory system.
+    The target is drawn uniformly over words the golden run actually uses
+    (the occupancy map from :mod:`repro.sim.memfaults`), so trials stop
+    wasting draws on the vast empty address space; with no map
+    (``REPRO_OCCUPANCY=0`` or fast path off at prepare time) it degrades to
+    a blind uniform word.  Provably-dead hits triage to Masked with
+    ``reason="dead_memory"``.
+    """
+
+    name = "mem_transient"
+
+    def inject(self, interp, plan, record, top_frame, next_index) -> int:
+        if interp._occupancy is not None:
+            drawn = draw_occupied_word(interp, plan)
+            if drawn is None:  # pragma: no cover - see draw_occupied_word
+                interp._triage_short_circuit()
+                return -1
+            seg, offset, dead = drawn
+        else:
+            probed = probe_any_word(interp)
+            if probed is None:  # pragma: no cover - memory always mapped
+                interp._triage_short_circuit()
+                return -1
+            seg, offset = probed
+            dead = False
+        before, after = interp.memory.flip_word_bit(seg, offset, plan.bit)
+        fill_memory_record(
+            record, interp, top_frame, seg, offset, before, after, dead
+        )
+        if dead:
+            triage_dead_memory(interp)
+        return -1
+
+
+class MemStuckAtFault(FaultModel):
+    """``mem_stuck_at``: a memory bit forced to 0/1 with reapply semantics.
+
+    Polarity comes first from the trial RNG (mirroring the register
+    ``stuck_at`` draw order), then the target word.  The binding is
+    re-forced every :data:`STUCK_REAPPLY_EVERY` cycles for
+    :data:`STUCK_WINDOW_CYCLES` — approximating reapply-on-write: any store
+    to the word is overridden within at most 16 cycles while the window
+    lasts.  A provably-dead word (never read again) triages to Masked:
+    re-forcing an unread word is invisible by the same argument as a
+    transient dead hit.
+    """
+
+    name = "mem_stuck_at"
+
+    def inject(self, interp, plan, record, top_frame, next_index) -> int:
+        stuck = interp._rng.randrange(2)
+        if interp._occupancy is not None:
+            drawn = draw_occupied_word(interp, plan)
+            if drawn is None:  # pragma: no cover - see draw_occupied_word
+                interp._triage_short_circuit()
+                return -1
+            seg, offset, dead = drawn
+        else:
+            probed = probe_any_word(interp)
+            if probed is None:  # pragma: no cover - memory always mapped
+                interp._triage_short_circuit()
+                return -1
+            seg, offset = probed
+            dead = False
+        before, after = interp.memory.force_word_bit(
+            seg, offset, plan.bit, stuck
+        )
+        fill_memory_record(
+            record, interp, top_frame, seg, offset, before, after, dead
+        )
+        if dead:
+            triage_dead_memory(interp)
+            return -1
+        interp._stuck_mem_fault = (
+            seg, offset, plan.bit, stuck, interp.cycle + STUCK_WINDOW_CYCLES
+        )
+        return interp.cycle + STUCK_REAPPLY_EVERY
+
+    def reapply(self, interp, plan) -> int:
+        binding = interp._stuck_mem_fault
+        if binding is None:
+            return -1
+        seg, offset, bit, stuck, deadline = binding
+        if interp.cycle >= deadline:
+            interp._stuck_mem_fault = None
+            return -1
+        interp.memory.force_word_bit(seg, offset, bit, stuck)
+        return interp.cycle + STUCK_REAPPLY_EVERY
+
+
+class CacheLineFault(FaultModel):
+    """``cache_line``: corrupt a line resident in the modelled L1D.
+
+    The struck line comes from the golden run's residency snapshot nearest
+    the injection cycle.  A *data* strike flips one bit of one word the
+    line caches (surfacing as a wrong-value load); a *tag* strike flips an
+    address bit of the line's tag, modelled as the dirty line writing back
+    over the aliased address — the original data survives (clean refetch
+    from memory) while the aliased region takes the line's bytes.  Strikes
+    that resolve to no mapped backing store (empty cache, line tail past
+    its segment, alias into a guard gap) are absorbed by the miss path:
+    the refetch is clean and the trial is provably Masked.
+    """
+
+    name = "cache_line"
+
+    def inject(self, interp, plan, record, top_frame, next_index) -> int:
+        occ = interp._occupancy
+        if occ is None:
+            # No residency model ⇒ treat the cache as empty: the strike
+            # hits an invalid line and the refetch is clean.
+            interp._triage_short_circuit()
+            return -1
+        lines = occ.resident_at(plan.cycle)
+        rng = interp._rng
+        if not lines:
+            interp._triage_short_circuit()
+            return -1
+        line = lines[rng.randrange(len(lines))]
+        tag_strike = rng.randrange(2)
+        shift = occ.cache_line_shift
+        memory = interp.memory
+        if tag_strike:
+            return self._strike_tag(
+                interp, plan, record, top_frame, occ, memory, line, shift
+            )
+        word_in_line = rng.randrange((1 << shift) // 4)
+        address = (line << shift) + word_in_line * 4
+        seg = memory.segment_at(address)
+        if seg is None or (address - seg.base) + 4 > seg.size:
+            # The cached tail of a segment's last line backs no data.
+            interp._triage_short_circuit()
+            return -1
+        offset = address - seg.base
+        before, after = memory.flip_word_bit(seg, offset, plan.bit)
+        word = occ.word_of(memory, seg, offset)
+        dead = word is not None and occ.is_dead(word, plan.cycle)
+        fill_memory_record(
+            record, interp, top_frame, seg, offset, before, after, dead,
+            prefix="cache",
+        )
+        if dead:
+            triage_dead_memory(interp)
+        return -1
+
+    def _strike_tag(
+        self, interp, plan, record, top_frame, occ, memory, line, shift
+    ) -> int:
+        line_bytes = 1 << shift
+        src = line << shift
+        dst = src ^ (1 << (shift + (plan.bit % 16)))
+        seg = memory.segment_at(dst)
+        if seg is None:
+            # Aliased address is unmapped: the misdirected writeback is
+            # dropped and the original address refetches clean.
+            interp._triage_short_circuit()
+            return -1
+        offset = dst - seg.base
+        end = min(offset + line_bytes, seg.size)
+        data = bytearray(end - offset)
+        src_seg = memory.segment_at(src)
+        if src_seg is not None:
+            s_off = src - src_seg.base
+            avail = max(0, min(len(data), src_seg.size - s_off))
+            data[:avail] = src_seg.data[s_off:s_off + avail]
+        before = int.from_bytes(seg.data[offset:offset + 4], "little")
+        changed = bytes(seg.data[offset:end]) != bytes(data)
+        seg.data[offset:end] = data
+        after = int.from_bytes(seg.data[offset:offset + 4], "little")
+        dead = not changed
+        if changed:
+            # The whole region was overwritten: dead only when *every*
+            # touched word is provably never read again.
+            touched = [
+                occ.word_of(memory, seg, o) for o in range(offset, end, 4)
+            ]
+            dead = all(
+                w is not None and occ.is_dead(w, plan.cycle) for w in touched
+            )
+        fill_memory_record(
+            record, interp, top_frame, seg, offset, before, after, dead,
+            prefix="cache:tag",
+        )
+        if dead:
+            triage_dead_memory(interp)
+        return -1
+
+
+class StackFrameFault(FaultModel):
+    """``stack_frame``: one bit flip in the active frame's spill area.
+
+    The target word is uniform over ``[top_frame.stack_mark, sp)`` — the
+    bytes the current frame has alloca'd.  Leaf frames with no spills widen
+    to the whole active stack ``[stack_base, sp)``, and with no active stack
+    bytes at all (fully mem2reg-promoted code never moves ``sp``) the strike
+    lands anywhere in the stack segment — unallocated stack, which the
+    occupancy map proves dead (triaged to Masked) unless some later frame
+    genuinely reads it.  Deadness comes from the map when present.
+    """
+
+    name = "stack_frame"
+
+    def inject(self, interp, plan, record, top_frame, next_index) -> int:
+        memory = interp.memory
+        sp = interp._stack_sp
+        frame = top_frame if top_frame is not None else interp._frame
+        stack_seg = memory.segment_at(sp - 4) or memory.segment_at(sp)
+        if stack_seg is None:  # pragma: no cover - stack mapped in _setup_run
+            interp._triage_short_circuit()
+            return -1
+        lo = frame.stack_mark if frame is not None else stack_seg.base
+        if sp - lo < 4:
+            lo = stack_seg.base
+        words = (sp - lo) >> 2
+        if words <= 0:
+            words = stack_seg.size >> 2
+            lo = stack_seg.base
+        if words <= 0:  # pragma: no cover - stack segments are never empty
+            interp._triage_short_circuit()
+            return -1
+        address = lo + interp._rng.randrange(words) * 4
+        offset = address - stack_seg.base
+        before, after = memory.flip_word_bit(stack_seg, offset, plan.bit)
+        occ = interp._occupancy
+        dead = False
+        if occ is not None:
+            word = occ.word_of(memory, stack_seg, offset)
+            dead = word is not None and occ.is_dead(word, plan.cycle)
+        fill_memory_record(
+            record, interp, top_frame, stack_seg, offset, before, after, dead,
+            prefix="stack",
+        )
+        if dead:
+            triage_dead_memory(interp)
+        return -1
+
+
 #: name -> concrete model instance (insertion order is the canonical listing
-#: order used by the chaos mix and the CLIs)
+#: order used by the chaos mix and the CLIs; the register models come first,
+#: the PR-8 memory-hierarchy models after, so older plan streams are stable)
 FAULT_MODELS = {
     model.name: model
     for model in (
@@ -511,11 +796,24 @@ FAULT_MODELS = {
         BurstFault(),
         StuckAtFault(),
         MemoryWordFault(),
+        MemTransientFault(),
+        MemStuckAtFault(),
+        CacheLineFault(),
+        StackFrameFault(),
     )
 }
 
 #: the concrete model names, in canonical order
 CONCRETE_FAULT_MODELS = tuple(FAULT_MODELS)
+
+#: models whose dead-target proofs make triage short-circuits sound: the
+#: single-register flip (next-use liveness) and the memory-hierarchy models
+#: (occupancy-map last-read intervals).  Multi-site and persistent register
+#: models keep the full run.
+TRIAGEABLE_FAULT_MODELS = frozenset({
+    "single_bit", "memory_word", "mem_transient", "mem_stuck_at",
+    "cache_line", "stack_frame",
+})
 
 #: plan-level pseudo-model: each trial draws a concrete model from the
 #: campaign RNG (see :func:`repro.faultinjection.campaign.draw_plans`)

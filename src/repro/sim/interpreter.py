@@ -192,6 +192,12 @@ class Interpreter:
         #: live stuck-at fault binding: (frame, value_key, value_obj, bit,
         #: stuck, deadline_cycle); see StuckAtFault
         self._stuck_fault = None
+        #: live memory stuck-at binding: (seg, offset, bit, stuck,
+        #: deadline_cycle); see MemStuckAtFault
+        self._stuck_mem_fault = None
+        #: golden-run OccupancyMap for the memory-hierarchy fault models
+        #: (run_trial attaches it from the PreparedWorkload; None otherwise)
+        self._occupancy = None
         # Fast-path execution state (see _run_compiled).
         self._frames: List[Frame] = []
         self._frame: Optional[Frame] = None
@@ -199,6 +205,9 @@ class Interpreter:
         self._stack_limit = 0
         self._max_depth = self.config.max_call_depth
         self._mem_locate = None
+        #: store-side address translation; normally the same bound method as
+        #: _mem_locate, swapped independently by the occupancy capture pass
+        self._mem_store_locate = None
         self._cm = None
         self._untracked_cm = None
         self._rf_log: List = []
@@ -494,6 +503,7 @@ class Interpreter:
         self._pending_control_fault = False
         self._control_fault_fired = False
         self._stuck_fault = None
+        self._stuck_mem_fault = None
         inject_cycle = -1
         if injection is not None:
             self._regfile = RegisterFile(self.config.phys_int_registers)
@@ -551,6 +561,9 @@ class Interpreter:
             if cycle > max_instructions:
                 raise TimeoutTrap(max_instructions, cycle)
             if inject_cycle >= 0 and cycle >= inject_cycle:
+                # The loop keeps the stack pointer in a local for speed; the
+                # stack_frame fault model reads it off the interpreter.
+                self._stack_sp = stack_sp
                 inject_cycle = self._do_injection(injection, frame, idx)  # type: ignore[arg-type]
 
             cls = instr.__class__
@@ -860,6 +873,7 @@ class Interpreter:
         self._rf_base = 0
         self._max_depth = self.config.max_call_depth
         self._stuck_fault = None
+        self._stuck_mem_fault = None
 
         if restore is not None:
             cb, idx, cycle = restore.install(self, injection)
@@ -868,6 +882,12 @@ class Interpreter:
         else:
             inject_cycle = self._setup_run(inputs, injection)
             self._mem_locate = self.memory._locate
+            self._mem_store_locate = self.memory._locate
+            bind_occupancy = getattr(capture, "bind_occupancy", None)
+            if bind_occupancy is not None:
+                # Occupancy capture pass: the recorder wraps both address
+                # translators with its access-tracking hooks.
+                self._mem_locate, self._mem_store_locate = bind_occupancy(self)
 
             frame = Frame(fn, None, self._stack_sp)
             for formal, actual in zip(fn.args, args):

@@ -24,6 +24,18 @@ SEGMENT_STRIDE = 1 << SEGMENT_SHIFT
 _F32_STRUCT = struct.Struct("<f")
 _F64_STRUCT = struct.Struct("<d")
 
+
+class MemoryFaultError(Exception):
+    """A fault model addressed memory it cannot corrupt (offset outside a
+    segment, unmapped alias, occupancy/layout mismatch).
+
+    Deliberately *not* a :class:`~repro.sim.events.SimTrap`: this is a
+    harness-side inconsistency, not a simulated hardware symptom.  Raised
+    after the injection record exists, it is contained by the interpreter's
+    exception boundary and classified as ``contained:MemoryFaultError``
+    instead of escaping the trial.
+    """
+
 #: element size → struct format char for bulk (unsigned) integer array I/O
 _BULK_INT_FMT = {1: "B", 2: "H", 4: "I", 8: "Q"}
 
@@ -91,16 +103,58 @@ class Memory:
                 out.append(seg)
         return out
 
+    @staticmethod
+    def _check_word(seg: Segment, offset: int) -> None:
+        if offset < 0 or offset + 4 > seg.size:
+            raise MemoryFaultError(
+                f"word offset {offset:#x} outside segment {seg.name!r} "
+                f"(+{seg.size:#x})"
+            )
+
     def flip_word_bit(self, seg: Segment, offset: int, bit: int) -> Tuple[int, int]:
         """Flip one bit of the 32-bit word at ``offset`` inside ``seg``.
 
         Returns ``(before, after)`` as raw unsigned words.  Used by the
-        ``memory_word`` fault model; ``bit`` is taken modulo 32.
+        memory-hierarchy fault models; ``bit`` is taken modulo 32.  An
+        out-of-range offset raises :class:`MemoryFaultError` (contained and
+        classified, never an escaped trial).
         """
+        self._check_word(seg, offset)
         before = int.from_bytes(seg.data[offset : offset + 4], "little")
         after = before ^ (1 << (bit % 32))
         seg.data[offset : offset + 4] = after.to_bytes(4, "little")
         return before, after
+
+    def force_word_bit(
+        self, seg: Segment, offset: int, bit: int, stuck: int
+    ) -> Tuple[int, int]:
+        """Force one bit of the word at ``offset`` to ``stuck`` (0 or 1).
+
+        The ``mem_stuck_at`` model calls this at injection and on every
+        reapply tick; like :meth:`flip_word_bit`, bad offsets raise
+        :class:`MemoryFaultError`.
+        """
+        self._check_word(seg, offset)
+        before = int.from_bytes(seg.data[offset : offset + 4], "little")
+        mask = 1 << (bit % 32)
+        after = (before | mask) if stuck else (before & ~mask)
+        seg.data[offset : offset + 4] = after.to_bytes(4, "little")
+        return before, after
+
+    def locate_fault_word(self, address: int) -> Tuple[Segment, int]:
+        """Resolve ``address`` to its aligned backing word for a fault model.
+
+        Unlike :meth:`_locate` this raises :class:`MemoryFaultError` (a
+        contained harness error) rather than a :class:`MemoryTrap` — a
+        fault model addressing a guard gap is a modelling inconsistency,
+        not a simulated page fault.
+        """
+        seg = self.segment_at(address)
+        if seg is None:
+            raise MemoryFaultError(f"no mapped segment at {address:#x}")
+        offset = (address - seg.base) & ~3
+        self._check_word(seg, offset)
+        return seg, offset
 
     def segment_at(self, address: int) -> Optional[Segment]:
         seg = self._segments.get(address >> SEGMENT_SHIFT)

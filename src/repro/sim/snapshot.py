@@ -79,8 +79,14 @@ class TriageMasked(Exception):
 
     Deliberately *not* a :class:`~repro.sim.events.SimTrap`: trap handlers
     re-time and classify traps, while this is a verdict, not an event — it
-    must propagate straight to the campaign layer.
+    must propagate straight to the campaign layer.  ``reason`` tells the
+    campaign which triage path fired: ``"register"`` for dead-flip register
+    triage, ``"dead_memory"`` for occupancy-map dead-region hits.
     """
+
+    def __init__(self, reason: str = "register") -> None:
+        super().__init__(reason)
+        self.reason = reason
 
 
 # ---------------------------------------------------------------------------
@@ -306,6 +312,7 @@ class Snapshot:
         memory._next_index = self.next_index
         interp.memory = memory
         interp._mem_locate = memory._locate
+        interp._mem_store_locate = memory._locate
         interp.global_segments = {
             name: segments[i] for name, i in self.global_index
         }

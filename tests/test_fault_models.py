@@ -309,8 +309,11 @@ class TestModelCampaignParity:
 
     def test_registry_order_is_stable(self):
         # CONCRETE_FAULT_MODELS order is baked into chaos plan drawing;
-        # reordering would silently change every chaos campaign.
+        # reordering would silently change every chaos campaign.  The
+        # memory-hierarchy models append after the register models so older
+        # register-only plan streams keep their draws.
         assert CONCRETE_FAULT_MODELS == (
             "single_bit", "double_bit", "burst", "stuck_at", "memory_word",
+            "mem_transient", "mem_stuck_at", "cache_line", "stack_frame",
         )
         assert tuple(FAULT_MODELS) == CONCRETE_FAULT_MODELS
