@@ -235,8 +235,11 @@ class LogReport:
         """Fold occupancy events into one residency row per structure.
 
         Several campaigns may report the same structure (e.g. ``cache``);
-        residency fractions are averaged over the reporting campaigns so
-        the AVF weight stays a fraction.
+        occupied/total word counts are summed over the reporting campaigns
+        and the residency fraction derived from the sums, so the displayed
+        counts and the AVF weight describe the same aggregate.  Rows
+        without counts (``regfile`` reports none) fall back to averaging
+        the reported fractions.
         """
         acc: Dict[str, List[Dict]] = {}
         for event in self.occupancy:
@@ -246,13 +249,26 @@ class LogReport:
                     acc.setdefault(name, []).append(row)
         folded: Dict[str, Dict] = {}
         for name, rows in acc.items():
-            folded[name] = {
-                "residency": sum(
-                    float(r.get("residency", 0) or 0) for r in rows
-                ) / len(rows),
-                "occupied_words": rows[-1].get("occupied_words"),
-                "total_words": rows[-1].get("total_words"),
-            }
+            occs = [r.get("occupied_words") for r in rows]
+            totals = [r.get("total_words") for r in rows]
+            if (
+                all(isinstance(o, (int, float)) for o in occs)
+                and all(isinstance(t, (int, float)) for t in totals)
+                and sum(totals) > 0
+            ):
+                folded[name] = {
+                    "residency": sum(occs) / sum(totals),
+                    "occupied_words": sum(occs),
+                    "total_words": sum(totals),
+                }
+            else:
+                folded[name] = {
+                    "residency": sum(
+                        float(r.get("residency", 0) or 0) for r in rows
+                    ) / len(rows),
+                    "occupied_words": None,
+                    "total_words": None,
+                }
         return folded
 
     def avf_rows(self) -> List[Dict]:

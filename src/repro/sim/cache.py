@@ -78,7 +78,9 @@ class ResidencyTracker:
         ]
 
     def touch(self, address: int) -> None:
-        line = address >> self.line_shift
+        self.touch_line(address >> self.line_shift)
+
+    def touch_line(self, line: int) -> None:
         s = self._sets[line % self.num_sets]
         s.pop(line, None)
         s[line] = True

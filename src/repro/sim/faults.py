@@ -488,15 +488,9 @@ class MemoryWordFault(FaultModel):
                 return -1
             seg, offset, dead = drawn
             before, after = memory.flip_word_bit(seg, offset, plan.bit)
-            record.landed = True
-            record.was_live = not dead
-            record.value_name = f"<mem:{seg.name}+{offset:#x}>"
-            record.type_name = "i32"
-            record.before = before
-            record.after = after
-            frame = top_frame if top_frame is not None else interp._frame
-            if frame is not None:
-                record.function = frame.function.name
+            fill_memory_record(
+                record, interp, top_frame, seg, offset, before, after, dead
+            )
             if dead:
                 triage_dead_memory(interp)
             return -1

@@ -159,11 +159,14 @@ class OccupancyRecorder:
         last_read = self.last_read
         first_write = self.first_write
         written = self.written
-        tracker = self.cache
-        csets = tracker._sets
-        cshift = tracker.line_shift
-        cnum = tracker.num_sets
-        cways = tracker.ways
+        cshift = self.cache.line_shift
+        touch_line = self.cache.touch_line
+
+        # An access spans every word (and cache line) between its first and
+        # last byte: an 8-byte i64/f64/pointer load covers two 32-bit words,
+        # and a byte store at offset 4k+3 still only touches word k.  Missing
+        # the upper word would let is_dead() declare it "never read" and
+        # unsoundly triage a live fault to Masked.
 
         def load_locate(address, size):
             seg, off = locate(address, size)
@@ -171,13 +174,18 @@ class OccupancyRecorder:
             asn[0] = a
             b = base.get(id(seg))
             if b is not None:
-                last_read[b + (off >> 2)] = a
+                w = off >> 2
+                last = (off + size - 1) >> 2
+                last_read[b + w] = a
+                while w < last:
+                    w += 1
+                    last_read[b + w] = a
             line = address >> cshift
-            s = csets[line % cnum]
-            s.pop(line, None)
-            s[line] = True
-            if len(s) > cways:
-                del s[next(iter(s))]
+            touch_line(line)
+            end = (address + size - 1) >> cshift
+            while line < end:
+                line += 1
+                touch_line(line)
             return seg, off
 
         def store_locate(address, size):
@@ -186,16 +194,22 @@ class OccupancyRecorder:
             asn[0] = a
             b = base.get(id(seg))
             if b is not None:
-                word = b + (off >> 2)
-                if word not in written:
-                    written.add(word)
-                    first_write[word] = a
+                w = off >> 2
+                last = (off + size - 1) >> 2
+                while True:
+                    word = b + w
+                    if word not in written:
+                        written.add(word)
+                        first_write[word] = a
+                    if w >= last:
+                        break
+                    w += 1
             line = address >> cshift
-            s = csets[line % cnum]
-            s.pop(line, None)
-            s[line] = True
-            if len(s) > cways:
-                del s[next(iter(s))]
+            touch_line(line)
+            end = (address + size - 1) >> cshift
+            while line < end:
+                line += 1
+                touch_line(line)
             return seg, off
 
         return load_locate, store_locate

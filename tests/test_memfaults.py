@@ -127,6 +127,78 @@ class TestOccupancyCapture:
             assert getattr(fused, field) == getattr(dedicated, field), field
 
 
+class TestAccessSpanRecording:
+    """An access records every word and cache line it spans.
+
+    Regression: compiled i64/f64/pointer loads issue one 8-byte
+    ``_mem_locate`` call; recording only ``off >> 2`` left the upper word
+    out of the occupancy map, so ``is_dead()`` called it "never read" and a
+    live fault triaged to Masked.
+    """
+
+    @staticmethod
+    def _wrappers():
+        from repro.sim.config import CacheConfig
+
+        memory = Memory()
+        seg = memory.map_segment("g", 256)
+
+        class _Shim:
+            pass
+
+        shim = _Shim()
+        shim.memory = memory
+        recorder = memfaults.OccupancyRecorder(
+            every=1000,
+            l1d_config=CacheConfig(
+                size_bytes=1024, associativity=2, line_bytes=64
+            ),
+        )
+        load, store = recorder.bind_occupancy(shim)
+        return seg, recorder, load, store
+
+    def test_eight_byte_load_records_both_words(self):
+        seg, rec, load, _store = self._wrappers()
+        load(seg.base + 8, 8)
+        assert 2 in rec.last_read and 3 in rec.last_read
+        assert rec.last_read[2] == rec.last_read[3]
+
+    def test_eight_byte_store_records_both_words(self):
+        seg, rec, _load, store = self._wrappers()
+        store(seg.base + 16, 8)
+        assert {4, 5} <= rec.written
+        assert rec.first_write[4] == rec.first_write[5]
+
+    def test_narrow_access_records_exactly_one_word(self):
+        seg, rec, load, store = self._wrappers()
+        load(seg.base + 3, 1)
+        store(seg.base + 6, 2)
+        assert set(rec.last_read) == {0}
+        assert rec.written == {1}
+
+    def test_line_crossing_access_touches_both_lines(self):
+        seg, rec, load, _store = self._wrappers()
+        load(seg.base + 60, 8)  # bytes 60..67 straddle a 64-byte line
+        shift = rec.cache.line_shift
+        lines = rec.cache.resident_lines()
+        assert (seg.base + 60) >> shift in lines
+        assert (seg.base + 67) >> shift in lines
+
+    def test_wrapper_cache_policy_matches_tracker_touch(self):
+        from repro.sim.cache import ResidencyTracker
+        from repro.sim.config import CacheConfig
+
+        seg, rec, load, store = self._wrappers()
+        reference = ResidencyTracker(
+            CacheConfig(size_bytes=1024, associativity=2, line_bytes=64)
+        )
+        for i in range(64):
+            address = seg.base + (i * 37) % 248
+            (load if i % 2 else store)(address, 4)
+            reference.touch(address)
+        assert rec.cache.resident_lines() == reference.resident_lines()
+
+
 class TestOccupancyMapSemantics:
     def test_output_words_are_never_dead(self, prepared_mem):
         occ = prepared_mem.occupancy
@@ -474,6 +546,35 @@ class TestAVFReport:
         assert doc["avf"]["campaigns_with_occupancy"] == 1
         assert doc["avf"]["rows"] == rows
         assert json.dumps(doc)  # JSON-safe end to end
+
+    def test_residency_counts_match_aggregated_fraction(self):
+        # Folding occupancy events from several campaigns must keep the
+        # displayed occupied/total counts consistent with the residency
+        # used as the AVF weight: sums, not one campaign's counts glued to
+        # an averaged fraction.
+        report = LogReport()
+        report.occupancy = [
+            {"structures": [
+                {"structure": "segment:g", "occupied_words": 10,
+                 "total_words": 100, "residency": 0.1},
+                {"structure": "regfile", "occupied_words": None,
+                 "total_words": None, "residency": 1.0},
+            ]},
+            {"structures": [
+                {"structure": "segment:g", "occupied_words": 90,
+                 "total_words": 300, "residency": 0.3},
+                {"structure": "regfile", "occupied_words": None,
+                 "total_words": None, "residency": 1.0},
+            ]},
+        ]
+        folded = report._residency_by_structure()
+        seg = folded["segment:g"]
+        assert seg["occupied_words"] == 100
+        assert seg["total_words"] == 400
+        assert seg["residency"] == pytest.approx(100 / 400)
+        # Count-less rows fall back to the averaged fraction.
+        assert folded["regfile"]["residency"] == pytest.approx(1.0)
+        assert folded["regfile"]["occupied_words"] is None
 
     def test_avf_cli_flag(self, prepared_mem, tmp_path, capsys):
         from repro.obs.__main__ import main as obs_main
