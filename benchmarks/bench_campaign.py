@@ -14,7 +14,12 @@ trajectory is tracked from PR to PR:
 * ``triage`` — snapshots + dead-flip triage: provably-dead flips
   short-circuit to Masked without a post-injection run;
 * ``parallel_fastpath`` — fast path (snapshots off, for continuity with
-  earlier PRs) fanned out over ``--jobs`` workers.
+  earlier PRs) fanned out over ``--jobs`` workers;
+* ``batched`` — lane-parallel sweeps over the triage fastpath, measured as
+  a separate paired comparison (same plans, scalar-triage vs batched) on a
+  memory-hierarchy campaign sized to the backend's payoff regime: many
+  lanes per snapshot window, where masked-at-strike verdicts amortise the
+  shared window replay.
 
 All modes share one prepared workload and the same pre-drawn trial plans, so
 they do identical logical work and must produce bit-identical results — the
@@ -171,6 +176,65 @@ def main(argv=None) -> int:
           f"({trace_overhead_pct:+.1f}% vs untraced)", file=sys.stderr)
     os.environ.pop("REPRO_FASTPATH", None)
 
+    # Batched lane sweeps vs the scalar triage fastpath.  Batching pays off
+    # in proportion to the time share of trials whose verdict is decided at
+    # the injection instant, so the paired comparison runs the fault model
+    # with the highest strike-time triage rate (stack_frame, occupancy-map
+    # dead-region proofs) and enough trials that each snapshot window
+    # carries several lanes.  Both sides execute identical plans and are
+    # timed best-of-3; outcome tallies must match exactly (the batched
+    # backend is differentially pinned byte-identical to the scalar path).
+    n_snapshots = len(prepared.snapshots) if prepared.snapshots else 1
+    bat_trials = max(args.trials, 8 * n_snapshots)
+    stack_scalar = CampaignConfig(trials=bat_trials, seed=args.seed,
+                                  snapshot_every=-1, triage=True,
+                                  fault_model="stack_frame")
+    stack_batched = _replace(stack_scalar, batch=bat_trials)
+    prepared_stack = prepare(workload, args.scheme, stack_scalar)
+    stri_best = bat_best = float("inf")
+    stri_counts = bat_counts = None
+    for _ in range(3):
+        stri_counts, seconds = _measure(
+            workload, args.scheme, prepared_stack, stack_scalar, True
+        )
+        stri_best = min(stri_best, seconds)
+        bat_counts, seconds = _measure(
+            workload, args.scheme, prepared_stack, stack_batched, True
+        )
+        bat_best = min(bat_best, seconds)
+    batched_speedup = stri_best / bat_best
+    if bat_counts != stri_counts:
+        print(f"[bench] ERROR: batched tallies diverge from scalar triage "
+              f"(batched={bat_counts} scalar={stri_counts})", file=sys.stderr)
+        return 1
+    # Untimed instrumented pass for the lane accounting: the `batched`
+    # sidecar event carries lanes/masked/divergence totals (sidecar-only so
+    # the main log stays byte-identical to a scalar run's).
+    from repro.obs.events import read_events as _read_events
+    from repro.obs.events import resilience_log_path as _sidecar_path
+
+    with tempfile.TemporaryDirectory() as obs_dir:
+        batched_log = os.path.join(obs_dir, "batched.jsonl")
+        os.environ["REPRO_FASTPATH"] = "1"
+        run_campaign(workload, args.scheme,
+                     _replace(stack_batched, obs_log=batched_log),
+                     prepared=prepared_stack)
+        os.environ.pop("REPRO_FASTPATH", None)
+        sidecar_events, _ = _read_events(_sidecar_path(batched_log))
+        batched_ev = next(
+            e for e in sidecar_events if e.get("event") == "batched"
+        )
+    lane_occupancy = batched_ev["lanes"] / max(1, batched_ev["batches"])
+    divergence_rate = batched_ev["diverged"] / max(1, batched_ev["lanes"])
+    print(f"[bench] batched lanes    : {bat_trials / bat_best:7.1f} trials/s "
+          f"(stack_frame, {bat_trials} trials, batch={bat_trials}; "
+          f"{batched_speedup:.2f}x vs scalar triage "
+          f"{bat_trials / stri_best:.1f} trials/s)", file=sys.stderr)
+    print(f"[bench] batched stats    : {lane_occupancy:.1f} lanes/burst mean "
+          f"occupancy, {100.0 * divergence_rate:.1f}% divergence "
+          f"({batched_ev['masked']} masked in-sweep, "
+          f"{batched_ev['diverged']} diverged)", file=sys.stderr)
+
     if not (ref_counts == fast_counts == snap_counts == tri_counts
             == par_counts == traced_counts):
         print("[bench] ERROR: modes disagree on outcomes "
@@ -260,6 +324,21 @@ def main(argv=None) -> int:
             "trials_per_sec": round(args.trials / par_s, 2),
             "seconds": round(par_s, 3),
         },
+        "batched": {
+            "fault_model": "stack_frame",
+            "trials": bat_trials,
+            "batch": bat_trials,
+            "trials_per_sec": round(bat_trials / bat_best, 2),
+            "seconds": round(bat_best, 3),
+            "scalar_triage_trials_per_sec": round(bat_trials / stri_best, 2),
+            "scalar_triage_seconds": round(stri_best, 3),
+            "mean_lane_occupancy": round(lane_occupancy, 1),
+            "divergence_rate": round(divergence_rate, 4),
+            "lanes": batched_ev["lanes"],
+            "masked_in_sweep": batched_ev["masked"],
+            "diverged": batched_ev["diverged"],
+            "divergence": batched_ev["divergence"],
+        },
         "speedups": {
             "fastpath_serial_vs_reference": round(ref_s / fast_s, 2),
             "snapshot_vs_fastpath_serial": round(fast_s / snap_s, 2),
@@ -267,6 +346,7 @@ def main(argv=None) -> int:
             "triage_vs_reference": round(ref_s / tri_s, 2),
             "parallel_vs_reference": round(ref_s / par_s, 2),
             "parallel_vs_fastpath_serial": round(fast_s / par_s, 2),
+            "batched_vs_triage": round(batched_speedup, 2),
         },
         "trace_overhead": {
             "trials_per_sec": round(args.trials / traced_s, 2),
@@ -277,6 +357,7 @@ def main(argv=None) -> int:
             "snapshot_vs_fastpath_tallies_match": snap_counts == fast_counts,
             "triage_vs_fastpath_tallies_match": tri_counts == fast_counts,
             "trace_vs_fastpath_tallies_match": traced_counts == fast_counts,
+            "batched_vs_triage_tallies_match": bat_counts == stri_counts,
         },
         "notes": (
             "Throughput excludes one-time preparation. On a single-core "
@@ -288,7 +369,13 @@ def main(argv=None) -> int:
             "untimed verification pass. occupancy_overhead is the best-of-3 "
             "delta between a mem_transient prepare (occupancy capture fused "
             "into the snapshot run) and a single_bit prepare; the harness "
-            "fails if it reaches 10% of the memory-model prepare."
+            "fails if it reaches 10% of the memory-model prepare. The "
+            "batched section is a separate best-of-3 paired comparison "
+            "(identical plans, scalar triage vs batched lanes) on a "
+            "stack_frame campaign sized to several lanes per snapshot "
+            "window — the regime batching targets; on the single_bit "
+            "headline campaign, live trials' post-injection execution "
+            "dominates and batching is roughly cost-neutral."
         ),
     }
     if obs_verified is not None:

@@ -187,6 +187,10 @@ def _execute_chunk_trials(
     config: CampaignConfig,
     chunk: Sequence[Tuple[int, int, int, int, str]],
 ) -> Tuple[List[Tuple[int, TrialResult]], List[Dict], Dict[str, int]]:
+    from .campaign import batched_enabled
+
+    if batched_enabled(config) and len(chunk) > 1:
+        return _execute_chunk_batched(prepared, config, chunk)
     anomalies: List[Dict] = []
     stats: Dict[str, int] = {}
     if not config.obs_log:
@@ -224,6 +228,52 @@ def _execute_chunk_trials(
             )
         )
     obs_events.write_shard(config.obs_log, chunk[0][0], events)
+    return results, anomalies, stats
+
+
+def _execute_chunk_batched(
+    prepared: PreparedWorkload,
+    config: CampaignConfig,
+    chunk: Sequence[Tuple[int, int, int, int, str]],
+) -> Tuple[List[Tuple[int, TrialResult]], List[Dict], Dict[str, int]]:
+    """Batched-lane execution of one chunk (``config.batch`` lanes/sweep).
+
+    A lane's verdict never depends on which lanes share its sweep, so
+    sub-batching a chunk produces trials byte-identical to the serial
+    batched portion's (and the scalar paths').  Trial events are sorted
+    back into plan order before the shard write — shards must concatenate
+    into the serial log byte for byte.  Batched mode never records
+    ``wall_ms`` (see ``_run_serial_batched_portion``).
+    """
+    from .campaign import run_batch_trials
+
+    anomalies: List[Dict] = []
+    stats: Dict[str, int] = {}
+    items = [
+        (index, InjectionPlan(cycle=cycle, bit=bit, seed=seed, model=model))
+        for index, cycle, bit, seed, model in chunk
+    ]
+    results: List[Tuple[int, TrialResult]] = []
+    size = config.batch
+    for at in range(0, len(items), size):
+        for index, trial, notes in run_batch_trials(
+            prepared, items[at:at + size], config, stats=stats
+        ):
+            results.append((index, trial))
+            anomalies.extend(notes)
+    results.sort(key=lambda item: item[0])
+    if config.obs_log:
+        from ..obs import events as obs_events
+
+        plan_by_index = dict(items)
+        obs_events.write_shard(
+            config.obs_log,
+            chunk[0][0],
+            [
+                obs_events.trial_event(index, plan_by_index[index], trial)
+                for index, trial in results
+            ],
+        )
     return results, anomalies, stats
 
 

@@ -86,6 +86,30 @@ class ProgressPrinter:
             self._last_print = now
             self._emit(now)
 
+    def batch(self, trials) -> None:
+        """Account a burst of trials from one batched lane sweep at once.
+
+        Equivalent to calling the printer once per trial, except the rate
+        check runs after the whole burst is folded in.  That keeps the EMA
+        honest for batched campaigns: per-trial calls would sample the
+        instantaneous rate at the burst's *first* trial — a window spanning
+        the whole sweep but containing none of its completions — biasing
+        the rolling trials/sec (and the ETA) low by up to a full batch.
+        """
+        for trial in trials:
+            self.done += 1
+            self._done.inc()
+            self._outcomes[trial.outcome].inc()
+        if not trials:
+            return
+        now = time.perf_counter()
+        if (
+            now - self._last_print >= self.min_interval
+            or self.done == self.total
+        ):
+            self._last_print = now
+            self._emit(now)
+
     def note(self, message: str) -> None:
         """Print a one-off out-of-band line (e.g. a recovery action).
 

@@ -91,6 +91,7 @@ __all__ = [
     "CompiledModule",
     "compile_module",
     "module_token",
+    "superblock_stats",
 ]
 
 _F32_STRUCT = struct.Struct("<f")
@@ -1105,3 +1106,19 @@ def compile_module(module: Module, track: bool, hooked: bool) -> CompiledModule:
     elif registry.enabled:
         registry.counter("sim.compile.cache_hits").inc()
     return cm
+
+
+def superblock_stats(cm: CompiledModule) -> Tuple[int, int]:
+    """``(instructions inside fused superblocks, total instructions)``.
+
+    A static measure of how much of the module executes as straight-line
+    fused runs — the portion a batched lane sweep can stride through without
+    per-instruction dispatch.  The ratio bounds the vectorizable fraction of
+    a lock-step batch between injection stops.
+    """
+    covered = total = 0
+    for cf in cm.functions.values():
+        for cb in cf.blocks.values():
+            total += len(cb.code)
+            covered += sum(sb[1] for sb in cb.fused if sb is not None)
+    return covered, total

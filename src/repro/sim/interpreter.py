@@ -198,6 +198,10 @@ class Interpreter:
         #: golden-run OccupancyMap for the memory-hierarchy fault models
         #: (run_trial attaches it from the PreparedWorkload; None otherwise)
         self._occupancy = None
+        #: undo journal for register/byte-level fault mutations, mirroring
+        #: ``Memory._journal`` for word strikes — only the batched lane sweep
+        #: (:mod:`repro.sim.batched`) ever sets it; ``None`` is free
+        self._undo_log = None
         # Fast-path execution state (see _run_compiled).
         self._frames: List[Frame] = []
         self._frame: Optional[Frame] = None
@@ -862,9 +866,12 @@ class Interpreter:
         hooked = self.value_hook is not None
         cm = compile_module(self.module, track, hooked)
         self._cm = cm
-        # Injection fires at most once; everything the tracked variant records
-        # after that instant is dead bookkeeping, so the loop swaps in the
-        # untracked variant the moment the fault lands.
+        # Injection *commits* at most once; everything the tracked variant
+        # records after that instant is dead bookkeeping, so the loop swaps in
+        # the untracked variant the moment the fault lands (for a batched lane
+        # sweep: the moment the final lane's fault lands — the rolled-back
+        # strikes before it leave ``injection_record`` unset and keep tracking
+        # alive for the next lane's register-file materialization).
         self._untracked_cm = (
             compile_module(self.module, False, hooked)
             if injection is not None else None
@@ -942,7 +949,7 @@ class Interpreter:
                         frame.index = idx + 1
                         self._materialize_regfile()
                         inject_cycle = self._do_injection(injection, frame, idx)  # type: ignore[arg-type]
-                        if track:
+                        if track and self.injection_record is not None:
                             track = False
                             cb = self._switch_to_untracked(cb)
                             code = cb.code
@@ -972,7 +979,7 @@ class Interpreter:
                         frame.index = idx
                         self._materialize_regfile()
                         inject_cycle = self._do_injection(injection, frame, idx)  # type: ignore[arg-type]
-                        if track:
+                        if track and self.injection_record is not None:
                             track = False
                             cb = self._switch_to_untracked(cb)
                             code = cb.code

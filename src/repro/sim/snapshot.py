@@ -213,6 +213,79 @@ def _clone_frame(template, values: Dict) -> object:
     return frame
 
 
+class _LazyRestoredLog(list):
+    """Register-file write log seeded from a snapshot, resolved on demand.
+
+    ``Snapshot._install`` used to rebuild the captured log eagerly: one
+    fresh ``(frame, producer)`` tuple per captured entry, per trial — paid
+    even by trials that never read those entries because enough post-restore
+    writes had already pushed them out of the register file.  This subclass
+    keeps the captured ``rf_entries`` as an *unresolved prefix*: appends
+    land in the real list (the suffix), ``len`` counts both parts, and only
+    operations that actually reach into the prefix (full iteration, slices
+    or deletes crossing into it) materialize the per-trial tuples.  The two
+    hot consumers stay lazy:
+
+    * ``log[start:]`` in ``_materialize_regfile`` skips resolution whenever
+      ``start`` lands at or past the prefix — i.e. once writes since the
+      restore reach the register-file capacity;
+    * ``del log[:drop]`` (the capture-time trim) drops entirely within the
+      prefix by slicing the *shared* captured list — no per-trial copy.
+    """
+
+    __slots__ = ("_entries", "_frames")
+
+    def __init__(self, rf_entries, frames) -> None:
+        list.__init__(self)
+        self._entries = rf_entries
+        self._frames = frames
+
+    def _pending(self) -> int:
+        return len(self._entries) if self._entries is not None else 0
+
+    def _resolve(self) -> None:
+        entries = self._entries
+        if entries is None:
+            return
+        frames = self._frames
+        self._entries = self._frames = None
+        self[:0] = [
+            (entry if entry.__class__ is not int else frames[entry], obj)
+            for entry, obj in entries
+        ]
+
+    def __len__(self) -> int:
+        return self._pending() + list.__len__(self)
+
+    def __iter__(self):
+        self._resolve()
+        return list.__iter__(self)
+
+    def __getitem__(self, key):
+        if isinstance(key, slice) and key.step in (None, 1) and \
+                key.stop is None:
+            start = key.start or 0
+            pending = self._pending()
+            if start >= pending:
+                return list.__getitem__(self, slice(start - pending, None))
+        self._resolve()
+        return list.__getitem__(self, key)
+
+    def __delitem__(self, key) -> None:
+        if isinstance(key, slice) and key.step in (None, 1) and \
+                key.start in (None, 0) and isinstance(key.stop, int) \
+                and key.stop >= 0:
+            pending = self._pending()
+            if key.stop >= pending:
+                self._entries = self._frames = None
+                list.__delitem__(self, slice(0, key.stop - pending))
+            else:
+                self._entries = self._entries[key.stop:]
+            return
+        self._resolve()
+        list.__delitem__(self, key)
+
+
 class Snapshot:
     """Deep copy of one fast-path interpreter state at a loop-top boundary.
 
@@ -320,10 +393,7 @@ class Snapshot:
         interp._stack_sp = self.stack_sp
         interp._stack_limit = self.stack_limit
 
-        interp._rf_log = [
-            (entry if entry.__class__ is not int else frames[entry], obj)
-            for entry, obj in self.rf_entries
-        ]
+        interp._rf_log = _LazyRestoredLog(self.rf_entries, frames)
         interp._rf_base = self.rf_base
         interp._regfile = RegisterFile(interp.config.phys_int_registers)
         interp._rng = random.Random(injection.seed)
