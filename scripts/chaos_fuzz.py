@@ -42,6 +42,82 @@ def log(message: str) -> None:
     print(f"[chaos-fuzz] {message}", flush=True)
 
 
+def run_service_sweep(models, workloads, schemes, trials: int,
+                      seed: int, workdir: Path) -> dict:
+    """Push every fault model through the ``repro.serve`` queue path.
+
+    One campaign per model x workload (schemes cycled) is admitted via the
+    inbox and executed by an inline service.  The sweep passes iff the
+    service exits cleanly, zero exceptions escape (an escape would
+    quarantine the job), and zero queue entries wedge — nothing may be
+    left ``queued``/``running``/``deduped`` after the service reports idle.
+    """
+    from repro.serve.client import load_queue_state, submit_to_inbox
+    from repro.serve.queue import JobState
+    from repro.serve.service import Service, ServiceConfig
+    from repro.serve.spec import CampaignSpec
+
+    root = workdir / "chaos-service-root"
+    submitted = []
+    i = 0
+    for model in models:
+        for workload in workloads:
+            spec = CampaignSpec(
+                workload=workload, scheme=schemes[i % len(schemes)],
+                trials=trials, seed=seed + i, fault_model=model,
+            )
+            tenant = f"tenant{i % 3}"
+            submitted.append((submit_to_inbox(root, spec, tenant=tenant),
+                              model, spec))
+            i += 1
+    log(f"service sweep: {len(submitted)} campaigns "
+        f"({len(models)} models) through the inline queue")
+
+    violations = []
+    config = ServiceConfig(
+        root=str(root), inline=True, until_idle=True,
+        backoff_seconds=0.0, poll_interval=0.01,
+    )
+    try:
+        rc = Service(config).run()
+    except BaseException as err:  # noqa: BLE001 - the sweep's whole point
+        violations.append(f"exception escaped the service loop: {err!r}")
+        rc = -1
+    if rc != 0:
+        violations.append(f"service exited {rc}, expected 0")
+
+    state = load_queue_state(root)
+    by_model = {}
+    for job_id, model, spec in submitted:
+        job = state.jobs.get(job_id)
+        job_state = job.state if job is not None else "missing"
+        by_model.setdefault(model, {}).setdefault(job_state, 0)
+        by_model[model][job_state] += 1
+        if job is None:
+            violations.append(f"{spec.describe()}: job vanished from queue")
+        elif job.state in (JobState.QUEUED, JobState.RUNNING,
+                           JobState.DEDUPED):
+            violations.append(
+                f"{spec.describe()}: wedged in state {job.state}"
+            )
+        elif job.state != JobState.DONE:
+            violations.append(
+                f"{spec.describe()}: ended {job.state}: {job.error or ''}"
+            )
+    quarantined = dict(state.counters).get("quarantined", 0)
+    if quarantined:
+        violations.append(f"{quarantined} jobs quarantined by the sweep")
+
+    return {
+        "ok": not violations,
+        "campaigns": len(submitted),
+        "models": list(models),
+        "job_states_by_model": by_model,
+        "counters": dict(state.counters),
+        "violations": violations,
+    }
+
+
 def _csv(value: str, universe, what: str, parser) -> tuple:
     items = tuple(item.strip() for item in value.split(",") if item.strip())
     unknown = set(items) - set(universe)
@@ -75,6 +151,15 @@ def main() -> int:
     parser.add_argument("--json", metavar="PATH", default=None,
                         help="also write the full report as JSON (CI "
                              "uploads this as an artifact)")
+    parser.add_argument("--service", action="store_true",
+                        help="also sweep every fault model through the "
+                             "repro.serve queue path (inline service); "
+                             "fails on escaped exceptions or wedged jobs")
+    parser.add_argument("--service-trials", type=int, default=60, metavar="N",
+                        help="trials per service-sweep campaign (default 60)")
+    parser.add_argument("--workdir", default="chaos-artifacts", metavar="DIR",
+                        help="scratch/artifact directory for the service "
+                             "sweep (default: chaos-artifacts)")
     args = parser.parse_args()
 
     for name in _SCRUBBED_ENV:
@@ -95,15 +180,38 @@ def main() -> int:
 
     print()
     print(report.render_text())
+
+    service_report = None
+    if args.service:
+        workdir = Path(args.workdir)
+        workdir.mkdir(parents=True, exist_ok=True)
+        service_report = run_service_sweep(
+            models, workloads, schemes, trials=args.service_trials,
+            seed=args.seed, workdir=workdir,
+        )
+
     if args.json:
         path = Path(args.json)
         path.parent.mkdir(parents=True, exist_ok=True)
+        doc = report.to_json()
+        if service_report is not None:
+            doc["service_sweep"] = service_report
         with open(path, "w", encoding="utf-8") as fh:
-            json.dump(report.to_json(), fh, indent=2)
+            json.dump(doc, fh, indent=2)
             fh.write("\n")
         log(f"wrote {path}")
+    failed = not report.ok
     if not report.ok:
         log(f"FAIL: {len(report.violations)} violation(s)")
+    if service_report is not None:
+        if service_report["ok"]:
+            log(f"service sweep ok: {service_report['campaigns']} campaigns, "
+                f"zero escapes, zero wedged queue entries")
+        else:
+            failed = True
+            for item in service_report["violations"]:
+                log(f"FAIL (service sweep): {item}")
+    if failed:
         return 1
     log("all invariants held")
     return 0

@@ -102,8 +102,16 @@ def phase_kill_and_resume(workdir: Path, env: dict) -> None:
         workdir / "resume.json", workdir / "resume.jsonl",
         "--jobs", "1", "--checkpoint", str(ckpt), "--checkpoint-every", "5",
     )
+    # Run this phase with the snapshot/triage accelerators off: on a fast
+    # machine the accelerated campaign can finish inside the kill window,
+    # clearing its checkpoint before the SIGKILL lands.  Accelerators
+    # on/off is byte-identical by the house invariant (and excluded from
+    # checkpoint compatibility), so the reference comparison still holds.
+    slow_env = dict(env)
+    slow_env["REPRO_SNAPSHOT"] = "0"
+    slow_env["REPRO_TRIAGE"] = "0"
     log("kill+resume: starting campaign, will SIGKILL after first checkpoint")
-    proc = subprocess.Popen(cmd, env=env, cwd=REPO)
+    proc = subprocess.Popen(cmd, env=slow_env, cwd=REPO)
     deadline = time.time() + 120
     while not ckpt.exists():
         if proc.poll() is not None:
@@ -118,7 +126,8 @@ def phase_kill_and_resume(workdir: Path, env: dict) -> None:
     proc.send_signal(signal.SIGKILL)
     proc.wait()
     if not ckpt.exists():
-        fail("checkpoint vanished after SIGKILL")
+        fail("campaign outran the SIGKILL and cleared its checkpoint "
+             "(finished before the kill landed)")
     log("killed; resuming from checkpoint with jobs=2")
     subprocess.run(cmd[:-6] + ["--jobs", "2", "--checkpoint", str(ckpt),
                                "--checkpoint-every", "5"],

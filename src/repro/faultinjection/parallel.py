@@ -28,7 +28,9 @@ Design (see ``docs/PERFORMANCE.md``):
 * **Worker-failure recovery** (see ``docs/RESILIENCE.md``).  A SIGKILLed or
   OOM-killed worker breaks the whole :class:`ProcessPoolExecutor`; instead
   of aborting the campaign, the chunks that never reported back are
-  resubmitted to a fresh pool with exponential backoff, and once the retry
+  resubmitted to a fresh pool with exponential backoff (deterministically
+  jittered per campaign, so fleets of campaigns under ``repro.serve`` never
+  retry in lockstep), and once the retry
   budget is exhausted (or immediately, under the ``serial`` policy) the
   residual trials degrade to in-process serial execution.  Trial plans are
   pre-drawn, so a retried or serially-executed chunk computes bit-identical
@@ -384,8 +386,13 @@ def run_trials_parallel(
                 ):
                     run_serial_fallback()
                     break
-                delay = resilience_mod.backoff_delay(
-                    policy.backoff_seconds, attempt
+                # Jitter is seeded from the campaign's identity so many
+                # campaigns losing workers together (one bad host under the
+                # service's pools) retry de-synchronized, while any single
+                # campaign's retry schedule stays reproducible.
+                delay = resilience_mod.jittered_backoff(
+                    policy.backoff_seconds, attempt,
+                    key=f"{name}/{scheme}/{config.seed}/{config.trials}",
                 )
                 trace_mod.current().instant(
                     "chunk_retry", cat="resilience", attempt=attempt

@@ -72,6 +72,7 @@ __all__ = [
     "ResiliencePolicy",
     "ResilienceLogger",
     "default_policy",
+    "jittered_backoff",
     "load_checkpoint",
     "quarantine_file",
     "resilience_enabled",
@@ -605,6 +606,29 @@ def truncate_obs_log(path: str, offset: int) -> None:
 def backoff_delay(base: float, attempt: int) -> float:
     """Exponential backoff: ``base * 2**(attempt-1)`` seconds, capped at 30."""
     return min(base * (2 ** max(0, attempt - 1)), 30.0)
+
+
+def jittered_backoff(base: float, attempt: int, key: str = "") -> float:
+    """Exponential backoff with *deterministic* jitter in ``[0.5x, 1.0x]``.
+
+    Under the service's worker pools many campaigns can lose workers at the
+    same instant (one bad host, one OOM sweep); pure exponential backoff
+    would have them all retry in lockstep, re-creating the overload that
+    killed them — a synchronized retry storm.  Random jitter breaks the
+    storm but breaks reproducibility with it.  This jitter is seeded from
+    ``key`` (the campaign/job content key) and the attempt number, so
+    retries de-synchronize *across* campaigns while any single campaign's
+    retry schedule is a pure function of what it is — re-running the same
+    failure replays the same delays.
+
+    An empty ``key`` degrades to the un-jittered :func:`backoff_delay`.
+    """
+    delay = backoff_delay(base, attempt)
+    if not key or delay <= 0:
+        return delay
+    digest = hashlib.sha256(f"{key}:{attempt}".encode()).digest()
+    fraction = int.from_bytes(digest[:8], "big") / float(1 << 64)
+    return delay * (0.5 + 0.5 * fraction)
 
 
 def sleep(seconds: float) -> None:  # patch point for tests

@@ -42,7 +42,9 @@ from typing import Dict, Optional
 __all__ = [
     "HEARTBEAT_SCHEMA_VERSION",
     "HeartbeatWriter",
+    "effective_status",
     "heartbeat_path",
+    "pid_alive",
     "read_heartbeat",
     "resolve_heartbeat",
 ]
@@ -212,6 +214,47 @@ class HeartbeatWriter:
                 raise
         except OSError:  # pragma: no cover - telemetry is best effort
             pass
+
+
+def pid_alive(pid) -> bool:
+    """Is a process with this pid still running (best effort)?
+
+    ``os.kill(pid, 0)`` probes without signalling.  ``PermissionError``
+    means the pid exists but belongs to someone else — alive.  Anything
+    unparseable or probe-less (no ``os.kill``, pid 0/None) reports dead,
+    which is the conservative answer for staleness checks: a heartbeat we
+    cannot attribute to a live process must not be trusted as running.
+    """
+    try:
+        pid = int(pid)
+    except (TypeError, ValueError):
+        return False
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    except (OSError, AttributeError):
+        return False
+    return True
+
+
+def effective_status(doc: Dict) -> str:
+    """The heartbeat's status after demoting dead-owner ``running`` docs.
+
+    A campaign that is SIGKILLed after its last heartbeat write leaves a
+    file that claims ``running`` forever.  Any consumer that would *act* on
+    a running status (the ``top`` dashboard, the service's job view) must
+    call this instead of trusting the stored field: when the owning pid is
+    gone the status is demoted to ``"stale"``.
+    """
+    status = str(doc.get("status", "?"))
+    if status in ("running", "draining") and not pid_alive(doc.get("pid")):
+        return "stale"
+    return status
 
 
 def read_heartbeat(path) -> Optional[Dict]:

@@ -1,0 +1,190 @@
+"""Durable on-disk job queue storage: append-only journal + state snapshots.
+
+The service's single source of truth is an **append-only JSONL journal**
+(``journal.jsonl``): every queue transition — submit, shed, dedup, start,
+done, fail, interrupt, quarantine, drain — is appended as one canonical
+JSON line *before* the in-memory state is updated, and the in-memory state
+is only ever mutated by replaying that same record through
+:meth:`~repro.serve.queue.QueueState.apply`.  A SIGKILL at any instant
+therefore loses at most work, never bookkeeping: the restarted service
+rebuilds the exact queue by replaying the journal, re-queues the jobs that
+were mid-flight (their campaign-level checkpoints make the re-run
+byte-identical — ``docs/RESILIENCE.md``), and continues.
+
+Because replaying a long journal from byte 0 gets slower as the service
+lives on, the service periodically writes an **atomic state snapshot**
+(``state.json``: temp file + ``os.replace``, sha256-checksummed exactly
+like the PR 4 campaign checkpoints).  The snapshot records the journal
+byte offset it covers; recovery loads the snapshot, verifies its checksum,
+and replays only the journal tail after that offset.  A snapshot that does
+not verify is quarantined (``quarantine/`` — evidence preserved, same
+policy as corrupt caches and checkpoints) and recovery falls back to a
+full journal replay, which is always sufficient.
+
+Torn tails are expected, not errors: a SIGKILL mid-append leaves a partial
+last line, which replay ignores (the transition it described never
+happened, by definition — the reducer had not run yet).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+import tempfile
+from typing import Dict, List, Optional, Tuple
+
+from ..faultinjection.resilience import ResilienceLogger, quarantine_file
+
+__all__ = [
+    "JOURNAL_SCHEMA_VERSION",
+    "Journal",
+    "load_state_snapshot",
+    "read_journal",
+    "save_state_snapshot",
+]
+
+#: bump on any change to journal record or snapshot layout
+JOURNAL_SCHEMA_VERSION = 1
+
+
+def _encode_record(record: Dict) -> str:
+    return json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
+
+
+class Journal:
+    """Append-only JSONL writer for queue transitions.
+
+    Lines are written whole and flushed per append: a SIGKILL can tear at
+    most the final line, which replay discards.  ``offset`` is the current
+    end-of-journal byte position — snapshots store it so recovery knows
+    where their coverage ends.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = os.fspath(path)
+        parent = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(parent, exist_ok=True)
+        self._fh: Optional[io.TextIOWrapper] = open(
+            self.path, "a", encoding="utf-8"
+        )
+
+    @property
+    def offset(self) -> int:
+        if self._fh is None:
+            return 0
+        return self._fh.tell()
+
+    def append(self, record: Dict) -> None:
+        if self._fh is None:
+            raise ValueError("journal is closed")
+        self._fh.write(_encode_record(record))
+        self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_journal(path, offset: int = 0) -> Tuple[List[Dict], int]:
+    """Records from ``offset`` to the end, plus the clean end offset.
+
+    Tolerates a torn final line (counted out of the returned offset, so a
+    subsequent snapshot never claims to cover bytes it did not parse) and
+    skips non-object lines rather than failing recovery over one bad byte.
+    """
+    records: List[Dict] = []
+    clean_end = offset
+    try:
+        with open(path, "rb") as fh:
+            fh.seek(offset)
+            for raw in fh:
+                if not raw.endswith(b"\n"):
+                    break  # torn tail: the append never completed
+                try:
+                    record = json.loads(raw)
+                except ValueError:
+                    clean_end += len(raw)
+                    continue
+                clean_end += len(raw)
+                if isinstance(record, dict):
+                    records.append(record)
+    except FileNotFoundError:
+        return [], offset
+    return records, clean_end
+
+
+# ---------------------------------------------------------------------------
+# state snapshots
+# ---------------------------------------------------------------------------
+
+
+def _snapshot_digest(payload: Dict) -> str:
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def save_state_snapshot(path, state_doc: Dict, journal_offset: int) -> None:
+    """Atomically persist the queue state + the journal offset it covers."""
+    path = os.fspath(path)
+    payload = {
+        "v": JOURNAL_SCHEMA_VERSION,
+        "journal_offset": journal_offset,
+        "state": state_doc,
+    }
+    payload["sha256"] = _snapshot_digest(
+        {k: payload[k] for k in ("v", "journal_offset", "state")}
+    )
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(prefix=".state-", suffix=".tmp", dir=directory)
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def load_state_snapshot(
+    path, logger: Optional[ResilienceLogger] = None
+) -> Optional[Tuple[Dict, int]]:
+    """Load + verify a snapshot → ``(state_doc, journal_offset)`` or None.
+
+    None means "replay the whole journal": the file is absent, or it failed
+    verification and was quarantined.  Recovery is never blocked on a bad
+    snapshot — the journal is the source of truth.
+    """
+    path = os.fspath(path)
+    logger = logger or ResilienceLogger()
+    try:
+        with open(path, encoding="utf-8") as fh:
+            payload = json.load(fh)
+        stored = payload.pop("sha256")
+        if _snapshot_digest(payload) != stored:
+            raise ValueError("state snapshot checksum mismatch")
+        if payload.get("v") != JOURNAL_SCHEMA_VERSION:
+            raise ValueError("unknown state snapshot schema")
+        return payload["state"], int(payload["journal_offset"])
+    except FileNotFoundError:
+        return None
+    except (OSError, ValueError, KeyError, TypeError) as err:
+        dest = quarantine_file(path)
+        logger.emit(
+            "service_state_corrupt",
+            note=f"corrupt service state snapshot quarantined: {path}",
+            path=path, quarantined_to=dest, reason=str(err),
+        )
+        return None

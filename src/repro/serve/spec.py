@@ -1,0 +1,150 @@
+"""Campaign specs: the admission currency of the ``repro.serve`` service.
+
+A :class:`CampaignSpec` names one campaign — (workload × scheme × fault
+model × trials × seed) — in a canonical, JSON-round-trippable form.  Two
+properties matter to the service:
+
+* **Validation happens at admission**, never at execution: an unknown
+  workload, scheme, fault model, or nonsensical trial count is rejected
+  with a load-shed response before it can reach (and repeatedly kill) a
+  worker.  Execution-time failures are therefore always *harness*
+  surprises, which is what the poison-job quarantine is for.
+
+* **The content key is semantic.**  :meth:`CampaignSpec.key` is the sha256
+  of the result-affecting fields only — ``jobs`` (worker count inside one
+  campaign) is excluded because campaign results, obs logs, caches, and
+  checkpoints are byte-identical for any value (the house invariant), and
+  the submitting tenant is excluded because *who* asked cannot change what
+  gets computed.  Two tenants submitting the same campaign therefore hash
+  to the same key, which is what lets the service dedup them onto one
+  execution and one cache entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+__all__ = ["CampaignSpec", "DEFAULT_TENANT"]
+
+#: tenant recorded for submissions that did not name one
+DEFAULT_TENANT = "default"
+
+#: hard ceiling on one spec's trial count — a fat-fingered ``trials=1e9``
+#: must shed at admission, not wedge a worker for a week
+MAX_TRIALS = 1_000_000
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """One campaign request: what to run, under which fault model."""
+
+    workload: str
+    scheme: str
+    trials: int = 100
+    seed: int = 2014
+    #: fault model name, or None for the paper default (``single_bit``).
+    #: Resolved at validation — the service never consults
+    #: ``REPRO_FAULT_MODEL``, so a spec means the same thing on every host.
+    fault_model: Optional[str] = None
+    #: worker processes *inside* the campaign (``CampaignConfig.jobs``).
+    #: Non-semantic: excluded from :meth:`key` because results and logs are
+    #: byte-identical for any value.
+    jobs: int = 1
+    #: the paper's cross-validation input swap (semantic: different inputs)
+    swap_train_test: bool = False
+    #: free-form labels carried through the journal for reporting; never
+    #: part of the key
+    labels: Dict[str, str] = field(default_factory=dict)
+
+    # -- validation ---------------------------------------------------------
+
+    def validate(self) -> Optional[str]:
+        """Admission check: None when runnable, else a human-readable reason.
+
+        Import-local so the spec module stays cheap to import from clients
+        that only submit.
+        """
+        from ..sim.faults import CHAOS_FAULT_MODEL, FAULT_MODELS
+        from ..transforms.pipeline import SCHEMES
+        from ..workloads.registry import BENCHMARK_NAMES
+
+        if self.workload not in BENCHMARK_NAMES:
+            return f"unknown workload {self.workload!r}"
+        if self.scheme not in SCHEMES:
+            return f"unknown scheme {self.scheme!r}"
+        if not isinstance(self.trials, int) or self.trials < 1:
+            return f"trials must be a positive integer, got {self.trials!r}"
+        if self.trials > MAX_TRIALS:
+            return f"trials {self.trials} exceeds the {MAX_TRIALS} ceiling"
+        if not isinstance(self.seed, int):
+            return f"seed must be an integer, got {self.seed!r}"
+        if (
+            self.fault_model is not None
+            and self.fault_model != CHAOS_FAULT_MODEL
+            and self.fault_model not in FAULT_MODELS
+        ):
+            return f"unknown fault model {self.fault_model!r}"
+        if not isinstance(self.jobs, int) or self.jobs < 0:
+            return f"jobs must be a non-negative integer, got {self.jobs!r}"
+        return None
+
+    # -- serialisation ------------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        doc = {
+            "workload": self.workload,
+            "scheme": self.scheme,
+            "trials": self.trials,
+            "seed": self.seed,
+        }
+        if self.fault_model is not None:
+            doc["fault_model"] = self.fault_model
+        if self.jobs != 1:
+            doc["jobs"] = self.jobs
+        if self.swap_train_test:
+            doc["swap_train_test"] = True
+        if self.labels:
+            doc["labels"] = dict(self.labels)
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: Dict) -> "CampaignSpec":
+        return cls(
+            workload=doc.get("workload", ""),
+            scheme=doc.get("scheme", ""),
+            trials=doc.get("trials", 100),
+            seed=doc.get("seed", 2014),
+            fault_model=doc.get("fault_model"),
+            jobs=doc.get("jobs", 1),
+            swap_train_test=bool(doc.get("swap_train_test", False)),
+            labels=dict(doc.get("labels") or {}),
+        )
+
+    # -- content key --------------------------------------------------------
+
+    def key(self) -> str:
+        """sha256 over the semantic fields — the service's dedup identity.
+
+        ``fault_model`` is folded in resolved (None → ``single_bit``) so an
+        explicit ``single_bit`` and the default collapse to one key; ``jobs``,
+        ``labels``, and the tenant never appear.
+        """
+        payload = {
+            "workload": self.workload,
+            "scheme": self.scheme,
+            "trials": self.trials,
+            "seed": self.seed,
+            "fault_model": self.fault_model or "single_bit",
+            "swap_train_test": self.swap_train_test,
+        }
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+    def describe(self) -> str:
+        """Short human-readable label (status tables, logs)."""
+        model = self.fault_model or "single_bit"
+        return (f"{self.workload}/{self.scheme} trials={self.trials} "
+                f"seed={self.seed} model={model}")

@@ -476,3 +476,86 @@ def test_backoff_delay_caps():
     assert resilience_mod.backoff_delay(0.5, 1) == 0.5
     assert resilience_mod.backoff_delay(0.5, 3) == 2.0
     assert resilience_mod.backoff_delay(10.0, 10) == 30.0
+
+
+def test_jittered_backoff_stays_within_exponential_envelope():
+    for attempt in (1, 2, 4):
+        pure = resilience_mod.backoff_delay(0.5, attempt)
+        delay = resilience_mod.jittered_backoff(0.5, attempt, key="c")
+        assert 0.5 * pure <= delay <= pure
+        # same key, same attempt → same delay, every time (reproducible)
+        assert delay == resilience_mod.jittered_backoff(0.5, attempt, key="c")
+    # no key → the historical pure-exponential schedule, unchanged
+    assert resilience_mod.jittered_backoff(0.5, 2) == \
+        resilience_mod.backoff_delay(0.5, 2)
+
+
+# ---------------------------------------------------------------------------
+# shared checkpoint directories (multi-campaign hygiene)
+# ---------------------------------------------------------------------------
+
+
+def test_shared_checkpoint_dir_keeps_campaigns_apart(tmp_path, prepared_g721):
+    """Two campaigns checkpointing into one shared directory (the
+    ``REPRO_CHECKPOINT_DIR`` sweep layout: ``checkpoint-<key[:16]>.json``)
+    must never clobber, resume from, or quarantine each other's files —
+    even when both are interrupted and resumed interleaved."""
+    from repro.faultinjection.diskcache import campaign_key
+
+    config_a, prepared = prepared_g721
+    config_b = CampaignConfig(trials=config_a.trials, seed=config_a.seed + 1)
+    shared = tmp_path / "ckpts"
+    shared.mkdir()
+
+    def _keyed(config):
+        key = campaign_key(prepared.module, "g721dec", "dup_valchk", config)
+        return os.path.join(str(shared), f"checkpoint-{key[:16]}.json")
+
+    ckpt_a, ckpt_b = _keyed(config_a), _keyed(config_b)
+    assert ckpt_a != ckpt_b  # different seed → different keyed file
+
+    # a bystander checkpoint with an unrelated key must survive untouched
+    decoy = shared / "checkpoint-deadbeefdeadbeef.json"
+    save_checkpoint(decoy, Checkpoint(
+        key="f" * 64, workload="w", scheme="s", trials=99,
+        completed={0: _dummy_trial()},
+    ))
+    decoy_bytes = decoy.read_bytes()
+
+    references = {}
+    for label, config in (("a", config_a), ("b", config_b)):
+        references[label] = _run_reference(
+            prepared, config, tmp_path / f"ref-{label}.jsonl"
+        )
+
+    # interrupt A, then B — both keyed checkpoints now coexist
+    for label, config, ckpt in (("a", config_a, ckpt_a),
+                                ("b", config_b, ckpt_b)):
+        cfg = CampaignConfig(
+            trials=config.trials, seed=config.seed, jobs=1,
+            obs_log=str(tmp_path / f"log-{label}.jsonl"),
+            checkpoint=ckpt, resilience=_policy(),
+        )
+        with pytest.raises(KeyboardInterrupt):
+            run_campaign(prepared.workload, "dup_valchk", cfg,
+                         prepared=prepared, on_trial=_InterruptAfter(4))
+    assert os.path.exists(ckpt_a) and os.path.exists(ckpt_b)
+
+    # resume both; each must pick up only its own checkpoint
+    for label, config, ckpt in (("a", config_a, ckpt_a),
+                                ("b", config_b, ckpt_b)):
+        cfg = CampaignConfig(
+            trials=config.trials, seed=config.seed, jobs=1,
+            obs_log=str(tmp_path / f"log-{label}.jsonl"),
+            checkpoint=ckpt, resilience=_policy(),
+        )
+        resumed = run_campaign(prepared.workload, "dup_valchk", cfg,
+                               prepared=prepared)
+        assert resumed.trials == references[label].trials
+        assert (tmp_path / f"log-{label}.jsonl").read_bytes() == \
+            (tmp_path / f"ref-{label}.jsonl").read_bytes()
+        assert not os.path.exists(ckpt)  # cleared its own file only
+
+    # hygiene: nothing was quarantined, the bystander file is byte-intact
+    assert not (shared / "quarantine").exists()
+    assert decoy.read_bytes() == decoy_bytes
