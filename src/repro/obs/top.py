@@ -13,7 +13,8 @@ watch a campaign owned by any process.
 leaves a file claiming ``running`` forever.  Every rendered frame therefore
 re-derives the status via :func:`~repro.obs.heartbeat.effective_status`:
 a ``running`` document whose owning pid is dead is demoted to ``stale``,
-counted in the ``heartbeat.stale`` metric, and — under ``--until-done`` —
+counted in the ``heartbeat.stale`` metric (once per transition into
+staleness, not per rendered frame), and — under ``--until-done`` —
 terminates the watch with exit code 3 instead of wedging it.
 
 ``--once`` renders a single snapshot and exits (CI smoke uses it);
@@ -50,7 +51,6 @@ def _status_line(doc: Dict, now_unix: float) -> str:
     """Shared status fragment with dead-pid demotion + age flagging."""
     status = effective_status(doc)
     if status == "stale":
-        global_registry().counter("heartbeat.stale").inc()
         status = f"stale(pid {doc.get('pid', '?')} dead)"
     else:
         age = now_unix - float(doc.get("updated_unix", now_unix) or now_unix)
@@ -146,15 +146,24 @@ def watch(
     """
     stream = stream if stream is not None else sys.stdout
     frames = 0
+    was_stale = False
     try:
         while True:
             doc = read_heartbeat(path)
             if doc is None:
+                was_stale = False
                 print(f"[repro.obs top] no heartbeat at {path} (yet?)",
                       file=stream, flush=True)
                 if once:
                     return 1
             else:
+                # Count *detections*, not refreshes: the stale counter ticks
+                # once on the transition into staleness, however long the
+                # watch keeps re-rendering the same dead heartbeat.
+                stale = effective_status(doc) == "stale"
+                if stale and not was_stale:
+                    global_registry().counter("heartbeat.stale").inc()
+                was_stale = stale
                 if not once and stream.isatty():  # pragma: no cover - terminal
                     stream.write("\x1b[2J\x1b[H")
                 print(_render(doc), file=stream, flush=True)

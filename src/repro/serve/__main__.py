@@ -243,7 +243,11 @@ def main(argv=None) -> int:
     exec_job.set_defaults(func=_cmd_exec_job)
 
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Downstream pipe reader (head, grep -q) closed early: clean exit.
+        return 0
 
 
 if __name__ == "__main__":

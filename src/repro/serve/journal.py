@@ -23,7 +23,10 @@ full journal replay, which is always sufficient.
 
 Torn tails are expected, not errors: a SIGKILL mid-append leaves a partial
 last line, which replay ignores (the transition it described never
-happened, by definition — the reducer had not run yet).
+happened, by definition — the reducer had not run yet) and which the
+reopening :class:`Journal` truncates away before its first append, so a
+post-crash record is never glued onto the torn bytes and a later
+full-journal replay sees every record that was ever applied.
 """
 
 from __future__ import annotations
@@ -53,6 +56,40 @@ def _encode_record(record: Dict) -> str:
     return json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
 
 
+def _truncate_torn_tail(path: str) -> None:
+    """Drop a partial (newline-less) final line left by a mid-append crash.
+
+    Replay already discards the torn line — the transition it described
+    never applied — but reopening in append mode would glue the *next*
+    record onto it, silently losing that record from any later full-journal
+    replay.  Truncating back to the last newline before the first new
+    append keeps the "full replay is always sufficient" contract.
+    """
+    try:
+        with open(path, "rb+") as fh:
+            fh.seek(0, os.SEEK_END)
+            end = fh.tell()
+            if end == 0:
+                return
+            fh.seek(end - 1)
+            if fh.read(1) == b"\n":
+                return
+            last_newline = -1
+            pos = end
+            chunk = 1 << 16
+            while pos > 0 and last_newline < 0:
+                start = max(0, pos - chunk)
+                fh.seek(start)
+                data = fh.read(pos - start)
+                idx = data.rfind(b"\n")
+                if idx >= 0:
+                    last_newline = start + idx
+                pos = start
+            fh.truncate(last_newline + 1)
+    except FileNotFoundError:
+        return
+
+
 class Journal:
     """Append-only JSONL writer for queue transitions.
 
@@ -66,6 +103,7 @@ class Journal:
         self.path = os.fspath(path)
         parent = os.path.dirname(os.path.abspath(self.path))
         os.makedirs(parent, exist_ok=True)
+        _truncate_torn_tail(self.path)
         self._fh: Optional[io.TextIOWrapper] = open(
             self.path, "a", encoding="utf-8"
         )

@@ -31,6 +31,7 @@ single job behind them.
 
 from __future__ import annotations
 
+import bisect
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
@@ -317,13 +318,12 @@ class FairScheduler:
         for job in eligible:  # already seq-sorted: index 0 is the oldest
             by_tenant.setdefault(job.tenant, []).append(job)
         tenants = sorted(by_tenant)
-        if self._last_tenant in tenants:
-            at = tenants.index(self._last_tenant) + 1
+        if self._last_tenant is not None:
+            # Rotate past the last-served tenant's sorted position even when
+            # it has nothing queued right now, so ties never default to the
+            # alphabetically-first tenant.
+            at = bisect.bisect_right(tenants, self._last_tenant)
             tenants = tenants[at:] + tenants[:at]
-        else:
-            # rotate deterministically even when the last-served tenant has
-            # nothing queued, so one busy tenant doesn't win every tie
-            tenants = tenants
         chosen = tenants[0]
         self._last_tenant = chosen
         return by_tenant[chosen][0]

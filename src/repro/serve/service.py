@@ -180,6 +180,32 @@ def _preexec_pdeathsig():  # pragma: no cover - runs post-fork, pre-exec
         pass
 
 
+def _pid_is_job_worker(pid, job_id: str) -> bool:
+    """Does this pid still run ``repro.serve exec-job`` for this job?
+
+    After service downtime the recorded pid may have been recycled by an
+    unrelated process (or belong to another user — ``pid_alive`` reports
+    those alive on ``PermissionError``), so recovery must never kill on an
+    existence check alone.  The cmdline is read from ``/proc`` (Linux);
+    anywhere it cannot be read the answer is False — skipping the kill is
+    always safe, because the journaled ``interrupt`` requeues the job and
+    the PR_SET_PDEATHSIG tie reaps true orphans on Linux anyway.
+    """
+    try:
+        pid = int(pid)
+    except (TypeError, ValueError):
+        return False
+    if pid <= 0:
+        return False
+    try:
+        with open(f"/proc/{pid}/cmdline", "rb") as fh:
+            argv = fh.read().split(b"\0")
+    except OSError:
+        return False
+    args = [arg.decode("utf-8", "replace") for arg in argv if arg]
+    return "exec-job" in args and job_id in args
+
+
 @dataclass
 class _LiveWorker:
     job_id: str
@@ -233,10 +259,12 @@ class Service:
         """Rebuild the queue from snapshot + journal tail; requeue casualties.
 
         Any job the previous incarnation left ``running`` is a crash
-        casualty: its recorded worker pid is best-effort SIGKILLed (it may
-        be an orphan still writing into the job directory) and the job is
-        journaled ``interrupt`` — requeued with no retry charge, resuming
-        from its campaign checkpoint.
+        casualty: if its recorded worker pid still runs the expected
+        ``exec-job`` command (cmdline-verified — a recycled pid must never
+        get an innocent process killed) it is SIGKILLed so no orphan keeps
+        writing into the job directory, and the job is journaled
+        ``interrupt`` — requeued with no retry charge, resuming from its
+        campaign checkpoint.
         """
         loaded = load_state_snapshot(self.paths.state)
         offset = 0
@@ -252,7 +280,8 @@ class Service:
         if self.state.draining:
             self._record({"type": "resume"})
         for job in self.state.in_state(JobState.RUNNING):
-            if job.pid and pid_alive(job.pid):
+            if job.pid and pid_alive(job.pid) \
+                    and _pid_is_job_worker(job.pid, job.id):
                 try:
                     os.kill(int(job.pid), signal.SIGKILL)
                 except OSError:
@@ -335,7 +364,11 @@ class Service:
                 spec = CampaignSpec.from_dict(doc.get("spec") or {})
                 job_id = str(doc.get("id") or "") or None
                 tenant = str(doc.get("tenant") or DEFAULT_TENANT)
-            except (OSError, ValueError):
+            except Exception:
+                # Submissions are untrusted: *any* parse failure — bad JSON,
+                # wrong shapes, exotic types — quarantines the drop rather
+                # than crashing the loop (a poison file in the inbox would
+                # otherwise wedge every restart).
                 quarantine_file(path)
                 global_registry().counter("queue.inbox_corrupt").inc()
                 progressed = True

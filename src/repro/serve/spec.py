@@ -112,6 +112,23 @@ class CampaignSpec:
 
     @classmethod
     def from_dict(cls, doc: Dict) -> "CampaignSpec":
+        """Parse a spec document; raises ``ValueError`` on malformed shapes.
+
+        Submissions are untrusted tenant input: a spec that is not a JSON
+        object, or whose ``labels`` is not one, must fail with the same
+        exception type as bad JSON so admission quarantines it instead of
+        letting an ``AttributeError``/``TypeError`` escape into the service
+        loop.
+        """
+        if not isinstance(doc, dict):
+            raise ValueError(
+                f"campaign spec must be a JSON object, got {type(doc).__name__}"
+            )
+        labels = doc.get("labels") or {}
+        if not isinstance(labels, dict):
+            raise ValueError(
+                f"spec labels must be a JSON object, got {type(labels).__name__}"
+            )
         return cls(
             workload=doc.get("workload", ""),
             scheme=doc.get("scheme", ""),
@@ -120,7 +137,7 @@ class CampaignSpec:
             fault_model=doc.get("fault_model"),
             jobs=doc.get("jobs", 1),
             swap_train_test=bool(doc.get("swap_train_test", False)),
-            labels=dict(doc.get("labels") or {}),
+            labels=dict(labels),
         )
 
     # -- content key --------------------------------------------------------

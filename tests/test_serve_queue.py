@@ -52,6 +52,17 @@ def test_spec_validation_rejects_garbage():
         assert spec.validate() is not None
 
 
+def test_spec_from_dict_rejects_malformed_shapes():
+    # Submissions are untrusted: wrong shapes must raise ValueError (the
+    # admission path's quarantine currency), never AttributeError/TypeError
+    with pytest.raises(ValueError):
+        CampaignSpec.from_dict([1, 2])
+    with pytest.raises(ValueError):
+        CampaignSpec.from_dict("g721dec")
+    with pytest.raises(ValueError):
+        CampaignSpec.from_dict({"workload": "g721dec", "labels": 5})
+
+
 def test_spec_key_is_semantic_only():
     base = CampaignSpec(workload="g721dec", scheme="dup", trials=7, seed=3)
     # jobs and labels are non-semantic; the tenant never enters the spec.
@@ -105,6 +116,32 @@ def test_journal_tolerates_torn_tail_and_junk(tmp_path):
     # the torn bytes are not covered: a snapshot at clean_end replays them
     with open(path, "rb") as fh:
         assert b"done" in fh.read()[clean_end:]
+
+
+def test_journal_reopen_truncates_torn_tail(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    with Journal(path) as journal:
+        journal.append({"type": "submit", "job": "a"})
+        journal.append({"type": "start", "job": "a"})
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write('{"type": "done", "jo')  # SIGKILL mid-append
+    # The restarted service reopens the journal for appending; the first
+    # post-crash record must not be glued onto the torn line, or a later
+    # full-journal replay would silently lose it.
+    with Journal(path) as journal:
+        journal.append({"type": "interrupt", "job": "a"})
+    records, clean_end = read_journal(path)
+    assert [r["type"] for r in records] == ["submit", "start", "interrupt"]
+    assert clean_end == path.stat().st_size
+
+
+def test_journal_reopen_handles_torn_only_file(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    path.write_bytes(b'{"type": "sub')  # no complete line at all
+    with Journal(path) as journal:
+        journal.append({"type": "submit", "job": "a"})
+    records, _ = read_journal(path)
+    assert [r["type"] for r in records] == ["submit"]
 
 
 def test_state_snapshot_roundtrip_and_corruption_quarantine(tmp_path):
@@ -273,6 +310,19 @@ def test_scheduler_round_robin_across_tenants():
     # the single-job tenant is served second, not behind the 3-job tenant
     assert order.count("small") == 1
     assert order.index("small") <= 1
+
+
+def test_scheduler_rotates_past_absent_last_tenant():
+    state = QueueState()
+    _submit(state, "a0", tenant="a", key="ka")
+    _submit(state, "c0", tenant="c", key="kc")
+    scheduler = FairScheduler()
+    # tenant "b" was served last and has nothing queued now; rotation must
+    # continue past its sorted position, not reset to the alphabetically
+    # first tenant
+    scheduler._last_tenant = "b"
+    assert scheduler.pick(state, now=0.0).tenant == "c"
+    assert scheduler.pick(state, now=0.0).tenant == "a"
 
 
 def test_scheduler_respects_backoff_delays():

@@ -165,6 +165,31 @@ def test_admission_sheds_invalid_and_bounds_depth(tmp_path):
         service.journal.close()
 
 
+def test_malformed_inbox_drop_is_quarantined_not_fatal(tmp_path):
+    """A hostile-shaped (but valid-JSON) submission must never crash the
+    service loop — a poison file surviving in the inbox would wedge every
+    restart."""
+    root = tmp_path / "svc"
+    good = submit_to_inbox(root, _spec())
+    paths = service_mod.service_paths(root)
+    with open(os.path.join(paths.inbox, "poison1.json"), "w",
+              encoding="utf-8") as fh:
+        json.dump({"id": "p1", "spec": [1, 2]}, fh)          # list spec
+    with open(os.path.join(paths.inbox, "poison2.json"), "w",
+              encoding="utf-8") as fh:
+        json.dump({"id": "p2", "spec": {"workload": "g721dec",
+                                        "scheme": "dup",
+                                        "labels": 5}}, fh)   # scalar labels
+    assert Service(_config(root)).run() == 0
+
+    state = load_queue_state(root)
+    assert state.jobs[good].state == JobState.DONE
+    qdir = os.path.join(paths.inbox, "quarantine")
+    assert sorted(os.listdir(qdir)) == ["poison1.json", "poison2.json"]
+    # the inbox is clean: a restart admits nothing and exits idle
+    assert Service(_config(root)).run() == 0
+
+
 # ---------------------------------------------------------------------------
 # retries, quarantine, interrupts (worker behaviour stubbed)
 # ---------------------------------------------------------------------------
@@ -359,6 +384,61 @@ def test_sigkill_service_resume_is_byte_identical(tmp_path, spec_jobs):
             f"{spec.describe()}: cache entry diverged"
 
 
+def test_recover_spares_unrelated_process_on_recycled_pid(tmp_path):
+    """After downtime the recorded worker pid may belong to someone else;
+    recovery must verify the cmdline before killing."""
+    root = tmp_path / "svc"
+    bystander = subprocess.Popen(
+        [sys.executable, "-c", "import time; time.sleep(120)"])
+    try:
+        service = Service(_config(root))
+        service.recover()
+        job = service.submit(_spec())
+        service._record({"type": "start", "job": job.id,
+                         "pid": bystander.pid})
+        service.journal.close()
+
+        restarted = Service(_config(root))
+        restarted.recover()
+        restarted.journal.close()
+        assert bystander.poll() is None  # innocent process untouched
+        state = load_queue_state(root)
+        assert state.jobs[job.id].state == JobState.QUEUED  # still requeued
+    finally:
+        bystander.kill()
+        bystander.wait()
+
+
+@pytest.mark.skipif(not sys.platform.startswith("linux"),
+                    reason="worker verification reads /proc cmdline")
+def test_recover_kills_cmdline_verified_orphan_worker(tmp_path):
+    root = tmp_path / "svc"
+    service = Service(_config(root))
+    service.recover()
+    job = service.submit(_spec())
+    orphan = subprocess.Popen(
+        [sys.executable, "-c", "import time; time.sleep(120)",
+         "exec-job", "--job", job.id])
+    try:
+        # wait for exec() to land so /proc/<pid>/cmdline shows the worker
+        # argv (before that, verification conservatively skips the kill)
+        assert _wait(
+            lambda: service_mod._pid_is_job_worker(orphan.pid, job.id),
+            timeout=10.0,
+        ), "orphan cmdline never became visible"
+        service._record({"type": "start", "job": job.id, "pid": orphan.pid})
+        service.journal.close()
+
+        restarted = Service(_config(root))
+        restarted.recover()
+        restarted.journal.close()
+        assert orphan.wait(timeout=10) == -signal.SIGKILL
+    finally:
+        if orphan.poll() is None:
+            orphan.kill()
+            orphan.wait()
+
+
 @pytest.mark.slow
 def test_sigterm_drains_checkpoints_and_exits_zero(tmp_path):
     root = tmp_path / "svc"
@@ -437,6 +517,28 @@ def test_top_until_done_exits_3_on_stale_heartbeat(tmp_path, capsys):
         registry.enabled = prior
     out = capsys.readouterr().out
     assert "stale" in out and "dead" in out
+
+
+def test_stale_counter_counts_transitions_not_frames(tmp_path, capsys):
+    from repro.obs.metrics import global_registry
+
+    beat = tmp_path / "hb.json"
+    beat.write_text(json.dumps({
+        "status": "running", "pid": _dead_pid(),
+        "workload": "g721dec", "scheme": "dup",
+        "trials_done": 3, "trials_total": 10, "updated_unix": time.time(),
+    }))
+    registry = global_registry()
+    prior = registry.enabled
+    registry.enabled = True
+    try:
+        before = registry.counter("heartbeat.stale").value
+        # three rendered frames of the same dead heartbeat = one detection
+        assert watch(str(beat), interval=0.0, max_frames=3) == 0
+        assert registry.counter("heartbeat.stale").value == before + 1
+    finally:
+        registry.enabled = prior
+    capsys.readouterr()
 
 
 def test_top_until_done_exits_0_on_terminal_status(tmp_path, capsys):
